@@ -1,0 +1,56 @@
+//! Criterion benches for label construction time (Figures 15 & 21):
+//! derivation-based DRL, execution-based DRL, and static SKL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wf_bench::workloads::{label_derivation, label_derivation_only, label_execution, sample_run};
+use wf_skeleton::{SpecLabeling, TclLabels, TclSpecLabels};
+use wf_skl::SklLabeling;
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+
+    // Figure 15: the recursive BioAID stand-in, DRL only.
+    let spec = wf_spec::corpus::bioaid();
+    let skeleton = TclSpecLabels::build(&spec);
+    for size in [1000usize, 8000] {
+        let run = sample_run(&spec, 1, size, 0);
+        group.bench_with_input(
+            BenchmarkId::new("drl_derivation", size),
+            &run,
+            |b, run| b.iter(|| label_derivation(&spec, &skeleton, run)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("drl_execution", size),
+            &run,
+            |b, run| b.iter(|| label_execution(&spec, &skeleton, run)),
+        );
+    }
+
+    // Figure 21: the non-recursive variant, DRL vs SKL.
+    let flat = wf_spec::corpus::bioaid_nonrecursive();
+    let flat_skeleton = TclSpecLabels::build(&flat);
+    for size in [1000usize, 8000] {
+        let run = sample_run(&flat, 1, size, 0);
+        group.bench_with_input(
+            BenchmarkId::new("drl_derivation_nonrec", size),
+            &run,
+            |b, run| b.iter(|| label_derivation_only(&flat, &flat_skeleton, run)),
+        );
+        group.bench_with_input(BenchmarkId::new("skl_static", size), &run, |b, run| {
+            b.iter(|| {
+                SklLabeling::<TclLabels>::build_from_parts(
+                    &flat,
+                    &run.graph,
+                    &run.origin,
+                    &run.derivation,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

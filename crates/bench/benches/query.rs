@@ -1,0 +1,73 @@
+//! Criterion benches for query time (Figures 16 & 22): the four scheme
+//! combinations DRL/SKL × TCL/BFS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wf_bench::workloads::{label_derivation, query_pairs, sample_run};
+use wf_skeleton::{BfsOracle, BfsSpecLabels, SpecLabeling, TclLabels, TclSpecLabels};
+use wf_skl::SklLabeling;
+
+fn query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20);
+
+    let spec = wf_spec::corpus::bioaid_nonrecursive();
+    let tcl = TclSpecLabels::build(&spec);
+    let bfs = BfsSpecLabels::build(&spec);
+    for size in [2000usize, 16000] {
+        let run = sample_run(&spec, 2, size, 0);
+        let pairs = query_pairs(&run, 1000, 99);
+
+        let drl_tcl = label_derivation(&spec, &tcl, &run);
+        group.bench_with_input(BenchmarkId::new("drl_tcl", size), &pairs, |b, pairs| {
+            let p = drl_tcl.predicate();
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|(x, y)| {
+                        p.reaches(drl_tcl.label(*x).unwrap(), drl_tcl.label(*y).unwrap())
+                    })
+                    .count()
+            })
+        });
+        let drl_bfs = label_derivation(&spec, &bfs, &run);
+        group.bench_with_input(BenchmarkId::new("drl_bfs", size), &pairs, |b, pairs| {
+            let p = drl_bfs.predicate();
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|(x, y)| {
+                        p.reaches(drl_bfs.label(*x).unwrap(), drl_bfs.label(*y).unwrap())
+                    })
+                    .count()
+            })
+        });
+        let skl_tcl: SklLabeling<TclLabels> =
+            SklLabeling::build(&spec, &run.derivation).unwrap();
+        group.bench_with_input(BenchmarkId::new("skl_tcl", size), &pairs, |b, pairs| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|(x, y)| {
+                        skl_tcl.reaches(skl_tcl.label(*x).unwrap(), skl_tcl.label(*y).unwrap())
+                    })
+                    .count()
+            })
+        });
+        let skl_bfs: SklLabeling<BfsOracle> =
+            SklLabeling::build(&spec, &run.derivation).unwrap();
+        group.bench_with_input(BenchmarkId::new("skl_bfs", size), &pairs, |b, pairs| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|(x, y)| {
+                        skl_bfs.reaches(skl_bfs.label(*x).unwrap(), skl_bfs.label(*y).unwrap())
+                    })
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for the specification-labeling preprocessing
+//! overhead (Table 2): DRL's per-sub-workflow skeleton labels vs SKL's
+//! global-expansion labels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wf_skeleton::{SpecLabeling, TclSpecLabels};
+use wf_skl::global::GlobalExpansion;
+
+fn specification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("specification");
+    let spec = wf_spec::corpus::bioaid();
+    group.bench_function("drl_tcl_spec_labels", |b| {
+        b.iter(|| TclSpecLabels::build(&spec))
+    });
+    let flat = wf_spec::corpus::bioaid_nonrecursive();
+    group.bench_function("skl_global_tcl_labels", |b| {
+        b.iter(|| {
+            let global = GlobalExpansion::build(&flat).unwrap();
+            wf_skeleton::TclLabels::build(&global.graph)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, specification);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Inspection tool: dump a corpus specification, one generated run, and
+//! its parse trees.
+//!
+//! ```text
+//! showrun running_example            # outline + stats
+//! showrun bioaid --dot               # run graph in Graphviz DOT
+//! showrun fig12 --target 60 --seed 3
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_run::{CanonicalParseTree, RunGenerator};
+use wf_spec::{SpecStats, Specification};
+
+fn spec_by_name(name: &str) -> Option<Specification> {
+    Some(match name {
+        "running_example" => wf_spec::corpus::running_example(),
+        "bioaid" => wf_spec::corpus::bioaid(),
+        "bioaid_nonrecursive" => wf_spec::corpus::bioaid_nonrecursive(),
+        "theorem1" => wf_spec::corpus::theorem1(),
+        "fig12" => wf_spec::corpus::fig12(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: showrun <running_example|bioaid|bioaid_nonrecursive|theorem1|fig12> \
+             [--target N] [--seed N] [--dot]"
+        );
+        std::process::exit(2);
+    }
+    let mut target = 60usize;
+    let mut seed = 1u64;
+    let mut dot = false;
+    let mut which = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--target" => {
+                i += 1;
+                target = args[i].parse().expect("--target takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes a number");
+            }
+            "--dot" => dot = true,
+            other => which = Some(other.to_string()),
+        }
+        i += 1;
+    }
+    let name = which.expect("a specification name is required");
+    let Some(spec) = spec_by_name(&name) else {
+        eprintln!("unknown specification {name:?}");
+        std::process::exit(2);
+    };
+
+    let stats = SpecStats::collect(&spec);
+    println!("specification {name}: {}", stats.summary());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let run = RunGenerator::new(&spec)
+        .target_size(target)
+        .generate_run(&mut rng);
+    println!(
+        "run (seed {seed}): {} vertices, {} edges, {} derivation steps",
+        run.graph.vertex_count(),
+        run.graph.edge_count(),
+        run.derivation.len()
+    );
+
+    if dot {
+        println!(
+            "{}",
+            wf_graph::dot::to_dot(&run.graph, &name, |v| {
+                spec.name_str(run.graph.name(v)).to_string()
+            })
+        );
+    } else {
+        let tree = CanonicalParseTree::build(&spec, &run.derivation)
+            .expect("generated derivations replay");
+        println!(
+            "canonical parse tree: {} nodes, depth {}",
+            tree.len(),
+            tree.max_depth()
+        );
+        print!("{}", tree.outline(&spec));
+    }
+}

@@ -1,0 +1,215 @@
+//! §7.2 — labeling the real-life workflow (BioAID stand-in):
+//! Figures 14–16 and Table 2.
+
+use crate::metrics::{f1, f3, mean_ms, mean_us, time, LabelStats, Table};
+use crate::workloads::{label_derivation, label_derivation_only, label_execution, query_pairs, sample_run};
+use crate::Config;
+use wf_run::RunBuilder;
+use wf_skeleton::{BfsSpecLabels, SpecLabeling, TclSpecLabels};
+use wf_skl::global::GlobalExpansion;
+
+/// Figure 14: max & avg label length grow like `log n + c` (the paper
+/// plots `f(n) = log n + 13` as the reference asymptote).
+pub fn fig14(cfg: &Config) -> String {
+    let spec = wf_spec::corpus::bioaid();
+    let skeleton = TclSpecLabels::build(&spec);
+    let mut table = Table::new(
+        "Figure 14 — BioAID label length (bits)",
+        &["n", "avg_len", "max_len", "log2(n)+13"],
+    );
+    for &size in &cfg.sizes {
+        let mut stats = Vec::new();
+        let mut ns = Vec::new();
+        for s in 0..cfg.samples {
+            let run = sample_run(&spec, cfg.seed, size, s);
+            let labeler = label_derivation(&spec, &skeleton, &run);
+            stats.push(LabelStats::of_drl(&labeler));
+            ns.push(run.graph.vertex_count());
+        }
+        let merged = LabelStats::merge(&stats);
+        let n = ns.iter().sum::<usize>() / ns.len();
+        table.row(vec![
+            n.to_string(),
+            f1(merged.avg_bits),
+            merged.max_bits.to_string(),
+            f1((n as f64).log2() + 13.0),
+        ]);
+    }
+    table.render()
+}
+
+/// Figure 15: total construction time is linear in run size;
+/// derivation-based is faster than execution-based (which must infer
+/// contexts and origins). A graph-update-only baseline shows labeling
+/// overhead is comparable to maintaining the graph itself.
+pub fn fig15(cfg: &Config) -> String {
+    let spec = wf_spec::corpus::bioaid();
+    let skeleton = TclSpecLabels::build(&spec);
+    let mut table = Table::new(
+        "Figure 15 — BioAID total construction time (ms)",
+        &["n", "derivation_ms", "execution_ms", "graph_only_ms"],
+    );
+    for &size in &cfg.sizes {
+        let (mut td, mut te, mut tg) = (Vec::new(), Vec::new(), Vec::new());
+        let mut ns = Vec::new();
+        for s in 0..cfg.samples {
+            let run = sample_run(&spec, cfg.seed, size, s);
+            ns.push(run.graph.vertex_count());
+            let (_, d) = time(|| label_derivation_only(&spec, &skeleton, &run));
+            td.push(d);
+            let (_, e) = time(|| label_execution(&spec, &skeleton, &run));
+            te.push(e);
+            let (_, g) = time(|| {
+                let mut b = RunBuilder::new(&spec);
+                for step in run.derivation.steps() {
+                    b.apply(step).unwrap();
+                }
+                b
+            });
+            tg.push(g);
+        }
+        let n = ns.iter().sum::<usize>() / ns.len();
+        table.row(vec![
+            n.to_string(),
+            f3(mean_ms(&td)),
+            f3(mean_ms(&te)),
+            f3(mean_ms(&tg)),
+        ]);
+    }
+    table.render()
+}
+
+/// Figure 16: query time is (almost) constant in run size; DRL(TCL)
+/// beats DRL(BFS) by a small constant because comparing skeleton labels
+/// beats searching the (small) sub-workflow graph.
+pub fn fig16(cfg: &Config) -> String {
+    let spec = wf_spec::corpus::bioaid();
+    let tcl = TclSpecLabels::build(&spec);
+    let bfs = BfsSpecLabels::build(&spec);
+    let mut table = Table::new(
+        "Figure 16 — BioAID query time (µs/query)",
+        &["n", "DRL(TCL)", "DRL(BFS)"],
+    );
+    for &size in &cfg.sizes {
+        let run = sample_run(&spec, cfg.seed, size, 0);
+        let pairs = query_pairs(&run, cfg.queries, cfg.seed ^ size as u64);
+        let lt = label_derivation(&spec, &tcl, &run);
+        let lb = label_derivation(&spec, &bfs, &run);
+        let (hits_t, dt) = time(|| {
+            let p = lt.predicate();
+            pairs
+                .iter()
+                .filter(|(a, b)| p.reaches(lt.label(*a).unwrap(), lt.label(*b).unwrap()))
+                .count()
+        });
+        let (hits_b, db) = time(|| {
+            let p = lb.predicate();
+            pairs
+                .iter()
+                .filter(|(a, b)| p.reaches(lb.label(*a).unwrap(), lb.label(*b).unwrap()))
+                .count()
+        });
+        assert_eq!(hits_t, hits_b, "schemes must agree");
+        table.row(vec![
+            run.graph.vertex_count().to_string(),
+            f3(mean_us(&[dt]) / pairs.len() as f64),
+            f3(mean_us(&[db]) / pairs.len() as f64),
+        ]);
+    }
+    table.render()
+}
+
+/// Table 2: one-off overhead of labeling the specification. DRL labels
+/// each (small) sub-workflow; SKL labels the global expansion — an
+/// order of magnitude more bits and time.
+pub fn tab2(_cfg: &Config) -> String {
+    let mut table = Table::new(
+        "Table 2 — Overhead of labeling the specification",
+        &["scheme", "total_bits", "construction_ms"],
+    );
+    // DRL(TCL): per-sub-workflow skeleton labels of the recursive spec.
+    let spec = wf_spec::corpus::bioaid();
+    let (drl_bits, drl_time) = {
+        let (labels, d) = time(|| TclSpecLabels::build(&spec));
+        (labels.total_bits(), d)
+    };
+    table.row(vec![
+        "DRL(TCL)".into(),
+        drl_bits.to_string(),
+        f3(mean_ms(&[drl_time])),
+    ]);
+    // SKL(TCL): global expansion of the loop-converted spec + labels.
+    let flat = wf_spec::corpus::bioaid_nonrecursive();
+    let (skl_bits, skl_time) = {
+        let ((global, labels), d) = time(|| {
+            let global = GlobalExpansion::build(&flat).expect("non-recursive");
+            let labels = wf_skeleton::TclLabels::build(&global.graph);
+            (global, labels)
+        });
+        let _ = global;
+        (labels.total_bits(), d)
+    };
+    table.row(vec![
+        "SKL(TCL)".into(),
+        skl_bits.to_string(),
+        f3(mean_ms(&[skl_time])),
+    ]);
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_label_lengths_grow_logarithmically() {
+        let cfg = Config {
+            sizes: vec![500, 4000],
+            samples: 2,
+            queries: 100,
+            seed: 3,
+        };
+        let out = fig14(&cfg);
+        assert!(out.contains("Figure 14"));
+        // The 8× size increase should grow max length by far less than
+        // 8× (logarithmic, ~+3 bits): parse rows back out.
+        let rows: Vec<Vec<f64>> = out
+            .lines()
+            .skip(3)
+            .map(|l| {
+                l.split_whitespace()
+                    .map(|c| c.parse::<f64>().unwrap())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(rows.len(), 2);
+        let (max1, max2) = (rows[0][2], rows[1][2]);
+        assert!(max2 >= max1, "labels grow with n");
+        assert!(max2 <= max1 + 16.0, "growth is logarithmic, not linear");
+    }
+
+    #[test]
+    fn tab2_skl_overhead_dominates() {
+        let out = tab2(&Config::smoke());
+        let parse_bits = |name: &str| -> usize {
+            out.lines()
+                .find(|l| l.contains(name))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|c| c.parse().ok())
+                .unwrap()
+        };
+        let drl = parse_bits("DRL(TCL)");
+        let skl = parse_bits("SKL(TCL)");
+        assert!(
+            skl > 2 * drl,
+            "global skeleton labels dominate: DRL {drl} vs SKL {skl}"
+        );
+    }
+
+    #[test]
+    fn fig15_and_fig16_smoke() {
+        let cfg = Config::smoke();
+        assert!(fig15(&cfg).contains("derivation_ms"));
+        assert!(fig16(&cfg).contains("DRL(BFS)"));
+    }
+}

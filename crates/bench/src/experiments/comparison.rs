@@ -1,0 +1,197 @@
+//! §7.4 — DRL (dynamic) vs SKL (static): Figures 20–22.
+//!
+//! Per the paper's footnote 6, the comparison uses the real-life
+//! workflow with its recursion converted to a loop (SKL cannot label
+//! recursive workflows at all).
+
+use crate::metrics::{f3, mean_ms, time, LabelStats, Table};
+use crate::workloads::{label_derivation, label_derivation_only, label_execution, query_pairs, sample_run};
+use crate::Config;
+use wf_skeleton::{BfsOracle, BfsSpecLabels, SpecLabeling, TclLabels, TclSpecLabels};
+use wf_skl::SklLabeling;
+
+/// Figure 20: maximum label length. DRL's prefix-based labels grow with
+/// slope ≈ 1×`log n`, SKL's interval-based labels with slope ≈ 3; DRL
+/// wins beyond roughly 1.5K vertices, approaching a factor of 3.
+pub fn fig20(cfg: &Config) -> String {
+    let spec = wf_spec::corpus::bioaid_nonrecursive();
+    let skeleton = TclSpecLabels::build(&spec);
+    let mut table = Table::new(
+        "Figure 20 — DRL vs SKL max label length (bits)",
+        &["n", "DRL", "SKL"],
+    );
+    for &size in &cfg.sizes {
+        let mut drl_stats = Vec::new();
+        let mut skl_max = 0usize;
+        let mut ns = Vec::new();
+        for s in 0..cfg.samples {
+            let run = sample_run(&spec, cfg.seed, size, s);
+            ns.push(run.graph.vertex_count());
+            let labeler = label_derivation(&spec, &skeleton, &run);
+            drl_stats.push(LabelStats::of_drl(&labeler));
+            let skl: SklLabeling = SklLabeling::build(&spec, &run.derivation).unwrap();
+            skl_max = skl_max.max(
+                run.graph
+                    .vertices()
+                    .map(|v| skl.label_bits(v).unwrap())
+                    .max()
+                    .unwrap(),
+            );
+        }
+        table.row(vec![
+            (ns.iter().sum::<usize>() / ns.len()).to_string(),
+            LabelStats::merge(&drl_stats).max_bits.to_string(),
+            skl_max.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Figure 21: construction time. SKL builds simpler labels and is
+/// faster — but can only start once the run is complete; DRL pays its
+/// dynamic bookkeeping as the run advances.
+pub fn fig21(cfg: &Config) -> String {
+    let spec = wf_spec::corpus::bioaid_nonrecursive();
+    let skeleton = TclSpecLabels::build(&spec);
+    let mut table = Table::new(
+        "Figure 21 — DRL vs SKL total construction time (ms)",
+        &["n", "DRL(derivation)", "DRL(execution)", "SKL"],
+    );
+    for &size in &cfg.sizes {
+        let (mut td, mut te, mut ts) = (Vec::new(), Vec::new(), Vec::new());
+        let mut ns = Vec::new();
+        for s in 0..cfg.samples {
+            let run = sample_run(&spec, cfg.seed, size, s);
+            ns.push(run.graph.vertex_count());
+            let (_, d) = time(|| label_derivation_only(&spec, &skeleton, &run));
+            td.push(d);
+            let (_, e) = time(|| label_execution(&spec, &skeleton, &run));
+            te.push(e);
+            // SKL receives the completed run (it is static); its cost is
+            // labeling only.
+            let (_, k) = time(|| {
+                SklLabeling::<TclLabels>::build_from_parts(
+                    &spec,
+                    &run.graph,
+                    &run.origin,
+                    &run.derivation,
+                )
+                .unwrap()
+            });
+            ts.push(k);
+        }
+        table.row(vec![
+            (ns.iter().sum::<usize>() / ns.len()).to_string(),
+            f3(mean_ms(&td)),
+            f3(mean_ms(&te)),
+            f3(mean_ms(&ts)),
+        ]);
+    }
+    table.render()
+}
+
+/// Figure 22: query time for all four combinations. SKL(BFS) searches
+/// the *global* specification graph (~10× bigger than any individual
+/// sub-workflow), so it is roughly an order of magnitude slower than
+/// DRL(BFS); with TCL skeletons both schemes are in the same ballpark.
+pub fn fig22(cfg: &Config) -> String {
+    let spec = wf_spec::corpus::bioaid_nonrecursive();
+    let tcl = TclSpecLabels::build(&spec);
+    let bfs = BfsSpecLabels::build(&spec);
+    let mut table = Table::new(
+        "Figure 22 — query time (µs/query)",
+        &["n", "DRL(TCL)", "DRL(BFS)", "SKL(TCL)", "SKL(BFS)"],
+    );
+    for &size in &cfg.sizes {
+        let run = sample_run(&spec, cfg.seed, size, 0);
+        let pairs = query_pairs(&run, cfg.queries, cfg.seed ^ size as u64);
+        let per_query = |d: std::time::Duration| d.as_secs_f64() * 1e6 / pairs.len() as f64;
+
+        let drl_tcl = label_derivation(&spec, &tcl, &run);
+        let drl_bfs = label_derivation(&spec, &bfs, &run);
+        let skl_tcl: SklLabeling<TclLabels> =
+            SklLabeling::build(&spec, &run.derivation).unwrap();
+        let skl_bfs: SklLabeling<BfsOracle> =
+            SklLabeling::build(&spec, &run.derivation).unwrap();
+
+        let (c1, d1) = time(|| {
+            let p = drl_tcl.predicate();
+            pairs
+                .iter()
+                .filter(|(a, b)| p.reaches(drl_tcl.label(*a).unwrap(), drl_tcl.label(*b).unwrap()))
+                .count()
+        });
+        let (c2, d2) = time(|| {
+            let p = drl_bfs.predicate();
+            pairs
+                .iter()
+                .filter(|(a, b)| p.reaches(drl_bfs.label(*a).unwrap(), drl_bfs.label(*b).unwrap()))
+                .count()
+        });
+        let (c3, d3) = time(|| {
+            pairs
+                .iter()
+                .filter(|(a, b)| {
+                    skl_tcl.reaches(skl_tcl.label(*a).unwrap(), skl_tcl.label(*b).unwrap())
+                })
+                .count()
+        });
+        let (c4, d4) = time(|| {
+            pairs
+                .iter()
+                .filter(|(a, b)| {
+                    skl_bfs.reaches(skl_bfs.label(*a).unwrap(), skl_bfs.label(*b).unwrap())
+                })
+                .count()
+        });
+        assert!(c1 == c2 && c2 == c3 && c3 == c4, "all schemes agree");
+        table.row(vec![
+            run.graph.vertex_count().to_string(),
+            f3(per_query(d1)),
+            f3(per_query(d2)),
+            f3(per_query(d3)),
+            f3(per_query(d4)),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig20_drl_wins_for_large_runs() {
+        let cfg = Config {
+            sizes: vec![500, 8000],
+            samples: 2,
+            queries: 100,
+            seed: 23,
+        };
+        let out = fig20(&cfg);
+        let rows: Vec<Vec<usize>> = out
+            .lines()
+            .skip(3)
+            .map(|l| l.split_whitespace().map(|c| c.parse().unwrap()).collect())
+            .collect();
+        let (drl, skl) = (rows[1][1], rows[1][2]);
+        assert!(
+            drl < skl,
+            "beyond ~1.5K vertices DRL labels are shorter: DRL {drl} vs SKL {skl}"
+        );
+    }
+
+    #[test]
+    fn fig22_all_schemes_agree_and_report() {
+        let cfg = Config::smoke();
+        let out = fig22(&cfg);
+        assert!(out.contains("SKL(BFS)"));
+        assert_eq!(out.lines().skip(3).count(), cfg.sizes.len());
+    }
+
+    #[test]
+    fn fig21_smoke() {
+        let out = fig21(&Config::smoke());
+        assert!(out.contains("DRL(derivation)"));
+    }
+}

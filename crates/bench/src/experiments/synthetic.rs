@@ -1,0 +1,187 @@
+//! §7.3 — labeling synthetic workflows (the Figure-13 family):
+//! Figures 17–19.
+
+use crate::metrics::{LabelStats, Table};
+use crate::workloads::{label_derivation, sample_run};
+use crate::Config;
+use wf_skeleton::{SpecLabeling, TclSpecLabels};
+use wf_spec::synthetic::SyntheticParams;
+
+/// Figure 17: vary the size of sub-workflows (10→160, ×2), nesting depth
+/// fixed at 5, runs of ≈5K vertices. Max label length grows roughly
+/// logarithmically in the sub-workflow size: `log nG` per entry
+/// dominates the shrinking `log θt` (eq. 3 discussion).
+pub fn fig17(cfg: &Config) -> String {
+    let mut table = Table::new(
+        "Figure 17 — max label length vs sub-workflow size (runs ≈5K, depth 5)",
+        &["sub_size", "n", "max_len_bits"],
+    );
+    for &sub_size in &[10usize, 20, 40, 80, 160] {
+        let spec = SyntheticParams {
+            sub_size,
+            depth: 5,
+            recursive_modules: 1,
+            density: 0.08,
+            seed: cfg.seed ^ sub_size as u64,
+        }
+        .build();
+        let skeleton = TclSpecLabels::build(&spec);
+        let mut stats = Vec::new();
+        let mut ns = Vec::new();
+        for s in 0..cfg.samples {
+            let run = sample_run(&spec, cfg.seed, 5000.min(cfg.sizes.iter().copied().max().unwrap_or(5000)), s);
+            let labeler = label_derivation(&spec, &skeleton, &run);
+            stats.push(LabelStats::of_drl(&labeler));
+            ns.push(run.graph.vertex_count());
+        }
+        let merged = LabelStats::merge(&stats);
+        table.row(vec![
+            sub_size.to_string(),
+            (ns.iter().sum::<usize>() / ns.len()).to_string(),
+            merged.max_bits.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Figure 18: vary the nesting depth (5→25, +5), sub-workflow size fixed
+/// at 20, runs of ≈5K vertices. Max label length grows *linearly* with
+/// nesting depth (`dt` multiplies the per-entry bits, eq. 3).
+pub fn fig18(cfg: &Config) -> String {
+    let mut table = Table::new(
+        "Figure 18 — max label length vs nesting depth (runs ≈5K, sub-size 20)",
+        &["depth", "n", "max_len_bits"],
+    );
+    for &depth in &[5usize, 10, 15, 20, 25] {
+        let spec = SyntheticParams {
+            sub_size: 20,
+            depth,
+            recursive_modules: 1,
+            density: 0.08,
+            seed: cfg.seed ^ (depth as u64) << 8,
+        }
+        .build();
+        let skeleton = TclSpecLabels::build(&spec);
+        let mut stats = Vec::new();
+        let mut ns = Vec::new();
+        for s in 0..cfg.samples {
+            let run = sample_run(&spec, cfg.seed, 5000, s);
+            let labeler = label_derivation(&spec, &skeleton, &run);
+            stats.push(LabelStats::of_drl(&labeler));
+            ns.push(run.graph.vertex_count());
+        }
+        let merged = LabelStats::merge(&stats);
+        table.row(vec![
+            depth.to_string(),
+            (ns.iter().sum::<usize>() / ns.len()).to_string(),
+            merged.max_bits.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Figure 19: a nonlinear recursive workflow (two R modules in `h'd`)
+/// produces longer labels than the linear one, yet far below the
+/// worst-case `n − 1` bits of dynamic TCL.
+pub fn fig19(cfg: &Config) -> String {
+    let mut table = Table::new(
+        "Figure 19 — linear vs nonlinear recursion, max label length (bits)",
+        &["n", "linear", "nonlinear", "dyn_TCL(=n-1)"],
+    );
+    let linear = SyntheticParams {
+        sub_size: 20,
+        depth: 5,
+        recursive_modules: 1,
+        density: 0.08,
+        seed: cfg.seed,
+    }
+    .build();
+    let nonlinear = SyntheticParams {
+        sub_size: 20,
+        depth: 5,
+        recursive_modules: 2,
+        density: 0.08,
+        seed: cfg.seed,
+    }
+    .build();
+    let lin_skel = TclSpecLabels::build(&linear);
+    let non_skel = TclSpecLabels::build(&nonlinear);
+    for &size in &cfg.sizes {
+        let mut lin_stats = Vec::new();
+        let mut non_stats = Vec::new();
+        let mut ns = Vec::new();
+        for s in 0..cfg.samples {
+            let lrun = sample_run(&linear, cfg.seed, size, s);
+            let nrun = sample_run(&nonlinear, cfg.seed, size, s);
+            lin_stats.push(LabelStats::of_drl(&label_derivation(&linear, &lin_skel, &lrun)));
+            non_stats.push(LabelStats::of_drl(&label_derivation(
+                &nonlinear, &non_skel, &nrun,
+            )));
+            ns.push((lrun.graph.vertex_count() + nrun.graph.vertex_count()) / 2);
+        }
+        let n = ns.iter().sum::<usize>() / ns.len();
+        table.row(vec![
+            n.to_string(),
+            LabelStats::merge(&lin_stats).max_bits.to_string(),
+            LabelStats::merge(&non_stats).max_bits.to_string(),
+            (n - 1).to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> Config {
+        Config {
+            sizes: vec![400, 1600],
+            samples: 2,
+            queries: 100,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn fig18_grows_with_depth() {
+        let cfg = Config {
+            sizes: vec![1000],
+            samples: 1,
+            queries: 10,
+            seed: 5,
+        };
+        let out = fig18(&cfg);
+        let maxes: Vec<usize> = out
+            .lines()
+            .skip(3)
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(maxes.len(), 5);
+        assert!(
+            maxes[4] > maxes[0],
+            "deeper nesting must give longer labels: {maxes:?}"
+        );
+    }
+
+    #[test]
+    fn fig19_nonlinear_labels_below_naive() {
+        let out = fig19(&tiny_cfg());
+        for line in out.lines().skip(3) {
+            let cells: Vec<usize> = line
+                .split_whitespace()
+                .map(|c| c.parse().unwrap())
+                .collect();
+            let (linear, nonlinear, naive) = (cells[1], cells[2], cells[3]);
+            assert!(nonlinear >= linear, "nonlinear is never shorter");
+            assert!(nonlinear < naive, "but far below n−1 bits in practice");
+        }
+    }
+
+    #[test]
+    fn fig17_smoke() {
+        let out = fig17(&tiny_cfg());
+        assert!(out.contains("sub_size"));
+        assert_eq!(out.lines().skip(3).count(), 5);
+    }
+}

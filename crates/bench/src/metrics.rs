@@ -1,0 +1,176 @@
+//! Measurement helpers: label statistics, wall-clock timing, and plain
+//! text tables mirroring the paper's figure axes.
+
+use std::time::{Duration, Instant};
+use wf_drl::DerivationLabeler;
+use wf_graph::Graph;
+use wf_skeleton::SpecLabeling;
+
+/// Max/avg label length in bits over the live vertices of a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LabelStats {
+    /// Maximum label length (the y-axis of Figures 17–20).
+    pub max_bits: usize,
+    /// Average label length (the second series of Figure 14).
+    pub avg_bits: f64,
+}
+
+impl LabelStats {
+    /// Collect stats from a finished DRL labeler.
+    pub fn of_drl<S: SpecLabeling>(labeler: &DerivationLabeler<'_, S>) -> Self {
+        let bits: Vec<usize> = labeler
+            .graph()
+            .vertices()
+            .map(|v| labeler.label_bits(v).expect("complete run is labeled"))
+            .collect();
+        Self::of_bits(&bits)
+    }
+
+    /// Collect stats from raw per-vertex bit lengths.
+    pub fn of_bits(bits: &[usize]) -> Self {
+        if bits.is_empty() {
+            return Self::default();
+        }
+        Self {
+            max_bits: bits.iter().copied().max().unwrap(),
+            avg_bits: bits.iter().sum::<usize>() as f64 / bits.len() as f64,
+        }
+    }
+
+    /// Pointwise running maximum / running mean over samples.
+    pub fn merge(samples: &[LabelStats]) -> LabelStats {
+        if samples.is_empty() {
+            return LabelStats::default();
+        }
+        LabelStats {
+            max_bits: samples.iter().map(|s| s.max_bits).max().unwrap(),
+            avg_bits: samples.iter().map(|s| s.avg_bits).sum::<f64>() / samples.len() as f64,
+        }
+    }
+}
+
+/// Time one closure; returns (result, elapsed).
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Mean duration in milliseconds.
+pub fn mean_ms(durations: &[Duration]) -> f64 {
+    if durations.is_empty() {
+        return 0.0;
+    }
+    durations.iter().map(|d| d.as_secs_f64() * 1e3).sum::<f64>() / durations.len() as f64
+}
+
+/// Mean duration in microseconds.
+pub fn mean_us(durations: &[Duration]) -> f64 {
+    mean_ms(durations) * 1e3
+}
+
+/// A minimal fixed-width text table (the harness's "figure").
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Graph-size helper (live vertices).
+pub fn run_size(g: &Graph) -> usize {
+    g.vertex_count()
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_stats_merge() {
+        let a = LabelStats {
+            max_bits: 10,
+            avg_bits: 4.0,
+        };
+        let b = LabelStats {
+            max_bits: 8,
+            avg_bits: 6.0,
+        };
+        let m = LabelStats::merge(&[a, b]);
+        assert_eq!(m.max_bits, 10);
+        assert!((m.avg_bits - 5.0).abs() < 1e-9);
+        assert_eq!(LabelStats::merge(&[]).max_bits, 0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["n", "bits"]);
+        t.row(vec!["1000".into(), "24".into()]);
+        t.row(vec!["2".into(), "8".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("   n  bits"));
+        assert!(s.contains("1000    24"));
+    }
+
+    #[test]
+    fn of_bits_handles_empty() {
+        let s = LabelStats::of_bits(&[]);
+        assert_eq!(s.max_bits, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Workload generation shared by all experiments (§7.1): seeded sample
+//! runs per size, and random query pairs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wf_drl::{DerivationLabeler, ExecutionLabeler};
+use wf_graph::VertexId;
+use wf_run::generator::GeneratedRun;
+use wf_run::{Execution, RunGenerator};
+use wf_skeleton::SpecLabeling;
+use wf_spec::Specification;
+
+/// Deterministic per-(size, sample) seed derivation.
+pub fn sample_seed(master: u64, size: usize, sample: usize) -> u64 {
+    master
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(size as u64)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(sample as u64)
+}
+
+/// Generate the `sample`-th run of the given target size.
+pub fn sample_run(spec: &Specification, master: u64, size: usize, sample: usize) -> GeneratedRun {
+    let mut rng = StdRng::seed_from_u64(sample_seed(master, size, sample));
+    RunGenerator::new(spec).target_size(size).generate_run(&mut rng)
+}
+
+/// Label a generated run with the derivation-based labeler.
+pub fn label_derivation<'s, S: SpecLabeling>(
+    spec: &'s Specification,
+    skeleton: &'s S,
+    run: &GeneratedRun,
+) -> DerivationLabeler<'s, S> {
+    let mut labeler = DerivationLabeler::new(spec, skeleton);
+    for step in run.derivation.steps() {
+        labeler.apply(step).expect("generated derivations replay");
+    }
+    labeler
+}
+
+/// Label a generated run with the derivation-based labeler in
+/// label-only mode (no run-graph edge maintenance): the pure labeling
+/// cost the paper reports separately from the ~6 µs graph update
+/// (§7.2).
+pub fn label_derivation_only<'s, S: SpecLabeling>(
+    spec: &'s Specification,
+    skeleton: &'s S,
+    run: &GeneratedRun,
+) -> DerivationLabeler<'s, S> {
+    let mut labeler = DerivationLabeler::label_only(spec, skeleton);
+    for step in run.derivation.steps() {
+        labeler.apply(step).expect("generated derivations replay");
+    }
+    labeler
+}
+
+/// Label a generated run with the execution-based labeler over the
+/// deterministic topological order.
+pub fn label_execution<'s, S: SpecLabeling>(
+    spec: &'s Specification,
+    skeleton: &'s S,
+    run: &GeneratedRun,
+) -> ExecutionLabeler<'s, S> {
+    let exec = Execution::deterministic(&run.graph, &run.origin);
+    let mut labeler = ExecutionLabeler::new(spec, skeleton).expect("corpus specs are inferable");
+    for ev in exec.events() {
+        labeler.insert(ev).expect("valid executions label");
+    }
+    labeler
+}
+
+/// Draw `count` random (possibly equal) vertex pairs from a run.
+pub fn query_pairs(run: &GeneratedRun, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let vs: Vec<VertexId> = run.graph.vertices().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                vs[rng.gen_range(0..vs.len())],
+                vs[rng.gen_range(0..vs.len())],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_skeleton::TclSpecLabels;
+
+    #[test]
+    fn sample_runs_are_reproducible_and_size_targeted() {
+        let spec = wf_spec::corpus::bioaid();
+        let a = sample_run(&spec, 1, 500, 0);
+        let b = sample_run(&spec, 1, 500, 0);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
+        let c = sample_run(&spec, 1, 500, 1);
+        assert_ne!(
+            a.graph.edges().collect::<Vec<_>>(),
+            c.graph.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn both_labelers_work_on_samples() {
+        let spec = wf_spec::corpus::bioaid();
+        let skeleton = TclSpecLabels::build(&spec);
+        let run = sample_run(&spec, 2, 300, 0);
+        let dl = label_derivation(&spec, &skeleton, &run);
+        let el = label_execution(&spec, &skeleton, &run);
+        for v in run.graph.vertices() {
+            assert_eq!(dl.label(v), el.label(v));
+        }
+    }
+
+    #[test]
+    fn query_pairs_are_seeded() {
+        let spec = wf_spec::corpus::bioaid();
+        let run = sample_run(&spec, 3, 200, 0);
+        let p1 = query_pairs(&run, 50, 9);
+        let p2 = query_pairs(&run, 50, 9);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 50);
+    }
+}

@@ -1,0 +1,45 @@
+//! # wf-drl
+//!
+//! **DRL** — the paper's contribution: a compact **d**ynamic
+//! **r**eachability **l**abeling scheme for recursive workflow runs
+//! (Bao, Davidson, Milo, SIGMOD 2011, Sections 4–6).
+//!
+//! Runs derived from a *linear recursive* workflow grammar are labeled
+//! on-the-fly with `O(log n)`-bit labels, in linear total time, with
+//! constant-time reachability queries (Theorem 3) — while arbitrary
+//! recursion provably requires `Ω(n)` bits (Theorem 1; the matching
+//! upper bound [`naive::NaiveDynamicDag`] is included).
+//!
+//! Two labelers produce *identical* labels (§5.3):
+//!
+//! * [`DerivationLabeler`] consumes derivation steps (vertex
+//!   replacements, Definition 9);
+//! * [`ExecutionLabeler`] consumes insertion events one by one
+//!   (Definition 8), inferring the derivation either from module names
+//!   (§5.3's Conditions 1–2) or from execution-log entries.
+//!
+//! Both build the **explicit parse tree** (Section 4.2) dynamically
+//! (Algorithm 2), label each vertex by appending a single [`Entry`]
+//! (Algorithms 1 & 3), and answer queries with [`DrlPredicate`]
+//! (Algorithm 4). Nonlinear grammars are supported through the §6
+//! adaptations ([`RecursionMode::CompressFirst`] /
+//! [`RecursionMode::NoRNodes`]), at the cost of label lengths that grow
+//! with the recursion depth.
+
+pub mod derivation;
+pub mod encode;
+pub mod entry;
+pub mod execution;
+pub mod label;
+pub mod machinery;
+pub mod naive;
+pub mod predicate;
+pub mod tree;
+
+pub use derivation::DerivationLabeler;
+pub use encode::{decode_label, encode_label};
+pub use entry::{Entry, NodeKind, SklPtr};
+pub use execution::{ExecError, ExecutionLabeler, ResolutionMode};
+pub use label::DrlLabel;
+pub use machinery::{DrlError, Expansion, LabelerCore, RecursionMode};
+pub use predicate::DrlPredicate;

@@ -1,0 +1,223 @@
+//! The reachability predicate `πg` (Algorithm 4): constant-time decoding
+//! of two DRL labels.
+
+use crate::entry::NodeKind;
+use crate::label::DrlLabel;
+use wf_skeleton::SpecLabeling;
+
+/// The binary predicate over DRL labels. Holds only a reference to the
+/// shared skeleton labels — queries use nothing but the two labels and
+/// `πG` (Definition 8/9's "using only the labels" requirement; skeleton
+/// labels are shared pre-processing, as in the paper).
+pub struct DrlPredicate<'a, S: SpecLabeling> {
+    skeleton: &'a S,
+}
+
+impl<'a, S: SpecLabeling> DrlPredicate<'a, S> {
+    /// Wrap the skeleton labels.
+    pub fn new(skeleton: &'a S) -> Self {
+        Self { skeleton }
+    }
+
+    /// `πg(φg(v), φg(v')) = true` iff `v ;g v'` — for the final run *and*
+    /// every intermediate graph both vertices belong to (Remark 1).
+    ///
+    /// Runs in O(dt) index comparisons plus at most one skeleton query —
+    /// constant time for a fixed grammar (Theorem 3.3).
+    pub fn reaches(&self, a: &DrlLabel, b: &DrlLabel) -> bool {
+        let ea = a.entries();
+        let eb = b.entries();
+        // Longest common prefix of the context paths: the index sequences
+        // are Dewey labels, so equal prefixes = same tree nodes (Line 1).
+        let m = ea.len().min(eb.len());
+        let mut j = 0;
+        while j < m && ea[j].index == eb[j].index {
+            j += 1;
+        }
+        if j == 0 {
+            // Labels from different labelers/trees; roots always share
+            // index 0, so this cannot happen for labels of one run.
+            debug_assert!(false, "labels do not share a root");
+            return false;
+        }
+        let i = j - 1; // position of LCA(x, x')
+        match ea[i].kind {
+            NodeKind::N => {
+                // Lemma 4.2, last case: compare the origins' skeleton
+                // labels within Annt(LCA). Also covers the
+                // ancestor-context and same-context cases, where the
+                // scan exhausted the shorter label.
+                let (g1, u) = ea[i].skl.expect("N entries carry skeleton pointers");
+                let (g2, v) = eb[i].skl.expect("N entries carry skeleton pointers");
+                debug_assert_eq!(g1, g2, "same tree node ⇒ same annotation");
+                self.skeleton.reaches(g1, u, v)
+            }
+            NodeKind::L => {
+                // Distinct copies of a loop body, combined in series:
+                // earlier copy reaches later copy (Lemma 4.2, L case).
+                debug_assert!(j < m, "special LCA implies both paths continue");
+                ea[i + 1].index < eb[i + 1].index
+            }
+            NodeKind::F => false, // parallel fork branches never reach each other
+            NodeKind::R => {
+                // Distinct members of a recursion chain: the left member
+                // wholly contains the right one's derivation, so the
+                // answer is the precomputed flag against the recursive
+                // vertex (Lemma 4.2, R case).
+                debug_assert!(j < m, "special LCA implies both paths continue");
+                if ea[i + 1].index < eb[i + 1].index {
+                    ea[i + 1].rec.map(|r| r.0).unwrap_or(false)
+                } else {
+                    eb[i + 1].rec.map(|r| r.1).unwrap_or(false)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{Entry, NodeKind};
+    use crate::label::DrlLabel;
+    use wf_graph::VertexId;
+    use wf_skeleton::{SpecLabeling, TclSpecLabels};
+    use wf_spec::GraphId;
+
+    /// Hand-built labels against the running example's skeleton, hitting
+    /// every branch of Algorithm 4 in isolation (the integration tests
+    /// cover the same branches through full runs; these document the
+    /// decoding rules directly).
+    fn setup() -> (wf_spec::Specification, TclSpecLabels) {
+        let spec = wf_spec::corpus::running_example();
+        let skeleton = TclSpecLabels::build(&spec);
+        (spec, skeleton)
+    }
+
+    fn n_entry(index: u32, g: GraphId, v: u32) -> Entry {
+        Entry {
+            index,
+            kind: NodeKind::N,
+            skl: Some((g, VertexId(v))),
+            rec: None,
+        }
+    }
+
+    #[test]
+    fn same_context_uses_skeleton() {
+        let (spec, skeleton) = setup();
+        let p = DrlPredicate::new(&skeleton);
+        // Two vertices of the same g0 instance: s0 (slot 0) and t0
+        // (slot 2); s0 ; t0 but not back.
+        let g0 = GraphId::START;
+        let root = |v| DrlLabel::new(vec![n_entry(0, g0, v)]);
+        assert!(p.reaches(&root(0), &root(2)));
+        assert!(!p.reaches(&root(2), &root(0)));
+        // Reflexive.
+        assert!(p.reaches(&root(1), &root(1)));
+        let _ = spec;
+    }
+
+    #[test]
+    fn ancestor_context_uses_edge_origin() {
+        let (spec, skeleton) = setup();
+        let p = DrlPredicate::new(&skeleton);
+        let g0 = GraphId::START;
+        let l = spec.name_id("L").unwrap();
+        let h1 = spec.implementations(l)[0];
+        // v in g0 (s0 = slot 0); v' deeper, inside the L-expansion whose
+        // edge annotation is g0's L vertex (slot 1).
+        let shallow = DrlLabel::new(vec![n_entry(0, g0, 0)]);
+        let deep = DrlLabel::new(vec![
+            n_entry(0, g0, 1),              // edge to the L node, origin = L vertex
+            Entry::special(1, NodeKind::L), // the L node
+            n_entry(1, h1, 0),              // first copy, vertex s1
+        ]);
+        // s0 reaches the L vertex ⇒ s0 reaches everything derived from it.
+        assert!(p.reaches(&shallow, &deep));
+        // And nothing inside the expansion reaches back to s0.
+        assert!(!p.reaches(&deep, &shallow));
+        // But t0 (slot 2) is NOT reached-from by... t0 follows L: deep ; t0.
+        let t0 = DrlLabel::new(vec![n_entry(0, g0, 2)]);
+        assert!(p.reaches(&deep, &t0));
+        assert!(!p.reaches(&t0, &deep));
+    }
+
+    #[test]
+    fn l_node_orders_loop_copies() {
+        let (spec, skeleton) = setup();
+        let p = DrlPredicate::new(&skeleton);
+        let g0 = GraphId::START;
+        let l = spec.name_id("L").unwrap();
+        let h1 = spec.implementations(l)[0];
+        let copy = |i: u32| {
+            DrlLabel::new(vec![
+                n_entry(0, g0, 1),
+                Entry::special(1, NodeKind::L),
+                n_entry(i, h1, 0),
+            ])
+        };
+        assert!(p.reaches(&copy(1), &copy(2)), "earlier copy reaches later");
+        assert!(p.reaches(&copy(1), &copy(7)));
+        assert!(!p.reaches(&copy(2), &copy(1)), "series order is strict");
+    }
+
+    #[test]
+    fn f_node_separates_fork_branches() {
+        let (spec, skeleton) = setup();
+        let p = DrlPredicate::new(&skeleton);
+        let g0 = GraphId::START;
+        let f = spec.name_id("F").unwrap();
+        let h2 = spec.implementations(f)[0];
+        let branch = |i: u32| {
+            DrlLabel::new(vec![
+                n_entry(0, g0, 1),
+                Entry::special(1, NodeKind::F),
+                n_entry(i, h2, 0),
+            ])
+        };
+        assert!(!p.reaches(&branch(1), &branch(2)));
+        assert!(!p.reaches(&branch(2), &branch(1)));
+    }
+
+    #[test]
+    fn r_node_uses_recursion_flags() {
+        let (spec, skeleton) = setup();
+        let p = DrlPredicate::new(&skeleton);
+        let g0 = GraphId::START;
+        let a = spec.name_id("A").unwrap();
+        let h3 = spec.implementations(a)[0]; // s3 → B → C → t3, C recursive
+        let h3g = spec.graph(h3);
+        let b_v = h3g.find_by_name(spec.name_id("B").unwrap()).unwrap();
+        let c_v = h3g.find_by_name(spec.name_id("C").unwrap()).unwrap();
+        let s3 = h3g.source().unwrap();
+        let t3 = h3g.sink().unwrap();
+        // Chain member entry for origin u within h3, with flags vs C.
+        let member = |i: u32, u: VertexId| {
+            DrlLabel::new(vec![
+                n_entry(0, g0, 1),
+                Entry::special(1, NodeKind::R),
+                Entry {
+                    index: i,
+                    kind: NodeKind::N,
+                    skl: Some((h3, u)),
+                    rec: Some((
+                        skeleton.reaches(h3, u, c_v),
+                        skeleton.reaches(h3, c_v, u),
+                    )),
+                },
+            ])
+        };
+        // B (in member 1) reaches the recursive vertex C, so it reaches
+        // everything in later chain members (rec1 = true).
+        assert!(p.reaches(&member(1, b_v), &member(2, s3)));
+        // t3 of member 1 does NOT reach C (rec1 = false): later members
+        // are unreachable from it.
+        assert!(!p.reaches(&member(1, t3), &member(2, s3)));
+        // Right-to-left: member 2's vertices reach member 1's t3 iff C
+        // reaches it (rec2 of the *left* member's entry).
+        assert!(p.reaches(&member(2, s3), &member(1, t3)));
+        // …but never member 1's s3 (C does not reach s3).
+        assert!(!p.reaches(&member(2, s3), &member(1, s3)));
+    }
+}

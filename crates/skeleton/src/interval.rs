@@ -1,0 +1,169 @@
+//! Interval labeling for static rooted trees (Santoro & Khatib \[22\]).
+//!
+//! Every node gets `[pre, post]` from a DFS; `x` is an ancestor of `y`
+//! (inclusive) iff `pre(x) ≤ pre(y) ≤ post(x)`. The paper's static SKL
+//! baseline labels its parse tree this way, which is why SKL's label
+//! length has the `3·log n` slope of eq. (4) — intervals over the run-size
+//! tree, versus DRL's prefix labels whose per-level indexes multiply out
+//! to `≈ 1·log n` bits in total.
+
+use serde::{Deserialize, Serialize};
+
+/// Interval label of one tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Preorder entry number.
+    pub pre: u32,
+    /// Largest preorder number in the subtree.
+    pub post: u32,
+}
+
+impl Interval {
+    /// Inclusive ancestor-or-self test.
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.pre <= other.pre && other.pre <= self.post
+    }
+
+    /// Bits needed to store this label (two numbers).
+    pub fn bit_len(&self) -> usize {
+        bits_for(self.pre) + bits_for(self.post)
+    }
+}
+
+/// Minimal binary width of `x` (`⌊log₂ max(x,1)⌋ + 1`).
+pub fn bits_for(x: u32) -> usize {
+    (32 - x.max(1).leading_zeros()) as usize
+}
+
+/// Interval labels for a static tree given as a `children` adjacency list.
+#[derive(Debug, Clone)]
+pub struct IntervalLabels {
+    labels: Vec<Interval>,
+}
+
+impl IntervalLabels {
+    /// DFS-number the tree rooted at `root`. `children[i]` lists node
+    /// `i`'s children in order. Nodes unreachable from the root keep the
+    /// sentinel `[u32::MAX, 0]` (contained by nothing, containing
+    /// nothing).
+    pub fn from_tree(children: &[Vec<usize>], root: usize) -> Self {
+        let mut labels = vec![
+            Interval {
+                pre: u32::MAX,
+                post: 0
+            };
+            children.len()
+        ];
+        // Iterative DFS (trees can be deep for nonlinear recursion).
+        let mut counter: u32 = 0;
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        labels[root].pre = counter;
+        counter += 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < children[node].len() {
+                let child = children[node][*next];
+                *next += 1;
+                labels[child].pre = counter;
+                counter += 1;
+                stack.push((child, 0));
+            } else {
+                labels[node].post = counter - 1;
+                stack.pop();
+            }
+        }
+        Self { labels }
+    }
+
+    /// The interval of node `i`.
+    pub fn label(&self, i: usize) -> Interval {
+        self.labels[i]
+    }
+
+    /// Is `a` an ancestor of (or equal to) `b`?
+    pub fn is_ancestor(&self, a: usize, b: usize) -> bool {
+        self.labels[a].contains(&self.labels[b])
+    }
+
+    /// Number of labeled slots.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed tree:
+    /// ```text
+    ///        0
+    ///      / | \
+    ///     1  2  3
+    ///    / \     \
+    ///   4   5     6
+    /// ```
+    fn tree() -> Vec<Vec<usize>> {
+        vec![
+            vec![1, 2, 3],
+            vec![4, 5],
+            vec![],
+            vec![6],
+            vec![],
+            vec![],
+            vec![],
+        ]
+    }
+
+    #[test]
+    fn ancestor_queries_match_structure() {
+        let labels = IntervalLabels::from_tree(&tree(), 0);
+        let ancestors: &[(usize, usize, bool)] = &[
+            (0, 4, true),
+            (1, 4, true),
+            (1, 5, true),
+            (1, 6, false),
+            (3, 6, true),
+            (2, 2, true),
+            (4, 1, false),
+            (5, 4, false),
+        ];
+        for &(a, b, expect) in ancestors {
+            assert_eq!(labels.is_ancestor(a, b), expect, "{a} anc {b}");
+        }
+    }
+
+    #[test]
+    fn preorder_numbers_are_dense() {
+        let labels = IntervalLabels::from_tree(&tree(), 0);
+        let mut pres: Vec<u32> = (0..7).map(|i| labels.label(i).pre).collect();
+        pres.sort_unstable();
+        assert_eq!(pres, (0..7).collect::<Vec<u32>>());
+        assert_eq!(labels.label(0).post, 6);
+    }
+
+    #[test]
+    fn deep_tree_does_not_overflow_stack() {
+        let n = 200_000;
+        let mut children = vec![Vec::new(); n];
+        for (i, c) in children.iter_mut().enumerate().take(n - 1) {
+            c.push(i + 1);
+        }
+        let labels = IntervalLabels::from_tree(&children, 0);
+        assert!(labels.is_ancestor(0, n - 1));
+        assert!(!labels.is_ancestor(n - 1, 0));
+    }
+
+    #[test]
+    fn bits_for_widths() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+}

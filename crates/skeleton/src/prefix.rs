@@ -1,0 +1,145 @@
+//! Prefix (Dewey) labeling for dynamic trees (Kaplan, Milo & Shabo \[18\]).
+//!
+//! A node's label is the sequence of child indexes on its root path.
+//! Labels are assigned the moment a node is attached and never change —
+//! the dynamic-tree property DRL inherits (its `Entry.index` fields *are*
+//! a Dewey label, enriched with node kinds and skeleton pointers).
+//!
+//! This standalone implementation exists for testing the tree layer in
+//! isolation and for the label-length analysis in the benches: the total
+//! index bits of a Dewey label are `Σ log(fanout)` along the path, which
+//! is at most `log(#leaves) + depth` — the reason DRL's measured slope in
+//! Figure 14 is ≈ 1× `log n`.
+
+use serde::{Deserialize, Serialize};
+
+/// A Dewey label: child indexes from the root (the root's label is empty).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct DeweyLabel(pub Vec<u32>);
+
+impl DeweyLabel {
+    /// The root label.
+    pub fn root() -> Self {
+        Self(Vec::new())
+    }
+
+    /// The label of this node's `i`-th child (indexes start at 1, as in
+    /// the paper's Algorithm 1 where the root's index is 0).
+    pub fn child(&self, i: u32) -> Self {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(i);
+        Self(v)
+    }
+
+    /// Is `self` an ancestor of (or equal to) `other`?
+    pub fn is_ancestor_of(&self, other: &DeweyLabel) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Length of the longest common prefix.
+    pub fn common_prefix_len(&self, other: &DeweyLabel) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Depth (root = 0).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Storage bits: the sum of minimal binary widths of the indexes.
+    pub fn bit_len(&self) -> usize {
+        self.0
+            .iter()
+            .map(|&i| crate::interval::bits_for(i))
+            .sum()
+    }
+}
+
+/// A growing tree labeled with Dewey labels on attach.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicDewey {
+    labels: Vec<DeweyLabel>,
+    child_count: Vec<u32>,
+}
+
+impl DynamicDewey {
+    /// A tree with just a root (node 0).
+    pub fn new() -> Self {
+        Self {
+            labels: vec![DeweyLabel::root()],
+            child_count: vec![0],
+        }
+    }
+
+    /// Attach a new node under `parent`; returns its node id. The label
+    /// is fixed immediately (dynamic labeling: no later modification).
+    pub fn attach(&mut self, parent: usize) -> usize {
+        self.child_count[parent] += 1;
+        let label = self.labels[parent].child(self.child_count[parent]);
+        self.labels.push(label);
+        self.child_count.push(0);
+        self.labels.len() - 1
+    }
+
+    /// The (immutable) label of a node.
+    pub fn label(&self, node: usize) -> &DeweyLabel {
+        &self.labels[node]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Always false (a root exists).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_encode_paths() {
+        let mut t = DynamicDewey::new();
+        let a = t.attach(0); // 1
+        let b = t.attach(0); // 2
+        let c = t.attach(a); // 1.1
+        let d = t.attach(a); // 1.2
+        assert_eq!(t.label(a).0, vec![1]);
+        assert_eq!(t.label(b).0, vec![2]);
+        assert_eq!(t.label(c).0, vec![1, 1]);
+        assert_eq!(t.label(d).0, vec![1, 2]);
+        assert!(t.label(0).is_ancestor_of(t.label(d)));
+        assert!(t.label(a).is_ancestor_of(t.label(c)));
+        assert!(!t.label(b).is_ancestor_of(t.label(c)));
+        assert!(t.label(c).is_ancestor_of(t.label(c)));
+        assert_eq!(t.label(c).common_prefix_len(t.label(d)), 1);
+        assert_eq!(t.label(c).depth(), 2);
+    }
+
+    #[test]
+    fn labels_never_change_as_tree_grows() {
+        let mut t = DynamicDewey::new();
+        let a = t.attach(0);
+        let before = t.label(a).clone();
+        for _ in 0..100 {
+            t.attach(0);
+            t.attach(a);
+        }
+        assert_eq!(t.label(a), &before);
+    }
+
+    #[test]
+    fn bit_len_sums_index_widths() {
+        let l = DeweyLabel(vec![1, 2, 5, 300]);
+        assert_eq!(l.bit_len(), 1 + 2 + 3 + 9);
+    }
+}

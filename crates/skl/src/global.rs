@@ -1,0 +1,244 @@
+//! The *global specification graph* and its skeleton schemes (§7.4).
+//!
+//! SKL "entails skeleton labels over a global specification graph, in
+//! which all composite modules are replaced with corresponding
+//! sub-workflows". For a non-recursive workflow whose composite names
+//! each have a single implementation, the expansion is a finite DAG;
+//! every occurrence of a sub-workflow gets its own copy (106 vertices
+//! for BioAID in the paper, versus ~10-vertex individual sub-workflows
+//! for DRL — which is exactly why SKL(BFS) queries are an order of
+//! magnitude slower, Figure 22).
+
+use crate::SklError;
+use std::collections::HashMap;
+use wf_graph::{Graph, VertexId};
+use wf_skeleton::{BfsOracle, TclLabels};
+use wf_spec::{GraphId, Specification};
+
+/// One occurrence of a sub-workflow inside the global expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OccId(pub u32);
+
+impl OccId {
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-occurrence bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Occurrence {
+    /// Which specification graph this occurrence instantiates.
+    pub gid: GraphId,
+    /// Atomic spec vertex → global vertex.
+    pub vmap: HashMap<VertexId, VertexId>,
+    /// Composite spec vertex → child occurrence.
+    pub children: HashMap<VertexId, OccId>,
+    /// Global vertices of the occurrence's (atomic) source and sink.
+    pub source: VertexId,
+    pub sink: VertexId,
+}
+
+/// The fully expanded global specification graph.
+#[derive(Debug, Clone)]
+pub struct GlobalExpansion {
+    /// The global DAG `Ĝ`.
+    pub graph: Graph,
+    /// Occurrence table; `OccId(0)` is the start graph's occurrence.
+    pub occs: Vec<Occurrence>,
+}
+
+impl GlobalExpansion {
+    /// Expand a non-recursive specification in which every composite
+    /// name has exactly one implementation (the §7.4 setting; the
+    /// paper's footnote 6 converts recursions to loops first).
+    pub fn build(spec: &Specification) -> Result<Self, SklError> {
+        if !matches!(
+            spec.analysis().class(),
+            wf_spec::RecursionClass::NonRecursive
+        ) {
+            return Err(SklError::RecursiveSpecification);
+        }
+        for (id, _) in spec.names().iter() {
+            if spec.is_composite(id) && spec.implementations(id).len() != 1 {
+                return Err(SklError::MultipleImplementations(
+                    spec.name_str(id).to_string(),
+                ));
+            }
+        }
+        let mut global = GlobalExpansion {
+            graph: Graph::new(),
+            occs: Vec::new(),
+        };
+        global.expand(spec, GraphId::START)?;
+        Ok(global)
+    }
+
+    fn expand(&mut self, spec: &Specification, gid: GraphId) -> Result<OccId, SklError> {
+        let g = spec.graph(gid);
+        let occ_id = OccId(self.occs.len() as u32);
+        // Reserve the slot first so child occurrences come after.
+        self.occs.push(Occurrence {
+            gid,
+            vmap: HashMap::new(),
+            children: HashMap::new(),
+            source: VertexId(0),
+            sink: VertexId(0),
+        });
+        let mut vmap = HashMap::new();
+        let mut children = HashMap::new();
+        for sv in g.vertices() {
+            if spec.is_atomic(g.name(sv)) {
+                vmap.insert(sv, self.graph.add_vertex(g.name(sv)));
+            } else {
+                let body = spec.implementations(g.name(sv))[0];
+                let child = self.expand(spec, body)?;
+                children.insert(sv, child);
+            }
+        }
+        // Wire edges; composite endpoints attach through their
+        // occurrence's terminals (Definition 4's replacement semantics).
+        for (a, b) in g.edges() {
+            let from = match vmap.get(&a) {
+                Some(&gv) => gv,
+                None => self.occs[children[&a].idx()].sink,
+            };
+            let to = match vmap.get(&b) {
+                Some(&gv) => gv,
+                None => self.occs[children[&b].idx()].source,
+            };
+            self.graph
+                .add_edge(from, to)
+                .expect("expansion of a simple DAG stays simple");
+        }
+        let source = vmap[&g.source().expect("two-terminal")];
+        let sink = vmap[&g.sink().expect("two-terminal")];
+        let occ = &mut self.occs[occ_id.idx()];
+        occ.vmap = vmap;
+        occ.children = children;
+        occ.source = source;
+        occ.sink = sink;
+        Ok(occ_id)
+    }
+
+    /// The occurrence table entry.
+    pub fn occ(&self, id: OccId) -> &Occurrence {
+        &self.occs[id.idx()]
+    }
+
+    /// Number of global vertices (the paper reports 106 for BioAID).
+    pub fn size(&self) -> usize {
+        self.graph.vertex_count()
+    }
+}
+
+/// Skeleton scheme over the global graph — the SKL analogue of
+/// `wf_skeleton::SpecLabeling`.
+pub trait GlobalScheme {
+    /// Preprocess the global graph.
+    fn build(g: &Graph) -> Self
+    where
+        Self: Sized;
+    /// `u ;Ĝ v`.
+    fn reaches(&self, u: VertexId, v: VertexId) -> bool;
+    /// Skeleton label storage in bits (Table 2).
+    fn total_bits(&self) -> usize;
+    /// Scheme name for reports.
+    fn scheme_name(&self) -> &'static str;
+}
+
+impl GlobalScheme for TclLabels {
+    fn build(g: &Graph) -> Self {
+        TclLabels::build(g)
+    }
+    fn reaches(&self, u: VertexId, v: VertexId) -> bool {
+        TclLabels::reaches(self, u, v)
+    }
+    fn total_bits(&self) -> usize {
+        TclLabels::total_bits(self)
+    }
+    fn scheme_name(&self) -> &'static str {
+        "TCL"
+    }
+}
+
+impl GlobalScheme for BfsOracle {
+    fn build(g: &Graph) -> Self {
+        BfsOracle::build(g)
+    }
+    fn reaches(&self, u: VertexId, v: VertexId) -> bool {
+        BfsOracle::reaches(self, u, v)
+    }
+    fn total_bits(&self) -> usize {
+        0
+    }
+    fn scheme_name(&self) -> &'static str {
+        "BFS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bioaid_global_expansion_size() {
+        let spec = wf_spec::corpus::bioaid_nonrecursive();
+        let global = GlobalExpansion::build(&spec).unwrap();
+        // All composite occurrences expanded; only atomic vertices left.
+        for v in global.graph.vertices() {
+            assert!(spec.is_atomic(global.graph.name(v)));
+        }
+        assert!(global.graph.is_two_terminal());
+        assert!(global.graph.is_acyclic());
+        // Comparable to the paper's 106-vertex BioAID global graph.
+        let n = global.size();
+        assert!((80..200).contains(&n), "global size {n}");
+    }
+
+    #[test]
+    fn recursive_specs_rejected() {
+        let spec = wf_spec::corpus::running_example();
+        assert_eq!(
+            GlobalExpansion::build(&spec).err(),
+            Some(SklError::RecursiveSpecification)
+        );
+    }
+
+    #[test]
+    fn occurrence_mapping_is_consistent() {
+        let spec = wf_spec::corpus::bioaid_nonrecursive();
+        let global = GlobalExpansion::build(&spec).unwrap();
+        let root = global.occ(OccId(0));
+        assert_eq!(root.gid, GraphId::START);
+        // Each composite vertex of g0 has a child occurrence of the
+        // right graph.
+        let g0 = spec.start_graph();
+        for sv in g0.vertices() {
+            if spec.is_composite(g0.name(sv)) {
+                let child = global.occ(root.children[&sv]);
+                assert_eq!(
+                    Some(child.gid),
+                    spec.implementations(g0.name(sv)).first().copied()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_schemes_agree_on_global_graph() {
+        let spec = wf_spec::corpus::bioaid_nonrecursive();
+        let global = GlobalExpansion::build(&spec).unwrap();
+        let tcl = <TclLabels as GlobalScheme>::build(&global.graph);
+        let bfs = <BfsOracle as GlobalScheme>::build(&global.graph);
+        let vs: Vec<VertexId> = global.graph.vertices().collect();
+        for &a in vs.iter().step_by(3) {
+            for &b in vs.iter().step_by(3) {
+                assert_eq!(
+                    GlobalScheme::reaches(&tcl, a, b),
+                    GlobalScheme::reaches(&bfs, a, b)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! A compact, growable bit set.
+//!
+//! Used for transitive-closure reachability labels (the TCL scheme of
+//! Section 3.2, whose label for the `i`-th inserted vertex is exactly an
+//! `i−1`-bit reachability bitmap) and for visited sets in graph traversals.
+
+use serde::{Deserialize, Serialize};
+
+/// A growable set of bits backed by `u64` words.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Logical length in bits (the TCL scheme measures labels by this).
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty bit set of logical length zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bit set with `len` bits, all zero.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Logical length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grow the logical length to at least `len` bits (new bits are zero).
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.len = len;
+            let need = len.div_ceil(64);
+            if need > self.words.len() {
+                self.words.resize(need, 0);
+            }
+        }
+    }
+
+    /// Set bit `i` to one, growing the set if needed.
+    pub fn set(&mut self, i: usize) {
+        self.grow(i + 1);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Read bit `i` (bits beyond the logical length read as zero).
+    pub fn get(&self, i: usize) -> bool {
+        match self.words.get(i / 64) {
+            Some(w) => (w >> (i % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Bitwise-or `other` into `self`, growing as needed.
+    ///
+    /// This is the workhorse of dynamic transitive-closure maintenance:
+    /// the reach set of a newly inserted vertex is the union of the reach
+    /// sets of its immediate predecessors.
+    pub fn union_with(&mut self, other: &BitSet) {
+        self.grow(other.len);
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= *o;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = BitSet::new();
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(1000);
+        assert!(b.get(0));
+        assert!(b.get(63));
+        assert!(b.get(64));
+        assert!(b.get(1000));
+        assert!(!b.get(1));
+        assert!(!b.get(999));
+        assert!(!b.get(100_000));
+        assert_eq!(b.len(), 1001);
+        assert_eq!(b.count_ones(), 4);
+    }
+
+    #[test]
+    fn union_grows_and_merges() {
+        let mut a = BitSet::zeros(3);
+        a.set(1);
+        let mut b = BitSet::new();
+        b.set(130);
+        a.union_with(&b);
+        assert!(a.get(1));
+        assert!(a.get(130));
+        assert_eq!(a.len(), 131);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut b = BitSet::new();
+        for i in [5usize, 64, 65, 200] {
+            b.set(i);
+        }
+        let ones: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(ones, vec![5, 64, 65, 200]);
+    }
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let b = BitSet::zeros(129);
+        assert_eq!(b.len(), 129);
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.iter_ones().next().is_none());
+    }
+}

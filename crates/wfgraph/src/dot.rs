@@ -1,0 +1,54 @@
+//! Graphviz (DOT) export, for debugging and for the examples.
+
+use crate::graph::{Graph, VertexId};
+use std::fmt::Write as _;
+
+/// Render `g` in Graphviz DOT syntax. `label` maps each vertex to its
+/// display string (typically resolving the `NameId` through the spec's
+/// name table).
+pub fn to_dot<F>(g: &Graph, graph_name: &str, mut label: F) -> String
+where
+    F: FnMut(VertexId) -> String,
+{
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {graph_name} {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    for v in g.vertices() {
+        let _ = writeln!(s, "  v{} [label=\"{}\"];", v.0, label(v).replace('"', "'"));
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(s, "  v{} -> v{};", u.0, v.0);
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NameId;
+
+    #[test]
+    fn dot_contains_vertices_and_edges() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(NameId(0));
+        let b = g.add_vertex(NameId(1));
+        g.add_edge(a, b).unwrap();
+        let dot = to_dot(&g, "t", |v| format!("n{}", v.0));
+        assert!(dot.contains("digraph t {"));
+        assert!(dot.contains("v0 [label=\"n0\"]"));
+        assert!(dot.contains("v0 -> v1;"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_and_skips_dead() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(NameId(0));
+        let b = g.add_vertex(NameId(1));
+        g.add_edge(a, b).unwrap();
+        g.remove_vertex(b).unwrap();
+        let dot = to_dot(&g, "t", |_| "say \"hi\"".to_string());
+        assert!(dot.contains("say 'hi'"));
+        assert!(!dot.contains("v1 [label"));
+    }
+}

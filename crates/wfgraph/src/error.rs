@@ -1,0 +1,46 @@
+//! Error type for graph construction and mutation.
+
+use crate::graph::VertexId;
+use std::fmt;
+
+/// Errors raised by graph construction and the operations of Section 2.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint does not exist (or has been removed by a
+    /// replacement).
+    UnknownVertex(VertexId),
+    /// Self-loops are excluded by the paper's graph model.
+    SelfLoop(VertexId),
+    /// Multi-edges are excluded by the paper's graph model.
+    DuplicateEdge(VertexId, VertexId),
+    /// Adding the edge would create a directed cycle.
+    WouldCycle(VertexId, VertexId),
+    /// The operation requires a two-terminal graph (single source, single
+    /// sink) but the argument is not one.
+    NotTwoTerminal,
+    /// A composition was attempted with zero operands.
+    EmptyComposition,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown or removed vertex {v:?}"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v:?} is not allowed"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "duplicate edge {u:?} -> {v:?} is not allowed")
+            }
+            GraphError::WouldCycle(u, v) => {
+                write!(f, "edge {u:?} -> {v:?} would create a directed cycle")
+            }
+            GraphError::NotTwoTerminal => {
+                write!(f, "operation requires a two-terminal graph")
+            }
+            GraphError::EmptyComposition => {
+                write!(f, "series/parallel composition requires at least one operand")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,236 @@
+//! The four graph operations of Section 2.1 (Definitions 1–4).
+//!
+//! Series and parallel composition build the bodies of loop/fork
+//! productions (Definition 6); vertex insertion lives on [`crate::Graph`]
+//! directly (it is a mutation of one graph); vertex replacement
+//! (`g[u/h]`) is the derivation step of the derivation-based dynamic
+//! labeling problem (Definition 9).
+//!
+//! All composing operations return, alongside the result, the mapping from
+//! each operand's vertex slots to the new ids, because the labeling
+//! machinery must know which run vertex instantiates which specification
+//! vertex.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, VertexId};
+
+/// Mapping from a source graph's slots to ids in a destination graph
+/// (`None` for tombstoned source slots).
+pub type SlotMap = Vec<Option<VertexId>>;
+
+/// Copy all live vertices and edges of `src` into `dst`; returns the slot
+/// map from `src` ids to new `dst` ids.
+pub fn copy_into(dst: &mut Graph, src: &Graph) -> SlotMap {
+    let mut map: SlotMap = vec![None; src.slot_count()];
+    for v in src.vertices() {
+        map[v.idx()] = Some(dst.add_vertex(src.name(v)));
+    }
+    for (u, v) in src.edges() {
+        dst.add_edge(map[u.idx()].unwrap(), map[v.idx()].unwrap())
+            .expect("copying a simple DAG cannot create duplicate edges");
+    }
+    map
+}
+
+/// Series composition `S(g1, …, gn)` (Definition 1): the union of the
+/// operands plus edges `(t(gi), s(gi+1))`.
+///
+/// Every operand must be two-terminal; the result is two-terminal.
+pub fn series(parts: &[&Graph]) -> Result<(Graph, Vec<SlotMap>), GraphError> {
+    if parts.is_empty() {
+        return Err(GraphError::EmptyComposition);
+    }
+    let mut out = Graph::with_capacity(parts.iter().map(|p| p.vertex_count()).sum());
+    let mut maps = Vec::with_capacity(parts.len());
+    let mut prev_sink: Option<VertexId> = None;
+    for part in parts {
+        if !part.is_two_terminal() {
+            return Err(GraphError::NotTwoTerminal);
+        }
+        let map = copy_into(&mut out, part);
+        let src = map[part.source()?.idx()].unwrap();
+        let snk = map[part.sink()?.idx()].unwrap();
+        if let Some(p) = prev_sink {
+            out.add_edge(p, src)?;
+        }
+        prev_sink = Some(snk);
+        maps.push(map);
+    }
+    Ok((out, maps))
+}
+
+/// Parallel composition `P(g1, …, gn)` (Definition 2): the plain union of
+/// the operands' vertex and edge sets.
+///
+/// Note that for `n > 1` the result is *not* two-terminal — it has `n`
+/// sources and `n` sinks. That is intentional: when a parallel body
+/// replaces a fork vertex, Definition 4 wires *all* sources and *all*
+/// sinks to the fork vertex's neighbors.
+pub fn parallel(parts: &[&Graph]) -> Result<(Graph, Vec<SlotMap>), GraphError> {
+    if parts.is_empty() {
+        return Err(GraphError::EmptyComposition);
+    }
+    let mut out = Graph::with_capacity(parts.iter().map(|p| p.vertex_count()).sum());
+    let mut maps = Vec::with_capacity(parts.len());
+    for part in parts {
+        if !part.is_two_terminal() {
+            return Err(GraphError::NotTwoTerminal);
+        }
+        maps.push(copy_into(&mut out, part));
+    }
+    Ok((out, maps))
+}
+
+/// Vertex replacement `g[u/h]` (Definition 4): delete `u` and its incident
+/// edges; add `h`; connect every predecessor of `u` to every source of `h`
+/// and every sink of `h` to every successor of `u`.
+///
+/// `h` may have multiple sources/sinks (it is a parallel composition when
+/// a fork vertex is replaced). Returns the slot map from `h` into `g`.
+pub fn replace_vertex(g: &mut Graph, u: VertexId, h: &Graph) -> Result<SlotMap, GraphError> {
+    if !g.is_live(u) {
+        return Err(GraphError::UnknownVertex(u));
+    }
+    let preds: Vec<VertexId> = g.in_neighbors(u).to_vec();
+    let succs: Vec<VertexId> = g.out_neighbors(u).to_vec();
+    g.remove_vertex(u)?;
+    let map = copy_into(g, h);
+    let sources: Vec<VertexId> = h
+        .sources()
+        .into_iter()
+        .map(|s| map[s.idx()].unwrap())
+        .collect();
+    let sinks: Vec<VertexId> = h
+        .sinks()
+        .into_iter()
+        .map(|t| map[t.idx()].unwrap())
+        .collect();
+    for &p in &preds {
+        for &s in &sources {
+            g.add_edge(p, s)?;
+        }
+    }
+    for &t in &sinks {
+        for &v in &succs {
+            g.add_edge(t, v)?;
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NameId;
+    use crate::reach::{reaches, ReachOracle};
+
+    fn edge_graph(a: u32, b: u32) -> Graph {
+        let mut g = Graph::new();
+        let s = g.add_vertex(NameId(a));
+        let t = g.add_vertex(NameId(b));
+        g.add_edge(s, t).unwrap();
+        g
+    }
+
+    #[test]
+    fn series_chains_terminals() {
+        let g1 = edge_graph(0, 1);
+        let g2 = edge_graph(2, 3);
+        let g3 = edge_graph(4, 5);
+        let (s, maps) = series(&[&g1, &g2, &g3]).unwrap();
+        assert!(s.is_two_terminal());
+        assert_eq!(s.vertex_count(), 6);
+        assert_eq!(s.edge_count(), 5);
+        // Sink of part i connects to source of part i+1.
+        let t1 = maps[0][g1.sink().unwrap().idx()].unwrap();
+        let s2 = maps[1][g2.source().unwrap().idx()].unwrap();
+        assert!(s.out_neighbors(t1).contains(&s2));
+        // End-to-end reachability.
+        let first = maps[0][g1.source().unwrap().idx()].unwrap();
+        let last = maps[2][g3.sink().unwrap().idx()].unwrap();
+        assert!(reaches(&s, first, last));
+    }
+
+    #[test]
+    fn parallel_is_disjoint_union() {
+        let g1 = edge_graph(0, 1);
+        let g2 = edge_graph(2, 3);
+        let (p, maps) = parallel(&[&g1, &g2]).unwrap();
+        assert_eq!(p.vertex_count(), 4);
+        assert_eq!(p.edge_count(), 2);
+        assert_eq!(p.sources().len(), 2);
+        assert_eq!(p.sinks().len(), 2);
+        let a = maps[0][g1.source().unwrap().idx()].unwrap();
+        let b = maps[1][g2.sink().unwrap().idx()].unwrap();
+        assert!(!reaches(&p, a, b));
+    }
+
+    #[test]
+    fn compositions_reject_empty_and_non_two_terminal() {
+        assert_eq!(series(&[]).unwrap_err(), GraphError::EmptyComposition);
+        assert_eq!(parallel(&[]).unwrap_err(), GraphError::EmptyComposition);
+        let g1 = edge_graph(0, 1);
+        let (p, _) = parallel(&[&g1, &g1]).unwrap();
+        assert_eq!(series(&[&p]).unwrap_err(), GraphError::NotTwoTerminal);
+        assert_eq!(parallel(&[&g1, &p]).unwrap_err(), GraphError::NotTwoTerminal);
+    }
+
+    #[test]
+    fn replace_vertex_wires_all_terminals() {
+        // host: s -> u -> t
+        let mut g = Graph::new();
+        let s = g.add_vertex(NameId(0));
+        let u = g.add_vertex(NameId(1));
+        let t = g.add_vertex(NameId(2));
+        g.add_edge(s, u).unwrap();
+        g.add_edge(u, t).unwrap();
+        // body: two parallel edges (fork semantics).
+        let b = edge_graph(10, 11);
+        let (body, _) = parallel(&[&b, &b]).unwrap();
+        let map = replace_vertex(&mut g, u, &body).unwrap();
+        assert!(!g.is_live(u));
+        assert_eq!(g.vertex_count(), 2 + 4);
+        // s reaches every body vertex, every body vertex reaches t.
+        for slot in body.vertices() {
+            let v = map[slot.idx()].unwrap();
+            assert!(reaches(&g, s, v));
+            assert!(reaches(&g, v, t));
+        }
+        // The two branches stay parallel.
+        let a0 = map[0].unwrap();
+        let b1 = map[3].unwrap();
+        assert!(!reaches(&g, a0, b1) && !reaches(&g, b1, a0));
+        assert!(g.is_two_terminal());
+    }
+
+    #[test]
+    fn replacement_preserves_reachability_of_survivors() {
+        // Remark 1 / Lemma 4.3: replacement must not change reachability
+        // between any pair of pre-existing vertices.
+        let mut g = Graph::new();
+        let v: Vec<VertexId> = (0..5).map(|i| g.add_vertex(NameId(i))).collect();
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)] {
+            g.add_edge(v[a], v[b]).unwrap();
+        }
+        let before = ReachOracle::new(&g);
+        let body = edge_graph(7, 8);
+        replace_vertex(&mut g, v[1], &body).unwrap();
+        let after = ReachOracle::new(&g);
+        for &a in &[v[0], v[2], v[3], v[4]] {
+            for &b in &[v[0], v[2], v[3], v[4]] {
+                assert_eq!(before.reaches(a, b), after.reaches(a, b), "{a:?}->{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn replace_unknown_vertex_errors() {
+        let mut g = edge_graph(0, 1);
+        let body = edge_graph(2, 3);
+        let bad = VertexId(99);
+        assert_eq!(
+            replace_vertex(&mut g, bad, &body).unwrap_err(),
+            GraphError::UnknownVertex(bad)
+        );
+    }
+}

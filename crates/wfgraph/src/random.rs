@@ -1,0 +1,105 @@
+//! Seeded random two-terminal DAG generation.
+//!
+//! The synthetic workflows of Section 7.3 use "random two-terminal graphs
+//! of some fixed size" as sub-workflow bodies (Figure 13). The generator
+//! here produces exactly that: a DAG over `n` vertices with a single
+//! source, a single sink, no self-loops and no multi-edges, where every
+//! vertex lies on a source→sink path (the two-terminal invariant the
+//! labeling schemes rely on).
+
+use crate::graph::{Graph, NameId, VertexId};
+use rand::Rng;
+
+/// Generate a random two-terminal DAG with `names.len()` vertices.
+///
+/// `names[0]` names the source, `names[n-1]` the sink. `density` in
+/// `[0, 1]` controls how many extra forward edges are added beyond the
+/// spanning structure that guarantees two-terminality.
+///
+/// # Panics
+/// Panics if `names.len() < 2`.
+pub fn random_two_terminal<R: Rng>(rng: &mut R, names: &[NameId], density: f64) -> Graph {
+    let n = names.len();
+    assert!(n >= 2, "a two-terminal graph needs at least source and sink");
+    let mut g = Graph::with_capacity(n);
+    let vs: Vec<VertexId> = names.iter().map(|&nm| g.add_vertex(nm)).collect();
+
+    // Backbone: every internal vertex gets one incoming edge from a random
+    // earlier vertex (excluding the sink), which makes everything reachable
+    // from the source once the source is the only root.
+    for i in 1..n - 1 {
+        let j = rng.gen_range(0..i);
+        g.add_edge(vs[j], vs[i]).unwrap();
+    }
+    // Sprinkle extra forward edges (i -> j, i < j), skipping duplicates.
+    for i in 0..n - 1 {
+        for j in (i + 1)..n {
+            if g.out_neighbors(vs[i]).contains(&vs[j]) {
+                continue;
+            }
+            if rng.gen_bool(density) {
+                g.add_edge(vs[i], vs[j]).unwrap();
+            }
+        }
+    }
+    // Fix-ups: every non-sink without out-edges points to the sink; every
+    // non-source without in-edges is fed by the source.
+    for i in 0..n - 1 {
+        if g.out_neighbors(vs[i]).is_empty() {
+            g.add_edge(vs[i], vs[n - 1]).unwrap();
+        }
+    }
+    for i in 1..n {
+        if g.in_neighbors(vs[i]).is_empty() {
+            g.add_edge(vs[0], vs[i]).unwrap();
+        }
+    }
+    debug_assert!(g.is_two_terminal());
+    debug_assert!(g.is_acyclic());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::reaches;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_graphs_are_two_terminal_dags() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2usize, 3, 5, 10, 40] {
+            for density in [0.0, 0.1, 0.5] {
+                let names: Vec<NameId> = (0..n as u32).map(NameId).collect();
+                let g = random_two_terminal(&mut rng, &names, density);
+                assert_eq!(g.vertex_count(), n);
+                assert!(g.is_two_terminal(), "n={n} density={density}");
+                assert!(g.is_acyclic());
+                let s = g.source().unwrap();
+                let t = g.sink().unwrap();
+                for v in g.vertices() {
+                    assert!(reaches(&g, s, v), "source must reach all");
+                    assert!(reaches(&g, v, t), "all must reach sink");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let names: Vec<NameId> = (0..12u32).map(NameId).collect();
+        let g1 = random_two_terminal(&mut StdRng::seed_from_u64(7), &names, 0.3);
+        let g2 = random_two_terminal(&mut StdRng::seed_from_u64(7), &names, 0.3);
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least source and sink")]
+    fn rejects_single_vertex() {
+        let mut rng = StdRng::seed_from_u64(0);
+        random_two_terminal(&mut rng, &[NameId(0)], 0.5);
+    }
+}

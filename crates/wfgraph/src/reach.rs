@@ -1,0 +1,160 @@
+//! Reachability primitives: BFS, reachable sets, transitive closure, and a
+//! ground-truth oracle used to validate every labeling scheme.
+
+use crate::bitset::BitSet;
+use crate::graph::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// True if there is a (possibly empty) path from `u` to `v`, i.e. `u ;g v`.
+///
+/// Note the paper's `v ;g v'` is reflexive-transitive (paths of length
+/// zero count): `reaches(g, u, u)` is `true` for any live `u`.
+pub fn reaches(g: &Graph, u: VertexId, v: VertexId) -> bool {
+    if !g.is_live(u) || !g.is_live(v) {
+        return false;
+    }
+    if u == v {
+        return true;
+    }
+    let mut visited = BitSet::zeros(g.slot_count());
+    let mut queue = VecDeque::new();
+    visited.set(u.idx());
+    queue.push_back(u);
+    while let Some(x) = queue.pop_front() {
+        for &y in g.out_neighbors(x) {
+            if y == v {
+                return true;
+            }
+            if !visited.get(y.idx()) {
+                visited.set(y.idx());
+                queue.push_back(y);
+            }
+        }
+    }
+    false
+}
+
+/// The set of vertices reachable from `u` (including `u`), as a bit set
+/// over arena slots.
+pub fn reachable_set(g: &Graph, u: VertexId) -> BitSet {
+    let mut visited = BitSet::zeros(g.slot_count());
+    if !g.is_live(u) {
+        return visited;
+    }
+    let mut queue = VecDeque::new();
+    visited.set(u.idx());
+    queue.push_back(u);
+    while let Some(x) = queue.pop_front() {
+        for &y in g.out_neighbors(x) {
+            if !visited.get(y.idx()) {
+                visited.set(y.idx());
+                queue.push_back(y);
+            }
+        }
+    }
+    visited
+}
+
+/// Full transitive closure: `closure[v.idx()]` holds the reachable set of
+/// `v` (including `v` itself). Dead slots get empty sets.
+///
+/// Computed in reverse topological order so each vertex unions its
+/// successors' sets once — `O(V·E/64)` with bit-parallelism.
+pub fn transitive_closure(g: &Graph) -> Vec<BitSet> {
+    let order = crate::topo::topological_order(g).expect("transitive_closure requires a DAG");
+    let mut closure: Vec<BitSet> = (0..g.slot_count()).map(|_| BitSet::new()).collect();
+    for &v in order.iter().rev() {
+        let mut set = BitSet::zeros(g.slot_count());
+        set.set(v.idx());
+        for &w in g.out_neighbors(v) {
+            set.union_with(&closure[w.idx()]);
+        }
+        closure[v.idx()] = set;
+    }
+    closure
+}
+
+/// A ground-truth all-pairs reachability oracle (precomputed transitive
+/// closure). Every labeling scheme in the workspace is tested against it.
+#[derive(Debug, Clone)]
+pub struct ReachOracle {
+    closure: Vec<BitSet>,
+}
+
+impl ReachOracle {
+    /// Build the oracle for `g` (must be a DAG).
+    pub fn new(g: &Graph) -> Self {
+        Self {
+            closure: transitive_closure(g),
+        }
+    }
+
+    /// True iff `u ;g v` in the graph the oracle was built from.
+    pub fn reaches(&self, u: VertexId, v: VertexId) -> bool {
+        self.closure
+            .get(u.idx())
+            .map(|s| s.get(v.idx()))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NameId;
+
+    fn chain(n: usize) -> (Graph, Vec<VertexId>) {
+        let mut g = Graph::new();
+        let vs: Vec<VertexId> = (0..n).map(|i| g.add_vertex(NameId(i as u32))).collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        (g, vs)
+    }
+
+    #[test]
+    fn reaches_along_chain() {
+        let (g, vs) = chain(5);
+        assert!(reaches(&g, vs[0], vs[4]));
+        assert!(reaches(&g, vs[2], vs[2]));
+        assert!(!reaches(&g, vs[4], vs[0]));
+        assert!(!reaches(&g, vs[3], vs[1]));
+    }
+
+    #[test]
+    fn reachable_set_matches_pointwise() {
+        let (g, vs) = chain(6);
+        let set = reachable_set(&g, vs[2]);
+        for (i, v) in vs.iter().enumerate() {
+            assert_eq!(set.get(v.idx()), i >= 2, "vertex {i}");
+        }
+    }
+
+    #[test]
+    fn closure_and_oracle_agree_with_bfs() {
+        // A small non-trivial DAG: diamond with a tail.
+        let mut g = Graph::new();
+        let v: Vec<VertexId> = (0..6).map(|i| g.add_vertex(NameId(i))).collect();
+        for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 5)] {
+            g.add_edge(v[a], v[b]).unwrap();
+        }
+        let oracle = ReachOracle::new(&g);
+        for &a in &v {
+            for &b in &v {
+                assert_eq!(oracle.reaches(a, b), reaches(&g, a, b), "{a:?}->{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_vertices_reach_nothing() {
+        let (mut g, vs) = chain(3);
+        g.remove_vertex(vs[1]).unwrap();
+        assert!(!reaches(&g, vs[0], vs[2]));
+        assert!(!reaches(&g, vs[1], vs[2]));
+        assert!(!reaches(&g, vs[0], vs[1]));
+        let oracle = ReachOracle::new(&g);
+        assert!(!oracle.reaches(vs[0], vs[2]));
+        assert!(oracle.reaches(vs[0], vs[0]));
+    }
+}

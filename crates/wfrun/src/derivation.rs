@@ -1,0 +1,75 @@
+//! Graph derivations (Definition 9): sequences of vertex replacements.
+
+use serde::{Deserialize, Serialize};
+use wf_graph::VertexId;
+use wf_spec::grammar::Production;
+
+/// One derivation step `g_{i} = g_{i-1}[u_i / h_i]`.
+///
+/// `target` is the composite vertex `u_i` (a vertex id in the run graph as
+/// built by [`crate::RunBuilder`], whose id allocation is deterministic,
+/// so recorded derivations replay exactly). `production` identifies the
+/// body `h_i` — including the copy count for loop/fork productions
+/// `A := S(h,…,h)` / `A := P(h,…,h)` (Definition 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DerivationStep {
+    /// The composite vertex being replaced.
+    pub target: VertexId,
+    /// The production applied to it.
+    pub production: Production,
+}
+
+/// A complete (or partial) derivation: the input of the derivation-based
+/// dynamic labeling problem.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Derivation {
+    steps: Vec<DerivationStep>,
+}
+
+impl Derivation {
+    /// An empty derivation (just the start graph).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a step.
+    pub fn push(&mut self, step: DerivationStep) {
+        self.steps.push(step);
+    }
+
+    /// The steps in application order.
+    pub fn steps(&self) -> &[DerivationStep] {
+        &self.steps
+    }
+
+    /// Number of steps `k`.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if no step was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Replay against a specification, returning the fully applied
+    /// builder (final graph + provenance).
+    pub fn replay<'s>(
+        &self,
+        spec: &'s wf_spec::Specification,
+    ) -> Result<crate::RunBuilder<'s>, crate::builder::RunError> {
+        let mut b = crate::RunBuilder::new(spec);
+        for step in &self.steps {
+            b.apply(step)?;
+        }
+        Ok(b)
+    }
+}
+
+impl FromIterator<DerivationStep> for Derivation {
+    fn from_iter<T: IntoIterator<Item = DerivationStep>>(iter: T) -> Self {
+        Self {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Graph executions (Definition 8): vertex insertions in topological
+//! order, with the execution-log annotations of §5.3.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wf_graph::{Graph, NameId, VertexId};
+use wf_spec::GraphId;
+
+/// One insertion event `g_i = g_{i-1} + (v_i, C_i)`.
+///
+/// `vertex` and `preds` are ids in the *originating* run graph — stable
+/// external identifiers the consumer can key its own state by. `origin`
+/// is the execution-log entry most scientific workflow systems record
+/// (which specification module this step executed); the name-based
+/// execution labeler ignores it, the log-based one uses it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecEvent {
+    /// The inserted vertex.
+    pub vertex: VertexId,
+    /// Its module name.
+    pub name: NameId,
+    /// The insertion set `C_i`: already-inserted vertices with edges into
+    /// `vertex`.
+    pub preds: Vec<VertexId>,
+    /// Execution-log entry: the spec graph and spec vertex this run
+    /// vertex instantiates.
+    pub origin: (GraphId, VertexId),
+}
+
+/// A graph execution: the input of the execution-based dynamic labeling
+/// problem.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Execution {
+    events: Vec<ExecEvent>,
+}
+
+impl Execution {
+    /// Build an execution from a completed run by listing its vertices in
+    /// the given topological order.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a topological order of `graph`.
+    pub fn from_order(
+        graph: &Graph,
+        origin: &[(GraphId, VertexId)],
+        order: &[VertexId],
+    ) -> Self {
+        assert!(
+            wf_graph::topo::is_topological_order(graph, order),
+            "execution requires a topological insertion order"
+        );
+        let events = order
+            .iter()
+            .map(|&v| ExecEvent {
+                vertex: v,
+                name: graph.name(v),
+                preds: graph.in_neighbors(v).to_vec(),
+                origin: origin[v.idx()],
+            })
+            .collect();
+        Self { events }
+    }
+
+    /// Build an execution with a deterministic topological order.
+    pub fn deterministic(graph: &Graph, origin: &[(GraphId, VertexId)]) -> Self {
+        let order = wf_graph::topo::topological_order(graph).expect("run must be a DAG");
+        Self::from_order(graph, origin, &order)
+    }
+
+    /// Build an execution with a seeded-random topological order
+    /// ("randomly select … one execution for each run", §7.1).
+    pub fn random<R: Rng>(
+        graph: &Graph,
+        origin: &[(GraphId, VertexId)],
+        rng: &mut R,
+    ) -> Self {
+        let order =
+            wf_graph::topo::random_topological_order(graph, rng).expect("run must be a DAG");
+        Self::from_order(graph, origin, &order)
+    }
+
+    /// The insertion events in order.
+    pub fn events(&self) -> &[ExecEvent] {
+        &self.events
+    }
+
+    /// Number of insertions `n`.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the execution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Rebuild the run graph by replaying the insertions (Definition 3);
+    /// the result is isomorphic to the originating run and — because
+    /// event ids are the original ids — actually identical.
+    pub fn replay_graph(&self) -> Graph {
+        let mut g = Graph::new();
+        let mut map: Vec<Option<VertexId>> = Vec::new();
+        for ev in &self.events {
+            let preds: Vec<VertexId> = ev
+                .preds
+                .iter()
+                .map(|p| map[p.idx()].expect("preds precede their vertex"))
+                .collect();
+            let nv = g
+                .insert_vertex(ev.name, &preds)
+                .expect("valid insertion sequence");
+            if ev.vertex.idx() >= map.len() {
+                map.resize(ev.vertex.idx() + 1, None);
+            }
+            map[ev.vertex.idx()] = Some(nv);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derivation::DerivationStep;
+    use crate::RunBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wf_spec::grammar::Production;
+
+    fn small_run() -> (Graph, Vec<(GraphId, VertexId)>) {
+        let spec = wf_spec::corpus::running_example();
+        let mut b = RunBuilder::new(&spec);
+        let l = spec.name_id("L").unwrap();
+        let l_impl = spec.implementations(l)[0];
+        let f = spec.name_id("F").unwrap();
+        let f_impl = spec.implementations(f)[0];
+        let a = spec.name_id("A").unwrap();
+        let a_base = spec.implementations(a)[1];
+        let u = b.graph().find_by_name(l).unwrap();
+        b.apply(&DerivationStep {
+            target: u,
+            production: Production::replicated(l_impl, 2),
+        })
+        .unwrap();
+        while !b.is_complete() {
+            let v = b.composite_vertices()[0];
+            let name = b.graph().name(v);
+            let prod = if name == f {
+                Production::replicated(f_impl, 2)
+            } else {
+                Production::plain(a_base)
+            };
+            b.apply(&DerivationStep {
+                target: v,
+                production: prod,
+            })
+            .unwrap();
+        }
+        b.into_parts()
+    }
+
+    #[test]
+    fn deterministic_execution_replays_to_same_graph() {
+        let (g, origin) = small_run();
+        let exec = Execution::deterministic(&g, &origin);
+        assert_eq!(exec.len(), g.vertex_count());
+        let replayed = exec.replay_graph();
+        assert_eq!(replayed.vertex_count(), g.vertex_count());
+        assert_eq!(replayed.edge_count(), g.edge_count());
+        // Reachability is identical under the id mapping (same order of
+        // names along any topological order).
+        let o1 = wf_graph::topo::topological_order(&g).unwrap();
+        let o2 = wf_graph::topo::topological_order(&replayed).unwrap();
+        let names1: Vec<_> = o1.iter().map(|&v| g.name(v)).collect();
+        let names2: Vec<_> = o2.iter().map(|&v| replayed.name(v)).collect();
+        assert_eq!(names1, names2);
+    }
+
+    #[test]
+    fn random_executions_vary_but_stay_topological() {
+        let (g, origin) = small_run();
+        let mut rng = StdRng::seed_from_u64(3);
+        let e1 = Execution::random(&g, &origin, &mut rng);
+        let e2 = Execution::random(&g, &origin, &mut rng);
+        let order1: Vec<VertexId> = e1.events().iter().map(|e| e.vertex).collect();
+        let order2: Vec<VertexId> = e2.events().iter().map(|e| e.vertex).collect();
+        assert!(wf_graph::topo::is_topological_order(&g, &order1));
+        assert!(wf_graph::topo::is_topological_order(&g, &order2));
+        assert_ne!(order1, order2, "different seeds give different orders");
+    }
+
+    #[test]
+    #[should_panic(expected = "topological insertion order")]
+    fn non_topological_order_rejected() {
+        let (g, origin) = small_run();
+        let mut order = wf_graph::topo::topological_order(&g).unwrap();
+        order.reverse();
+        let _ = Execution::from_order(&g, &origin, &order);
+    }
+
+    #[test]
+    fn events_carry_log_origins() {
+        let (g, origin) = small_run();
+        let exec = Execution::deterministic(&g, &origin);
+        for ev in exec.events() {
+            assert_eq!(ev.origin, origin[ev.vertex.idx()]);
+        }
+    }
+}

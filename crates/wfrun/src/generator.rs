@@ -1,0 +1,381 @@
+//! Seeded random run generation with a target size (§7.1's workload
+//! generator: "we simulate the execution by repeating loops, forks and
+//! recursion a random number of times" while "varying the size of runs
+//! from 1K to 32K").
+
+use crate::builder::RunBuilder;
+use crate::derivation::{Derivation, DerivationStep};
+use rand::Rng;
+use wf_graph::{Graph, VertexId};
+use wf_spec::grammar::Production;
+use wf_spec::{GraphId, NameClass, Specification};
+
+/// Minimum completed-expansion size per name (indexed by `NameId`):
+/// atomic names count 1; a composite name's value is the cheapest body it
+/// can fully derive to (`u64::MAX` marks unproductive names that can
+/// never finish deriving — a specification bug the generator rejects).
+pub fn min_expansions(spec: &Specification) -> Vec<u64> {
+    let n = spec.names().len();
+    let mut min: Vec<u64> = (0..n)
+        .map(|i| {
+            if spec.is_atomic(wf_graph::NameId(i as u32)) {
+                1
+            } else {
+                u64::MAX
+            }
+        })
+        .collect();
+    // Fixpoint: tiny alphabets converge in ≤ |Σ\Δ| rounds.
+    loop {
+        let mut changed = false;
+        for (head, gid) in spec.impl_pairs() {
+            let g = spec.graph(gid);
+            let mut total: u64 = 0;
+            for v in g.vertices() {
+                let m = min[g.name(v).0 as usize];
+                total = total.saturating_add(m);
+            }
+            if total < min[head.0 as usize] {
+                min[head.0 as usize] = total;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    min
+}
+
+/// A generated run: the derivation plus its fully derived graph and
+/// per-vertex provenance.
+pub struct GeneratedRun {
+    /// The recorded derivation (replayable via [`Derivation::replay`]).
+    pub derivation: Derivation,
+    /// The final run graph `g ∈ L(G)`.
+    pub graph: Graph,
+    /// Provenance per run slot (`(spec graph, spec vertex)`).
+    pub origin: Vec<(GraphId, VertexId)>,
+}
+
+/// Size-targeted random derivation generator.
+///
+/// The generator tracks, at every moment, the *committed minimum* final
+/// size (atomic vertices so far plus the cheapest completion of every
+/// pending composite) and spends the remaining slack on random choices:
+/// extra loop/fork copies and recursive implementations. Final sizes land
+/// within roughly ±20 % of the target.
+pub struct RunGenerator<'s> {
+    spec: &'s Specification,
+    target_size: usize,
+    max_copies: u32,
+}
+
+impl<'s> RunGenerator<'s> {
+    /// A generator with default target (1000 vertices) and loop/fork copy
+    /// cap (256, "hundreds of times", §5.1).
+    pub fn new(spec: &'s Specification) -> Self {
+        Self {
+            spec,
+            target_size: 1000,
+            max_copies: 256,
+        }
+    }
+
+    /// Set the target run size (number of atomic vertices).
+    pub fn target_size(mut self, n: usize) -> Self {
+        self.target_size = n;
+        self
+    }
+
+    /// Cap the number of copies per loop/fork expansion.
+    pub fn max_copies(mut self, c: u32) -> Self {
+        assert!(c >= 1);
+        self.max_copies = c;
+        self
+    }
+
+    /// Generate a derivation (steps only).
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Derivation {
+        self.generate_run(rng).derivation
+    }
+
+    /// Generate a derivation together with its final graph and
+    /// provenance (avoids a replay when the caller needs all three).
+    pub fn generate_run<R: Rng>(&self, rng: &mut R) -> GeneratedRun {
+        let min = min_expansions(self.spec);
+        let mut builder = RunBuilder::new(self.spec);
+        let mut derivation = Derivation::new();
+
+        // Pending composite vertices, kept as a stack so composites are
+        // expanded depth-first in dataflow order. The final graph does
+        // not depend on expansion order (derivations are confluent), but
+        // this order makes the recorded derivation correspond exactly to
+        // the deterministic topological execution of the run — both
+        // labelers then produce identical labels, the §5.3 property the
+        // integration tests verify. Instance composites are pushed in
+        // reverse body-topological order so the dataflow-first one pops
+        // first.
+        let mut pending: Vec<VertexId> = {
+            let g0 = self.spec.start_graph();
+            let mut order = wf_graph::topo::topological_order(g0).expect("specs are DAGs");
+            order.retain(|&sv| self.spec.is_composite(g0.name(sv)));
+            order.reverse();
+            // g0's slots map to identical run ids in RunBuilder::new's
+            // fresh copy, but resolve through origin for robustness.
+            let by_origin: std::collections::HashMap<VertexId, VertexId> = builder
+                .composite_vertices()
+                .into_iter()
+                .map(|rv| (builder.origin(rv).1, rv))
+                .collect();
+            order.into_iter().map(|sv| by_origin[&sv]).collect()
+        };
+        let g0 = self.spec.start_graph();
+        let mut atomic_count: u64 = g0
+            .vertices()
+            .filter(|&v| self.spec.is_atomic(g0.name(v)))
+            .count() as u64;
+        let mut pending_min: u64 = pending
+            .iter()
+            .map(|&v| {
+                let m = min[builder.graph().name(v).0 as usize];
+                assert_ne!(m, u64::MAX, "unproductive composite in start graph");
+                m
+            })
+            .sum();
+
+        while let Some(u) = pending.pop() {
+            let name = builder.graph().name(u);
+            let name_min = min[name.0 as usize];
+            assert_ne!(
+                name_min,
+                u64::MAX,
+                "unproductive composite {:?}",
+                self.spec.name_str(name)
+            );
+            let slack = (self.target_size as u64).saturating_sub(atomic_count + pending_min);
+            let impls = self.spec.implementations(name);
+            let production = match self.spec.class(name) {
+                NameClass::Loop | NameClass::Fork => {
+                    let body = choose_impl(self.spec, impls, &min, name_min, slack, rng);
+                    let body_min = body_min(self.spec, body, &min);
+                    // First copy is already budgeted at name_min; extras
+                    // spend slack.
+                    let max_extra = (slack / body_min.max(1)).min(self.max_copies as u64 - 1);
+                    let extra = if max_extra == 0 {
+                        0
+                    } else {
+                        rng.gen_range(0..=max_extra)
+                    };
+                    Production::replicated(body, extra as u32 + 1)
+                }
+                NameClass::Composite => {
+                    let body = choose_impl(self.spec, impls, &min, name_min, slack, rng);
+                    Production::plain(body)
+                }
+                NameClass::Atomic => unreachable!("pending holds composites only"),
+            };
+            // Budget update: this composite's minimum is replaced by the
+            // actual commitment of the chosen production.
+            pending_min -= name_min;
+            let step = DerivationStep {
+                target: u,
+                production,
+            };
+            let applied = builder.apply(&step).expect("generated step is valid");
+            derivation.push(step);
+            let body_graph = self.spec.graph(production.body);
+            let mut body_order =
+                wf_graph::topo::topological_order(body_graph).expect("specs are DAGs");
+            body_order.retain(|&sv| self.spec.is_composite(body_graph.name(sv)));
+            for map in &applied.copies {
+                for sv in body_graph.vertices() {
+                    if self.spec.is_atomic(body_graph.name(sv)) {
+                        atomic_count += 1;
+                    }
+                }
+                let _ = map;
+            }
+            // Push copies in reverse (last copy first) and composites in
+            // reverse topological order, so pops run copy 0 first, each
+            // in dataflow order.
+            for map in applied.copies.iter().rev() {
+                for &sv in body_order.iter().rev() {
+                    let rv = map[sv.idx()].unwrap();
+                    pending_min += min[body_graph.name(sv).0 as usize];
+                    pending.push(rv);
+                }
+            }
+        }
+        debug_assert!(builder.is_complete());
+        let (graph, origin) = builder.into_parts();
+        GeneratedRun {
+            derivation,
+            graph,
+            origin,
+        }
+    }
+}
+
+/// Minimum completed size of one body graph.
+fn body_min(spec: &Specification, gid: wf_spec::GraphId, min: &[u64]) -> u64 {
+    let g = spec.graph(gid);
+    g.vertices()
+        .map(|v| min[g.name(v).0 as usize])
+        .fold(0u64, u64::saturating_add)
+}
+
+/// Choose an implementation by drawing a random spend from the slack and
+/// taking the most expensive implementation whose extra commitment over
+/// the cheapest fits it (random tie-break). Large remaining budgets thus
+/// keep recursions and expensive branches going, while a shrinking
+/// budget steers derivations into base cases — which forces termination,
+/// since some implementation always has zero extra commitment.
+fn choose_impl<R: Rng>(
+    spec: &Specification,
+    impls: &[wf_spec::GraphId],
+    min: &[u64],
+    name_min: u64,
+    slack: u64,
+    rng: &mut R,
+) -> wf_spec::GraphId {
+    debug_assert!(!impls.is_empty());
+    let costs: Vec<u64> = impls.iter().map(|&h| body_min(spec, h, min)).collect();
+    let spend = if slack == 0 {
+        0
+    } else {
+        rng.gen_range(0..=slack)
+    };
+    let best_delta = (0..impls.len())
+        .map(|i| costs[i].saturating_sub(name_min))
+        .filter(|&d| d <= spend)
+        .max()
+        .unwrap_or(0); // the cheapest impl has delta 0 by definition of name_min
+    let ties: Vec<usize> = (0..impls.len())
+        .filter(|&i| costs[i].saturating_sub(name_min) == best_delta)
+        .collect();
+    impls[ties[rng.gen_range(0..ties.len())]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn min_expansions_running_example() {
+        let spec = wf_spec::corpus::running_example();
+        let min = min_expansions(&spec);
+        let at = |n: &str| min[spec.name_id(n).unwrap().0 as usize];
+        assert_eq!(at("s0"), 1);
+        // A's cheapest body is h4 = {s4, t4}.
+        assert_eq!(at("A"), 2);
+        // B: {s5,t5} = 2; C: s6 + A + t6 = 4.
+        assert_eq!(at("B"), 2);
+        assert_eq!(at("C"), 4);
+        // F: s2 + A + t2 = 4; L: s1 + F + t1 = 6.
+        assert_eq!(at("F"), 4);
+        assert_eq!(at("L"), 6);
+    }
+
+    #[test]
+    fn generated_runs_hit_target_sizes() {
+        let spec = wf_spec::corpus::bioaid();
+        let mut rng = StdRng::seed_from_u64(11);
+        for target in [500usize, 2000, 8000] {
+            let run = RunGenerator::new(&spec)
+                .target_size(target)
+                .generate_run(&mut rng);
+            let n = run.graph.vertex_count();
+            assert!(run.graph.is_two_terminal());
+            assert!(run.graph.is_acyclic());
+            let ratio = n as f64 / target as f64;
+            assert!(
+                (0.5..=1.5).contains(&ratio),
+                "target {target} got {n} (ratio {ratio:.2})"
+            );
+            // All vertices atomic — a member of L(G).
+            for v in run.graph.vertices() {
+                assert!(spec.is_atomic(run.graph.name(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_specs_terminate() {
+        let spec = wf_spec::corpus::running_example();
+        let mut rng = StdRng::seed_from_u64(5);
+        for target in [50usize, 300, 1500] {
+            let run = RunGenerator::new(&spec)
+                .target_size(target)
+                .generate_run(&mut rng);
+            assert!(run.graph.vertex_count() > 0);
+            assert!(run.graph.is_acyclic());
+        }
+    }
+
+    #[test]
+    fn derivation_replays_to_identical_graph() {
+        let spec = wf_spec::corpus::running_example();
+        let mut rng = StdRng::seed_from_u64(21);
+        let run = RunGenerator::new(&spec)
+            .target_size(200)
+            .generate_run(&mut rng);
+        let replayed = run.derivation.replay(&spec).unwrap();
+        assert!(replayed.is_complete());
+        let (g2, origin2) = replayed.into_parts();
+        assert_eq!(g2.vertex_count(), run.graph.vertex_count());
+        assert_eq!(g2.edge_count(), run.graph.edge_count());
+        let e1: Vec<_> = run.graph.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2, "replay is id-for-id identical");
+        assert_eq!(origin2, run.origin);
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let spec = wf_spec::corpus::bioaid();
+        let gen = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            RunGenerator::new(&spec)
+                .target_size(1000)
+                .generate_run(&mut rng)
+        };
+        let a = gen(77);
+        let b = gen(77);
+        let c = gen(78);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
+        assert_ne!(
+            a.graph.edges().collect::<Vec<_>>(),
+            c.graph.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn nonlinear_specs_generate_too() {
+        let spec = wf_spec::corpus::theorem1();
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = RunGenerator::new(&spec)
+            .target_size(400)
+            .generate_run(&mut rng);
+        assert!(run.graph.is_acyclic());
+        assert!(run.graph.vertex_count() >= 100);
+    }
+
+    #[test]
+    fn max_copies_caps_fanout() {
+        let spec = wf_spec::corpus::bioaid_nonrecursive();
+        let mut rng = StdRng::seed_from_u64(9);
+        let run = RunGenerator::new(&spec)
+            .target_size(5000)
+            .max_copies(4)
+            .generate_run(&mut rng);
+        for step in run.derivation.steps() {
+            assert!(step.production.copies <= 4);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The canonical parse tree (Section 4.2): "the derivation of a graph
+//! `g ∈ L(G)` can be naturally captured by a canonical parse tree whose
+//! nodes represent nested subgraphs and edges represent composite
+//! vertices created during the graph derivation."
+//!
+//! The explicit parse tree DRL labels with (in `wf-drl`) refines this
+//! one by adding the special L/F/R nodes; the canonical form is useful
+//! for inspecting derivations and in tests relating the two: the
+//! canonical tree's depth is unbounded under recursion (which is exactly
+//! why the explicit tree flattens chains with R nodes, Lemma 4.1).
+
+use crate::builder::{RunBuilder, RunError};
+use crate::derivation::Derivation;
+use serde::{Deserialize, Serialize};
+use wf_graph::VertexId;
+use wf_spec::{GraphId, Specification};
+
+/// One node of the canonical parse tree: a nested subgraph instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CanonicalNode {
+    /// The specification graph this instance copies (`g0` for the root;
+    /// for loop/fork steps this is the *composed* body, recorded as the
+    /// single body graph plus `copies`).
+    pub graph: GraphId,
+    /// Copies of the body (1 unless the replaced vertex was a loop or
+    /// fork vertex — then the node represents `S(h,…,h)` / `P(h,…,h)`).
+    pub copies: u32,
+    /// Parent node; `None` for the root.
+    pub parent: Option<usize>,
+    /// The composite run vertex annotated on the edge from the parent
+    /// (the `u` replaced by this subgraph); `None` for the root.
+    pub replaced: Option<VertexId>,
+    /// Children in derivation order.
+    pub children: Vec<usize>,
+    /// Depth (root = 0).
+    pub depth: usize,
+}
+
+/// The canonical parse tree of one derivation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CanonicalParseTree {
+    nodes: Vec<CanonicalNode>,
+}
+
+impl CanonicalParseTree {
+    /// Build the tree by replaying a derivation.
+    pub fn build(spec: &Specification, derivation: &Derivation) -> Result<Self, RunError> {
+        let mut builder = RunBuilder::new(spec);
+        let mut nodes = vec![CanonicalNode {
+            graph: GraphId::START,
+            copies: 1,
+            parent: None,
+            replaced: None,
+            children: Vec::new(),
+            depth: 0,
+        }];
+        // Which tree node each run vertex belongs to.
+        let mut home: Vec<usize> = vec![0; builder.graph().slot_count()];
+        for step in derivation.steps() {
+            let u = step.target;
+            let parent = *home
+                .get(u.idx())
+                .ok_or(RunError::UnknownTarget(u))?;
+            let applied = builder.apply(step)?;
+            let id = nodes.len();
+            let depth = nodes[parent].depth + 1;
+            nodes.push(CanonicalNode {
+                graph: step.production.body,
+                copies: step.production.copies,
+                parent: Some(parent),
+                replaced: Some(u),
+                children: Vec::new(),
+                depth,
+            });
+            nodes[parent].children.push(id);
+            home.resize(builder.graph().slot_count(), 0);
+            for map in &applied.copies {
+                for new in map.iter().flatten() {
+                    home[new.idx()] = id;
+                }
+            }
+        }
+        Ok(Self { nodes })
+    }
+
+    /// All nodes, root first (index 0).
+    pub fn nodes(&self) -> &[CanonicalNode] {
+        &self.nodes
+    }
+
+    /// Node count (= derivation steps + 1).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Never empty (the root always exists).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maximum depth — unbounded under recursion, which motivates the
+    /// explicit parse tree's R-node flattening.
+    pub fn max_depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Render as an indented outline (for debugging / examples).
+    pub fn outline(&self, spec: &Specification) -> String {
+        let mut out = String::new();
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            let n = &self.nodes[i];
+            let name = match spec.head(n.graph) {
+                None => "g0".to_string(),
+                Some(h) => format!(
+                    "{} := {}{}",
+                    spec.name_str(h),
+                    spec.graph_label(n.graph),
+                    if n.copies > 1 {
+                        format!(" ×{}", n.copies)
+                    } else {
+                        String::new()
+                    }
+                ),
+            };
+            out.push_str(&"  ".repeat(n.depth));
+            out.push_str(&name);
+            out.push('\n');
+            for &c in n.children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use crate::RunGenerator;
+
+    #[test]
+    fn node_count_tracks_steps() {
+        let spec = wf_spec::corpus::running_example();
+        let mut rng = StdRng::seed_from_u64(12);
+        let run = RunGenerator::new(&spec).target_size(80).generate_run(&mut rng);
+        let tree = CanonicalParseTree::build(&spec, &run.derivation).unwrap();
+        assert_eq!(tree.len(), run.derivation.len() + 1);
+        // Every non-root node has a consistent parent/child linkage.
+        for (i, n) in tree.nodes().iter().enumerate().skip(1) {
+            let p = n.parent.unwrap();
+            assert!(tree.nodes()[p].children.contains(&i));
+            assert_eq!(n.depth, tree.nodes()[p].depth + 1);
+        }
+        let outline = tree.outline(&spec);
+        assert!(outline.starts_with("g0\n"));
+    }
+
+    #[test]
+    fn canonical_depth_grows_with_recursion_unlike_explicit() {
+        // Under the running example's A→C→A recursion, the canonical
+        // tree's depth scales with the recursion depth, while the
+        // explicit tree (Lemma 4.1) stays ≤ 2|Σ\Δ|.
+        let spec = wf_spec::corpus::running_example();
+        let mut rng = StdRng::seed_from_u64(5);
+        let big = RunGenerator::new(&spec)
+            .target_size(2500)
+            .generate_run(&mut rng);
+        let canonical = CanonicalParseTree::build(&spec, &big.derivation).unwrap();
+        let bound = 2 * spec.composite_count();
+        assert!(
+            canonical.max_depth() > bound,
+            "canonical depth {} should exceed the explicit bound {bound}",
+            canonical.max_depth()
+        );
+    }
+
+    #[test]
+    fn invalid_derivation_rejected() {
+        let spec = wf_spec::corpus::running_example();
+        let mut bad = Derivation::new();
+        let l = spec.name_id("L").unwrap();
+        bad.push(crate::DerivationStep {
+            target: wf_graph::VertexId(999),
+            production: wf_spec::grammar::Production::plain(spec.implementations(l)[0]),
+        });
+        assert!(CanonicalParseTree::build(&spec, &bad).is_err());
+    }
+}

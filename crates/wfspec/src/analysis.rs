@@ -1,0 +1,404 @@
+//! Structural grammar analysis: the `induces` relation, recursive
+//! vertices, and the recursion-class taxonomy (Sections 4.1 and 6).
+
+use crate::spec::{GraphId, NameClass, Specification};
+use serde::{Deserialize, Serialize};
+use wf_graph::{BitSet, NameId, VertexId};
+
+/// The recursion taxonomy of the paper.
+///
+/// * Every workflow is either non-recursive or recursive.
+/// * Recursive workflows are *linear recursive* when every production has
+///   at most one recursive vertex (Definition 10) — the class for which
+///   DRL guarantees `O(log n)`-bit labels (Theorem 3), and provably the
+///   largest such class for derivation-based labeling (Theorem 4).
+/// * Nonlinear workflows split into *parallel recursive* (some production
+///   has two mutually unreachable recursive vertices, Definition 13 —
+///   Ω(n) even for execution-based labeling, Theorem 5) and the remaining
+///   *series recursive* ones (compactness open, §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecursionClass {
+    /// No name induces itself: loops and forks only.
+    NonRecursive,
+    /// Recursive, and every production has ≤ 1 recursive vertex.
+    LinearRecursive,
+    /// Nonlinear, but every witnessing pair of recursive vertices is
+    /// ordered (series); no parallel witness exists.
+    SeriesRecursive,
+    /// Some production has two parallel (mutually unreachable) recursive
+    /// vertices.
+    ParallelRecursive,
+}
+
+impl RecursionClass {
+    /// True for the classes DRL labels compactly in `Linear` mode
+    /// (non-recursive workflows are trivially linear recursive).
+    pub fn is_linear(self) -> bool {
+        matches!(
+            self,
+            RecursionClass::NonRecursive | RecursionClass::LinearRecursive
+        )
+    }
+}
+
+/// Precomputed structural facts about a specification's grammar.
+#[derive(Debug, Clone)]
+pub struct GrammarAnalysis {
+    /// `induces[a]` = bit set of names `b` with `a ↦*G b` (reflexive).
+    induces: Vec<BitSet>,
+    /// Per graph: bit set of vertex slots that are recursive vertices of
+    /// the production whose body the graph is (empty for the start graph).
+    recursive: Vec<BitSet>,
+    /// Per graph: recursive vertices as a list, in id order.
+    recursive_lists: Vec<Vec<VertexId>>,
+    class: RecursionClass,
+    nesting_depth: usize,
+}
+
+impl GrammarAnalysis {
+    /// Analyze `spec`.
+    pub fn new(spec: &Specification) -> Self {
+        let n_names = spec.names().len();
+        // --- direct induces ---------------------------------------------
+        // A ↦G B iff some production A := h has a vertex named B
+        // (Definition in §4.1). Loop/fork compositions S(h,…)/P(h,…) use
+        // the same vertex names as h, so they add nothing new.
+        let mut direct: Vec<BitSet> = (0..n_names).map(|_| BitSet::zeros(n_names)).collect();
+        for (head, gid) in spec.impl_pairs() {
+            for v in spec.graph(gid).vertices() {
+                direct[head.0 as usize].set(spec.graph(gid).name(v).0 as usize);
+            }
+        }
+        // --- reflexive-transitive closure (tiny alphabets: O(|Σ|³/64)) --
+        let mut induces = direct.clone();
+        for (i, set) in induces.iter_mut().enumerate() {
+            set.set(i);
+        }
+        loop {
+            let mut changed = false;
+            for a in 0..n_names {
+                let mut acc = induces[a].clone();
+                for b in induces[a].iter_ones().collect::<Vec<_>>() {
+                    acc.union_with(&induces[b]);
+                }
+                if acc != induces[a] {
+                    induces[a] = acc;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // --- recursive vertices per implementation graph ----------------
+        // u in body of A := h is recursive iff Name(u) ↦*G A.
+        let mut recursive: Vec<BitSet> = Vec::with_capacity(spec.graph_count());
+        let mut recursive_lists: Vec<Vec<VertexId>> = Vec::with_capacity(spec.graph_count());
+        for gid in spec.graph_ids() {
+            let g = spec.graph(gid);
+            let mut set = BitSet::zeros(g.slot_count());
+            let mut list = Vec::new();
+            if let Some(head) = spec.head(gid) {
+                for v in g.vertices() {
+                    if induces[g.name(v).0 as usize].get(head.0 as usize) {
+                        set.set(v.idx());
+                        list.push(v);
+                    }
+                }
+            }
+            recursive.push(set);
+            recursive_lists.push(list);
+        }
+        // --- classification ---------------------------------------------
+        let mut any_recursive = false;
+        let mut linear = true;
+        let mut parallel = false;
+        for (head, gid) in spec.impl_pairs() {
+            let recs = &recursive_lists[gid.idx()];
+            if recs.is_empty() {
+                continue;
+            }
+            any_recursive = true;
+            let head_class = spec.class(head);
+            match head_class {
+                NameClass::Loop => {
+                    // A := S(h, h) duplicates every recursive vertex: ≥ 2.
+                    linear = false;
+                    // Copies of the same vertex are series-ordered in
+                    // S(h,h); a parallel witness needs an unordered pair
+                    // *within* h (which S(h,h) also contains).
+                    if has_parallel_pair(spec, gid, recs) {
+                        parallel = true;
+                    }
+                }
+                NameClass::Fork => {
+                    // A := P(h, h): the two copies of any recursive vertex
+                    // are mutually unreachable — parallel witness.
+                    linear = false;
+                    parallel = true;
+                }
+                _ => {
+                    if recs.len() > 1 {
+                        linear = false;
+                        if has_parallel_pair(spec, gid, recs) {
+                            parallel = true;
+                        }
+                    }
+                }
+            }
+        }
+        let class = if !any_recursive {
+            RecursionClass::NonRecursive
+        } else if linear {
+            RecursionClass::LinearRecursive
+        } else if parallel {
+            RecursionClass::ParallelRecursive
+        } else {
+            RecursionClass::SeriesRecursive
+        };
+        let nesting_depth = compute_nesting_depth(spec);
+        Self {
+            induces,
+            recursive,
+            recursive_lists,
+            class,
+            nesting_depth,
+        }
+    }
+
+    /// `a ↦*G b` (reflexive-transitive).
+    pub fn induces(&self, a: NameId, b: NameId) -> bool {
+        self.induces[a.0 as usize].get(b.0 as usize)
+    }
+
+    /// True if `v` is a recursive vertex of the production whose body is
+    /// graph `gid` (always false for the start graph).
+    pub fn is_recursive_vertex(&self, gid: GraphId, v: VertexId) -> bool {
+        self.recursive[gid.idx()].get(v.idx())
+    }
+
+    /// The recursive vertices of graph `gid`, in id order.
+    pub fn recursive_vertices(&self, gid: GraphId) -> &[VertexId] {
+        &self.recursive_lists[gid.idx()]
+    }
+
+    /// The recursion class of the grammar.
+    pub fn class(&self) -> RecursionClass {
+        self.class
+    }
+
+    /// The nesting depth of sub-workflows (footnote 5): the length of the
+    /// longest chain of sub-workflows, starting from the start graph, that
+    /// implement pairwise distinct composite modules.
+    pub fn nesting_depth(&self) -> usize {
+        self.nesting_depth
+    }
+}
+
+/// Is there a pair of recursive vertices in `gid`'s body that are mutually
+/// unreachable (a parallel witness, Definition 13)?
+fn has_parallel_pair(spec: &Specification, gid: GraphId, recs: &[VertexId]) -> bool {
+    let g = spec.graph(gid);
+    for (i, &u) in recs.iter().enumerate() {
+        for &w in &recs[i + 1..] {
+            if !wf_graph::reach::reaches(g, u, w) && !wf_graph::reach::reaches(g, w, u) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn compute_nesting_depth(spec: &Specification) -> usize {
+    fn depth_of(
+        spec: &Specification,
+        name: NameId,
+        visited: &mut Vec<NameId>,
+    ) -> usize {
+        let mut best = 1; // this module's own sub-workflow level
+        for &gid in spec.implementations(name) {
+            let g = spec.graph(gid);
+            for v in g.vertices() {
+                let b = g.name(v);
+                if spec.is_composite(b) && !visited.contains(&b) {
+                    visited.push(b);
+                    best = best.max(1 + depth_of(spec, b, visited));
+                    visited.pop();
+                }
+            }
+        }
+        best
+    }
+    let g0 = spec.start_graph();
+    let mut best = 0;
+    for v in g0.vertices() {
+        let b = g0.name(v);
+        if spec.is_composite(b) {
+            let mut visited = vec![b];
+            best = best.max(depth_of(spec, b, &mut visited));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SpecBuilder;
+
+    /// A := h (contains B); B := h' (contains A): linear mutual recursion.
+    fn mutual() -> Specification {
+        let mut b = SpecBuilder::new();
+        b.composite("A");
+        b.composite("B");
+        b.start(|g| {
+            let s = g.vertex("s0");
+            let a = g.vertex("A");
+            let t = g.vertex("t0");
+            g.chain(&[s, a, t]);
+        });
+        b.implementation("A", |g| {
+            let s = g.vertex("s1");
+            let x = g.vertex("B");
+            let t = g.vertex("t1");
+            g.chain(&[s, x, t]);
+        });
+        b.implementation("A", |g| {
+            let s = g.vertex("s2");
+            let t = g.vertex("t2");
+            g.edge(s, t);
+        });
+        b.implementation("B", |g| {
+            let s = g.vertex("s3");
+            let x = g.vertex("A");
+            let t = g.vertex("t3");
+            g.chain(&[s, x, t]);
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn induces_is_reflexive_transitive() {
+        let spec = mutual();
+        let an = spec.analysis();
+        let a = spec.name_id("A").unwrap();
+        let b = spec.name_id("B").unwrap();
+        let s1 = spec.name_id("s1").unwrap();
+        assert!(an.induces(a, a));
+        assert!(an.induces(a, b));
+        assert!(an.induces(b, a));
+        assert!(an.induces(a, s1));
+        assert!(!an.induces(s1, a), "atomic names induce nothing");
+    }
+
+    #[test]
+    fn mutual_recursion_is_linear() {
+        let spec = mutual();
+        let an = spec.analysis();
+        assert_eq!(an.class(), RecursionClass::LinearRecursive);
+        // The B vertex in A's first body is recursive; terminals are not.
+        let recs = an.recursive_vertices(GraphId(1));
+        assert_eq!(recs.len(), 1);
+        assert!(an.is_recursive_vertex(GraphId(1), recs[0]));
+        // A's base-case body has no recursive vertices.
+        assert!(an.recursive_vertices(GraphId(2)).is_empty());
+        // Start graph never has recursive vertices.
+        assert!(an.recursive_vertices(GraphId::START).is_empty());
+    }
+
+    #[test]
+    fn nesting_depth_counts_distinct_modules() {
+        let spec = mutual();
+        // g0 -> A -> B: two distinct modules.
+        assert_eq!(spec.analysis().nesting_depth(), 2);
+    }
+
+    #[test]
+    fn loop_with_recursive_body_is_nonlinear() {
+        let mut b = SpecBuilder::new();
+        b.loop_module("L");
+        b.composite("A");
+        b.start(|g| {
+            let s = g.vertex("s0");
+            let l = g.vertex("L");
+            let t = g.vertex("t0");
+            g.chain(&[s, l, t]);
+        });
+        // L's body contains A; A's body contains L: L induces L through A,
+        // so the A-vertex in L's body is recursive and S(h,h) has two.
+        b.implementation("L", |g| {
+            let s = g.vertex("s1");
+            let a = g.vertex("A");
+            let t = g.vertex("t1");
+            g.chain(&[s, a, t]);
+        });
+        b.implementation("A", |g| {
+            let s = g.vertex("s2");
+            let l = g.vertex("L");
+            let t = g.vertex("t2");
+            g.chain(&[s, l, t]);
+        });
+        b.implementation("A", |g| {
+            let s = g.vertex("s3");
+            let t = g.vertex("t3");
+            g.edge(s, t);
+        });
+        let spec = b.build().unwrap();
+        // Series copies in S(h,h) but the pair is ordered → series class.
+        assert_eq!(spec.analysis().class(), RecursionClass::SeriesRecursive);
+    }
+
+    #[test]
+    fn fork_with_recursive_body_is_parallel() {
+        let mut b = SpecBuilder::new();
+        b.fork_module("F");
+        b.composite("A");
+        b.start(|g| {
+            let s = g.vertex("s0");
+            let f = g.vertex("F");
+            let t = g.vertex("t0");
+            g.chain(&[s, f, t]);
+        });
+        b.implementation("F", |g| {
+            let s = g.vertex("s1");
+            let a = g.vertex("A");
+            let t = g.vertex("t1");
+            g.chain(&[s, a, t]);
+        });
+        b.implementation("A", |g| {
+            let s = g.vertex("s2");
+            let f = g.vertex("F");
+            let t = g.vertex("t2");
+            g.chain(&[s, f, t]);
+        });
+        b.implementation("A", |g| {
+            let s = g.vertex("s3");
+            let t = g.vertex("t3");
+            g.edge(s, t);
+        });
+        let spec = b.build().unwrap();
+        assert_eq!(spec.analysis().class(), RecursionClass::ParallelRecursive);
+    }
+
+    #[test]
+    fn non_recursive_spec_classified() {
+        let mut b = SpecBuilder::new();
+        b.loop_module("L");
+        b.start(|g| {
+            let s = g.vertex("s0");
+            let l = g.vertex("L");
+            let t = g.vertex("t0");
+            g.chain(&[s, l, t]);
+        });
+        b.implementation("L", |g| {
+            let s = g.vertex("s1");
+            let t = g.vertex("t1");
+            g.edge(s, t);
+        });
+        let spec = b.build().unwrap();
+        let an = spec.analysis();
+        assert_eq!(an.class(), RecursionClass::NonRecursive);
+        assert!(an.class().is_linear());
+        assert_eq!(an.nesting_depth(), 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! Ergonomic construction of [`Specification`]s.
+//!
+//! Names are atomic by default; declare composite/loop/fork names before
+//! (or after) using them in graphs. Graphs are described with a small
+//! closure-based DSL:
+//!
+//! ```
+//! use wf_spec::SpecBuilder;
+//!
+//! let mut b = SpecBuilder::new();
+//! b.loop_module("L");
+//! b.start(|g| {
+//!     let s = g.vertex("s0");
+//!     let l = g.vertex("L");
+//!     let t = g.vertex("t0");
+//!     g.edge(s, l);
+//!     g.edge(l, t);
+//! });
+//! b.implementation("L", |g| {
+//!     let s = g.vertex("s1");
+//!     let t = g.vertex("t1");
+//!     g.edge(s, t);
+//! });
+//! let spec = b.build().unwrap();
+//! assert_eq!(spec.graph_count(), 2);
+//! ```
+
+use crate::error::SpecError;
+use crate::names::NameTable;
+use crate::spec::{GraphId, NameClass, Specification};
+use std::collections::HashMap;
+use wf_graph::{Graph, NameId, VertexId};
+
+/// Builder for one graph of the specification (start graph or an
+/// implementation body).
+pub struct GraphBuilder<'a> {
+    names: &'a mut NameTable,
+    classes: &'a mut Vec<NameClass>,
+    graph: Graph,
+}
+
+impl<'a> GraphBuilder<'a> {
+    /// Add a vertex named `name` (interned on the fly; defaults to atomic
+    /// if the name was never classified).
+    pub fn vertex(&mut self, name: &str) -> VertexId {
+        let id = self.names.intern(name);
+        if id.0 as usize >= self.classes.len() {
+            self.classes.push(NameClass::Atomic);
+        }
+        self.graph.add_vertex(id)
+    }
+
+    /// Add the edge `(u, v)`; panics on structural violations (builder
+    /// misuse is a programming error of the spec author).
+    pub fn edge(&mut self, u: VertexId, v: VertexId) {
+        self.graph
+            .add_edge_checked(u, v)
+            .expect("invalid edge in specification graph");
+    }
+
+    /// Convenience: add a chain of edges through the given vertices.
+    pub fn chain(&mut self, vs: &[VertexId]) {
+        for w in vs.windows(2) {
+            self.edge(w[0], w[1]);
+        }
+    }
+}
+
+/// Builder for a whole [`Specification`].
+#[derive(Default)]
+pub struct SpecBuilder {
+    names: NameTable,
+    classes: Vec<NameClass>,
+    start: Option<Graph>,
+    impls: Vec<(NameId, Graph)>,
+}
+
+impl SpecBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn classify(&mut self, name: &str, class: NameClass) -> NameId {
+        let id = self.names.intern(name);
+        let idx = id.0 as usize;
+        if idx >= self.classes.len() {
+            self.classes.resize(idx + 1, NameClass::Atomic);
+        }
+        self.classes[idx] = class;
+        id
+    }
+
+    /// Declare a plain composite name.
+    pub fn composite(&mut self, name: &str) -> NameId {
+        self.classify(name, NameClass::Composite)
+    }
+
+    /// Declare a loop name (`ΔL`).
+    pub fn loop_module(&mut self, name: &str) -> NameId {
+        self.classify(name, NameClass::Loop)
+    }
+
+    /// Declare a fork name (`ΔF`).
+    pub fn fork_module(&mut self, name: &str) -> NameId {
+        self.classify(name, NameClass::Fork)
+    }
+
+    fn build_graph(&mut self, f: impl FnOnce(&mut GraphBuilder<'_>)) -> Graph {
+        let mut gb = GraphBuilder {
+            names: &mut self.names,
+            classes: &mut self.classes,
+            graph: Graph::new(),
+        };
+        f(&mut gb);
+        gb.graph
+    }
+
+    /// Define the start graph `g0`.
+    pub fn start(&mut self, f: impl FnOnce(&mut GraphBuilder<'_>)) {
+        let g = self.build_graph(f);
+        self.start = Some(g);
+    }
+
+    /// Add an implementation `(head, h)` to `I`. `head` must be (or will
+    /// be) declared composite; undeclared heads default to plain composite.
+    pub fn implementation(&mut self, head: &str, f: impl FnOnce(&mut GraphBuilder<'_>)) {
+        let id = self.names.intern(head);
+        let idx = id.0 as usize;
+        if idx >= self.classes.len() {
+            self.classes.resize(idx + 1, NameClass::Atomic);
+        }
+        if self.classes[idx] == NameClass::Atomic {
+            self.classes[idx] = NameClass::Composite;
+        }
+        let g = self.build_graph(f);
+        self.impls.push((id, g));
+    }
+
+    /// Add a pre-built implementation graph (used by the synthetic
+    /// generator, which creates bodies with `wf_graph::random`).
+    pub fn implementation_graph(&mut self, head: NameId, graph: Graph) {
+        self.impls.push((head, graph));
+    }
+
+    /// Add a pre-built start graph.
+    pub fn start_graph(&mut self, graph: Graph) {
+        self.start = Some(graph);
+    }
+
+    /// Intern a name without classifying it (atomic by default).
+    pub fn name(&mut self, name: &str) -> NameId {
+        let id = self.names.intern(name);
+        if id.0 as usize >= self.classes.len() {
+            self.classes.push(NameClass::Atomic);
+        }
+        id
+    }
+
+    /// Finalize and validate the specification.
+    pub fn build(self) -> Result<Specification, SpecError> {
+        let start = self.start.ok_or(SpecError::MissingStartGraph)?;
+        let mut graphs = Vec::with_capacity(1 + self.impls.len());
+        graphs.push(start);
+        let mut impl_heads = Vec::with_capacity(self.impls.len());
+        let mut impls_by_name: HashMap<NameId, Vec<GraphId>> = HashMap::new();
+        for (i, (head, g)) in self.impls.into_iter().enumerate() {
+            let gid = GraphId(i as u32 + 1);
+            impl_heads.push(head);
+            impls_by_name.entry(head).or_default().push(gid);
+            graphs.push(g);
+        }
+        // Loop/fork names declared after use are already classified because
+        // `classes` is shared; nothing to fix up here.
+        let spec = Specification {
+            names: self.names,
+            classes: self.classes,
+            graphs,
+            impl_heads,
+            impls_by_name,
+        };
+        // Reject loop∩fork double classification (cannot happen through the
+        // builder API, which overwrites, but `classify` keeps last — check
+        // anyway for future-proofing via validate()).
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NameClass;
+
+    #[test]
+    fn builder_produces_valid_spec() {
+        let mut b = SpecBuilder::new();
+        b.fork_module("F");
+        b.start(|g| {
+            let s = g.vertex("s0");
+            let f = g.vertex("F");
+            let t = g.vertex("t0");
+            g.chain(&[s, f, t]);
+        });
+        b.implementation("F", |g| {
+            let s = g.vertex("s1");
+            let m = g.vertex("m");
+            let t = g.vertex("t1");
+            g.chain(&[s, m, t]);
+        });
+        let spec = b.build().unwrap();
+        assert_eq!(spec.class(spec.name_id("F").unwrap()), NameClass::Fork);
+        assert_eq!(spec.class(spec.name_id("m").unwrap()), NameClass::Atomic);
+        spec.check_execution_conditions().unwrap();
+    }
+
+    #[test]
+    fn missing_start_rejected() {
+        let b = SpecBuilder::new();
+        assert_eq!(b.build().unwrap_err(), SpecError::MissingStartGraph);
+    }
+
+    #[test]
+    fn composite_without_impl_rejected() {
+        let mut b = SpecBuilder::new();
+        b.composite("A");
+        b.start(|g| {
+            let s = g.vertex("s0");
+            let a = g.vertex("A");
+            let t = g.vertex("t0");
+            g.chain(&[s, a, t]);
+        });
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SpecError::CompositeWithoutImplementation(n) if n == "A"
+        ));
+    }
+
+    #[test]
+    fn composite_terminal_rejected() {
+        let mut b = SpecBuilder::new();
+        b.composite("A");
+        b.start(|g| {
+            let a = g.vertex("A");
+            let t = g.vertex("t0");
+            g.edge(a, t);
+        });
+        b.implementation("A", |g| {
+            let s = g.vertex("s1");
+            let t = g.vertex("t1");
+            g.edge(s, t);
+        });
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SpecError::CompositeTerminal { .. }
+        ));
+    }
+
+    #[test]
+    fn non_two_terminal_rejected() {
+        let mut b = SpecBuilder::new();
+        b.start(|g| {
+            g.vertex("a");
+            g.vertex("b");
+        });
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SpecError::NotTwoTerminal { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_fail_execution_conditions_only() {
+        // Figure 6's grammar has two vertices named A in one body: valid
+        // spec, but not name-inferable for executions.
+        let mut b = SpecBuilder::new();
+        b.composite("A");
+        b.start(|g| {
+            let s = g.vertex("s0");
+            let a = g.vertex("A");
+            let t = g.vertex("t0");
+            g.chain(&[s, a, t]);
+        });
+        b.implementation("A", |g| {
+            let s = g.vertex("s1");
+            let a1 = g.vertex("A");
+            let a2 = g.vertex("A");
+            let t = g.vertex("t1");
+            g.chain(&[s, a1, t]);
+            g.chain(&[s, a2, t]);
+        });
+        b.implementation("A", |g| {
+            let s = g.vertex("s2");
+            let t = g.vertex("t2");
+            g.edge(s, t);
+        });
+        let spec = b.build().unwrap();
+        assert!(matches!(
+            spec.check_execution_conditions().unwrap_err(),
+            SpecError::DuplicateNameInGraph { .. }
+        ));
+    }
+
+    #[test]
+    fn shared_terminal_name_detected() {
+        let mut b = SpecBuilder::new();
+        b.composite("A");
+        b.start(|g| {
+            let s = g.vertex("s0");
+            let a = g.vertex("A");
+            let t = g.vertex("t0");
+            g.chain(&[s, a, t]);
+        });
+        // Body reuses the start graph's terminal name s0 internally.
+        b.implementation("A", |g| {
+            let s = g.vertex("s1");
+            let m = g.vertex("s0");
+            let t = g.vertex("t1");
+            g.chain(&[s, m, t]);
+        });
+        let spec = b.build().unwrap();
+        assert!(matches!(
+            spec.check_execution_conditions().unwrap_err(),
+            SpecError::SharedTerminalName { name } if name == "s0"
+        ));
+    }
+}

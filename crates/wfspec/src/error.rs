@@ -1,0 +1,76 @@
+//! Errors raised while building or validating a specification.
+
+use std::fmt;
+use wf_graph::GraphError;
+
+/// Validation and construction errors for [`crate::Specification`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A graph inside the spec failed a structural requirement.
+    Graph(GraphError),
+    /// The start graph is missing or empty.
+    MissingStartGraph,
+    /// A composite name has no implementation ("or" semantics needs ≥ 1).
+    CompositeWithoutImplementation(String),
+    /// An implementation was declared for an atomic name.
+    ImplementationForAtomic(String),
+    /// A name was declared both loop and fork.
+    LoopAndFork(String),
+    /// A graph in the spec is not two-terminal.
+    NotTwoTerminal { graph: String },
+    /// A graph in the spec contains a cycle.
+    Cyclic { graph: String },
+    /// The source or sink of an implementation graph must be atomic
+    /// (dummy modules, §5.3).
+    CompositeTerminal { graph: String, vertex: String },
+    /// Execution Condition 1 (§5.3): duplicate vertex name within a graph.
+    DuplicateNameInGraph { graph: String, name: String },
+    /// Execution Condition 2 (§5.3): a dummy source/sink name reoccurs in
+    /// another graph of `G(S)`.
+    SharedTerminalName { name: String },
+    /// Unknown name referenced.
+    UnknownName(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Graph(e) => write!(f, "graph error: {e}"),
+            SpecError::MissingStartGraph => write!(f, "specification has no start graph"),
+            SpecError::CompositeWithoutImplementation(n) => {
+                write!(f, "composite name {n:?} has no implementation")
+            }
+            SpecError::ImplementationForAtomic(n) => {
+                write!(f, "atomic name {n:?} cannot have an implementation")
+            }
+            SpecError::LoopAndFork(n) => {
+                write!(f, "name {n:?} declared both loop and fork")
+            }
+            SpecError::NotTwoTerminal { graph } => {
+                write!(f, "graph {graph:?} is not two-terminal")
+            }
+            SpecError::Cyclic { graph } => write!(f, "graph {graph:?} contains a cycle"),
+            SpecError::CompositeTerminal { graph, vertex } => write!(
+                f,
+                "graph {graph:?}: terminal vertex {vertex:?} must be atomic (dummy module)"
+            ),
+            SpecError::DuplicateNameInGraph { graph, name } => write!(
+                f,
+                "execution condition 1 violated: graph {graph:?} has two vertices named {name:?}"
+            ),
+            SpecError::SharedTerminalName { name } => write!(
+                f,
+                "execution condition 2 violated: terminal name {name:?} occurs in several graphs"
+            ),
+            SpecError::UnknownName(n) => write!(f, "unknown name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<GraphError> for SpecError {
+    fn from(e: GraphError) -> Self {
+        SpecError::Graph(e)
+    }
+}

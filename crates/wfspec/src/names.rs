@@ -1,0 +1,122 @@
+//! The name alphabet Σ: an interner mapping human-readable module names to
+//! dense [`NameId`]s.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use wf_graph::NameId;
+
+/// Interner for module names. `NameId`s are dense and allocation order is
+/// stable, so serialized specs round-trip exactly.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NameTable {
+    strings: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, NameId>,
+}
+
+impl NameTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (existing id if already interned).
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = NameId(self.strings.len() as u32);
+        self.strings.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<NameId> {
+        if self.index.is_empty() && !self.strings.is_empty() {
+            // Deserialized table: fall back to a scan (rebuild() avoids this).
+            return self
+                .strings
+                .iter()
+                .position(|s| s == name)
+                .map(|i| NameId(i as u32));
+        }
+        self.index.get(name).copied()
+    }
+
+    /// Resolve an id to its string.
+    ///
+    /// # Panics
+    /// Panics if the id was not allocated by this table.
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    /// Number of interned names (|Σ|).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if no names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NameId, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NameId(i as u32), s.as_str()))
+    }
+
+    /// Rebuild the lookup index after deserialization.
+    pub fn rebuild(&mut self) {
+        self.index = self
+            .strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), NameId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = NameTable::new();
+        let a = t.intern("A");
+        let b = t.intern("B");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("A"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), "A");
+        assert_eq!(t.get("B"), Some(b));
+        assert_eq!(t.get("missing"), None);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_ids() {
+        let mut t = NameTable::new();
+        let ids: Vec<NameId> = ["s0", "t0", "L", "F"].iter().map(|s| t.intern(s)).collect();
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: NameTable = serde_json::from_str(&json).unwrap();
+        back.rebuild();
+        for (i, name) in ["s0", "t0", "L", "F"].iter().enumerate() {
+            assert_eq!(back.get(name), Some(ids[i]));
+            assert_eq!(back.resolve(ids[i]), *name);
+        }
+    }
+
+    #[test]
+    fn get_works_without_rebuild_after_deserialize() {
+        let mut t = NameTable::new();
+        t.intern("x");
+        let json = serde_json::to_string(&t).unwrap();
+        let back: NameTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("x"), Some(NameId(0)));
+    }
+}

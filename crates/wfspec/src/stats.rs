@@ -1,0 +1,169 @@
+//! Descriptive statistics of a specification — the quantities §7.2
+//! reports for BioAID ("11 sub-workflows with an average size of 10.5
+//! and a nesting depth of 2; 2 loop modules, 4 fork modules and one
+//! linear recursion of length 2").
+
+use crate::analysis::RecursionClass;
+use crate::spec::{NameClass, Specification};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use wf_graph::NameId;
+
+/// Summary statistics of one specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecStats {
+    /// Number of implementation graphs (sub-workflows).
+    pub sub_workflows: usize,
+    /// Average implementation-graph size (vertices).
+    pub avg_sub_workflow_size: f64,
+    /// Largest graph in `G(S)` (`nG` of Table 1).
+    pub max_graph_size: usize,
+    /// Nesting depth of sub-workflows (footnote 5).
+    pub nesting_depth: usize,
+    /// Loop modules (|ΔL|).
+    pub loop_modules: usize,
+    /// Fork modules (|ΔF|).
+    pub fork_modules: usize,
+    /// Plain composite modules.
+    pub plain_composites: usize,
+    /// Atomic names (|Δ|).
+    pub atomic_names: usize,
+    /// Recursion class.
+    pub class: RecursionClass,
+    /// Length of the shortest recursion cycle in the `induces` relation
+    /// (`Some(2)` for BioAID's `A → C → A`), `None` if non-recursive.
+    pub recursion_length: Option<usize>,
+}
+
+impl SpecStats {
+    /// Collect statistics for `spec`.
+    pub fn collect(spec: &Specification) -> Self {
+        let analysis = spec.analysis();
+        let sub_workflows = spec.graph_count() - 1;
+        let total: usize = spec
+            .graph_ids()
+            .skip(1)
+            .map(|g| spec.graph(g).vertex_count())
+            .sum();
+        let (mut loops, mut forks, mut plain, mut atomic) = (0, 0, 0, 0);
+        for (id, _) in spec.names().iter() {
+            match spec.class(id) {
+                NameClass::Loop => loops += 1,
+                NameClass::Fork => forks += 1,
+                NameClass::Composite => plain += 1,
+                NameClass::Atomic => atomic += 1,
+            }
+        }
+        Self {
+            sub_workflows,
+            avg_sub_workflow_size: if sub_workflows == 0 {
+                0.0
+            } else {
+                total as f64 / sub_workflows as f64
+            },
+            max_graph_size: spec.max_graph_size(),
+            nesting_depth: analysis.nesting_depth(),
+            loop_modules: loops,
+            fork_modules: forks,
+            plain_composites: plain,
+            atomic_names: atomic,
+            class: analysis.class(),
+            recursion_length: shortest_recursion_cycle(spec),
+        }
+    }
+
+    /// Human-readable one-paragraph summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sub-workflows (avg size {:.1}, max {}), nesting depth {}, \
+             {} loop / {} fork / {} plain composite modules, class {:?}{}",
+            self.sub_workflows,
+            self.avg_sub_workflow_size,
+            self.max_graph_size,
+            self.nesting_depth,
+            self.loop_modules,
+            self.fork_modules,
+            self.plain_composites,
+            self.class,
+            match self.recursion_length {
+                Some(l) => format!(", recursion of length {l}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// Shortest cycle length in the *direct-induces* graph over composite
+/// names (`A → B` iff some body of `A` mentions `B`): the length of the
+/// shortest recursion, or `None` if the grammar is non-recursive.
+pub fn shortest_recursion_cycle(spec: &Specification) -> Option<usize> {
+    // Direct-induces adjacency over composite names.
+    let n = spec.names().len();
+    let mut adj: Vec<Vec<NameId>> = vec![Vec::new(); n];
+    for (head, gid) in spec.impl_pairs() {
+        let g = spec.graph(gid);
+        for v in g.vertices() {
+            let b = g.name(v);
+            if spec.is_composite(b) && !adj[head.0 as usize].contains(&b) {
+                adj[head.0 as usize].push(b);
+            }
+        }
+    }
+    // BFS from each composite back to itself.
+    let mut best: Option<usize> = None;
+    for (start, _) in spec.names().iter() {
+        if !spec.is_composite(start) {
+            continue;
+        }
+        let mut dist: Vec<Option<usize>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        dist[start.0 as usize] = Some(0);
+        while let Some(x) = queue.pop_front() {
+            let d = dist[x.0 as usize].unwrap();
+            for &y in &adj[x.0 as usize] {
+                if y == start {
+                    let cycle = d + 1;
+                    if best.is_none_or(|b| cycle < b) {
+                        best = Some(cycle);
+                    }
+                } else if dist[y.0 as usize].is_none() {
+                    dist[y.0 as usize] = Some(d + 1);
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bioaid_stats_match_section_7_2() {
+        let stats = SpecStats::collect(&crate::corpus::bioaid());
+        assert_eq!(stats.sub_workflows, 11);
+        assert!((stats.avg_sub_workflow_size - 10.5).abs() < 0.1);
+        assert_eq!(stats.nesting_depth, 2);
+        assert_eq!(stats.loop_modules, 2);
+        assert_eq!(stats.fork_modules, 4);
+        assert_eq!(stats.class, RecursionClass::LinearRecursive);
+        assert_eq!(stats.recursion_length, Some(2), "A → C → A");
+        assert!(stats.summary().contains("recursion of length 2"));
+    }
+
+    #[test]
+    fn direct_self_recursion_has_length_one() {
+        let stats = SpecStats::collect(&crate::corpus::theorem1());
+        assert_eq!(stats.recursion_length, Some(1), "A directly induces A");
+    }
+
+    #[test]
+    fn non_recursive_has_no_cycle() {
+        let stats = SpecStats::collect(&crate::corpus::bioaid_nonrecursive());
+        assert_eq!(stats.recursion_length, None);
+        assert_eq!(stats.class, RecursionClass::NonRecursive);
+    }
+}

@@ -1,0 +1,243 @@
+//! The synthetic workflow family of Figure 13 (§7.3).
+//!
+//! A chain of nested sub-workflows `g0 → h1 → … → hd` with one loop
+//! module `L`, one fork module `F` and one recursive module `R` near the
+//! bottom; `R`'s recursive body `h'd` contains one `R` vertex (linear
+//! recursive) or two (nonlinear). All bodies are random two-terminal
+//! graphs of a fixed size.
+
+use crate::builder::SpecBuilder;
+use crate::spec::Specification;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use wf_graph::{Graph, NameId, VertexId};
+
+/// Parameters of the Figure-13 generator.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SyntheticParams {
+    /// Vertices per sub-workflow body (the x-axis of Figure 17; ≥ 4).
+    pub sub_size: usize,
+    /// Nesting depth of sub-workflows (the x-axis of Figure 18; ≥ 3 so
+    /// the chain can host `L`, `F` and `R`).
+    pub depth: usize,
+    /// Number of `R` vertices in the recursive body `h'd`: 1 = linear
+    /// recursive, 2 = nonlinear (Figure 19).
+    pub recursive_modules: usize,
+    /// Edge density of the random bodies (see `wf_graph::random`).
+    pub density: f64,
+    /// Seed for body generation; the same parameters + seed reproduce the
+    /// same specification bit-for-bit.
+    pub seed: u64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        Self {
+            sub_size: 20,
+            depth: 5,
+            recursive_modules: 1,
+            density: 0.08,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl SyntheticParams {
+    /// Build the specification for these parameters.
+    pub fn build(&self) -> Specification {
+        assert!(self.sub_size >= 4, "sub_size must be at least 4");
+        assert!(self.depth >= 3, "depth must be at least 3 (L, F, R levels)");
+        assert!(
+            (1..=2).contains(&self.recursive_modules),
+            "recursive_modules must be 1 or 2"
+        );
+        let mut b = SpecBuilder::new();
+        let d = self.depth;
+        // Module chain: M1 … M(d-3), then L, F, R.
+        let plain_levels = d - 3;
+        let mut chain_names: Vec<String> =
+            (1..=plain_levels).map(|i| format!("M{i}")).collect();
+        chain_names.push("L".to_string());
+        chain_names.push("F".to_string());
+        chain_names.push("R".to_string());
+        for (i, name) in chain_names.iter().enumerate() {
+            let is_l = i == plain_levels;
+            let is_f = i == plain_levels + 1;
+            if is_l {
+                b.loop_module(name);
+            } else if is_f {
+                b.fork_module(name);
+            } else {
+                b.composite(name);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Start graph: s0 → M1 (or L when depth == 3) → t0.
+        {
+            let first = chain_names[0].clone();
+            b.start(move |g| {
+                let s = g.vertex("g0_s");
+                let m = g.vertex(&first);
+                let t = g.vertex("g0_t");
+                g.chain(&[s, m, t]);
+            });
+        }
+        // Level bodies h1 … h(d-1): body of chain module i hosts module
+        // i+1.
+        for i in 0..chain_names.len() - 1 {
+            let host = chain_names[i].clone();
+            let inner = [chain_names[i + 1].clone()];
+            let body = random_body(
+                &mut b,
+                &mut rng,
+                &format!("h{}", i + 1),
+                self.sub_size,
+                self.density,
+                &inner,
+                false,
+            );
+            let head = b.name(&host);
+            b.implementation_graph(head, body);
+        }
+        // R's bodies: base case h_d (all atomic) and recursive body h'_d
+        // with `recursive_modules` R vertices.
+        let r_head = b.name("R");
+        let base = random_body(
+            &mut b,
+            &mut rng,
+            &format!("h{d}"),
+            self.sub_size,
+            self.density,
+            &[],
+            false,
+        );
+        b.implementation_graph(r_head, base);
+        let rec_names: Vec<String> = (0..self.recursive_modules)
+            .map(|_| "R".to_string())
+            .collect();
+        let rec_body = random_body(
+            &mut b,
+            &mut rng,
+            &format!("h{d}p"),
+            self.sub_size,
+            self.density,
+            &rec_names,
+            true,
+        );
+        b.implementation_graph(r_head, rec_body);
+        b.build().expect("synthetic specification is valid")
+    }
+}
+
+/// Generate one random two-terminal body of `size` vertices named
+/// `{prefix}_v{j}`, then relabel `composites.len()` internal vertices to
+/// the given composite names. When `prefer_parallel` is set and two
+/// composites are requested, a mutually unreachable vertex pair is chosen
+/// if one exists (Figure 13 draws the two `R` modules side by side).
+fn random_body(
+    b: &mut SpecBuilder,
+    rng: &mut StdRng,
+    prefix: &str,
+    size: usize,
+    density: f64,
+    composites: &[String],
+    prefer_parallel: bool,
+) -> Graph {
+    let names: Vec<NameId> = (0..size)
+        .map(|j| b.name(&format!("{prefix}_v{j}")))
+        .collect();
+    let mut g = wf_graph::random::random_two_terminal(rng, &names, density);
+    let internal: Vec<VertexId> = g
+        .vertices()
+        .filter(|&v| v != g.source().unwrap() && v != g.sink().unwrap())
+        .collect();
+    assert!(internal.len() >= composites.len());
+    let targets: Vec<VertexId> = if composites.len() == 2 && prefer_parallel {
+        pick_parallel_pair(&g, &internal)
+    } else {
+        internal.iter().copied().take(composites.len()).collect()
+    };
+    for (v, name) in targets.iter().zip(composites) {
+        let id = b.name(name);
+        g.set_name(*v, id).unwrap();
+    }
+    g
+}
+
+/// Find a mutually unreachable internal pair, falling back to the first
+/// two internal vertices.
+fn pick_parallel_pair(g: &Graph, internal: &[VertexId]) -> Vec<VertexId> {
+    for (i, &u) in internal.iter().enumerate() {
+        for &w in &internal[i + 1..] {
+            if !wf_graph::reach::reaches(g, u, w) && !wf_graph::reach::reaches(g, w, u) {
+                return vec![u, w];
+            }
+        }
+    }
+    internal.iter().copied().take(2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::RecursionClass;
+
+    #[test]
+    fn default_family_is_linear_recursive_with_requested_depth() {
+        let spec = SyntheticParams::default().build();
+        let grammar = spec.grammar();
+        assert_eq!(grammar.classify(), RecursionClass::LinearRecursive);
+        assert_eq!(grammar.nesting_depth(), 5);
+        // Chain bodies: h1..h4, plus R's two bodies = depth + 1 impls.
+        assert_eq!(spec.graph_count() - 1, 6);
+        // All bodies have the requested size.
+        for gid in spec.graph_ids().skip(1) {
+            assert_eq!(spec.graph(gid).vertex_count(), 20);
+        }
+    }
+
+    #[test]
+    fn two_recursive_modules_is_nonlinear() {
+        let spec = SyntheticParams {
+            recursive_modules: 2,
+            ..Default::default()
+        }
+        .build();
+        let class = spec.grammar().classify();
+        assert!(
+            matches!(
+                class,
+                RecursionClass::ParallelRecursive | RecursionClass::SeriesRecursive
+            ),
+            "got {class:?}"
+        );
+    }
+
+    #[test]
+    fn depth_scales() {
+        for depth in [3usize, 5, 10, 25] {
+            let spec = SyntheticParams {
+                depth,
+                sub_size: 8,
+                ..Default::default()
+            }
+            .build();
+            assert_eq!(spec.grammar().nesting_depth(), depth, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let p = SyntheticParams::default();
+        let a = p.build();
+        let b = p.build();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn linear_variant_satisfies_execution_conditions() {
+        let spec = SyntheticParams::default().build();
+        spec.check_execution_conditions().unwrap();
+    }
+}

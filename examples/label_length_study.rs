@@ -1,0 +1,68 @@
+//! Label-length study: how the three schemes scale with run size.
+//!
+//! Sweeps run sizes on the non-recursive BioAID variant and prints the
+//! maximum label length of dynamic DRL (slope ≈ 1·log n), static SKL
+//! (slope ≈ 3·log n) and the naive dynamic transitive-closure scheme
+//! (n − 1 bits — the Θ(n) wall of Theorem 1). This is Figures 14/19/20
+//! in miniature, runnable in seconds.
+//!
+//! ```text
+//! cargo run --release --example label_length_study
+//! ```
+
+use rand::rngs::StdRng;
+use wf_provenance::prelude::*;
+use wf_skeleton::TclLabels;
+
+fn main() {
+    let spec = wf_spec::corpus::bioaid_nonrecursive();
+    let skeleton = TclSpecLabels::build(&spec);
+    println!("{:>6}  {:>9}  {:>9}  {:>11}", "n", "DRL(max)", "SKL(max)", "naive(max)");
+    for (i, target) in [500usize, 1000, 2000, 4000, 8000].iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(42 + i as u64);
+        let run = RunGenerator::new(&spec)
+            .target_size(*target)
+            .generate_run(&mut rng);
+        // DRL: labeled during the derivation.
+        let mut drl = DerivationLabeler::new(&spec, &skeleton);
+        for step in run.derivation.steps() {
+            drl.apply(step).unwrap();
+        }
+        let drl_max = run
+            .graph
+            .vertices()
+            .map(|v| drl.label_bits(v).unwrap())
+            .max()
+            .unwrap();
+        // SKL: labeled after the run completes.
+        let skl: SklLabeling<TclLabels> = SklLabeling::build(&spec, &run.derivation).unwrap();
+        let skl_max = run
+            .graph
+            .vertices()
+            .map(|v| skl.label_bits(v).unwrap())
+            .max()
+            .unwrap();
+        // Naive dynamic TCL over the same execution.
+        let mut naive = NaiveDynamicDag::new();
+        for &v in &wf_graph::topo::topological_order(&run.graph).unwrap() {
+            naive.insert(v, run.graph.in_neighbors(v));
+        }
+        println!(
+            "{:>6}  {:>9}  {:>9}  {:>11}",
+            run.graph.vertex_count(),
+            drl_max,
+            skl_max,
+            naive.max_label_bits()
+        );
+        // Sanity: all three agree with each other on a sample.
+        let vs: Vec<VertexId> = run.graph.vertices().collect();
+        for &a in vs.iter().step_by(41) {
+            for &b in vs.iter().step_by(37) {
+                let d = drl.reaches(a, b).unwrap();
+                assert_eq!(d, skl.reaches_vertices(a, b).unwrap());
+                assert_eq!(d, naive.reaches(a, b));
+            }
+        }
+    }
+    println!("\nDRL grows ~1 bit per size doubling, SKL ~3, naive ~n — the paper's Figure 20 shape.");
+}

@@ -1,0 +1,65 @@
+//! # wf-provenance
+//!
+//! A from-scratch Rust reproduction of **"Labeling Recursive Workflow
+//! Executions On-the-Fly"** (Zhuowei Bao, Susan B. Davidson, Tova Milo,
+//! SIGMOD 2011): compact *dynamic* reachability labels for workflow runs.
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! * [`graph`] — two-terminal DAGs and the graph operations of §2.1.
+//! * [`spec`] — workflow specifications & graph grammars (§2.2–2.3).
+//! * [`skeleton`] — static schemes for labeling specification graphs
+//!   (TCL / BFS, §3.2 & §5.1).
+//! * [`run`] — derivations, executions and run generators (§2.4, §7.1).
+//! * [`drl`] — **DRL**, the paper's dynamic labeling scheme (§4–6).
+//! * [`skl`] — the static SKL baseline (§7.4, reconstruction of \[6\]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wf_provenance::prelude::*;
+//!
+//! // The paper's running example (Figure 2).
+//! let spec = wf_spec::corpus::running_example();
+//! assert_eq!(spec.grammar().classify(), RecursionClass::LinearRecursive);
+//!
+//! // Label the specification once (skeleton labels, §5.1)…
+//! let skeleton = TclSpecLabels::build(&spec);
+//!
+//! // …then label a run on-the-fly while it derives (§5.2).
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let derivation = RunGenerator::new(&spec).target_size(200).generate(&mut rng);
+//! let mut labeler = DerivationLabeler::new(&spec, &skeleton);
+//! for step in derivation.steps() {
+//!     labeler.apply(step).unwrap();
+//! }
+//!
+//! // Constant-time reachability from labels alone (Algorithm 4).
+//! let run = labeler.graph();
+//! let a = run.vertices().next().unwrap();
+//! for b in run.vertices() {
+//!     let fast = labeler.predicate().reaches(labeler.label(a).unwrap(), labeler.label(b).unwrap());
+//!     assert_eq!(fast, wf_graph::reach::reaches(run, a, b));
+//! }
+//! ```
+
+pub use wf_drl as drl;
+pub use wf_graph as graph;
+pub use wf_run as run;
+pub use wf_skeleton as skeleton;
+pub use wf_skl as skl;
+pub use wf_spec as spec;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use rand::SeedableRng;
+    pub use wf_drl::{
+        decode_label, encode_label, naive::NaiveDynamicDag, DerivationLabeler, DrlLabel,
+        DrlPredicate, ExecutionLabeler, RecursionMode, ResolutionMode,
+    };
+    pub use wf_graph::{Graph, NameId, VertexId};
+    pub use wf_run::{CanonicalParseTree, Derivation, Execution, RunGenerator};
+    pub use wf_skeleton::{BfsSpecLabels, SpecLabeling, TclSpecLabels};
+    pub use wf_skl::{SklBfs, SklLabeling};
+    pub use wf_spec::{RecursionClass, SpecStats, Specification};
+}

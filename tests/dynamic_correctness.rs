@@ -1,0 +1,254 @@
+//! Cross-crate integration tests: the defining guarantees of the
+//! dynamic labeling schemes (Definitions 8–9, Section 5.3, Theorem 2)
+//! exercised over every corpus specification and the synthetic family.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_provenance::prelude::*;
+use wf_graph::reach::ReachOracle;
+use wf_spec::synthetic::SyntheticParams;
+use wf_spec::Specification;
+
+fn corpus() -> Vec<(&'static str, Specification)> {
+    vec![
+        ("running_example", wf_spec::corpus::running_example()),
+        ("bioaid", wf_spec::corpus::bioaid()),
+        ("bioaid_nonrecursive", wf_spec::corpus::bioaid_nonrecursive()),
+        (
+            "synthetic_linear",
+            SyntheticParams {
+                sub_size: 8,
+                depth: 5,
+                recursive_modules: 1,
+                density: 0.15,
+                seed: 1,
+            }
+            .build(),
+        ),
+    ]
+}
+
+/// Theorem 2, exhaustively: for every pair of vertices of the final run,
+/// the predicate answers exactly `v ;g v'` — for all corpus specs, both
+/// labelers, several seeds.
+#[test]
+fn predicate_equals_ground_truth_everywhere() {
+    for (name, spec) in corpus() {
+        let skeleton = TclSpecLabels::build(&spec);
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let run = wf_run::RunGenerator::new(&spec)
+                .target_size(120)
+                .generate_run(&mut rng);
+            let oracle = ReachOracle::new(&run.graph);
+
+            // Derivation-based.
+            let mut dl = DerivationLabeler::new(&spec, &skeleton);
+            for step in run.derivation.steps() {
+                dl.apply(step).unwrap();
+            }
+            // Execution-based over a random topological order.
+            let exec = Execution::random(&run.graph, &run.origin, &mut rng);
+            let mut el = ExecutionLabeler::new(&spec, &skeleton).unwrap();
+            for ev in exec.events() {
+                el.insert(ev).unwrap();
+            }
+            for a in run.graph.vertices() {
+                for b in run.graph.vertices() {
+                    let truth = oracle.reaches(a, b);
+                    assert_eq!(dl.reaches(a, b), Some(truth), "{name} seed {seed} D {a:?}->{b:?}");
+                    assert_eq!(el.reaches(a, b), Some(truth), "{name} seed {seed} E {a:?}->{b:?}");
+                }
+            }
+        }
+    }
+}
+
+/// §5.3: the execution-based scheme creates **the same** labels as the
+/// derivation-based scheme (over the execution corresponding to the
+/// derivation).
+#[test]
+fn execution_labels_equal_derivation_labels() {
+    for (name, spec) in corpus() {
+        let skeleton = TclSpecLabels::build(&spec);
+        for seed in 10..13u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let run = wf_run::RunGenerator::new(&spec)
+                .target_size(200)
+                .generate_run(&mut rng);
+            let mut dl = DerivationLabeler::new(&spec, &skeleton);
+            for step in run.derivation.steps() {
+                dl.apply(step).unwrap();
+            }
+            let exec = Execution::deterministic(&run.graph, &run.origin);
+            let mut el = ExecutionLabeler::new(&spec, &skeleton).unwrap();
+            for ev in exec.events() {
+                el.insert(ev).unwrap();
+            }
+            for v in run.graph.vertices() {
+                assert_eq!(dl.label(v), el.label(v), "{name} seed {seed} {v:?}");
+            }
+        }
+    }
+}
+
+/// Definition 9's dynamic property: labels are assigned as instances
+/// appear, never modified, and correct on every intermediate graph.
+#[test]
+fn labels_are_immutable_and_correct_mid_derivation() {
+    let spec = wf_spec::corpus::running_example();
+    let skeleton = TclSpecLabels::build(&spec);
+    let mut rng = StdRng::seed_from_u64(99);
+    let run = wf_run::RunGenerator::new(&spec)
+        .target_size(90)
+        .generate_run(&mut rng);
+    let mut labeler = DerivationLabeler::new(&spec, &skeleton);
+    let mut snapshots: Vec<(wf_graph::VertexId, DrlLabel)> = Vec::new();
+    for step in run.derivation.steps() {
+        labeler.apply(step).unwrap();
+        // Labels assigned earlier never change.
+        for (v, old) in &snapshots {
+            assert_eq!(labeler.label(*v), Some(old), "label of {v:?} changed");
+        }
+        // Every *live* vertex is labeled and the predicate is exact on
+        // the intermediate graph.
+        let g = labeler.graph();
+        let oracle = ReachOracle::new(g);
+        for a in g.vertices() {
+            for b in g.vertices() {
+                assert_eq!(labeler.reaches(a, b), Some(oracle.reaches(a, b)));
+            }
+        }
+        // Snapshot a few labels for the immutability check.
+        if snapshots.len() < 20 {
+            for v in g.vertices().take(3) {
+                if !snapshots.iter().any(|(x, _)| *x == v) {
+                    snapshots.push((v, labeler.label(v).unwrap().clone()));
+                }
+            }
+        }
+    }
+}
+
+/// The execution-based labeler answers correctly over every prefix of
+/// the insertion sequence (Definition 8's intermediate graphs).
+#[test]
+fn execution_prefixes_are_correct() {
+    let spec = wf_spec::corpus::bioaid();
+    let skeleton = TclSpecLabels::build(&spec);
+    let mut rng = StdRng::seed_from_u64(7);
+    let run = wf_run::RunGenerator::new(&spec)
+        .target_size(150)
+        .generate_run(&mut rng);
+    let exec = Execution::random(&run.graph, &run.origin, &mut rng);
+    let oracle = ReachOracle::new(&run.graph);
+    let mut labeler = ExecutionLabeler::new(&spec, &skeleton).unwrap();
+    let mut inserted = Vec::new();
+    for ev in exec.events() {
+        labeler.insert(ev).unwrap();
+        inserted.push(ev.vertex);
+        if inserted.len() % 25 == 0 {
+            // Prefixes of a topological order induce subgraphs whose
+            // reachability agrees with the final graph on the prefix.
+            for &a in &inserted {
+                for &b in &inserted {
+                    assert_eq!(labeler.reaches(a, b), Some(oracle.reaches(a, b)));
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 3.1 + Lemma 4.1: entry count bounded by `2|Σ\Δ| + 1`, and
+/// the per-label bits obey the explicit bound
+/// `dt · (log θt + log nG + 4)` from the proof.
+#[test]
+fn theorem_3_length_bounds_hold() {
+    for (name, spec) in corpus() {
+        if !spec.grammar().is_linear_recursive() {
+            continue;
+        }
+        let skeleton = TclSpecLabels::build(&spec);
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = wf_run::RunGenerator::new(&spec)
+            .target_size(2500)
+            .generate_run(&mut rng);
+        let mut labeler = DerivationLabeler::new(&spec, &skeleton);
+        for step in run.derivation.steps() {
+            labeler.apply(step).unwrap();
+        }
+        let depth_bound = 2 * spec.composite_count() + 1;
+        let dt = labeler.tree().max_depth() + 1;
+        let theta = labeler.tree().max_fanout().max(2);
+        let ng = spec.max_graph_size().max(2);
+        let bit_bound =
+            dt * ((theta as f64).log2().ceil() as usize + (ng as f64).log2().ceil() as usize + 4);
+        for v in run.graph.vertices() {
+            let label = labeler.label(v).unwrap();
+            assert!(label.depth() <= depth_bound, "{name}: depth {}", label.depth());
+            let bits = labeler.label_bits(v).unwrap();
+            assert!(bits <= bit_bound, "{name}: {bits} bits > bound {bit_bound}");
+        }
+    }
+}
+
+/// Log-based execution labeling handles grammars that violate the
+/// name-based conditions (Figure 6), and nonlinear recursion modes stay
+/// correct end to end.
+#[test]
+fn nonlinear_grammars_label_correctly() {
+    for spec in [wf_spec::corpus::theorem1(), wf_spec::corpus::fig12()] {
+        let skeleton = TclSpecLabels::build(&spec);
+        let mut rng = StdRng::seed_from_u64(21);
+        let run = wf_run::RunGenerator::new(&spec)
+            .target_size(100)
+            .generate_run(&mut rng);
+        let oracle = ReachOracle::new(&run.graph);
+        for mode in [RecursionMode::CompressFirst, RecursionMode::NoRNodes] {
+            let mut dl = DerivationLabeler::with_mode(&spec, &skeleton, mode).unwrap();
+            for step in run.derivation.steps() {
+                dl.apply(step).unwrap();
+            }
+            for a in run.graph.vertices() {
+                for b in run.graph.vertices() {
+                    assert_eq!(dl.reaches(a, b), Some(oracle.reaches(a, b)), "{mode:?}");
+                }
+            }
+        }
+        // Log-based execution labeling.
+        let exec = Execution::random(&run.graph, &run.origin, &mut rng);
+        let mut el = ExecutionLabeler::new_log_based(&spec, &skeleton).unwrap();
+        for ev in exec.events() {
+            el.insert(ev).unwrap();
+        }
+        for a in run.graph.vertices() {
+            for b in run.graph.vertices() {
+                assert_eq!(el.reaches(a, b), Some(oracle.reaches(a, b)));
+            }
+        }
+    }
+}
+
+/// BFS and TCL skeletons give identical predicate answers (they only
+/// trade storage for query time — Figures 16/22).
+#[test]
+fn skeleton_choice_does_not_change_answers() {
+    let spec = wf_spec::corpus::running_example();
+    let tcl = TclSpecLabels::build(&spec);
+    let bfs = BfsSpecLabels::build(&spec);
+    let mut rng = StdRng::seed_from_u64(3);
+    let run = wf_run::RunGenerator::new(&spec)
+        .target_size(150)
+        .generate_run(&mut rng);
+    let mut lt = DerivationLabeler::new(&spec, &tcl);
+    let mut lb = DerivationLabeler::new(&spec, &bfs);
+    for step in run.derivation.steps() {
+        lt.apply(step).unwrap();
+        lb.apply(step).unwrap();
+    }
+    for a in run.graph.vertices() {
+        for b in run.graph.vertices() {
+            assert_eq!(lt.reaches(a, b), lb.reaches(a, b));
+        }
+    }
+}

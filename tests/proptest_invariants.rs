@@ -1,0 +1,244 @@
+//! Property-based tests (proptest) on the core invariants the paper's
+//! correctness arguments rest on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_graph::reach::{reaches, ReachOracle};
+use wf_graph::{ops, Graph, NameId, VertexId};
+use wf_provenance::prelude::*;
+use wf_skeleton::prefix::DynamicDewey;
+use wf_skeleton::TclLabels;
+
+fn random_tt(seed: u64, n: usize, density: f64) -> Graph {
+    let names: Vec<NameId> = (0..n as u32).map(NameId).collect();
+    wf_graph::random::random_two_terminal(&mut StdRng::seed_from_u64(seed), &names, density)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two-terminal graphs are closed under series composition and every
+    /// vertex lies on a source→sink path (the fact behind Lemma 4.3).
+    #[test]
+    fn series_composition_is_two_terminal(seed in 0u64..5000, n1 in 2usize..12, n2 in 2usize..12, d in 0.0f64..0.5) {
+        let g1 = random_tt(seed, n1, d);
+        let g2 = random_tt(seed.wrapping_add(1), n2, d);
+        let (s, maps) = ops::series(&[&g1, &g2]).unwrap();
+        prop_assert!(s.is_two_terminal());
+        prop_assert!(s.is_acyclic());
+        let src = s.source().unwrap();
+        let snk = s.sink().unwrap();
+        for v in s.vertices() {
+            prop_assert!(reaches(&s, src, v));
+            prop_assert!(reaches(&s, v, snk));
+        }
+        // Everything in g1 reaches everything in g2.
+        for a in g1.vertices() {
+            for b in g2.vertices() {
+                let (ra, rb) = (maps[0][a.idx()].unwrap(), maps[1][b.idx()].unwrap());
+                prop_assert!(reaches(&s, ra, rb));
+                prop_assert!(!reaches(&s, rb, ra));
+            }
+        }
+    }
+
+    /// Parallel composition keeps the operands mutually unreachable
+    /// (the F-node case of Lemma 4.2).
+    #[test]
+    fn parallel_composition_separates(seed in 0u64..5000, n1 in 2usize..10, n2 in 2usize..10) {
+        let g1 = random_tt(seed, n1, 0.2);
+        let g2 = random_tt(seed.wrapping_add(9), n2, 0.2);
+        let (p, maps) = ops::parallel(&[&g1, &g2]).unwrap();
+        for a in g1.vertices() {
+            for b in g2.vertices() {
+                let (ra, rb) = (maps[0][a.idx()].unwrap(), maps[1][b.idx()].unwrap());
+                prop_assert!(!reaches(&p, ra, rb));
+                prop_assert!(!reaches(&p, rb, ra));
+            }
+        }
+    }
+
+    /// Vertex replacement preserves reachability among surviving
+    /// vertices (Remark 1 / Lemma 4.3) — for random hosts, targets and
+    /// bodies.
+    #[test]
+    fn replacement_preserves_survivor_reachability(
+        seed in 0u64..5000,
+        host_n in 3usize..14,
+        body_n in 2usize..8,
+        target_sel in 0usize..100,
+    ) {
+        let mut host = random_tt(seed, host_n, 0.25);
+        let body = random_tt(seed.wrapping_add(2), body_n, 0.25);
+        let vs: Vec<VertexId> = host.vertices().collect();
+        let target = vs[target_sel % vs.len()];
+        let before = ReachOracle::new(&host);
+        ops::replace_vertex(&mut host, target, &body).unwrap();
+        prop_assert!(host.is_acyclic());
+        for &a in vs.iter().filter(|&&v| v != target) {
+            for &b in vs.iter().filter(|&&v| v != target) {
+                prop_assert_eq!(reaches(&host, a, b), before.reaches(a, b));
+            }
+        }
+    }
+
+    /// Static TCL labels answer exactly like BFS on arbitrary random
+    /// two-terminal DAGs (§3.2's scheme).
+    #[test]
+    fn tcl_equals_bfs(seed in 0u64..5000, n in 2usize..40, d in 0.0f64..0.4) {
+        let g = random_tt(seed, n, d);
+        let tcl = TclLabels::build(&g);
+        for a in g.vertices() {
+            for b in g.vertices() {
+                prop_assert_eq!(tcl.reaches(a, b), reaches(&g, a, b));
+            }
+        }
+    }
+
+    /// Dewey labels assigned dynamically decide ancestry exactly, for
+    /// random attachment sequences (the prefix scheme [18] underlying
+    /// DRL's index sequences).
+    #[test]
+    fn dynamic_dewey_ancestry(choices in proptest::collection::vec(0usize..6, 1..60)) {
+        let mut t = DynamicDewey::new();
+        let mut parent_of: Vec<Option<usize>> = vec![None];
+        for c in choices {
+            let parent = c % t.len();
+            let node = t.attach(parent);
+            parent_of.push(Some(parent));
+            prop_assert_eq!(node + 1, t.len());
+        }
+        // Ground-truth ancestry by climbing.
+        let is_anc = |a: usize, b: usize| {
+            let mut x = Some(b);
+            while let Some(v) = x {
+                if v == a {
+                    return true;
+                }
+                x = parent_of[v];
+            }
+            false
+        };
+        for a in 0..t.len() {
+            for b in 0..t.len() {
+                prop_assert_eq!(t.label(a).is_ancestor_of(t.label(b)), is_anc(a, b));
+            }
+        }
+    }
+
+    /// End-to-end DRL correctness over randomized generator parameters —
+    /// the predicate is exact for every pair, whatever the run shape.
+    #[test]
+    fn drl_exact_on_random_runs(seed in 0u64..2000, target in 20usize..160, cap in 2u32..12) {
+        let spec = wf_spec::corpus::running_example();
+        let skeleton = TclSpecLabels::build(&spec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = wf_run::RunGenerator::new(&spec)
+            .target_size(target)
+            .max_copies(cap)
+            .generate_run(&mut rng);
+        let mut labeler = DerivationLabeler::new(&spec, &skeleton);
+        for step in run.derivation.steps() {
+            labeler.apply(step).unwrap();
+        }
+        let oracle = ReachOracle::new(&run.graph);
+        for a in run.graph.vertices() {
+            for b in run.graph.vertices() {
+                prop_assert_eq!(labeler.reaches(a, b), Some(oracle.reaches(a, b)));
+            }
+        }
+    }
+
+    /// End-to-end correctness over *random grammars* — specifications
+    /// drawn outside the fixed corpus, covering every recursion class.
+    /// Both labelers must agree with the oracle, and derivation /
+    /// deterministic-execution labels must be identical (§5.3).
+    #[test]
+    fn random_grammars_label_exactly(
+        seed in 0u64..800,
+        modules in 1usize..5,
+        recursive_impls in 0usize..3,
+        target in 20usize..120,
+    ) {
+        let loops = (seed % 2) as usize;
+        let forks = ((seed / 2) % 2) as usize;
+        prop_assume!(loops + forks <= modules);
+        let spec = wf_spec::randspec::random_spec(&wf_spec::randspec::RandomSpecParams {
+            modules,
+            loops,
+            forks,
+            body_size: 5,
+            recursive_impls,
+            density: 0.2,
+            seed,
+        });
+        let skeleton = TclSpecLabels::build(&spec);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let run = wf_run::RunGenerator::new(&spec)
+            .target_size(target)
+            .max_copies(6)
+            .generate_run(&mut rng);
+        let oracle = ReachOracle::new(&run.graph);
+        let mut dl = DerivationLabeler::new(&spec, &skeleton);
+        for step in run.derivation.steps() {
+            dl.apply(step).unwrap();
+        }
+        let exec = Execution::deterministic(&run.graph, &run.origin);
+        let mut el = ExecutionLabeler::new(&spec, &skeleton).unwrap();
+        for ev in exec.events() {
+            el.insert(ev).unwrap();
+        }
+        for a in run.graph.vertices() {
+            for b in run.graph.vertices() {
+                let truth = oracle.reaches(a, b);
+                prop_assert_eq!(dl.reaches(a, b), Some(truth));
+                prop_assert_eq!(el.reaches(a, b), Some(truth));
+            }
+            prop_assert_eq!(dl.label(a), el.label(a));
+        }
+    }
+
+    /// Encoded labels round-trip and keep answering queries (the wire
+    /// format of `wf_drl::encode`).
+    #[test]
+    fn encoded_labels_roundtrip(seed in 0u64..300, target in 20usize..100) {
+        let spec = wf_spec::corpus::running_example();
+        let skeleton = TclSpecLabels::build(&spec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = wf_run::RunGenerator::new(&spec)
+            .target_size(target)
+            .generate_run(&mut rng);
+        let mut labeler = DerivationLabeler::new(&spec, &skeleton);
+        for step in run.derivation.steps() {
+            labeler.apply(step).unwrap();
+        }
+        let bits = labeler.skl_bits();
+        for v in run.graph.vertices() {
+            let label = labeler.label(v).unwrap();
+            let bytes = wf_drl::encode_label(label, bits);
+            let back = wf_drl::decode_label(&bytes, bits).unwrap();
+            prop_assert_eq!(&back, label);
+        }
+    }
+
+    /// The naive dynamic-DAG scheme is exact for arbitrary insertion
+    /// orders of arbitrary DAGs, with labels of exactly i−1 bits.
+    #[test]
+    fn naive_scheme_exact(seed in 0u64..5000, n in 2usize..35, d in 0.0f64..0.35) {
+        let g = random_tt(seed, n, d);
+        let order =
+            wf_graph::topo::random_topological_order(&g, &mut StdRng::seed_from_u64(seed ^ 1))
+                .unwrap();
+        let mut naive = NaiveDynamicDag::new();
+        for (i, &v) in order.iter().enumerate() {
+            naive.insert(v, g.in_neighbors(v));
+            prop_assert_eq!(naive.label_bits(v), i);
+        }
+        for &a in &order {
+            for &b in &order {
+                prop_assert_eq!(naive.reaches(a, b), reaches(&g, a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Agreement across all four labeling schemes (DRL dynamic, SKL static,
+//! naive dynamic TCL, BFS ground truth) on non-recursive runs — §7.4's
+//! comparison is only meaningful because every scheme is exactly
+//! correct; this test pins that down.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_provenance::prelude::*;
+use wf_graph::reach::ReachOracle;
+use wf_skeleton::{BfsOracle, TclLabels};
+use wf_skl::SklLabeling;
+
+#[test]
+fn four_schemes_one_truth() {
+    let spec = wf_spec::corpus::bioaid_nonrecursive();
+    let skeleton = TclSpecLabels::build(&spec);
+    for seed in 0..2u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = wf_run::RunGenerator::new(&spec)
+            .target_size(220)
+            .generate_run(&mut rng);
+        let oracle = ReachOracle::new(&run.graph);
+
+        let mut drl = DerivationLabeler::new(&spec, &skeleton);
+        for step in run.derivation.steps() {
+            drl.apply(step).unwrap();
+        }
+        let skl_tcl: SklLabeling<TclLabels> = SklLabeling::build(&spec, &run.derivation).unwrap();
+        let skl_bfs: SklLabeling<BfsOracle> = SklLabeling::build(&spec, &run.derivation).unwrap();
+        let mut naive = NaiveDynamicDag::new();
+        for &v in &wf_graph::topo::topological_order(&run.graph).unwrap() {
+            naive.insert(v, run.graph.in_neighbors(v));
+        }
+
+        for a in run.graph.vertices() {
+            for b in run.graph.vertices() {
+                let truth = oracle.reaches(a, b);
+                assert_eq!(drl.reaches(a, b), Some(truth), "DRL {a:?}->{b:?}");
+                assert_eq!(skl_tcl.reaches_vertices(a, b), Some(truth), "SKL/TCL");
+                assert_eq!(skl_bfs.reaches_vertices(a, b), Some(truth), "SKL/BFS");
+                assert_eq!(naive.reaches(a, b), truth, "naive");
+            }
+        }
+    }
+}
+
+/// The measured trade-off of §7.4 in one assertion set: DRL labels grow
+/// strictly slower than SKL labels; naive labels dwarf both.
+#[test]
+fn label_growth_ordering() {
+    let spec = wf_spec::corpus::bioaid_nonrecursive();
+    let skeleton = TclSpecLabels::build(&spec);
+    let max_bits = |target: usize, seed: u64| -> (usize, usize, usize, usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = wf_run::RunGenerator::new(&spec)
+            .target_size(target)
+            .generate_run(&mut rng);
+        let mut drl = DerivationLabeler::new(&spec, &skeleton);
+        for step in run.derivation.steps() {
+            drl.apply(step).unwrap();
+        }
+        let skl: SklLabeling<TclLabels> = SklLabeling::build(&spec, &run.derivation).unwrap();
+        let n = run.graph.vertex_count();
+        let d = run
+            .graph
+            .vertices()
+            .map(|v| drl.label_bits(v).unwrap())
+            .max()
+            .unwrap();
+        let s = run
+            .graph
+            .vertices()
+            .map(|v| skl.label_bits(v).unwrap())
+            .max()
+            .unwrap();
+        (n, d, s, n - 1)
+    };
+    let (n1, d1, s1, _) = max_bits(800, 5);
+    let (n2, d2, s2, naive2) = max_bits(12_800, 5);
+    assert!(n2 > 8 * n1);
+    // DRL grows by at most a handful of bits across 16×; SKL by ~3 bits
+    // per doubling (≥ 6 over 16×... allow slack for randomness).
+    assert!(d2 - d1 <= 10, "DRL slope ~1: {d1} -> {d2}");
+    assert!(s2 > s1, "SKL labels grow: {s1} -> {s2}");
+    assert!((s2 - s1) > (d2 - d1), "SKL grows faster than DRL");
+    assert!(d2 < naive2 / 10, "both are far below the naive n-1 bits");
+}
+
+/// Table 2's relationship: BFS skeletons store zero bits; TCL skeletons
+/// for the global graph dominate the per-sub-workflow ones.
+#[test]
+fn skeleton_storage_relationships() {
+    let spec = wf_spec::corpus::bioaid();
+    let drl_tcl = TclSpecLabels::build(&spec);
+    let drl_bfs = BfsSpecLabels::build(&spec);
+    assert_eq!(drl_bfs.total_bits(), 0);
+    let flat = wf_spec::corpus::bioaid_nonrecursive();
+    let global = wf_skl::global::GlobalExpansion::build(&flat).unwrap();
+    let skl_tcl = TclLabels::build(&global.graph);
+    assert!(
+        skl_tcl.total_bits() > 2 * drl_tcl.total_bits(),
+        "global skeleton {} bits vs per-sub-workflow {} bits",
+        skl_tcl.total_bits(),
+        drl_tcl.total_bits()
+    );
+}
