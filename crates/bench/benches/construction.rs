@@ -15,16 +15,12 @@ fn construction(c: &mut Criterion) {
     let skeleton = TclSpecLabels::build(&spec);
     for size in [1000usize, 8000] {
         let run = sample_run(&spec, 1, size, 0);
-        group.bench_with_input(
-            BenchmarkId::new("drl_derivation", size),
-            &run,
-            |b, run| b.iter(|| label_derivation(&spec, &skeleton, run)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("drl_execution", size),
-            &run,
-            |b, run| b.iter(|| label_execution(&spec, &skeleton, run)),
-        );
+        group.bench_with_input(BenchmarkId::new("drl_derivation", size), &run, |b, run| {
+            b.iter(|| label_derivation(&spec, &skeleton, run))
+        });
+        group.bench_with_input(BenchmarkId::new("drl_execution", size), &run, |b, run| {
+            b.iter(|| label_execution(&spec, &skeleton, run))
+        });
     }
 
     // Figure 21: the non-recursive variant, DRL vs SKL.

@@ -41,8 +41,7 @@ fn query(c: &mut Criterion) {
                     .count()
             })
         });
-        let skl_tcl: SklLabeling<TclLabels> =
-            SklLabeling::build(&spec, &run.derivation).unwrap();
+        let skl_tcl: SklLabeling<TclLabels> = SklLabeling::build(&spec, &run.derivation).unwrap();
         group.bench_with_input(BenchmarkId::new("skl_tcl", size), &pairs, |b, pairs| {
             b.iter(|| {
                 pairs
@@ -53,8 +52,7 @@ fn query(c: &mut Criterion) {
                     .count()
             })
         });
-        let skl_bfs: SklLabeling<BfsOracle> =
-            SklLabeling::build(&spec, &run.derivation).unwrap();
+        let skl_bfs: SklLabeling<BfsOracle> = SklLabeling::build(&spec, &run.derivation).unwrap();
         group.bench_with_input(BenchmarkId::new("skl_bfs", size), &pairs, |b, pairs| {
             b.iter(|| {
                 pairs

@@ -1,0 +1,140 @@
+//! Criterion bench for `wf-service`: ingest throughput (events/s) and
+//! lock-free query latency at 1 / 4 / 16 concurrent runs.
+//!
+//! Each JSON line printed by the harness carries `mean_ns` plus
+//! `elements_per_sec` (from the `Throughput::Elements` annotation), so
+//! the perf trajectory can be harvested with
+//! `cargo bench -p wf-bench --bench service | grep '^{'`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wf_graph::VertexId;
+use wf_run::{ExecEvent, Execution, RunGenerator};
+use wf_service::{RunOp, ServiceEvent, SpecContext, SpecId, WfService};
+
+/// Per-run event streams for `runs` concurrent runs, ~`total` events in
+/// aggregate.
+fn streams(catalog: &[SpecContext], runs: usize, total: usize, seed: u64) -> Vec<Vec<ExecEvent>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..runs)
+        .map(|i| {
+            let spec = &catalog[i % catalog.len()].spec;
+            let gen = RunGenerator::new(spec)
+                .target_size(total / runs)
+                .generate_run(&mut rng);
+            Execution::random(&gen.graph, &gen.origin, &mut rng)
+                .events()
+                .to_vec()
+        })
+        .collect()
+}
+
+/// One full ingest: open `streams.len()` runs, push every event through
+/// batched round-robin submission (cross-run parallelism inside
+/// `submit_batch`), complete all runs. Returns the event count.
+fn ingest_all(catalog: &[SpecContext], streams: &[Vec<ExecEvent>]) -> usize {
+    let service = WfService::new(catalog);
+    let runs: Vec<_> = (0..streams.len())
+        .map(|i| service.open_run(SpecId(i % catalog.len())).expect("spec"))
+        .collect();
+    let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
+    let mut applied = 0;
+    // Interleave rounds of up to 256 events per run into one batch, as a
+    // gateway buffering a fleet of engines would.
+    for start in (0..max_len).step_by(256) {
+        let mut batch = Vec::new();
+        for (i, stream) in streams.iter().enumerate() {
+            let end = (start + 256).min(stream.len());
+            for ev in stream.get(start..end).unwrap_or(&[]) {
+                batch.push(ServiceEvent {
+                    run: runs[i],
+                    op: RunOp::Insert(ev.clone()),
+                });
+            }
+        }
+        let outcome = service.submit_batch(&batch);
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+        applied += outcome.applied;
+    }
+    for run in runs {
+        service.complete_run(run).expect("live");
+    }
+    applied
+}
+
+fn service_ingest(c: &mut Criterion) {
+    let catalog: Vec<SpecContext> = vec![
+        SpecContext::from_spec(wf_spec::corpus::running_example()),
+        SpecContext::from_spec(wf_spec::corpus::bioaid()),
+    ];
+    let mut group = c.benchmark_group("service_ingest");
+    group.sample_size(10);
+    for runs in [1usize, 4, 16] {
+        let streams = streams(&catalog, runs, 8000, 42);
+        let total: usize = streams.iter().map(Vec::len).sum();
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(BenchmarkId::new("runs", runs), &streams, |b, streams| {
+            b.iter(|| {
+                let applied = ingest_all(&catalog, streams);
+                assert_eq!(applied, total);
+                applied
+            })
+        });
+    }
+    group.finish();
+}
+
+fn service_query(c: &mut Criterion) {
+    let catalog: Vec<SpecContext> = vec![
+        SpecContext::from_spec(wf_spec::corpus::running_example()),
+        SpecContext::from_spec(wf_spec::corpus::bioaid()),
+    ];
+    let mut group = c.benchmark_group("service_query");
+    group.sample_size(20);
+    for runs in [1usize, 4, 16] {
+        // Ingest once; query a long-lived service.
+        let streams = streams(&catalog, runs, 8000, 43);
+        let service = WfService::new(&catalog);
+        let run_ids: Vec<_> = (0..runs)
+            .map(|i| service.open_run(SpecId(i % catalog.len())).expect("spec"))
+            .collect();
+        for (i, stream) in streams.iter().enumerate() {
+            let h = service.handle(run_ids[i]).expect("registered");
+            for ev in stream {
+                h.submit(ev).expect("healthy stream");
+            }
+        }
+        // Pre-draw query pairs across all runs; measure pure lock-free
+        // query latency through cached handles.
+        let mut rng = StdRng::seed_from_u64(7);
+        let pairs: Vec<(usize, VertexId, VertexId)> = (0..4096)
+            .map(|_| {
+                let i = rng.gen_range(0..runs);
+                let s = &streams[i];
+                (
+                    i,
+                    s[rng.gen_range(0..s.len())].vertex,
+                    s[rng.gen_range(0..s.len())].vertex,
+                )
+            })
+            .collect();
+        let handles: Vec<_> = run_ids
+            .iter()
+            .map(|&r| service.handle(r).expect("registered"))
+            .collect();
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("runs", runs), &pairs, |b, pairs| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|(i, u, v)| handles[*i].reach(*u, *v) == Some(true))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, service_ingest, service_query);
+criterion_main!(benches);

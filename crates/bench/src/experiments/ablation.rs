@@ -60,7 +60,13 @@ pub fn abl_prefix(cfg: &Config) -> String {
     let skeleton = TclSpecLabels::build(&spec);
     let mut table = Table::new(
         "Ablation — entry counts vs run size (prefix sharing, Lemma 4.1)",
-        &["n", "max_entries", "bound(2|Σ\\Δ|+1)", "tree_depth", "tree_nodes"],
+        &[
+            "n",
+            "max_entries",
+            "bound(2|Σ\\Δ|+1)",
+            "tree_depth",
+            "tree_nodes",
+        ],
     );
     let bound = 2 * spec.composite_count() + 1;
     for &size in &cfg.sizes {

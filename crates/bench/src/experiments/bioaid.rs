@@ -2,7 +2,9 @@
 //! Figures 14–16 and Table 2.
 
 use crate::metrics::{f1, f3, mean_ms, mean_us, time, LabelStats, Table};
-use crate::workloads::{label_derivation, label_derivation_only, label_execution, query_pairs, sample_run};
+use crate::workloads::{
+    label_derivation, label_derivation_only, label_execution, query_pairs, sample_run,
+};
 use crate::Config;
 use wf_run::RunBuilder;
 use wf_skeleton::{BfsSpecLabels, SpecLabeling, TclSpecLabels};

@@ -231,11 +231,7 @@ mod tests {
         let rows: Vec<Vec<f64>> = out
             .lines()
             .skip(3)
-            .map(|l| {
-                l.split_whitespace()
-                    .map(|c| c.parse().unwrap())
-                    .collect()
-            })
+            .map(|l| l.split_whitespace().map(|c| c.parse().unwrap()).collect())
             .collect();
         // bits/n ratio stays roughly constant (linear growth), and the
         // largest instance has far more than logarithmic labels.

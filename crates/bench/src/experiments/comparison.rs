@@ -5,7 +5,9 @@
 //! recursive workflows at all).
 
 use crate::metrics::{f3, mean_ms, time, LabelStats, Table};
-use crate::workloads::{label_derivation, label_derivation_only, label_execution, query_pairs, sample_run};
+use crate::workloads::{
+    label_derivation, label_derivation_only, label_execution, query_pairs, sample_run,
+};
 use crate::Config;
 use wf_skeleton::{BfsOracle, BfsSpecLabels, SpecLabeling, TclLabels, TclSpecLabels};
 use wf_skl::SklLabeling;
@@ -109,10 +111,8 @@ pub fn fig22(cfg: &Config) -> String {
 
         let drl_tcl = label_derivation(&spec, &tcl, &run);
         let drl_bfs = label_derivation(&spec, &bfs, &run);
-        let skl_tcl: SklLabeling<TclLabels> =
-            SklLabeling::build(&spec, &run.derivation).unwrap();
-        let skl_bfs: SklLabeling<BfsOracle> =
-            SklLabeling::build(&spec, &run.derivation).unwrap();
+        let skl_tcl: SklLabeling<TclLabels> = SklLabeling::build(&spec, &run.derivation).unwrap();
+        let skl_bfs: SklLabeling<BfsOracle> = SklLabeling::build(&spec, &run.derivation).unwrap();
 
         let (c1, d1) = time(|| {
             let p = drl_tcl.predicate();

@@ -12,21 +12,48 @@ use crate::Config;
 
 /// All experiment ids with their descriptions, in paper order.
 pub const EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig1", "Figure 1: max label length per graph class, static vs dynamic"),
+    (
+        "fig1",
+        "Figure 1: max label length per graph class, static vs dynamic",
+    ),
     ("fig14", "Figure 14: BioAID label length vs run size"),
-    ("fig15", "Figure 15: BioAID construction time (derivation vs execution)"),
-    ("fig16", "Figure 16: BioAID query time, DRL(TCL) vs DRL(BFS)"),
-    ("tab2", "Table 2: specification-labeling overhead, DRL vs SKL"),
+    (
+        "fig15",
+        "Figure 15: BioAID construction time (derivation vs execution)",
+    ),
+    (
+        "fig16",
+        "Figure 16: BioAID query time, DRL(TCL) vs DRL(BFS)",
+    ),
+    (
+        "tab2",
+        "Table 2: specification-labeling overhead, DRL vs SKL",
+    ),
     ("fig17", "Figure 17: max label length vs sub-workflow size"),
     ("fig18", "Figure 18: max label length vs nesting depth"),
     ("fig19", "Figure 19: linear vs nonlinear recursion"),
     ("fig20", "Figure 20: DRL vs SKL label length"),
     ("fig21", "Figure 21: DRL vs SKL construction time"),
-    ("fig22", "Figure 22: query time, all four scheme combinations"),
-    ("thm1", "Theorem 1: Ω(n) labels under nonlinear recursion (Figure 6 grammar)"),
-    ("abl_rnodes", "Ablation: R-node compression on/off for linear recursion"),
-    ("abl_prefix", "Ablation: entry counts vs run size (Lemma 4.1 bound)"),
-    ("fig12x", "Example 15: compact execution-based labels for Figure 12's grammar"),
+    (
+        "fig22",
+        "Figure 22: query time, all four scheme combinations",
+    ),
+    (
+        "thm1",
+        "Theorem 1: Ω(n) labels under nonlinear recursion (Figure 6 grammar)",
+    ),
+    (
+        "abl_rnodes",
+        "Ablation: R-node compression on/off for linear recursion",
+    ),
+    (
+        "abl_prefix",
+        "Ablation: entry counts vs run size (Lemma 4.1 bound)",
+    ),
+    (
+        "fig12x",
+        "Example 15: compact execution-based labels for Figure 12's grammar",
+    ),
 ];
 
 /// Run one experiment by id; `None` for unknown ids.

@@ -29,7 +29,12 @@ pub fn fig17(cfg: &Config) -> String {
         let mut stats = Vec::new();
         let mut ns = Vec::new();
         for s in 0..cfg.samples {
-            let run = sample_run(&spec, cfg.seed, 5000.min(cfg.sizes.iter().copied().max().unwrap_or(5000)), s);
+            let run = sample_run(
+                &spec,
+                cfg.seed,
+                5000.min(cfg.sizes.iter().copied().max().unwrap_or(5000)),
+                s,
+            );
             let labeler = label_derivation(&spec, &skeleton, &run);
             stats.push(LabelStats::of_drl(&labeler));
             ns.push(run.graph.vertex_count());
@@ -113,7 +118,9 @@ pub fn fig19(cfg: &Config) -> String {
         for s in 0..cfg.samples {
             let lrun = sample_run(&linear, cfg.seed, size, s);
             let nrun = sample_run(&nonlinear, cfg.seed, size, s);
-            lin_stats.push(LabelStats::of_drl(&label_derivation(&linear, &lin_skel, &lrun)));
+            lin_stats.push(LabelStats::of_drl(&label_derivation(
+                &linear, &lin_skel, &lrun,
+            )));
             non_stats.push(LabelStats::of_drl(&label_derivation(
                 &nonlinear, &non_skel, &nrun,
             )));

@@ -22,7 +22,9 @@ pub fn sample_seed(master: u64, size: usize, sample: usize) -> u64 {
 /// Generate the `sample`-th run of the given target size.
 pub fn sample_run(spec: &Specification, master: u64, size: usize, sample: usize) -> GeneratedRun {
     let mut rng = StdRng::seed_from_u64(sample_seed(master, size, sample));
-    RunGenerator::new(spec).target_size(size).generate_run(&mut rng)
+    RunGenerator::new(spec)
+        .target_size(size)
+        .generate_run(&mut rng)
 }
 
 /// Label a generated run with the derivation-based labeler.

@@ -23,11 +23,11 @@
 //! The labels produced are **identical** to the derivation-based
 //! labeler's (verified exhaustively in the integration tests).
 
+use crate::entry::NodeKind;
 use crate::label::DrlLabel;
 use crate::machinery::{DrlError, LabelerCore, RecursionMode};
 use crate::predicate::DrlPredicate;
 use crate::tree::NodeId;
-use crate::entry::NodeKind;
 use std::collections::HashMap;
 use std::fmt;
 use wf_graph::{NameId, VertexId};
@@ -113,18 +113,31 @@ pub struct ExecutionLabeler<'s, S: SpecLabeling> {
     /// Name-based helper: implementation source name → body graph.
     source_of: HashMap<NameId, GraphId>,
     count: usize,
+    /// Vertices labeled since the last [`Self::take_fresh`] — the
+    /// incremental snapshot export consumed by `wf-service`.
+    fresh: Vec<VertexId>,
 }
 
 impl<'s, S: SpecLabeling> ExecutionLabeler<'s, S> {
     /// Name-based labeler with automatic recursion mode.
     pub fn new(spec: &'s Specification, skeleton: &'s S) -> Result<Self, ExecError> {
-        Self::with_modes(spec, skeleton, Self::auto_mode(spec), ResolutionMode::NameBased)
+        Self::with_modes(
+            spec,
+            skeleton,
+            Self::auto_mode(spec),
+            ResolutionMode::NameBased,
+        )
     }
 
     /// Log-based labeler with automatic recursion mode (no Conditions
     /// 1–2 required).
     pub fn new_log_based(spec: &'s Specification, skeleton: &'s S) -> Result<Self, ExecError> {
-        Self::with_modes(spec, skeleton, Self::auto_mode(spec), ResolutionMode::LogBased)
+        Self::with_modes(
+            spec,
+            skeleton,
+            Self::auto_mode(spec),
+            ResolutionMode::LogBased,
+        )
     }
 
     fn auto_mode(spec: &Specification) -> RecursionMode {
@@ -160,6 +173,7 @@ impl<'s, S: SpecLabeling> ExecutionLabeler<'s, S> {
             expansions: HashMap::new(),
             source_of,
             count: 0,
+            fresh: Vec::new(),
         })
     }
 
@@ -193,9 +207,8 @@ impl<'s, S: SpecLabeling> ExecutionLabeler<'s, S> {
             ResolutionMode::NameBased => self.source_of.get(&ev.name).copied(),
             ResolutionMode::LogBased => {
                 let (gid, sv) = ev.origin;
-                (gid != GraphId::START
-                    && self.core.spec().graph(gid).source() == Ok(sv))
-                .then_some(gid)
+                (gid != GraphId::START && self.core.spec().graph(gid).source() == Ok(sv))
+                    .then_some(gid)
             }
         };
         match source_body {
@@ -257,9 +270,7 @@ impl<'s, S: SpecLabeling> ExecutionLabeler<'s, S> {
                                 (members[0], ExpandHandle::Replicated(*special))
                             }
                             crate::machinery::Expansion::ChainMember(m)
-                            | crate::machinery::Expansion::Instance(m) => {
-                                (*m, ExpandHandle::Done)
-                            }
+                            | crate::machinery::Expansion::Instance(m) => (*m, ExpandHandle::Done),
                         };
                         self.expansions.insert((y, u), handle);
                         self.place(ev.vertex, member, body_source);
@@ -351,6 +362,21 @@ impl<'s, S: SpecLabeling> ExecutionLabeler<'s, S> {
         self.placement[ext.idx()] = Some((node, sv));
         self.labels[ext.idx()] = Some(self.core.label_for(node, sv));
         self.count += 1;
+        self.fresh.push(ext);
+    }
+
+    /// Incremental snapshot export: the vertices labeled since the last
+    /// call, in labeling order. Labels are immutable once assigned
+    /// (Definition 8), so a consumer can publish `(v, label(v))` for the
+    /// returned vertices into a concurrent read index while ingestion
+    /// continues — this is what `wf-service` does after each insert
+    /// batch.
+    ///
+    /// Callers that never export pay one `VertexId` per labeled vertex
+    /// — bounded by the run size, the same order as the label store
+    /// itself.
+    pub fn take_fresh(&mut self) -> Vec<VertexId> {
+        std::mem::take(&mut self.fresh)
     }
 
     /// The label assigned to vertex `v` (by the caller's external id).

@@ -43,3 +43,19 @@ pub use execution::{ExecError, ExecutionLabeler, ResolutionMode};
 pub use label::DrlLabel;
 pub use machinery::{DrlError, Expansion, LabelerCore, RecursionMode};
 pub use predicate::DrlPredicate;
+
+/// Compile-time thread-safety contract: `wf-service` ingests runs on
+/// scoped worker threads (labelers move across threads behind per-run
+/// locks) and answers queries from shared immutable labels, so the
+/// labelers must be `Send + Sync` and labels freely shareable. A failure
+/// here is a compile error, not a runtime assertion.
+#[allow(dead_code)]
+fn assert_thread_safety(spec: &wf_spec::Specification, skeleton: &wf_skeleton::TclSpecLabels) {
+    fn send_sync<T: Send + Sync>(_: &T) {}
+    send_sync(&ExecutionLabeler::new_log_based(spec, skeleton));
+    send_sync(&DerivationLabeler::new(spec, skeleton));
+    send_sync(&naive::NaiveDynamicDag::new());
+    fn send_sync_ty<T: Send + Sync>() {}
+    send_sync_ty::<DrlLabel>();
+    send_sync_ty::<ExecutionLabeler<'static, wf_skeleton::BfsSpecLabels>>();
+}

@@ -123,9 +123,7 @@ impl<'s, S: SpecLabeling> LabelerCore<'s, S> {
                         .recursive_vertices(gid)
                         .iter()
                         .copied()
-                        .find(|&v| {
-                            spec.class(spec.graph(gid).name(v)) == NameClass::Composite
-                        })
+                        .find(|&v| spec.class(spec.graph(gid).name(v)) == NameClass::Composite)
                 }
             })
             .collect();
@@ -262,14 +260,9 @@ impl<'s, S: SpecLabeling> LabelerCore<'s, S> {
                 } else {
                     NodeKind::F
                 };
-                let special = self.tree.attach(
-                    y,
-                    kind,
-                    Some(body),
-                    None,
-                    edge_entry,
-                    Some((y, u_spec)),
-                );
+                let special =
+                    self.tree
+                        .attach(y, kind, Some(body), None, edge_entry, Some((y, u_spec)));
                 let members = (0..copies).map(|_| self.replica(special)).collect();
                 Expansion::Replicated { special, members }
             }
@@ -278,7 +271,9 @@ impl<'s, S: SpecLabeling> LabelerCore<'s, S> {
                 if body_designated.is_some() {
                     // Case 1b: fresh R node with the instance as its
                     // first chain member.
-                    let r = self.tree.attach(y, NodeKind::R, None, None, edge_entry, None);
+                    let r = self
+                        .tree
+                        .attach(y, NodeKind::R, None, None, edge_entry, None);
                     let r_entry = Entry::special(self.tree.node(r).index, NodeKind::R);
                     let member = self.tree.attach(
                         r,
@@ -319,8 +314,14 @@ impl<'s, S: SpecLabeling> LabelerCore<'s, S> {
         let body = s.ann.expect("L/F nodes remember their body");
         let host = s.host;
         let entry = Entry::special(s.index, kind);
-        self.tree
-            .attach(special, NodeKind::N, Some(body), self.designated(body), entry, host)
+        self.tree.attach(
+            special,
+            NodeKind::N,
+            Some(body),
+            self.designated(body),
+            entry,
+            host,
+        )
     }
 }
 

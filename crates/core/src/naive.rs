@@ -48,7 +48,10 @@ impl NaiveDynamicDag {
 
     /// Maximum label length so far.
     pub fn max_label_bits(&self) -> usize {
-        (0..self.tcl.len()).map(|i| self.tcl.label_bits(i)).max().unwrap_or(0)
+        (0..self.tcl.len())
+            .map(|i| self.tcl.label_bits(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of inserted vertices.

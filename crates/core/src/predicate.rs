@@ -201,10 +201,7 @@ mod tests {
                     index: i,
                     kind: NodeKind::N,
                     skl: Some((h3, u)),
-                    rec: Some((
-                        skeleton.reaches(h3, u, c_v),
-                        skeleton.reaches(h3, c_v, u),
-                    )),
+                    rec: Some((skeleton.reaches(h3, u, c_v), skeleton.reaches(h3, c_v, u))),
                 },
             ])
         };

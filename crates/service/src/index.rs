@@ -1,0 +1,196 @@
+//! The lock-free published-label index: the service's query-side view of
+//! one run.
+//!
+//! DRL labels are *immutable once assigned* (Definitions 8–9 of the
+//! paper), and the answer to `reach(u, v)` for two already-labeled
+//! vertices never changes as the run keeps growing (reachability between
+//! inserted vertices is monotone-stable under further insertions — the
+//! property behind Remark 1). That makes the ideal concurrent read
+//! structure a *write-once slot table*: the single ingest writer
+//! publishes each vertex's label exactly once, and readers resolve
+//! queries against whatever prefix of labels has been published, with no
+//! locks and no retries.
+//!
+//! The table is a doubling chunk array (chunk `k` holds `2^k` slots), so
+//! slots never move once allocated — readers can hold `&DrlLabel`
+//! borrows while the writer keeps appending. Both levels use
+//! [`OnceLock`]: reads are a single `Acquire` load per level, writes
+//! initialize each cell at most once. No `unsafe` required.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use wf_drl::DrlLabel;
+use wf_graph::VertexId;
+
+/// Number of doubling chunks: covers every `u32` vertex id.
+const CHUNKS: usize = 33;
+
+/// Chunk and offset for a slot: chunk `k` covers `[2^k − 1, 2^{k+1} − 1)`.
+#[inline]
+fn locate(slot: usize) -> (usize, usize) {
+    let pos = slot + 1;
+    let chunk = (usize::BITS - 1 - pos.leading_zeros()) as usize;
+    (chunk, pos - (1 << chunk))
+}
+
+/// Write-once label table for one run, safe for any number of concurrent
+/// readers against one writer.
+pub struct LabelIndex {
+    chunks: [OnceLock<Box<[OnceLock<DrlLabel>]>>; CHUNKS],
+    /// Number of labels published (reads with `Acquire` pair with the
+    /// writer's `Release`, so a reader observing `published ≥ k` also
+    /// observes the first `k` publications).
+    published: AtomicUsize,
+    /// Total bits across published labels (service-level stats).
+    bits: AtomicU64,
+}
+
+impl Default for LabelIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LabelIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self {
+            chunks: std::array::from_fn(|_| OnceLock::new()),
+            published: AtomicUsize::new(0),
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish the label of `v`. Called only by the run's single ingest
+    /// writer; each vertex is published at most once (the labeler
+    /// rejects duplicate insertions upstream).
+    pub fn publish(&self, v: VertexId, label: DrlLabel, skl_bits: usize) {
+        let (chunk, offset) = locate(v.idx());
+        let cells = self.chunks[chunk].get_or_init(|| {
+            (0..1usize << chunk)
+                .map(|_| OnceLock::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        let bits = label.bit_len(skl_bits) as u64;
+        if cells[offset].set(label).is_ok() {
+            self.bits.fetch_add(bits, Ordering::Relaxed);
+            self.published.fetch_add(1, Ordering::Release);
+        } else {
+            debug_assert!(false, "label for {v:?} published twice");
+        }
+    }
+
+    /// The published label of `v`, if it has been labeled yet. Lock-free:
+    /// two `Acquire` loads.
+    pub fn get(&self, v: VertexId) -> Option<&DrlLabel> {
+        let (chunk, offset) = locate(v.idx());
+        self.chunks[chunk]
+            .get()
+            .and_then(|cells| cells[offset].get())
+    }
+
+    /// Number of labels published so far.
+    pub fn len(&self) -> usize {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// True before any label is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bits across published labels.
+    pub fn total_bits(&self) -> u64 {
+        self.bits.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for LabelIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LabelIndex")
+            .field("published", &self.len())
+            .field("total_bits", &self.total_bits())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_drl::{Entry, NodeKind};
+    use wf_spec::GraphId;
+
+    fn label(i: u32) -> DrlLabel {
+        DrlLabel::new(vec![Entry {
+            index: i,
+            kind: NodeKind::N,
+            skl: Some((GraphId(0), VertexId(i))),
+            rec: None,
+        }])
+    }
+
+    #[test]
+    fn locate_covers_slots_without_overlap() {
+        let mut seen = std::collections::HashSet::new();
+        for slot in 0..10_000 {
+            let (chunk, offset) = locate(slot);
+            assert!(offset < 1 << chunk, "offset in range");
+            assert!(seen.insert((chunk, offset)), "no overlap at {slot}");
+        }
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(1), (1, 0));
+        assert_eq!(locate(2), (1, 1));
+        assert_eq!(locate(3), (2, 0));
+    }
+
+    #[test]
+    fn publish_then_get() {
+        let idx = LabelIndex::new();
+        assert!(idx.get(VertexId(5)).is_none());
+        for i in [0u32, 5, 1, 1000, 17] {
+            idx.publish(VertexId(i), label(i), 4);
+        }
+        assert_eq!(idx.len(), 5);
+        for i in [0u32, 5, 1, 1000, 17] {
+            assert_eq!(idx.get(VertexId(i)), Some(&label(i)));
+        }
+        assert!(idx.get(VertexId(2)).is_none());
+        assert!(idx.total_bits() > 0);
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_prefixes() {
+        let idx = LabelIndex::new();
+        let n: u32 = 4000;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..n {
+                    idx.publish(VertexId(i), label(i), 4);
+                }
+            });
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut last = 0;
+                    loop {
+                        let len = idx.len();
+                        assert!(len >= last, "published count is monotone");
+                        last = len;
+                        // Every id below the published count that we can
+                        // see must carry exactly its own label.
+                        for i in (0..len as u32).step_by(97) {
+                            if let Some(l) = idx.get(VertexId(i)) {
+                                assert_eq!(l, &label(i));
+                            }
+                        }
+                        if len == n as usize {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        });
+        assert_eq!(idx.len(), n as usize);
+    }
+}

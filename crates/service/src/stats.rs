@@ -1,0 +1,102 @@
+//! Service-level counters and their point-in-time snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Internal atomic counters, updated with relaxed ordering (stats are
+/// monitoring data, not synchronization).
+#[derive(Debug)]
+pub(crate) struct Counters {
+    pub started: Instant,
+    pub runs_opened: AtomicU64,
+    pub runs_completed: AtomicU64,
+    pub runs_failed: AtomicU64,
+    pub events_ingested: AtomicU64,
+    pub batches_ingested: AtomicU64,
+}
+
+impl Counters {
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            runs_opened: AtomicU64::new(0),
+            runs_completed: AtomicU64::new(0),
+            runs_failed: AtomicU64::new(0),
+            events_ingested: AtomicU64::new(0),
+            batches_ingested: AtomicU64::new(0),
+        }
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of service activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceStats {
+    /// Runs ever opened.
+    pub runs_opened: u64,
+    /// Runs currently accepting events (opened − completed − failed −
+    /// evicted).
+    pub runs_live: u64,
+    /// Runs marked complete.
+    pub runs_completed: u64,
+    /// Runs whose ingestion hit an error.
+    pub runs_failed: u64,
+    /// Insertion events applied across all runs.
+    pub events_ingested: u64,
+    /// Batches accepted by [`crate::WfService::submit_batch`].
+    pub batches_ingested: u64,
+    /// Reachability queries served, summed over currently-registered
+    /// runs (counted per run slot so the query hot path never contends
+    /// on a service-wide cache line; evicting a run drops its count).
+    pub queries_answered: u64,
+    /// Labels published into the query indexes.
+    pub labels_published: u64,
+    /// Total size of published labels in bits (the paper's label-length
+    /// metric, aggregated service-wide).
+    pub label_bits_total: u64,
+    /// Wall-clock since the service started.
+    pub uptime: Duration,
+}
+
+impl ServiceStats {
+    /// Average ingest throughput since start, in events per second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs > 0.0 {
+            self.events_ingested as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean published-label size in bits.
+    pub fn avg_label_bits(&self) -> f64 {
+        if self.labels_published > 0 {
+            self.label_bits_total as f64 / self.labels_published as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "runs: {} live / {} completed / {} failed (of {} opened); \
+             events: {} ({:.0}/s); queries: {}; labels: {} ({:.1} bits avg)",
+            self.runs_live,
+            self.runs_completed,
+            self.runs_failed,
+            self.runs_opened,
+            self.events_ingested,
+            self.events_per_sec(),
+            self.queries_answered,
+            self.labels_published,
+            self.avg_label_bits(),
+        )
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the API subset its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`] / `bench_function`,
+//! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a calibration pass,
+//! then `sample_size` timed samples, and prints one JSON line
+//! (`{"bench": ..., "mean_ns": ..., ...}`) so results can be harvested
+//! for the perf trajectory without HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier `function_id/parameter` for parameterized benches.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("scheme", 4096)` → `scheme/4096`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Throughput annotation: reported as derived events/s in the JSON line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level driver handed to registered bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench("", &id.id, 20, None, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Annotate subsequent benches with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_bench(&self.name, &id.id, self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&self.name, &id.id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// End the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, called `iters × samples` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find an iteration count that fills ~2ms per sample
+        // so timer resolution noise stays below a percent.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_budget {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_budget: sample_size,
+    };
+    f(&mut b);
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.samples.is_empty() {
+        println!("{{\"bench\":\"{full}\",\"error\":\"no samples (iter not called)\"}}");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    let mut line = format!(
+        "{{\"bench\":\"{full}\",\"mean_ns\":{mean:.1},\"median_ns\":{median:.1},\
+         \"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{},\"iters_per_sample\":{}",
+        per_iter.len(),
+        b.iters_per_sample
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 * 1e9 / mean;
+            line.push_str(&format!(",\"elements_per_sec\":{rate:.1}"));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 * 1e9 / mean;
+            line.push_str(&format!(",\"bytes_per_sec\":{rate:.1}"));
+        }
+        None => {}
+    }
+    line.push('}');
+    println!("{line}");
+}
+
+/// Register bench functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 1), &3u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -53,10 +53,7 @@ impl DeweyLabel {
 
     /// Storage bits: the sum of minimal binary widths of the indexes.
     pub fn bit_len(&self) -> usize {
-        self.0
-            .iter()
-            .map(|&i| crate::interval::bits_for(i))
-            .sum()
+        self.0.iter().map(|&i| crate::interval::bits_for(i)).sum()
     }
 }
 

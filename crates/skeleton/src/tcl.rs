@@ -196,10 +196,7 @@ mod tests {
             let g = spec.graph(gid);
             for u in g.vertices() {
                 for v in g.vertices() {
-                    assert_eq!(
-                        labels.reaches(gid, u, v),
-                        wf_graph::reach::reaches(g, u, v)
-                    );
+                    assert_eq!(labels.reaches(gid, u, v), wf_graph::reach::reaches(g, u, v));
                 }
             }
         }

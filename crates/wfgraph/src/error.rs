@@ -37,7 +37,10 @@ impl fmt::Display for GraphError {
                 write!(f, "operation requires a two-terminal graph")
             }
             GraphError::EmptyComposition => {
-                write!(f, "series/parallel composition requires at least one operand")
+                write!(
+                    f,
+                    "series/parallel composition requires at least one operand"
+                )
             }
         }
     }

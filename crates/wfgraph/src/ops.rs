@@ -172,7 +172,10 @@ mod tests {
         let g1 = edge_graph(0, 1);
         let (p, _) = parallel(&[&g1, &g1]).unwrap();
         assert_eq!(series(&[&p]).unwrap_err(), GraphError::NotTwoTerminal);
-        assert_eq!(parallel(&[&g1, &p]).unwrap_err(), GraphError::NotTwoTerminal);
+        assert_eq!(
+            parallel(&[&g1, &p]).unwrap_err(),
+            GraphError::NotTwoTerminal
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ use rand::Rng;
 /// Panics if `names.len() < 2`.
 pub fn random_two_terminal<R: Rng>(rng: &mut R, names: &[NameId], density: f64) -> Graph {
     let n = names.len();
-    assert!(n >= 2, "a two-terminal graph needs at least source and sink");
+    assert!(
+        n >= 2,
+        "a two-terminal graph needs at least source and sink"
+    );
     let mut g = Graph::with_capacity(n);
     let vs: Vec<VertexId> = names.iter().map(|&nm| g.add_vertex(nm)).collect();
 

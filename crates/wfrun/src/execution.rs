@@ -40,11 +40,7 @@ impl Execution {
     ///
     /// # Panics
     /// Panics if `order` is not a topological order of `graph`.
-    pub fn from_order(
-        graph: &Graph,
-        origin: &[(GraphId, VertexId)],
-        order: &[VertexId],
-    ) -> Self {
+    pub fn from_order(graph: &Graph, origin: &[(GraphId, VertexId)], order: &[VertexId]) -> Self {
         assert!(
             wf_graph::topo::is_topological_order(graph, order),
             "execution requires a topological insertion order"
@@ -69,11 +65,7 @@ impl Execution {
 
     /// Build an execution with a seeded-random topological order
     /// ("randomly select … one execution for each run", §7.1).
-    pub fn random<R: Rng>(
-        graph: &Graph,
-        origin: &[(GraphId, VertexId)],
-        rng: &mut R,
-    ) -> Self {
+    pub fn random<R: Rng>(graph: &Graph, origin: &[(GraphId, VertexId)], rng: &mut R) -> Self {
         let order =
             wf_graph::topo::random_topological_order(graph, rng).expect("run must be a DAG");
         Self::from_order(graph, origin, &order)

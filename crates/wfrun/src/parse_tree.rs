@@ -58,9 +58,7 @@ impl CanonicalParseTree {
         let mut home: Vec<usize> = vec![0; builder.graph().slot_count()];
         for step in derivation.steps() {
             let u = step.target;
-            let parent = *home
-                .get(u.idx())
-                .ok_or(RunError::UnknownTarget(u))?;
+            let parent = *home.get(u.idx()).ok_or(RunError::UnknownTarget(u))?;
             let applied = builder.apply(step)?;
             let id = nodes.len();
             let depth = nodes[parent].depth + 1;
@@ -137,15 +135,17 @@ impl CanonicalParseTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RunGenerator;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use crate::RunGenerator;
 
     #[test]
     fn node_count_tracks_steps() {
         let spec = wf_spec::corpus::running_example();
         let mut rng = StdRng::seed_from_u64(12);
-        let run = RunGenerator::new(&spec).target_size(80).generate_run(&mut rng);
+        let run = RunGenerator::new(&spec)
+            .target_size(80)
+            .generate_run(&mut rng);
         let tree = CanonicalParseTree::build(&spec, &run.derivation).unwrap();
         assert_eq!(tree.len(), run.derivation.len() + 1);
         // Every non-root node has a consistent parent/child linkage.

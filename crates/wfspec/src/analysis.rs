@@ -210,11 +210,7 @@ fn has_parallel_pair(spec: &Specification, gid: GraphId, recs: &[VertexId]) -> b
 }
 
 fn compute_nesting_depth(spec: &Specification) -> usize {
-    fn depth_of(
-        spec: &Specification,
-        name: NameId,
-        visited: &mut Vec<NameId>,
-    ) -> usize {
+    fn depth_of(spec: &Specification, name: NameId, visited: &mut Vec<NameId>) -> usize {
         let mut best = 1; // this module's own sub-workflow level
         for &gid in spec.implementations(name) {
             let g = spec.graph(gid);

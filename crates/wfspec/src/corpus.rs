@@ -113,7 +113,8 @@ pub fn theorem1() -> Specification {
         let t = g.vertex("t2");
         g.edge(s, t);
     });
-    b.build().expect("theorem-1 grammar is a valid specification")
+    b.build()
+        .expect("theorem-1 grammar is a valid specification")
 }
 
 /// The Figure-12 grammar: nonlinear (two *series* recursive vertices) yet
@@ -144,7 +145,8 @@ pub fn fig12() -> Specification {
         let t = g.vertex("t2");
         g.edge(s, t);
     });
-    b.build().expect("figure-12 grammar is a valid specification")
+    b.build()
+        .expect("figure-12 grammar is a valid specification")
 }
 
 /// Build one BioAID-like sub-workflow body: a chain of internal vertices
@@ -153,12 +155,7 @@ pub fn fig12() -> Specification {
 ///
 /// The body has `2 + composites.len() + atoms` vertices, all uniquely
 /// named with the `prefix`, so execution Conditions 1–2 hold.
-fn pipeline_body(
-    g: &mut GraphBuilder<'_>,
-    prefix: &str,
-    composites: &[&str],
-    atoms: usize,
-) {
+fn pipeline_body(g: &mut GraphBuilder<'_>, prefix: &str, composites: &[&str], atoms: usize) {
     let s = g.vertex(&format!("{prefix}_s"));
     let t = g.vertex(&format!("{prefix}_t"));
     let mut mids = Vec::new();
@@ -213,28 +210,28 @@ pub fn bioaid() -> Specification {
     // Start graph: the top-level pipeline. Chains through the first-level
     // modules; nesting depth from here is 2.
     b.start(|g| pipeline_body(g, "g0", &["L1", "F1", "A", "M1", "F2"], 4));
-    // 1: L1's loop body, hosting the second loop L2.
-    b.implementation("L1", |g| pipeline_body(g, "h1", &["L2"], 8)); // 11
-    // 2: L2's body (all atomic).
-    b.implementation("L2", |g| pipeline_body(g, "h2", &[], 8)); // 10
-    // 3: F1's fork body, hosting F3.
-    b.implementation("F1", |g| pipeline_body(g, "h3", &["F3"], 8)); // 11
-    // 4: F3's body (atomic).
-    b.implementation("F3", |g| pipeline_body(g, "h4", &[], 8)); // 10
-    // 5: F2's fork body, hosting F4.
-    b.implementation("F2", |g| pipeline_body(g, "h5", &["F4"], 8)); // 11
-    // 6: F4's body (atomic).
-    b.implementation("F4", |g| pipeline_body(g, "h6", &[], 8)); // 10
-    // 7: A's recursive body: contains C (recursion of length 2).
-    b.implementation("A", |g| pipeline_body(g, "h7", &["C"], 8)); // 11
-    // 8: A's base case (atomic).
-    b.implementation("A", |g| pipeline_body(g, "h8", &[], 8)); // 10
-    // 9: C's body: contains A, closing the recursion.
-    b.implementation("C", |g| pipeline_body(g, "h9", &["A"], 8)); // 11
-    // 10: M1's body, hosting M2.
-    b.implementation("M1", |g| pipeline_body(g, "h10", &["M2"], 7)); // 10
-    // 11: M2's body (atomic).
-    b.implementation("M2", |g| pipeline_body(g, "h11", &[], 9)); // 11
+    // 1: L1's loop body, hosting the second loop L2 (11 vertices).
+    b.implementation("L1", |g| pipeline_body(g, "h1", &["L2"], 8));
+    // 2: L2's body, all atomic (10 vertices).
+    b.implementation("L2", |g| pipeline_body(g, "h2", &[], 8));
+    // 3: F1's fork body, hosting F3 (11 vertices).
+    b.implementation("F1", |g| pipeline_body(g, "h3", &["F3"], 8));
+    // 4: F3's body, atomic (10 vertices).
+    b.implementation("F3", |g| pipeline_body(g, "h4", &[], 8));
+    // 5: F2's fork body, hosting F4 (11 vertices).
+    b.implementation("F2", |g| pipeline_body(g, "h5", &["F4"], 8));
+    // 6: F4's body, atomic (10 vertices).
+    b.implementation("F4", |g| pipeline_body(g, "h6", &[], 8));
+    // 7: A's recursive body: contains C, recursion of length 2 (11 vertices).
+    b.implementation("A", |g| pipeline_body(g, "h7", &["C"], 8));
+    // 8: A's base case, atomic (10 vertices).
+    b.implementation("A", |g| pipeline_body(g, "h8", &[], 8));
+    // 9: C's body: contains A, closing the recursion (11 vertices).
+    b.implementation("C", |g| pipeline_body(g, "h9", &["A"], 8));
+    // 10: M1's body, hosting M2 (10 vertices).
+    b.implementation("M1", |g| pipeline_body(g, "h10", &["M2"], 7));
+    // 11: M2's body, atomic (11 vertices).
+    b.implementation("M2", |g| pipeline_body(g, "h11", &[], 9));
     b.build().expect("bioaid stand-in is a valid specification")
 }
 

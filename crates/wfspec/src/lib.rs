@@ -38,5 +38,5 @@ pub use builder::{GraphBuilder, SpecBuilder};
 pub use error::SpecError;
 pub use grammar::Grammar;
 pub use names::NameTable;
-pub use stats::SpecStats;
 pub use spec::{GraphId, NameClass, Specification};
+pub use stats::SpecStats;

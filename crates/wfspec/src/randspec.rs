@@ -101,8 +101,7 @@ pub fn random_spec(params: &RandomSpecParams) -> Specification {
             let count = rng.gen_range(1..=2.min(i));
             sample_distinct(&mut rng, i, count)
         };
-        let inner_names: Vec<String> =
-            inner.iter().map(|&j| module_names[j].clone()).collect();
+        let inner_names: Vec<String> = inner.iter().map(|&j| module_names[j].clone()).collect();
         let body = random_body(
             &mut rng,
             &mut b,
@@ -120,8 +119,7 @@ pub fn random_spec(params: &RandomSpecParams) -> Specification {
         let head = b.name(&module_names[host]);
         let count = rng.gen_range(1..=2.min(params.modules));
         let inner = sample_distinct(&mut rng, params.modules, count);
-        let inner_names: Vec<String> =
-            inner.iter().map(|&j| module_names[j].clone()).collect();
+        let inner_names: Vec<String> = inner.iter().map(|&j| module_names[j].clone()).collect();
         let body = random_body(
             &mut rng,
             &mut b,

@@ -150,7 +150,11 @@ impl Specification {
     /// `nG`: the maximum size (vertex count) of a specification graph
     /// (Table 1).
     pub fn max_graph_size(&self) -> usize {
-        self.graphs.iter().map(|g| g.vertex_count()).max().unwrap_or(0)
+        self.graphs
+            .iter()
+            .map(|g| g.vertex_count())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of composite names `|Σ \ Δ|` (bounds the explicit-parse-tree
@@ -244,8 +248,7 @@ impl Specification {
             let g = self.graph(gid);
             for v in g.vertices() {
                 let n = g.name(v);
-                let is_terminal_here =
-                    v == g.source().unwrap() || v == g.sink().unwrap();
+                let is_terminal_here = v == g.source().unwrap() || v == g.sink().unwrap();
                 match owner.entry(n) {
                     std::collections::hash_map::Entry::Vacant(e) => {
                         if is_terminal_here {

@@ -56,8 +56,7 @@ impl SyntheticParams {
         let d = self.depth;
         // Module chain: M1 … M(d-3), then L, F, R.
         let plain_levels = d - 3;
-        let mut chain_names: Vec<String> =
-            (1..=plain_levels).map(|i| format!("M{i}")).collect();
+        let mut chain_names: Vec<String> = (1..=plain_levels).map(|i| format!("M{i}")).collect();
         chain_names.push("L".to_string());
         chain_names.push("F".to_string());
         chain_names.push("R".to_string());

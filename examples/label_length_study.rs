@@ -17,7 +17,10 @@ use wf_skeleton::TclLabels;
 fn main() {
     let spec = wf_spec::corpus::bioaid_nonrecursive();
     let skeleton = TclSpecLabels::build(&spec);
-    println!("{:>6}  {:>9}  {:>9}  {:>11}", "n", "DRL(max)", "SKL(max)", "naive(max)");
+    println!(
+        "{:>6}  {:>9}  {:>9}  {:>11}",
+        "n", "DRL(max)", "SKL(max)", "naive(max)"
+    );
     for (i, target) in [500usize, 1000, 2000, 4000, 8000].iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(42 + i as u64);
         let run = RunGenerator::new(&spec)
@@ -64,5 +67,7 @@ fn main() {
             }
         }
     }
-    println!("\nDRL grows ~1 bit per size doubling, SKL ~3, naive ~n — the paper's Figure 20 shape.");
+    println!(
+        "\nDRL grows ~1 bit per size doubling, SKL ~3, naive ~n — the paper's Figure 20 shape."
+    );
 }

@@ -9,15 +9,19 @@
 //! ```
 
 use wf_provenance::prelude::*;
-use wf_spec::grammar::Production;
 use wf_run::DerivationStep;
+use wf_spec::grammar::Production;
 
 fn main() {
     // The Figure-2 specification: loop L, fork F, and the linear
     // recursion A → C → A.
     let spec = wf_spec::corpus::running_example();
     let grammar = spec.grammar();
-    println!("specification: {} graphs, class {:?}", spec.graph_count(), grammar.classify());
+    println!(
+        "specification: {} graphs, class {:?}",
+        spec.graph_count(),
+        grammar.classify()
+    );
     assert_eq!(grammar.classify(), RecursionClass::LinearRecursive);
 
     // Label the specification once (skeleton labels, §5.1)…
@@ -68,7 +72,12 @@ fn main() {
             "A" => Production::plain(impl_of("A", 1)),
             other => Production::plain(spec.implementations(spec.name_id(other).unwrap())[0]),
         };
-        labeler.apply(&DerivationStep { target: u, production: prod }).unwrap();
+        labeler
+            .apply(&DerivationStep {
+                target: u,
+                production: prod,
+            })
+            .unwrap();
     }
     let g = labeler.graph();
     println!(
@@ -81,7 +90,11 @@ fn main() {
     // Example 11's queries, from labels alone (Algorithm 4). We address
     // vertices by their module names; s5/s6 exist once in this run.
     let queries = [
-        ("s5", "s1", "v5 ; v16: distinct loop copies — LCA is an L node"),
+        (
+            "s5",
+            "s1",
+            "v5 ; v16: distinct loop copies — LCA is an L node",
+        ),
         ("s5", "s6", "v5 ; v8: recursion chain — LCA is a R node"),
         ("s5", "t3", "v5 ; v11: same instance — skeleton query"),
     ];

@@ -32,13 +32,19 @@ fn deep_run<'s>(
     for _ in 0..k {
         let u = *labeler.builder().composite_vertices().iter().max().unwrap();
         labeler
-            .apply(&DerivationStep { target: u, production: Production::plain(rec) })
+            .apply(&DerivationStep {
+                target: u,
+                production: Production::plain(rec),
+            })
             .unwrap();
     }
     while !labeler.builder().is_complete() {
         let u = labeler.builder().composite_vertices()[0];
         labeler
-            .apply(&DerivationStep { target: u, production: Production::plain(base) })
+            .apply(&DerivationStep {
+                target: u,
+                production: Production::plain(base),
+            })
             .unwrap();
     }
     labeler
@@ -58,7 +64,10 @@ fn main() {
     assert_eq!(fig6.grammar().classify(), RecursionClass::ParallelRecursive);
     let skeleton6 = TclSpecLabels::build(&fig6);
     println!("Figure-6 grammar (parallel recursion): labels grow linearly");
-    println!("{:>5} {:>7} {:>9} {:>8}", "k", "n=5k+4", "max_bits", "bits/n");
+    println!(
+        "{:>5} {:>7} {:>9} {:>8}",
+        "k", "n=5k+4", "max_bits", "bits/n"
+    );
     for k in [8usize, 32, 128] {
         let labeler = deep_run(&fig6, &skeleton6, k);
         let n = labeler.graph().vertex_count();
@@ -78,7 +87,10 @@ fn main() {
     assert_eq!(fig12.grammar().classify(), RecursionClass::SeriesRecursive);
     let skeleton12 = TclSpecLabels::build(&fig12);
     println!("\nFigure-12 grammar (series recursion): runs are simple paths");
-    println!("{:>5} {:>6} {:>12} {:>9}", "k", "n", "index_bits", "DRL_bits");
+    println!(
+        "{:>5} {:>6} {:>12} {:>9}",
+        "k", "n", "index_bits", "DRL_bits"
+    );
     for k in [8usize, 32, 128] {
         let labeler = deep_run(&fig12, &skeleton12, k);
         let g = labeler.graph();

@@ -43,9 +43,39 @@
 //! }
 //! ```
 
+//! ## Concurrent service quickstart
+//!
+//! [`service`] (`wf-service`) labels **many runs at once**: per-run
+//! ordered ingest, cross-run parallelism, and lock-free constant-time
+//! reachability queries concurrent with ingestion.
+//!
+//! ```
+//! use wf_provenance::prelude::*;
+//!
+//! // Shared catalog: specification + skeleton labels, built once.
+//! let catalog: Vec<SpecContext> =
+//!     vec![SpecContext::from_spec(wf_spec::corpus::running_example())];
+//! let service = WfService::new(&catalog);
+//!
+//! // Open a run and stream its execution events in.
+//! let run = service.open_run(SpecId(0)).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let gen = RunGenerator::new(&catalog[0].spec).target_size(80).generate_run(&mut rng);
+//! let exec = Execution::deterministic(&gen.graph, &gen.origin);
+//! let handle = service.handle(run).unwrap();
+//! for ev in exec.events() {
+//!     service.submit(run, ev).unwrap();
+//!     // Queries are answered mid-ingest, from published labels alone.
+//!     let _ = handle.reach(exec.events()[0].vertex, ev.vertex);
+//! }
+//! service.complete_run(run).unwrap();
+//! assert_eq!(service.stats().runs_completed, 1);
+//! ```
+
 pub use wf_drl as drl;
 pub use wf_graph as graph;
 pub use wf_run as run;
+pub use wf_service as service;
 pub use wf_skeleton as skeleton;
 pub use wf_skl as skl;
 pub use wf_spec as spec;
@@ -58,7 +88,11 @@ pub mod prelude {
         DrlPredicate, ExecutionLabeler, RecursionMode, ResolutionMode,
     };
     pub use wf_graph::{Graph, NameId, VertexId};
-    pub use wf_run::{CanonicalParseTree, Derivation, Execution, RunGenerator};
+    pub use wf_run::{CanonicalParseTree, Derivation, ExecEvent, Execution, RunGenerator};
+    pub use wf_service::{
+        RunHandle, RunId, RunOp, RunStatus, ServiceEvent, ServiceStats, SpecContext, SpecId,
+        WfService,
+    };
     pub use wf_skeleton::{BfsSpecLabels, SpecLabeling, TclSpecLabels};
     pub use wf_skl::{SklBfs, SklLabeling};
     pub use wf_spec::{RecursionClass, SpecStats, Specification};

@@ -4,8 +4,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wf_provenance::prelude::*;
 use wf_graph::reach::ReachOracle;
+use wf_provenance::prelude::*;
 use wf_spec::synthetic::SyntheticParams;
 use wf_spec::Specification;
 
@@ -13,7 +13,10 @@ fn corpus() -> Vec<(&'static str, Specification)> {
     vec![
         ("running_example", wf_spec::corpus::running_example()),
         ("bioaid", wf_spec::corpus::bioaid()),
-        ("bioaid_nonrecursive", wf_spec::corpus::bioaid_nonrecursive()),
+        (
+            "bioaid_nonrecursive",
+            wf_spec::corpus::bioaid_nonrecursive(),
+        ),
         (
             "synthetic_linear",
             SyntheticParams {
@@ -56,8 +59,16 @@ fn predicate_equals_ground_truth_everywhere() {
             for a in run.graph.vertices() {
                 for b in run.graph.vertices() {
                     let truth = oracle.reaches(a, b);
-                    assert_eq!(dl.reaches(a, b), Some(truth), "{name} seed {seed} D {a:?}->{b:?}");
-                    assert_eq!(el.reaches(a, b), Some(truth), "{name} seed {seed} E {a:?}->{b:?}");
+                    assert_eq!(
+                        dl.reaches(a, b),
+                        Some(truth),
+                        "{name} seed {seed} D {a:?}->{b:?}"
+                    );
+                    assert_eq!(
+                        el.reaches(a, b),
+                        Some(truth),
+                        "{name} seed {seed} E {a:?}->{b:?}"
+                    );
                 }
             }
         }
@@ -185,7 +196,11 @@ fn theorem_3_length_bounds_hold() {
             dt * ((theta as f64).log2().ceil() as usize + (ng as f64).log2().ceil() as usize + 4);
         for v in run.graph.vertices() {
             let label = labeler.label(v).unwrap();
-            assert!(label.depth() <= depth_bound, "{name}: depth {}", label.depth());
+            assert!(
+                label.depth() <= depth_bound,
+                "{name}: depth {}",
+                label.depth()
+            );
             let bits = labeler.label_bits(v).unwrap();
             assert!(bits <= bit_bound, "{name}: {bits} bits > bound {bit_bound}");
         }

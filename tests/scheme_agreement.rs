@@ -5,8 +5,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wf_provenance::prelude::*;
 use wf_graph::reach::ReachOracle;
+use wf_provenance::prelude::*;
 use wf_skeleton::{BfsOracle, TclLabels};
 use wf_skl::SklLabeling;
 
