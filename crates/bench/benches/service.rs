@@ -1,27 +1,66 @@
-//! Criterion bench for `wf-service`: ingest throughput (events/s) and
-//! lock-free query latency at 1 / 4 / 16 concurrent runs.
+//! Criterion bench for `wf-service`'s Engine API v2: ingest throughput
+//! (events/s) through both the blocking batched path and the pipelined
+//! fire-and-forget + flush path, and lock-free query latency — at
+//! 1 / 16 / 256 concurrent runs with **Zipf-skewed run sizes** (rank-r
+//! run gets ~1/r of the events, the shape of real workflow fleets where
+//! a few pipelines dominate).
 //!
 //! Each JSON line printed by the harness carries `mean_ns` plus
-//! `elements_per_sec` (from the `Throughput::Elements` annotation), so
-//! the perf trajectory can be harvested with
-//! `cargo bench -p wf-bench --bench service | grep '^{'`.
+//! `elements_per_sec` (from the `Throughput::Elements` annotation); CI
+//! harvests the lines with `grep '^{'` into an uploaded artifact so the
+//! perf trajectory is comparable across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use wf_graph::VertexId;
 use wf_run::{ExecEvent, Execution, RunGenerator};
-use wf_service::{RunOp, ServiceEvent, SpecContext, SpecId, WfService};
+use wf_service::{RunOp, ServiceEvent, SpecContext, SpecId, WfEngine};
+
+/// Fleet sizes the groups sweep. 256 runs is the cross-PR trajectory
+/// point the ROADMAP asks for.
+const FLEETS: [usize; 3] = [1, 16, 256];
+
+/// Preprocessed specs, shared across every engine the bench builds (the
+/// `Arc` catalog is exactly what makes this cheap in v2).
+fn catalog() -> Vec<Arc<SpecContext>> {
+    vec![
+        Arc::new(SpecContext::from_spec(wf_spec::corpus::running_example())),
+        Arc::new(SpecContext::from_spec(wf_spec::corpus::bioaid())),
+    ]
+}
+
+fn engine_over(catalog: &[Arc<SpecContext>]) -> WfEngine {
+    let mut b = WfEngine::builder().shards(32).queue_capacity(1024);
+    for ctx in catalog {
+        b = b.context(Arc::clone(ctx));
+    }
+    b.build()
+}
+
+/// Zipf-ish size for the rank-`i` run of `runs`, targeting ~`total`
+/// events in aggregate: weight 1/(i+1), normalized by the harmonic sum,
+/// floored so tail runs still exercise real labeling.
+fn skewed_size(i: usize, runs: usize, total: usize) -> usize {
+    let h: f64 = (1..=runs).map(|r| 1.0 / r as f64).sum();
+    ((total as f64 / h) / (i + 1) as f64).round().max(12.0) as usize
+}
 
 /// Per-run event streams for `runs` concurrent runs, ~`total` events in
-/// aggregate.
-fn streams(catalog: &[SpecContext], runs: usize, total: usize, seed: u64) -> Vec<Vec<ExecEvent>> {
+/// aggregate, sizes skewed by rank.
+fn streams(
+    catalog: &[Arc<SpecContext>],
+    runs: usize,
+    total: usize,
+    seed: u64,
+) -> Vec<Vec<ExecEvent>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..runs)
         .map(|i| {
             let spec = &catalog[i % catalog.len()].spec;
             let gen = RunGenerator::new(spec)
-                .target_size(total / runs)
+                .target_size(skewed_size(i, runs, total))
                 .generate_run(&mut rng);
             Execution::random(&gen.graph, &gen.origin, &mut rng)
                 .events()
@@ -30,13 +69,13 @@ fn streams(catalog: &[SpecContext], runs: usize, total: usize, seed: u64) -> Vec
         .collect()
 }
 
-/// One full ingest: open `streams.len()` runs, push every event through
-/// batched round-robin submission (cross-run parallelism inside
-/// `submit_batch`), complete all runs. Returns the event count.
-fn ingest_all(catalog: &[SpecContext], streams: &[Vec<ExecEvent>]) -> usize {
-    let service = WfService::new(catalog);
+/// One full batched ingest: open `streams.len()` runs, push every event
+/// through blocking round-robin `submit_batch` (the pool fans distinct
+/// runs across workers), complete all runs. Returns the event count.
+fn ingest_batched(catalog: &[Arc<SpecContext>], streams: &[Vec<ExecEvent>]) -> usize {
+    let engine = engine_over(catalog);
     let runs: Vec<_> = (0..streams.len())
-        .map(|i| service.open_run(SpecId(i % catalog.len())).expect("spec"))
+        .map(|i| engine.open_run(SpecId(i % catalog.len())).expect("spec"))
         .collect();
     let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
     let mut applied = 0;
@@ -53,60 +92,94 @@ fn ingest_all(catalog: &[SpecContext], streams: &[Vec<ExecEvent>]) -> usize {
                 });
             }
         }
-        let outcome = service.submit_batch(&batch);
+        let outcome = engine.submit_batch(&batch);
         assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
         applied += outcome.applied;
     }
     for run in runs {
-        service.complete_run(run).expect("live");
+        engine.complete_run(run).expect("live");
     }
     applied
 }
 
+/// One full pipelined ingest: fire-and-forget every event into the
+/// bounded worker queues, then one `flush()` watermark barrier. This is
+/// v2's native path — no per-event or per-batch acks at all.
+fn ingest_pipelined(catalog: &[Arc<SpecContext>], streams: &[Vec<ExecEvent>]) -> usize {
+    let engine = engine_over(catalog);
+    let runs: Vec<_> = (0..streams.len())
+        .map(|i| engine.open_run(SpecId(i % catalog.len())).expect("spec"))
+        .collect();
+    let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
+    // Same round-robin interleave as the batched path, minus the acks.
+    for start in (0..max_len).step_by(256) {
+        for (i, stream) in streams.iter().enumerate() {
+            let end = (start + 256).min(stream.len());
+            for ev in stream.get(start..end).unwrap_or(&[]) {
+                engine
+                    .ingest(ServiceEvent {
+                        run: runs[i],
+                        op: RunOp::Insert(ev.clone()),
+                    })
+                    .expect("live run");
+            }
+        }
+    }
+    engine.flush();
+    let applied = engine.stats().events_ingested as usize;
+    assert!(engine.take_ingest_errors().is_empty());
+    applied
+}
+
 fn service_ingest(c: &mut Criterion) {
-    let catalog: Vec<SpecContext> = vec![
-        SpecContext::from_spec(wf_spec::corpus::running_example()),
-        SpecContext::from_spec(wf_spec::corpus::bioaid()),
-    ];
+    let catalog = catalog();
     let mut group = c.benchmark_group("service_ingest");
     group.sample_size(10);
-    for runs in [1usize, 4, 16] {
+    for runs in FLEETS {
         let streams = streams(&catalog, runs, 8000, 42);
         let total: usize = streams.iter().map(Vec::len).sum();
         group.throughput(Throughput::Elements(total as u64));
         group.bench_with_input(BenchmarkId::new("runs", runs), &streams, |b, streams| {
             b.iter(|| {
-                let applied = ingest_all(&catalog, streams);
+                let applied = ingest_batched(&catalog, streams);
                 assert_eq!(applied, total);
                 applied
             })
         });
+        group.bench_with_input(
+            BenchmarkId::new("pipelined_runs", runs),
+            &streams,
+            |b, streams| {
+                b.iter(|| {
+                    let applied = ingest_pipelined(&catalog, streams);
+                    assert_eq!(applied, total);
+                    applied
+                })
+            },
+        );
     }
     group.finish();
 }
 
 fn service_query(c: &mut Criterion) {
-    let catalog: Vec<SpecContext> = vec![
-        SpecContext::from_spec(wf_spec::corpus::running_example()),
-        SpecContext::from_spec(wf_spec::corpus::bioaid()),
-    ];
+    let catalog = catalog();
     let mut group = c.benchmark_group("service_query");
     group.sample_size(20);
-    for runs in [1usize, 4, 16] {
-        // Ingest once; query a long-lived service.
+    for runs in FLEETS {
+        // Ingest once; query a long-lived engine.
         let streams = streams(&catalog, runs, 8000, 43);
-        let service = WfService::new(&catalog);
+        let engine = engine_over(&catalog);
         let run_ids: Vec<_> = (0..runs)
-            .map(|i| service.open_run(SpecId(i % catalog.len())).expect("spec"))
+            .map(|i| engine.open_run(SpecId(i % catalog.len())).expect("spec"))
             .collect();
         for (i, stream) in streams.iter().enumerate() {
-            let h = service.handle(run_ids[i]).expect("registered");
+            let h = engine.handle(run_ids[i]).expect("registered");
             for ev in stream {
                 h.submit(ev).expect("healthy stream");
             }
         }
         // Pre-draw query pairs across all runs; measure pure lock-free
-        // query latency through cached handles.
+        // query latency through cached (cloneable) handles.
         let mut rng = StdRng::seed_from_u64(7);
         let pairs: Vec<(usize, VertexId, VertexId)> = (0..4096)
             .map(|_| {
@@ -121,7 +194,7 @@ fn service_query(c: &mut Criterion) {
             .collect();
         let handles: Vec<_> = run_ids
             .iter()
-            .map(|&r| service.handle(r).expect("registered"))
+            .map(|&r| engine.handle(r).expect("registered"))
             .collect();
         group.throughput(Throughput::Elements(pairs.len() as u64));
         group.bench_with_input(BenchmarkId::new("runs", runs), &pairs, |b, pairs| {
@@ -132,6 +205,26 @@ fn service_query(c: &mut Criterion) {
                     .count()
             })
         });
+        // Cross-run surface at fleet scale: the flagship "reachable from
+        // source by name" scan over every completed run.
+        for run in &run_ids {
+            engine.complete_run(*run).expect("live");
+        }
+        let probe = streams[0][streams[0].len() / 2].name;
+        group.throughput(Throughput::Elements(runs as u64));
+        group.bench_with_input(
+            BenchmarkId::new("cross_run_source_scan", runs),
+            &probe,
+            |b, probe| {
+                b.iter(|| {
+                    engine
+                        .query()
+                        .completed()
+                        .runs_reaching_named_from_source(*probe)
+                        .len()
+                })
+            },
+        );
     }
     group.finish();
 }

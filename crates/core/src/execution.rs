@@ -379,6 +379,22 @@ impl<'s, S: SpecLabeling> ExecutionLabeler<'s, S> {
         std::mem::take(&mut self.fresh)
     }
 
+    /// Allocation-free variant of [`Self::take_fresh`]: invoke `f` with
+    /// each vertex labeled since the last export (in labeling order) and
+    /// its immutable label, then clear the export buffer *keeping its
+    /// capacity*. This is the publish hook `wf-service`'s ingest workers
+    /// call after every applied event — the hot path pays no `Vec`
+    /// round-trip per insertion.
+    pub fn drain_fresh(&mut self, mut f: impl FnMut(VertexId, &DrlLabel)) {
+        for &v in &self.fresh {
+            let label = self.labels[v.idx()]
+                .as_ref()
+                .expect("fresh vertices carry labels");
+            f(v, label);
+        }
+        self.fresh.clear();
+    }
+
     /// The label assigned to vertex `v` (by the caller's external id).
     pub fn label(&self, v: VertexId) -> Option<&DrlLabel> {
         self.labels.get(v.idx()).and_then(|l| l.as_ref())

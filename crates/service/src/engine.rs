@@ -1,0 +1,1149 @@
+//! The owned engine: catalog, run registry, lifecycle, and the blocking
+//! compatibility wrappers over the pipelined ingest path.
+//!
+//! Engine API v2's core move is *ownership*: [`WfEngine`] holds its
+//! [`SpecContext`] catalog behind `Arc`s instead of borrowing a caller's
+//! slice, which kills the `'s` lifetime that previously infected every
+//! type in the crate. The price is one self-referential cell
+//! ([`OwnedLabeler`]) where a run's `ExecutionLabeler` borrows from the
+//! `Arc` allocation its slot co-owns — the single `unsafe` in the
+//! workspace, with the invariants documented at the site.
+
+use crate::handle::RunHandle;
+use crate::index::LabelIndex;
+use crate::ingest::{BatchTracker, Envelope, IngestPool};
+use crate::query::CrossRunQuery;
+use crate::stats::{Counters, ServiceStats};
+use crate::{
+    BatchOutcome, RunId, RunOp, RunStatus, ServiceError, ServiceEvent, SpecContext, SpecId,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use wf_drl::{ExecError, ExecutionLabeler, ResolutionMode};
+use wf_graph::VertexId;
+use wf_run::ExecEvent;
+use wf_skeleton::{SpecLabeling, TclSpecLabels};
+use wf_spec::Specification;
+
+/// Default per-run vertex-id ceiling: 2²⁴ ≈ 16M vertices, far beyond the
+/// paper's 32K-vertex runs yet small enough that a garbage id from a
+/// buggy engine cannot drive a multi-gigabyte table allocation.
+pub const DEFAULT_MAX_VERTEX_ID: u32 = (1 << 24) - 1;
+
+/// How many recent fire-and-forget ingest errors the engine retains for
+/// [`WfEngine::take_ingest_errors`].
+const INGEST_ERROR_RING: usize = 256;
+
+/// A labeler that co-owns the [`SpecContext`] it borrows from — the
+/// self-referential cell that lets per-run labeling state live inside an
+/// owned, `'static` engine.
+struct OwnedLabeler<S: SpecLabeling + 'static> {
+    /// Declared before `ctx`: struct fields drop in declaration order,
+    /// so the borrower is gone before the borrowed-from allocation.
+    labeler: ExecutionLabeler<'static, S>,
+    /// Keeps the `Arc` allocation `labeler` points into alive. Never
+    /// handed out.
+    _ctx: Arc<SpecContext<S>>,
+}
+
+impl<S: SpecLabeling + 'static> OwnedLabeler<S> {
+    fn new(ctx: Arc<SpecContext<S>>, resolution: ResolutionMode) -> Result<Self, ExecError> {
+        // SAFETY: `ctx.spec` and `ctx.skeleton` live inside an `Arc`
+        // allocation that `_ctx` keeps alive at least as long as
+        // `labeler` (field order above), and `Arc` contents never move.
+        // No code path mutates a `SpecContext` once it is behind the
+        // engine's `Arc`s (the crate never calls `Arc::get_mut` and the
+        // type has no interior mutability), so these extended borrows
+        // can never dangle or alias a mutable reference. The `'static`
+        // lifetime never escapes this module: `get` reborrows at the
+        // caller's shorter lifetime, and every public return value
+        // borrows from the labeler's own storage, not from `'static`.
+        let spec: &'static Specification = unsafe { &*std::ptr::from_ref(&ctx.spec) };
+        let skeleton: &'static S = unsafe { &*std::ptr::from_ref(&ctx.skeleton) };
+        let labeler = match resolution {
+            ResolutionMode::NameBased => ExecutionLabeler::new(spec, skeleton),
+            ResolutionMode::LogBased => ExecutionLabeler::new_log_based(spec, skeleton),
+        }?;
+        Ok(Self { labeler, _ctx: ctx })
+    }
+
+    fn get(&mut self) -> &mut ExecutionLabeler<'static, S> {
+        &mut self.labeler
+    }
+}
+
+/// Per-run state: the single-writer labeler behind a mutex, and the
+/// lock-free published-label index the query path reads.
+pub(crate) struct RunSlot<S: SpecLabeling + 'static> {
+    pub(crate) spec: SpecId,
+    pub(crate) skl_bits: usize,
+    max_vertex_id: u32,
+    writer: Mutex<OwnedLabeler<S>>,
+    pub(crate) indexed: LabelIndex,
+    /// The run's source vertex (its first inserted event — the labeler
+    /// guarantees that is the start graph's source). Write-once, read by
+    /// the cross-run query surface.
+    pub(crate) source: OnceLock<VertexId>,
+    pub(crate) status: AtomicU8,
+    pub(crate) events: AtomicU64,
+    /// Queries answered against this run. Per-slot (each slot is its own
+    /// allocation) so the query hot path never contends on a single
+    /// engine-wide cache line with ingest writers; `stats()` sums it.
+    pub(crate) queries: AtomicU64,
+}
+
+impl<S: SpecLabeling> RunSlot<S> {
+    pub(crate) fn status(&self) -> RunStatus {
+        RunStatus::from_u8(self.status.load(Ordering::Acquire))
+    }
+
+    /// Apply one insertion under the writer lock, then publish the fresh
+    /// labels to the lock-free index.
+    ///
+    /// Lifecycle transitions ([`Self::complete`], failure marking) also
+    /// happen under the writer lock, so the Live check cannot race a
+    /// concurrent completion: once a run reports Completed, no event
+    /// slips in after it.
+    pub(crate) fn apply_insert(&self, run: RunId, ev: &ExecEvent) -> Result<(), ServiceError> {
+        if ev.vertex.0 > self.max_vertex_id {
+            // Reject before any table sizes to the id (both the labeler
+            // and the label index allocate proportionally to it).
+            return Err(ServiceError::VertexOutOfBounds(run, ev.vertex));
+        }
+        let mut w = self.writer.lock().expect("writer lock poisoned");
+        match self.status() {
+            RunStatus::Live => {}
+            s => return Err(ServiceError::RunNotLive(run, s)),
+        }
+        let labeler = w.get();
+        if let Err(e) = labeler.insert(ev) {
+            self.status
+                .store(RunStatus::Failed.as_u8(), Ordering::Release);
+            return Err(ServiceError::Labeler(run, e));
+        }
+        if self.source.get().is_none() {
+            // First applied event of the run: by Definition 8 it is the
+            // start graph's source (the labeler rejects anything else).
+            let _ = self.source.set(ev.vertex);
+        }
+        labeler.drain_fresh(|v, label| {
+            debug_assert_eq!(v, ev.vertex, "one insertion labels one vertex");
+            self.indexed
+                .publish(v, ev.name, label.clone(), self.skl_bits);
+        });
+        self.events.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    pub(crate) fn complete(&self, run: RunId) -> Result<(), ServiceError> {
+        // Take the writer lock so completion serializes with in-flight
+        // inserts (see `apply_insert`).
+        let _w = self.writer.lock().expect("writer lock poisoned");
+        self.status
+            .compare_exchange(
+                RunStatus::Live.as_u8(),
+                RunStatus::Completed.as_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map(|_| ())
+            .map_err(|s| ServiceError::RunNotLive(run, RunStatus::from_u8(s)))
+    }
+}
+
+/// Registry shard: one `RwLock`ed map per shard keeps run lookup
+/// contention independent of the number of concurrent runs.
+type Shard<S> = RwLock<HashMap<u64, Arc<RunSlot<S>>>>;
+
+/// Everything the engine, its worker pool, and every outstanding
+/// [`RunHandle`] share by reference count. This is the `'static` heart
+/// of the v2 API: nothing in here borrows from a caller.
+pub(crate) struct EngineShared<S: SpecLabeling + 'static> {
+    pub(crate) catalog: Box<[Arc<SpecContext<S>>]>,
+    shards: Box<[Shard<S>]>,
+    shard_mask: u64,
+    /// The per-run vertex-id ceiling, behind a mutex so the freeze check
+    /// in [`WfEngine::set_max_vertex_id`] and the ceiling read in
+    /// `open_run` serialize: a run can never be sized against a ceiling
+    /// a concurrent (successful) reconfiguration disowns.
+    max_vertex_id: Mutex<u32>,
+    next_run: AtomicU64,
+    pub(crate) draining: AtomicBool,
+    pub(crate) counters: Counters,
+    pub(crate) ingest_workers: usize,
+    /// Ingest watermark: envelopes handed to the pool…
+    enqueued: AtomicU64,
+    /// …and envelopes the workers finished (applied, failed or skipped).
+    processed: AtomicU64,
+    flush_waiters: AtomicUsize,
+    flush_lock: Mutex<()>,
+    flush_cv: Condvar,
+    /// Recent failures from the fire-and-forget ingest path (bounded).
+    ingest_errors: Mutex<VecDeque<(RunId, ServiceError)>>,
+}
+
+/// Fibonacci hash of a run id — the single routing function shared by
+/// the registry shards and the ingest pool's run→worker pinning, so the
+/// two can never drift apart.
+pub(crate) fn route_hash(run: RunId) -> u64 {
+    run.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32
+}
+
+impl<S: SpecLabeling> EngineShared<S> {
+    fn shard(&self, run: RunId) -> &Shard<S> {
+        &self.shards[(route_hash(run) & self.shard_mask) as usize]
+    }
+
+    pub(crate) fn slot(&self, run: RunId) -> Result<Arc<RunSlot<S>>, ServiceError> {
+        self.shard(run)
+            .read()
+            .expect("shard lock poisoned")
+            .get(&run.0)
+            .cloned()
+            .ok_or(ServiceError::UnknownRun(run))
+    }
+
+    /// Point-in-time snapshot of the registry (unordered) — the scope
+    /// the cross-run query surface scans. The shard read locks are held
+    /// only long enough to clone the `Arc`s.
+    pub(crate) fn snapshot_slots(&self) -> Vec<(RunId, Arc<RunSlot<S>>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (id, slot) in shard.read().expect("shard lock poisoned").iter() {
+                out.push((RunId(*id), Arc::clone(slot)));
+            }
+        }
+        out
+    }
+
+    /// Visit every registered slot without allocating or ordering —
+    /// the stats path.
+    pub(crate) fn for_each_slot(&self, mut f: impl FnMut(&RunSlot<S>)) {
+        for shard in &self.shards {
+            for slot in shard.read().expect("shard lock poisoned").values() {
+                f(slot);
+            }
+        }
+    }
+
+    /// Shared ingest bookkeeping for every submit path (pooled or
+    /// direct): one place decides which counters an outcome bumps.
+    pub(crate) fn record_insert_outcome(&self, res: &Result<(), ServiceError>) {
+        match res {
+            Ok(()) => Counters::bump(&self.counters.events_ingested),
+            Err(ServiceError::Labeler(..)) => Counters::bump(&self.counters.runs_failed),
+            Err(_) => {}
+        }
+    }
+
+    pub(crate) fn record_complete_outcome(&self, res: &Result<(), ServiceError>) {
+        if res.is_ok() {
+            Counters::bump(&self.counters.runs_completed);
+        }
+    }
+
+    /// Remember a failure from the fire-and-forget path so callers that
+    /// never block on acks can still observe what went wrong.
+    pub(crate) fn push_ingest_error(&self, run: RunId, err: ServiceError) {
+        let mut ring = self.ingest_errors.lock().expect("error ring poisoned");
+        if ring.len() == INGEST_ERROR_RING {
+            ring.pop_front();
+        }
+        ring.push_back((run, err));
+    }
+
+    /// One envelope finished: advance the watermark and wake flushers.
+    pub(crate) fn note_processed(&self) {
+        self.processed.fetch_add(1, Ordering::Release);
+        if self.flush_waiters.load(Ordering::Acquire) > 0 {
+            // Take the lock before notifying so a flusher between its
+            // watermark check and its wait cannot miss the wakeup.
+            let _g = self.flush_lock.lock().expect("flush lock poisoned");
+            self.flush_cv.notify_all();
+        }
+    }
+
+    /// Block until the processed watermark reaches `target`; returns the
+    /// watermark observed on exit.
+    fn wait_processed(&self, target: u64) -> u64 {
+        if self.processed.load(Ordering::Acquire) >= target {
+            return self.processed.load(Ordering::Acquire);
+        }
+        self.flush_waiters.fetch_add(1, Ordering::AcqRel);
+        let mut g = self.flush_lock.lock().expect("flush lock poisoned");
+        while self.processed.load(Ordering::Acquire) < target {
+            // Timed wait as a backstop: correctness never depends on a
+            // perfectly-delivered notification.
+            let (g2, _) = self
+                .flush_cv
+                .wait_timeout(g, std::time::Duration::from_millis(25))
+                .expect("flush lock poisoned");
+            g = g2;
+        }
+        drop(g);
+        self.flush_waiters.fetch_sub(1, Ordering::AcqRel);
+        self.processed.load(Ordering::Acquire)
+    }
+}
+
+/// The owned, concurrent multi-run labeling engine. `Send + Sync +
+/// 'static`: hold it in a struct, share it across threads, move handles
+/// into spawned tasks — no catalog lifetime to thread through. See the
+/// crate docs for the architecture.
+pub struct WfEngine<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels> {
+    shared: Arc<EngineShared<S>>,
+    pool: IngestPool<S>,
+}
+
+impl<S: SpecLabeling + Send + Sync + 'static> Drop for WfEngine<S> {
+    fn drop(&mut self) {
+        // Dropping the engine is an implicit drain: mark ingest closed
+        // before the pool field's own Drop joins the workers, so
+        // surviving `RunHandle` clones reject writes (queries keep
+        // working off the reference-counted slots).
+        self.shared.draining.store(true, Ordering::Release);
+    }
+}
+
+/// Compile-time contract: the engine, its builder, and its handles are
+/// freely shareable across threads and free of borrowed lifetimes. A
+/// failure here is a compile error, not a runtime assertion.
+#[allow(dead_code)]
+fn assert_engine_thread_safety() {
+    fn check<T: Send + Sync + 'static>() {}
+    check::<WfEngine>();
+    check::<EngineBuilder>();
+    check::<RunHandle>();
+    check::<WfEngine<wf_skeleton::BfsSpecLabels>>();
+}
+
+impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
+    /// Start configuring an engine.
+    pub fn builder() -> EngineBuilder<S> {
+        EngineBuilder::new()
+    }
+
+    /// An engine over `catalog` with default configuration.
+    pub fn new(catalog: impl IntoIterator<Item = SpecContext<S>>) -> Self {
+        let mut b = Self::builder();
+        for ctx in catalog {
+            b = b.context(ctx);
+        }
+        b.build()
+    }
+
+    /// The shared specification catalog.
+    pub fn catalog(&self) -> &[Arc<SpecContext<S>>] {
+        &self.shared.catalog
+    }
+
+    /// The catalog entry for `spec`, if any.
+    pub fn context(&self, spec: SpecId) -> Option<&Arc<SpecContext<S>>> {
+        self.shared.catalog.get(spec.0)
+    }
+
+    /// The per-run vertex-id ceiling.
+    pub fn max_vertex_id(&self) -> u32 {
+        *self
+            .shared
+            .max_vertex_id
+            .lock()
+            .expect("config lock poisoned")
+    }
+
+    /// Change the per-run vertex-id ceiling. Allowed only **before the
+    /// first run opens**: per-run tables are sized against the ceiling
+    /// at `open_run` time, so reconfiguring a populated engine would
+    /// make the bound mean different things for different runs. Returns
+    /// [`ServiceError::ConfigFrozen`] once any run has been opened —
+    /// prefer [`EngineBuilder::max_vertex_id`].
+    ///
+    /// The freeze check and the write happen under the config lock that
+    /// `open_run` reads the ceiling through (after claiming its run id),
+    /// so a success here guarantees no run was or will be sized against
+    /// the old value.
+    pub fn set_max_vertex_id(&self, max: u32) -> Result<(), ServiceError> {
+        let mut ceiling = self
+            .shared
+            .max_vertex_id
+            .lock()
+            .expect("config lock poisoned");
+        if self.shared.next_run.load(Ordering::Acquire) > 0 {
+            return Err(ServiceError::ConfigFrozen);
+        }
+        *ceiling = max;
+        Ok(())
+    }
+
+    /// Open a new run of specification `spec`. Resolution is name-based
+    /// when the spec satisfies §5.3's Conditions 1–2, log-based
+    /// otherwise (log-based needs the `origin` field every [`ExecEvent`]
+    /// already carries).
+    pub fn open_run(&self, spec: SpecId) -> Result<RunId, ServiceError> {
+        let ctx = self
+            .shared
+            .catalog
+            .get(spec.0)
+            .ok_or(ServiceError::UnknownSpec(spec))?;
+        self.open_run_with(spec, ctx.default_resolution())
+    }
+
+    /// Open a new run with an explicit resolution mode.
+    pub fn open_run_with(
+        &self,
+        spec: SpecId,
+        resolution: ResolutionMode,
+    ) -> Result<RunId, ServiceError> {
+        let ctx = self
+            .shared
+            .catalog
+            .get(spec.0)
+            .ok_or(ServiceError::UnknownSpec(spec))?;
+        let run = RunId(self.shared.next_run.fetch_add(1, Ordering::AcqRel));
+        let mut writer = OwnedLabeler::new(Arc::clone(ctx), resolution)
+            .map_err(|e| ServiceError::Labeler(run, e))?;
+        let skl_bits = writer.get().skl_bits();
+        let slot = Arc::new(RunSlot {
+            spec,
+            skl_bits,
+            max_vertex_id: self.max_vertex_id(),
+            writer: Mutex::new(writer),
+            indexed: LabelIndex::new(),
+            source: OnceLock::new(),
+            status: AtomicU8::new(RunStatus::Live.as_u8()),
+            events: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        });
+        self.shared
+            .shard(run)
+            .write()
+            .expect("shard lock poisoned")
+            .insert(run.0, slot);
+        Counters::bump(&self.shared.counters.runs_opened);
+        Ok(run)
+    }
+
+    /// **Pipelined ingest**: route one event into the worker pool and
+    /// return as soon as it is enqueued. Per-run order is preserved
+    /// (each run is pinned to one worker's FIFO queue); the bounded
+    /// queue applies backpressure by blocking the enqueue when the
+    /// worker is saturated. Failures discovered when the event is
+    /// applied are recorded on the run (status, counters) and retained
+    /// for [`Self::take_ingest_errors`]; use [`Self::flush`] as a
+    /// barrier, or the blocking [`Self::submit`] when you need the
+    /// per-event result.
+    pub fn ingest(&self, event: ServiceEvent) -> Result<(), ServiceError> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let slot = self.shared.slot(event.run)?;
+        self.enqueue(Envelope {
+            run: event.run,
+            slot,
+            op: event.op,
+            tracker: None,
+        })
+    }
+
+    fn enqueue(&self, env: Envelope<S>) -> Result<(), ServiceError> {
+        self.shared.enqueued.fetch_add(1, Ordering::AcqRel);
+        match self.pool.send(env) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.shared.enqueued.fetch_sub(1, Ordering::AcqRel);
+                Err(e)
+            }
+        }
+    }
+
+    /// Apply one insertion event to one run, **blocking** until the
+    /// worker pool has applied it — the v1 API surface, preserved as a
+    /// thin wrapper over the pipelined path.
+    pub fn submit(&self, run: RunId, ev: &ExecEvent) -> Result<(), ServiceError> {
+        self.submit_op(run, RunOp::Insert(ev.clone()))
+    }
+
+    /// Mark a run complete, blocking until the completion has flowed
+    /// through the worker pool (so it is ordered after every previously
+    /// enqueued event of the run); its labels stay queryable.
+    pub fn complete_run(&self, run: RunId) -> Result<(), ServiceError> {
+        self.submit_op(run, RunOp::Complete)
+    }
+
+    fn submit_op(&self, run: RunId, op: RunOp) -> Result<(), ServiceError> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let slot = self.shared.slot(run)?;
+        let tracker = Arc::new(BatchTracker::new(1));
+        self.enqueue(Envelope {
+            run,
+            slot,
+            op,
+            tracker: Some(Arc::clone(&tracker)),
+        })?;
+        let outcome = tracker.wait();
+        match outcome.failures.into_iter().next() {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Apply a batch of events through the worker pool, **blocking**
+    /// until every event has been applied: **per-run order is
+    /// preserved** (a run's events land on one worker queue in batch
+    /// order) while **distinct runs ingest in parallel** across the
+    /// pool. Failures are per-run: one run's fatal event skips that
+    /// run's remaining ops in the batch but never blocks the others,
+    /// and the failed run keeps serving queries over already-published
+    /// labels.
+    pub fn submit_batch(&self, events: &[ServiceEvent]) -> BatchOutcome {
+        let mut outcome = BatchOutcome::default();
+        if self.shared.draining.load(Ordering::Acquire) {
+            outcome.failures = events
+                .iter()
+                .map(|ev| (ev.run, ServiceError::ShuttingDown))
+                .collect();
+            return outcome;
+        }
+        // Resolve each event's slot up front: one failure per unknown
+        // run, whose ops are skipped wholesale (v1 semantics).
+        let mut unknown: HashSet<u64> = HashSet::new();
+        let mut resolved: Vec<Envelope<S>> = Vec::with_capacity(events.len());
+        let mut slots: HashMap<u64, Arc<RunSlot<S>>> = HashMap::new();
+        for ev in events {
+            if unknown.contains(&ev.run.0) {
+                continue;
+            }
+            let slot = match slots.get(&ev.run.0) {
+                Some(s) => Arc::clone(s),
+                None => match self.shared.slot(ev.run) {
+                    Ok(s) => {
+                        slots.insert(ev.run.0, Arc::clone(&s));
+                        s
+                    }
+                    Err(e) => {
+                        unknown.insert(ev.run.0);
+                        outcome.failures.push((ev.run, e));
+                        continue;
+                    }
+                },
+            };
+            resolved.push(Envelope {
+                run: ev.run,
+                slot,
+                op: ev.op.clone(),
+                tracker: None,
+            });
+        }
+        let tracker = Arc::new(BatchTracker::new(resolved.len()));
+        for mut env in resolved {
+            env.tracker = Some(Arc::clone(&tracker));
+            let run = env.run;
+            if let Err(e) = self.enqueue(env) {
+                tracker.cancel_one();
+                outcome.failures.push((run, e));
+            }
+        }
+        let pooled = tracker.wait();
+        outcome.applied = pooled.applied;
+        outcome.failures.extend(pooled.failures);
+        Counters::bump(&self.shared.counters.batches_ingested);
+        outcome
+    }
+
+    /// **Watermark barrier**: block until every event enqueued before
+    /// this call has been applied (or rejected) by the worker pool.
+    /// Returns the processed watermark — always ≥ the number of events
+    /// enqueued before the call.
+    pub fn flush(&self) -> u64 {
+        Counters::bump(&self.shared.counters.flushes);
+        let target = self.shared.enqueued.load(Ordering::Acquire);
+        self.shared.wait_processed(target)
+    }
+
+    /// **Graceful shutdown of the ingest pool**: stop accepting events,
+    /// let the workers finish everything already queued, and join them.
+    /// Queries — per-run handles and the cross-run surface — keep
+    /// working after a drain; only ingest is closed
+    /// ([`ServiceError::ShuttingDown`]). Dropping the engine drains
+    /// implicitly.
+    pub fn drain(&mut self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.pool.shutdown();
+    }
+
+    /// True once [`Self::drain`] has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Drain and return the failures recorded by the fire-and-forget
+    /// ingest path since the last call (bounded ring; oldest dropped
+    /// first).
+    pub fn take_ingest_errors(&self) -> Vec<(RunId, ServiceError)> {
+        self.shared
+            .ingest_errors
+            .lock()
+            .expect("error ring poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Drop a run's state entirely (registry eviction). Outstanding
+    /// [`RunHandle`]s keep their reference-counted slot alive until
+    /// dropped and may continue *querying* published labels, but writes
+    /// through them — and events already queued in the pool — are
+    /// rejected with [`RunStatus::Evicted`]: an eviction must not let
+    /// anything keep ingesting into state no new lookup can reach. New
+    /// lookups fail with [`ServiceError::UnknownRun`].
+    pub fn evict_run(&self, run: RunId) -> Result<(), ServiceError> {
+        let slot = self
+            .shared
+            .shard(run)
+            .write()
+            .expect("shard lock poisoned")
+            .remove(&run.0)
+            .ok_or(ServiceError::UnknownRun(run))?;
+        // Serialize with any in-flight insert (writer lock), then mark.
+        let _w = slot.writer.lock().expect("writer lock poisoned");
+        slot.status
+            .store(RunStatus::Evicted.as_u8(), Ordering::Release);
+        Ok(())
+    }
+
+    /// Constant-time reachability `u ; v` within `run`, lock-free
+    /// against concurrent ingestion. `Ok(None)` means at least one of
+    /// the two vertices has not been labeled yet (its event is still in
+    /// flight); because labels and pairwise answers are immutable once
+    /// published, any `Some` answer remains valid forever.
+    pub fn reach(
+        &self,
+        run: RunId,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<Option<bool>, ServiceError> {
+        Ok(self.handle(run)?.reach(u, v))
+    }
+
+    /// The published label of `v`, if any.
+    pub fn label(&self, run: RunId, v: VertexId) -> Result<Option<wf_drl::DrlLabel>, ServiceError> {
+        Ok(self.handle(run)?.label(v).cloned())
+    }
+
+    /// A cloneable, lifetime-free handle for hot paths on one run:
+    /// resolves the registry shard once; every query on the handle is
+    /// lock-free, and the handle stays valid (for queries) even after
+    /// the run is evicted or the engine drained.
+    pub fn handle(&self, run: RunId) -> Result<RunHandle<S>, ServiceError> {
+        let slot = self.shared.slot(run)?;
+        let ctx = Arc::clone(&self.shared.catalog[slot.spec.0]);
+        Ok(RunHandle::new(Arc::clone(&self.shared), ctx, run, slot))
+    }
+
+    /// The cross-run query surface: lineage questions over *several*
+    /// runs, answered lock-free from published label chunks. See
+    /// [`CrossRunQuery`].
+    pub fn query(&self) -> CrossRunQuery<'_, S> {
+        CrossRunQuery::new(&self.shared)
+    }
+
+    /// Status of a run.
+    pub fn run_status(&self, run: RunId) -> Result<RunStatus, ServiceError> {
+        Ok(self.shared.slot(run)?.status())
+    }
+
+    /// Point-in-time engine statistics. Per-run quantities (labels,
+    /// label bits, queries) are summed over *registered* runs — evicting
+    /// a run removes its contribution.
+    pub fn stats(&self) -> ServiceStats {
+        let mut labels_published = 0u64;
+        let mut label_bits_total = 0u64;
+        let mut queries_answered = 0u64;
+        let mut live = 0u64;
+        self.shared.for_each_slot(|slot| {
+            labels_published += slot.indexed.len() as u64;
+            label_bits_total += slot.indexed.total_bits();
+            queries_answered += slot.queries.load(Ordering::Relaxed);
+            if slot.status() == RunStatus::Live {
+                live += 1;
+            }
+        });
+        let c = &self.shared.counters;
+        let enqueued = self.shared.enqueued.load(Ordering::Acquire);
+        let processed = self.shared.processed.load(Ordering::Acquire);
+        ServiceStats {
+            runs_opened: c.runs_opened.load(Ordering::Relaxed),
+            runs_live: live,
+            runs_completed: c.runs_completed.load(Ordering::Relaxed),
+            runs_failed: c.runs_failed.load(Ordering::Relaxed),
+            events_enqueued: enqueued,
+            events_ingested: c.events_ingested.load(Ordering::Relaxed),
+            ingest_backlog: enqueued.saturating_sub(processed),
+            batches_ingested: c.batches_ingested.load(Ordering::Relaxed),
+            flushes: c.flushes.load(Ordering::Relaxed),
+            ingest_workers: self.shared.ingest_workers as u64,
+            queries_answered,
+            labels_published,
+            label_bits_total,
+            uptime: c.started.elapsed(),
+        }
+    }
+}
+
+/// Configures and builds a [`WfEngine`] — every knob is fixed at
+/// construction, which removes v1's `&mut self` post-construction
+/// configuration footgun.
+pub struct EngineBuilder<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels> {
+    contexts: Vec<Arc<SpecContext<S>>>,
+    shards: usize,
+    ingest_workers: usize,
+    queue_capacity: usize,
+    max_vertex_id: u32,
+}
+
+impl<S: SpecLabeling + Send + Sync + 'static> Default for EngineBuilder<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
+    /// A builder with default configuration and an empty catalog.
+    pub fn new() -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(4);
+        Self {
+            contexts: Vec::new(),
+            shards: 16,
+            ingest_workers: parallelism.clamp(1, 8),
+            queue_capacity: 1024,
+            max_vertex_id: DEFAULT_MAX_VERTEX_ID,
+        }
+    }
+
+    /// Add a specification to the catalog, building its skeleton labels
+    /// (§5.1 preprocessing) here, once.
+    pub fn spec(self, spec: Specification) -> Self {
+        self.context(SpecContext::from_spec(spec))
+    }
+
+    /// Add a prebuilt catalog entry. Accepts `SpecContext` or
+    /// `Arc<SpecContext>` — pass the `Arc` to share one preprocessed
+    /// spec across several engines (benchmarks do this).
+    pub fn context(mut self, ctx: impl Into<Arc<SpecContext<S>>>) -> Self {
+        self.contexts.push(ctx.into());
+        self
+    }
+
+    /// Registry shard count (rounded up to a power of two). More shards
+    /// = less run-lookup contention at high run counts.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Number of persistent ingest workers. Each run is pinned to one
+    /// worker (per-run order), so this bounds cross-run ingest
+    /// parallelism.
+    pub fn ingest_workers(mut self, n: usize) -> Self {
+        self.ingest_workers = n.max(1);
+        self
+    }
+
+    /// Bounded depth of each worker's event queue — the backpressure
+    /// knob: enqueues block when the target worker is this far behind.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Per-run vertex-id ceiling (see [`DEFAULT_MAX_VERTEX_ID`]).
+    pub fn max_vertex_id(mut self, max: u32) -> Self {
+        self.max_vertex_id = max;
+        self
+    }
+
+    /// Build the engine and start its ingest worker pool.
+    pub fn build(self) -> WfEngine<S> {
+        let n = self.shards.max(1).next_power_of_two();
+        let shards: Box<[Shard<S>]> = (0..n).map(|_| RwLock::new(HashMap::new())).collect();
+        let shared = Arc::new(EngineShared {
+            catalog: self.contexts.into_boxed_slice(),
+            shards,
+            shard_mask: (n - 1) as u64,
+            max_vertex_id: Mutex::new(self.max_vertex_id),
+            next_run: AtomicU64::new(0),
+            counters: Counters::new(),
+            ingest_workers: self.ingest_workers,
+            enqueued: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            flush_waiters: AtomicUsize::new(0),
+            flush_lock: Mutex::new(()),
+            flush_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            ingest_errors: Mutex::new(VecDeque::new()),
+        });
+        let pool = IngestPool::start(
+            Arc::clone(&shared),
+            self.ingest_workers,
+            self.queue_capacity,
+        );
+        WfEngine { shared, pool }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wf_run::{Execution, RunGenerator};
+
+    fn engine() -> WfEngine {
+        WfEngine::builder()
+            .spec(wf_spec::corpus::running_example())
+            .spec(wf_spec::corpus::theorem1())
+            .ingest_workers(2)
+            .build()
+    }
+
+    fn sample(engine: &WfEngine, spec: SpecId, seed: u64, target: usize) -> Execution {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = RunGenerator::new(&engine.context(spec).unwrap().spec)
+            .target_size(target)
+            .generate_run(&mut rng);
+        Execution::deterministic(&gen.graph, &gen.origin)
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let engine = engine();
+        assert_eq!(
+            engine.open_run(SpecId(9)).unwrap_err(),
+            ServiceError::UnknownSpec(SpecId(9))
+        );
+        assert_eq!(
+            engine
+                .reach(RunId(3), VertexId(0), VertexId(1))
+                .unwrap_err(),
+            ServiceError::UnknownRun(RunId(3))
+        );
+        assert_eq!(
+            engine
+                .ingest(ServiceEvent {
+                    run: RunId(3),
+                    op: RunOp::Complete,
+                })
+                .unwrap_err(),
+            ServiceError::UnknownRun(RunId(3))
+        );
+    }
+
+    #[test]
+    fn config_is_frozen_once_the_first_run_opens() {
+        let engine = engine();
+        engine.set_max_vertex_id(1 << 20).unwrap();
+        assert_eq!(engine.max_vertex_id(), 1 << 20);
+        let _run = engine.open_run(SpecId(0)).unwrap();
+        assert_eq!(
+            engine.set_max_vertex_id(1 << 10).unwrap_err(),
+            ServiceError::ConfigFrozen
+        );
+        assert_eq!(engine.max_vertex_id(), 1 << 20, "rejected write is a no-op");
+    }
+
+    #[test]
+    fn lifecycle_and_stats() {
+        let engine = engine();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        assert_eq!(engine.run_status(run).unwrap(), RunStatus::Live);
+
+        let exec = sample(&engine, SpecId(0), 1, 50);
+        for ev in exec.events() {
+            engine.submit(run, ev).unwrap();
+        }
+        engine.complete_run(run).unwrap();
+        assert_eq!(engine.run_status(run).unwrap(), RunStatus::Completed);
+        // Completed runs reject further events but keep answering.
+        assert!(matches!(
+            engine.submit(run, &exec.events()[0]).unwrap_err(),
+            ServiceError::RunNotLive(_, RunStatus::Completed)
+        ));
+        let s = engine.stats();
+        assert_eq!(s.runs_opened, 1);
+        assert_eq!(s.runs_completed, 1);
+        assert_eq!(s.events_ingested as usize, exec.len());
+        assert_eq!(s.labels_published as usize, exec.len());
+        assert!(s.label_bits_total > 0);
+        assert_eq!(s.ingest_backlog, 0, "blocking submits leave no backlog");
+        assert_eq!(s.ingest_workers, 2);
+
+        // Eviction removes the registry entry.
+        engine.evict_run(run).unwrap();
+        assert_eq!(
+            engine.run_status(run).unwrap_err(),
+            ServiceError::UnknownRun(run)
+        );
+    }
+
+    #[test]
+    fn batch_preserves_per_run_order_and_isolates_failures() {
+        let engine = engine();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Four healthy runs (two per spec) and one poisoned run whose
+        // first event is invalid.
+        let runs: Vec<RunId> = (0..4)
+            .map(|i| engine.open_run(SpecId(i % 2)).unwrap())
+            .collect();
+        let poisoned = engine.open_run(SpecId(0)).unwrap();
+
+        let mut batch = Vec::new();
+        let mut execs = Vec::new();
+        for (i, &run) in runs.iter().enumerate() {
+            let spec = SpecId(i % 2);
+            let gen = RunGenerator::new(&engine.context(spec).unwrap().spec)
+                .target_size(80)
+                .generate_run(&mut rng);
+            let exec = Execution::random(&gen.graph, &gen.origin, &mut rng);
+            for ev in exec.events() {
+                batch.push(ServiceEvent {
+                    run,
+                    op: RunOp::Insert(ev.clone()),
+                });
+            }
+            batch.push(ServiceEvent {
+                run,
+                op: RunOp::Complete,
+            });
+            execs.push((run, gen, exec));
+        }
+        // The poisoned run starts with a non-source event.
+        batch.push(ServiceEvent {
+            run: poisoned,
+            op: RunOp::Insert(execs[0].2.events()[1].clone()),
+        });
+        let outcome = engine.submit_batch(&batch);
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].0, poisoned);
+        assert_eq!(engine.run_status(poisoned).unwrap(), RunStatus::Failed);
+
+        // Every healthy run: fully applied, completed, and every pair
+        // answers exactly like the ground-truth oracle.
+        for (run, gen, exec) in &execs {
+            assert_eq!(engine.run_status(*run).unwrap(), RunStatus::Completed);
+            let h = engine.handle(*run).unwrap();
+            assert_eq!(h.published(), exec.len());
+            let oracle = wf_graph::reach::ReachOracle::new(&gen.graph);
+            for a in gen.graph.vertices() {
+                for b in gen.graph.vertices() {
+                    assert_eq!(h.reach(a, b), Some(oracle.reaches(a, b)), "{a:?};{b:?}");
+                }
+            }
+        }
+        let s = engine.stats();
+        assert_eq!(s.runs_failed, 1);
+        assert_eq!(s.runs_completed, 4);
+        assert!(s.queries_answered > 0);
+    }
+
+    #[test]
+    fn absurd_vertex_ids_are_rejected_before_allocation() {
+        let engine = engine();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let exec = sample(&engine, SpecId(0), 13, 30);
+        // A forged event with a near-u32::MAX id must bounce with a
+        // typed error instead of sizing tables to the id.
+        let mut forged = exec.events()[0].clone();
+        forged.vertex = VertexId(u32::MAX - 1);
+        assert_eq!(
+            engine.submit(run, &forged).unwrap_err(),
+            ServiceError::VertexOutOfBounds(run, forged.vertex)
+        );
+        // The run is unharmed: the real stream still applies.
+        for ev in exec.events() {
+            engine.submit(run, ev).unwrap();
+        }
+        assert_eq!(engine.handle(run).unwrap().published(), exec.len());
+    }
+
+    #[test]
+    fn batch_survives_per_event_rejections() {
+        let engine = engine();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let exec = sample(&engine, SpecId(0), 17, 40);
+        // Forge an out-of-bounds event into the middle of an otherwise
+        // healthy single-run batch ending in Complete.
+        let mut forged = exec.events()[1].clone();
+        forged.vertex = VertexId(u32::MAX - 7);
+        let mut batch: Vec<ServiceEvent> = Vec::new();
+        for (i, ev) in exec.events().iter().enumerate() {
+            if i == exec.len() / 2 {
+                batch.push(ServiceEvent {
+                    run,
+                    op: RunOp::Insert(forged.clone()),
+                });
+            }
+            batch.push(ServiceEvent {
+                run,
+                op: RunOp::Insert(ev.clone()),
+            });
+        }
+        batch.push(ServiceEvent {
+            run,
+            op: RunOp::Complete,
+        });
+        let outcome = engine.submit_batch(&batch);
+        // The rejection is reported, but the rest of the run — including
+        // its Complete — still lands.
+        assert_eq!(
+            outcome.failures,
+            vec![(run, ServiceError::VertexOutOfBounds(run, forged.vertex))]
+        );
+        assert_eq!(outcome.applied, exec.len());
+        assert_eq!(engine.run_status(run).unwrap(), RunStatus::Completed);
+        assert_eq!(engine.handle(run).unwrap().published(), exec.len());
+    }
+
+    #[test]
+    fn handles_stay_valid_for_queries_but_reject_writes_after_eviction() {
+        let engine = engine();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let exec = sample(&engine, SpecId(0), 11, 30);
+        let handle = engine.handle(run).unwrap();
+        for ev in &exec.events()[..exec.len() - 1] {
+            handle.submit(ev).unwrap();
+        }
+        engine.evict_run(run).unwrap();
+        // The Arc keeps the slot alive: queries still work…
+        let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+        assert!(handle.reach(u, v).is_some());
+        assert_eq!(handle.status(), RunStatus::Evicted);
+        // …but writes through the stale handle are rejected — otherwise
+        // they would ingest into state no new lookup can reach and skew
+        // the engine counters forever.
+        assert_eq!(
+            handle.submit(&exec.events()[exec.len() - 1]).unwrap_err(),
+            ServiceError::RunNotLive(run, RunStatus::Evicted)
+        );
+        assert_eq!(
+            handle.complete().unwrap_err(),
+            ServiceError::RunNotLive(run, RunStatus::Evicted)
+        );
+    }
+
+    #[test]
+    fn pipelined_ingest_flush_and_error_ring() {
+        let engine = engine();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let exec = sample(&engine, SpecId(0), 23, 60);
+        // Fire-and-forget the whole stream, plus one forged event whose
+        // failure must surface through the error ring, not a panic.
+        let mut forged = exec.events()[1].clone();
+        forged.vertex = VertexId(u32::MAX - 3);
+        for ev in exec.events() {
+            engine
+                .ingest(ServiceEvent {
+                    run,
+                    op: RunOp::Insert(ev.clone()),
+                })
+                .unwrap();
+        }
+        engine
+            .ingest(ServiceEvent {
+                run,
+                op: RunOp::Insert(forged.clone()),
+            })
+            .unwrap();
+        let watermark = engine.flush();
+        assert!(
+            watermark >= (exec.len() + 1) as u64,
+            "flush watermark {watermark} covers everything enqueued before it"
+        );
+        assert_eq!(engine.handle(run).unwrap().published(), exec.len());
+        assert_eq!(
+            engine.take_ingest_errors(),
+            vec![(run, ServiceError::VertexOutOfBounds(run, forged.vertex))]
+        );
+        assert!(engine.take_ingest_errors().is_empty(), "ring drains");
+        let s = engine.stats();
+        assert_eq!(s.ingest_backlog, 0);
+        assert_eq!(s.flushes, 1);
+    }
+
+    #[test]
+    fn drain_closes_ingest_but_not_queries() {
+        let mut engine = engine();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let exec = sample(&engine, SpecId(0), 29, 40);
+        for ev in exec.events() {
+            engine
+                .ingest(ServiceEvent {
+                    run,
+                    op: RunOp::Insert(ev.clone()),
+                })
+                .unwrap();
+        }
+        let handle = engine.handle(run).unwrap();
+        engine.drain();
+        assert!(engine.is_draining());
+        // Everything queued before the drain was applied.
+        assert_eq!(handle.published(), exec.len());
+        // Ingest is closed, in every flavor…
+        assert_eq!(
+            engine
+                .ingest(ServiceEvent {
+                    run,
+                    op: RunOp::Complete,
+                })
+                .unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+        assert_eq!(
+            engine.submit(run, &exec.events()[0]).unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+        let outcome = engine.submit_batch(&[ServiceEvent {
+            run,
+            op: RunOp::Complete,
+        }]);
+        assert_eq!(outcome.failures, vec![(run, ServiceError::ShuttingDown)]);
+        // …including the synchronous handle path.
+        assert_eq!(
+            handle.submit(&exec.events()[0]).unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+        assert_eq!(handle.complete().unwrap_err(), ServiceError::ShuttingDown);
+        // …but queries — handle and cross-run — still answer.
+        let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+        assert_eq!(handle.reach(u, v), Some(true));
+        assert_eq!(engine.query().run_ids(), vec![run]);
+        // flush() on a drained engine returns immediately.
+        assert_eq!(engine.flush(), exec.len() as u64);
+    }
+
+    #[test]
+    fn handles_are_cloneable_and_outlive_the_engine() {
+        let engine = engine();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let exec = sample(&engine, SpecId(0), 31, 30);
+        for ev in exec.events() {
+            engine.submit(run, ev).unwrap();
+        }
+        let handle = engine.handle(run).unwrap();
+        let clone = handle.clone();
+        drop(engine); // implicit drain: joins the pool, closes ingest
+        let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+        // Both clones still answer from the reference-counted slot…
+        assert_eq!(handle.reach(u, v), Some(true));
+        assert_eq!(clone.reach(u, v), Some(true));
+        assert_eq!(clone.source(), Some(u));
+        // …but cannot keep writing into the orphaned registry.
+        assert_eq!(
+            clone.submit(&exec.events()[0]).unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+    }
+}

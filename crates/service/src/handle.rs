@@ -1,0 +1,143 @@
+//! Cloneable, lifetime-free per-run handles.
+//!
+//! A v1 `RunHandle<'a, 's, S>` borrowed both the service and its
+//! catalog; it could not be stored, cloned, or moved to another thread.
+//! The v2 handle owns everything it touches by reference count — clone
+//! it freely, move clones into spawned threads, keep one after the run
+//! is evicted or the engine drained (queries over published labels keep
+//! working; writes are rejected once the run is no longer live).
+
+use crate::engine::{EngineShared, RunSlot};
+use crate::stats::Counters;
+use crate::{RunId, RunStatus, ServiceError, SpecContext};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use wf_drl::{DrlLabel, DrlPredicate};
+use wf_graph::{NameId, VertexId};
+use wf_run::ExecEvent;
+use wf_skeleton::{SpecLabeling, TclSpecLabels};
+
+/// A cached per-run handle. Every query method is lock-free: label
+/// lookups are two `Acquire` loads into the run's write-once index, and
+/// the reachability predicate reads only the two labels plus the shared
+/// immutable skeleton. `Send + Sync + 'static`, and [`Clone`] regardless
+/// of whether `S` is.
+pub struct RunHandle<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels> {
+    shared: Arc<EngineShared<S>>,
+    ctx: Arc<SpecContext<S>>,
+    run: RunId,
+    slot: Arc<RunSlot<S>>,
+}
+
+// Manual impl: `S` itself need not be `Clone` — only `Arc`s are cloned.
+impl<S: SpecLabeling + Send + Sync + 'static> Clone for RunHandle<S> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+            ctx: Arc::clone(&self.ctx),
+            run: self.run,
+            slot: Arc::clone(&self.slot),
+        }
+    }
+}
+
+impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
+    pub(crate) fn new(
+        shared: Arc<EngineShared<S>>,
+        ctx: Arc<SpecContext<S>>,
+        run: RunId,
+        slot: Arc<RunSlot<S>>,
+    ) -> Self {
+        Self {
+            shared,
+            ctx,
+            run,
+            slot,
+        }
+    }
+
+    /// The run this handle is for.
+    pub fn run(&self) -> RunId {
+        self.run
+    }
+
+    /// The specification context the run labels against.
+    pub fn context(&self) -> &Arc<SpecContext<S>> {
+        &self.ctx
+    }
+
+    /// Constant-time `u ; v` from published labels; `None` until both
+    /// vertices' events have been applied.
+    pub fn reach(&self, u: VertexId, v: VertexId) -> Option<bool> {
+        let lu = self.slot.indexed.get(u)?;
+        let lv = self.slot.indexed.get(v)?;
+        let answer = DrlPredicate::new(&self.ctx.skeleton).reaches(lu, lv);
+        // Per-slot counter: readers of different runs never share a
+        // cache line with each other or with the engine-wide ingest
+        // counters.
+        Counters::bump(&self.slot.queries);
+        Some(answer)
+    }
+
+    /// Apply one insertion event **synchronously**, bypassing the worker
+    /// pool — the lowest-latency ingest path for a caller that is itself
+    /// the run's single writer. Do not mix with pipelined
+    /// [`crate::WfEngine::ingest`] for the same run unless you order the
+    /// two yourself (e.g. with a `flush` between them). Rejected with
+    /// [`ServiceError::ShuttingDown`] once the engine has drained:
+    /// "ingest is closed" covers every flavor, including this one.
+    pub fn submit(&self, ev: &ExecEvent) -> Result<(), ServiceError> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let res = self.slot.apply_insert(self.run, ev);
+        self.shared.record_insert_outcome(&res);
+        res
+    }
+
+    /// Mark the run complete, synchronously (see [`Self::submit`] for
+    /// ordering with the pipelined path and drain behavior).
+    pub fn complete(&self) -> Result<(), ServiceError> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let res = self.slot.complete(self.run);
+        self.shared.record_complete_outcome(&res);
+        res
+    }
+
+    /// The published label of `v`, if any.
+    pub fn label(&self, v: VertexId) -> Option<&DrlLabel> {
+        self.slot.indexed.get(v)
+    }
+
+    /// The module name `v` was published under, if labeled yet.
+    pub fn name(&self, v: VertexId) -> Option<NameId> {
+        self.slot.indexed.get_published(v).map(|p| p.name)
+    }
+
+    /// Published label length in bits.
+    pub fn label_bits(&self, v: VertexId) -> Option<usize> {
+        self.label(v).map(|l| l.bit_len(self.slot.skl_bits))
+    }
+
+    /// The run's source vertex (first applied event), once ingested.
+    pub fn source(&self) -> Option<VertexId> {
+        self.slot.source.get().copied()
+    }
+
+    /// Number of labels published so far (monotone under ingestion).
+    pub fn published(&self) -> usize {
+        self.slot.indexed.len()
+    }
+
+    /// Events applied so far.
+    pub fn events_applied(&self) -> u64 {
+        self.slot.events.load(Ordering::Relaxed)
+    }
+
+    /// The run's lifecycle status.
+    pub fn status(&self) -> RunStatus {
+        self.slot.status()
+    }
+}

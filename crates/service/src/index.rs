@@ -1,4 +1,4 @@
-//! The lock-free published-label index: the service's query-side view of
+//! The lock-free published-label index: the engine's query-side view of
 //! one run.
 //!
 //! DRL labels are *immutable once assigned* (Definitions 8–9 of the
@@ -12,15 +12,20 @@
 //! locks and no retries.
 //!
 //! The table is a doubling chunk array (chunk `k` holds `2^k` slots), so
-//! slots never move once allocated — readers can hold `&DrlLabel`
+//! slots never move once allocated — readers can hold [`PublishedLabel`]
 //! borrows while the writer keeps appending. Both levels use
 //! [`OnceLock`]: reads are a single `Acquire` load per level, writes
 //! initialize each cell at most once. No `unsafe` required.
+//!
+//! Each cell carries the vertex's **module name** next to its label, so
+//! the cross-run query surface ([`crate::CrossRunQuery`]) can scan the
+//! published chunks lock-free — "every vertex named N published so far"
+//! — without touching the run's writer state.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use wf_drl::DrlLabel;
-use wf_graph::VertexId;
+use wf_graph::{NameId, VertexId};
 
 /// Number of doubling chunks: covers every `u32` vertex id.
 const CHUNKS: usize = 33;
@@ -33,10 +38,20 @@ fn locate(slot: usize) -> (usize, usize) {
     (chunk, pos - (1 << chunk))
 }
 
+/// What the ingest writer publishes per vertex: the module name from the
+/// insertion event plus the vertex's permanent DRL label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishedLabel {
+    /// The vertex's module name (from [`wf_run::ExecEvent::name`]).
+    pub name: NameId,
+    /// The vertex's immutable DRL label.
+    pub label: DrlLabel,
+}
+
 /// Write-once label table for one run, safe for any number of concurrent
 /// readers against one writer.
 pub struct LabelIndex {
-    chunks: [OnceLock<Box<[OnceLock<DrlLabel>]>>; CHUNKS],
+    chunks: [OnceLock<Box<[OnceLock<PublishedLabel>]>>; CHUNKS],
     /// Number of labels published (reads with `Acquire` pair with the
     /// writer's `Release`, so a reader observing `published ≥ k` also
     /// observes the first `k` publications).
@@ -64,7 +79,7 @@ impl LabelIndex {
     /// Publish the label of `v`. Called only by the run's single ingest
     /// writer; each vertex is published at most once (the labeler
     /// rejects duplicate insertions upstream).
-    pub fn publish(&self, v: VertexId, label: DrlLabel, skl_bits: usize) {
+    pub fn publish(&self, v: VertexId, name: NameId, label: DrlLabel, skl_bits: usize) {
         let (chunk, offset) = locate(v.idx());
         let cells = self.chunks[chunk].get_or_init(|| {
             (0..1usize << chunk)
@@ -73,7 +88,7 @@ impl LabelIndex {
                 .into_boxed_slice()
         });
         let bits = label.bit_len(skl_bits) as u64;
-        if cells[offset].set(label).is_ok() {
+        if cells[offset].set(PublishedLabel { name, label }).is_ok() {
             self.bits.fetch_add(bits, Ordering::Relaxed);
             self.published.fetch_add(1, Ordering::Release);
         } else {
@@ -84,10 +99,35 @@ impl LabelIndex {
     /// The published label of `v`, if it has been labeled yet. Lock-free:
     /// two `Acquire` loads.
     pub fn get(&self, v: VertexId) -> Option<&DrlLabel> {
+        self.get_published(v).map(|p| &p.label)
+    }
+
+    /// The published `(name, label)` cell of `v`, if any.
+    pub fn get_published(&self, v: VertexId) -> Option<&PublishedLabel> {
         let (chunk, offset) = locate(v.idx());
         self.chunks[chunk]
             .get()
             .and_then(|cells| cells[offset].get())
+    }
+
+    /// Iterate every published cell, lock-free and concurrent with the
+    /// writer: walks the chunk table in vertex-id order and yields
+    /// whatever prefix of cells has been initialized at visit time.
+    /// Because labels are write-once, every yielded item stays valid for
+    /// the life of the index.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &PublishedLabel)> + '_ {
+        self.chunks.iter().enumerate().flat_map(|(k, chunk)| {
+            chunk
+                .get()
+                .map(|cells| &cells[..])
+                .unwrap_or(&[])
+                .iter()
+                .enumerate()
+                .filter_map(move |(offset, cell)| {
+                    let v = VertexId(((1usize << k) - 1 + offset) as u32);
+                    cell.get().map(|p| (v, p))
+                })
+        })
     }
 
     /// Number of labels published so far.
@@ -149,14 +189,26 @@ mod tests {
         let idx = LabelIndex::new();
         assert!(idx.get(VertexId(5)).is_none());
         for i in [0u32, 5, 1, 1000, 17] {
-            idx.publish(VertexId(i), label(i), 4);
+            idx.publish(VertexId(i), NameId(i % 3), label(i), 4);
         }
         assert_eq!(idx.len(), 5);
         for i in [0u32, 5, 1, 1000, 17] {
             assert_eq!(idx.get(VertexId(i)), Some(&label(i)));
+            assert_eq!(idx.get_published(VertexId(i)).unwrap().name, NameId(i % 3));
         }
         assert!(idx.get(VertexId(2)).is_none());
         assert!(idx.total_bits() > 0);
+    }
+
+    #[test]
+    fn iter_yields_published_cells_in_vertex_order() {
+        let idx = LabelIndex::new();
+        // Publish out of order, across several chunks.
+        for i in [1000u32, 0, 17, 5, 1] {
+            idx.publish(VertexId(i), NameId(i), label(i), 4);
+        }
+        let seen: Vec<(u32, u32)> = idx.iter().map(|(v, p)| (v.0, p.name.0)).collect();
+        assert_eq!(seen, vec![(0, 0), (1, 1), (5, 5), (17, 17), (1000, 1000)]);
     }
 
     #[test]
@@ -166,7 +218,7 @@ mod tests {
         std::thread::scope(|scope| {
             scope.spawn(|| {
                 for i in 0..n {
-                    idx.publish(VertexId(i), label(i), 4);
+                    idx.publish(VertexId(i), NameId(i), label(i), 4);
                 }
             });
             for _ in 0..4 {
@@ -183,6 +235,12 @@ mod tests {
                                 assert_eq!(l, &label(i));
                             }
                         }
+                        // The lock-free scan must only yield complete,
+                        // self-consistent cells.
+                        for (v, p) in idx.iter().step_by(131) {
+                            assert_eq!(p.name, NameId(v.0));
+                            assert_eq!(p.label, label(v.0));
+                        }
                         if len == n as usize {
                             break;
                         }
@@ -192,5 +250,6 @@ mod tests {
             }
         });
         assert_eq!(idx.len(), n as usize);
+        assert_eq!(idx.iter().count(), n as usize);
     }
 }

@@ -1,87 +1,101 @@
 //! # wf-service
 //!
-//! A concurrent, sharded **provenance labeling service**: many workflow
+//! A concurrent, sharded **provenance labeling engine**: many workflow
 //! runs labeled *on-the-fly* at once, with reachability queries answered
-//! while ingestion is in flight.
+//! while ingestion is in flight — within a run and **across runs**.
 //!
 //! The paper (Bao, Davidson, Milo, SIGMOD 2011) labels one run as it
 //! executes; a workflow engine in production executes *fleets* of runs.
-//! This crate turns the single-run labelers of `wf-drl` into a service:
+//! This crate turns the single-run labelers of `wf-drl` into an owned,
+//! `Send + Sync + 'static` service — **Engine API v2**:
 //!
-//! * a [`WfService`] owns a **sharded run registry** (`RwLock` per
-//!   shard) mapping [`RunId`]s to live labeling state;
-//! * the **ingest path** accepts [`ServiceEvent`]s — singly via
-//!   [`WfService::submit`] or batched via [`WfService::submit_batch`],
-//!   which preserves per-run event order while ingesting distinct runs
-//!   in parallel on scoped threads;
+//! * a [`WfEngine`] owns its specification catalog as
+//!   `Arc<SpecContext>`s (no borrowed lifetime infecting callers) and a
+//!   **sharded run registry** mapping [`RunId`]s to live labeling state;
+//! * the **ingest path** is a persistent, channel-fed **worker pool**
+//!   with bounded queues and backpressure: [`WfEngine::ingest`] enqueues
+//!   a [`ServiceEvent`] and returns immediately, [`WfEngine::flush`] is
+//!   a watermark barrier, and [`WfEngine::drain`] shuts the pool down
+//!   gracefully. The blocking [`WfEngine::submit`] /
+//!   [`WfEngine::submit_batch`] survive as thin wrappers over the same
+//!   pipelined path (per-run event order is always preserved: one run is
+//!   pinned to one worker's FIFO queue);
 //! * the **query path** is lock-free: every applied insertion publishes
-//!   the vertex's immutable [`DrlLabel`] into a write-once
-//!   [`index::LabelIndex`], and [`WfService::reach`] (or a cached
-//!   [`RunHandle`]) resolves `u ; v` from two published labels plus the
+//!   the vertex's immutable [`DrlLabel`](wf_drl::DrlLabel) into a
+//!   write-once [`index::LabelIndex`], and a cloneable, lifetime-free
+//!   [`RunHandle`] resolves `u ; v` from two published labels plus the
 //!   shared skeleton predicate — constant time, no locks, concurrent
 //!   with ingestion (labels never change once assigned, Definitions
 //!   8–9);
-//! * [`WfService::stats`] reports service-level activity (runs live and
-//!   completed, events ingested, queries answered, label bits).
+//! * [`WfEngine::query`] opens the **cross-run query surface**:
+//!   lineage questions spanning several runs of one specification
+//!   ("which completed runs have a vertex named N reachable from their
+//!   source?"), answered by iterating published label chunks lock-free;
+//! * [`WfEngine::stats`] reports engine-level activity (runs live and
+//!   completed, events enqueued/ingested, ingest backlog, label bits).
 //!
 //! ```
-//! use wf_service::{RunOp, ServiceEvent, SpecContext, WfService};
+//! use wf_service::{RunOp, ServiceEvent, WfEngine};
 //! use wf_run::Execution;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! // One shared catalog entry: specification + skeleton labels.
-//! let catalog: [SpecContext; 1] =
-//!     [SpecContext::from_spec(wf_spec::corpus::running_example())];
-//! let service = WfService::new(&catalog);
+//! // The engine owns its catalog: specification + skeleton labels.
+//! let engine: WfEngine = WfEngine::builder()
+//!     .spec(wf_spec::corpus::running_example())
+//!     .ingest_workers(2)
+//!     .build();
 //!
-//! // Open two runs and interleave their events through one batch.
+//! // Open two runs and stream their events through the worker pool.
 //! let spec = wf_service::SpecId(0);
-//! let (a, b) = (service.open_run(spec).unwrap(), service.open_run(spec).unwrap());
+//! let (a, b) = (engine.open_run(spec).unwrap(), engine.open_run(spec).unwrap());
 //! let mut rng = StdRng::seed_from_u64(7);
-//! let mut batch = Vec::new();
 //! let mut first_edge = None;
 //! for &run in &[a, b] {
-//!     let gen = wf_run::RunGenerator::new(&catalog[0].spec)
+//!     let gen = wf_run::RunGenerator::new(&engine.context(spec).unwrap().spec)
 //!         .target_size(60)
 //!         .generate_run(&mut rng);
 //!     let exec = Execution::deterministic(&gen.graph, &gen.origin);
 //!     first_edge.get_or_insert((exec.events()[0].vertex, exec.events()[1].vertex));
 //!     for ev in exec.events() {
-//!         batch.push(ServiceEvent { run, op: RunOp::Insert(ev.clone()) });
+//!         engine.ingest(ServiceEvent { run, op: RunOp::Insert(ev.clone()) }).unwrap();
 //!     }
 //! }
-//! let outcome = service.submit_batch(&batch);
-//! assert!(outcome.failures.is_empty());
+//! // Watermark barrier: everything enqueued above is now applied.
+//! engine.flush();
 //!
-//! // Query mid-service: constant-time reachability from labels alone.
-//! let h = service.handle(a).unwrap();
+//! // Query mid-service: constant-time reachability from labels alone,
+//! // through a cloneable handle that owns everything it needs.
+//! let h = engine.handle(a).unwrap();
 //! let (u, v) = first_edge.unwrap();
-//! assert_eq!(h.reach(u, v), Some(true));
-//! assert!(service.stats().events_ingested > 0);
+//! assert_eq!(h.clone().reach(u, v), Some(true));
+//! assert!(engine.stats().events_ingested > 0);
 //! ```
 
+mod engine;
+mod handle;
 pub mod index;
+mod ingest;
+mod query;
 mod stats;
 
+pub use engine::{EngineBuilder, WfEngine, DEFAULT_MAX_VERTEX_ID};
+pub use handle::RunHandle;
+pub use index::PublishedLabel;
+pub use query::{CrossRunQuery, SourceReach};
 pub use stats::ServiceStats;
 
-use index::LabelIndex;
-use stats::Counters;
-use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
-use wf_drl::{DrlLabel, DrlPredicate, ExecError, ExecutionLabeler, ResolutionMode};
+use wf_drl::{ExecError, ResolutionMode};
 use wf_graph::VertexId;
 use wf_run::ExecEvent;
 use wf_skeleton::{SpecLabeling, TclSpecLabels};
 use wf_spec::Specification;
 
-/// Index of a specification in the service's catalog.
+/// Index of a specification in the engine's catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SpecId(pub usize);
 
-/// Service-wide identifier of one workflow run.
+/// Engine-wide identifier of one workflow run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RunId(pub u64);
 
@@ -94,6 +108,8 @@ impl fmt::Display for RunId {
 /// A specification plus its prebuilt skeleton labels — the immutable,
 /// shared context every run of that workflow labels against (§5.1's
 /// preprocessing, done once per specification rather than once per run).
+/// The engine holds these behind `Arc`s; runs, handles and queries share
+/// them by reference count.
 pub struct SpecContext<S: SpecLabeling = TclSpecLabels> {
     /// The workflow specification.
     pub spec: Specification,
@@ -121,7 +137,7 @@ impl<S: SpecLabeling> SpecContext<S> {
         }
     }
 
-    /// The resolution mode [`WfService::open_run`] uses for this spec:
+    /// The resolution mode [`WfEngine::open_run`] uses for this spec:
     /// name-based when §5.3's Conditions 1–2 hold, log-based otherwise.
     pub fn default_resolution(&self) -> ResolutionMode {
         self.default_resolution
@@ -158,14 +174,14 @@ pub enum RunStatus {
     /// Ingestion hit an error; queries over already-published labels
     /// still served.
     Failed,
-    /// Removed from the registry by [`WfService::evict_run`]; writes
+    /// Removed from the registry by [`WfEngine::evict_run`]; writes
     /// through outstanding handles are rejected, queries over published
     /// labels still served.
     Evicted,
 }
 
 impl RunStatus {
-    fn from_u8(v: u8) -> Self {
+    pub(crate) fn from_u8(v: u8) -> Self {
         match v {
             0 => RunStatus::Live,
             1 => RunStatus::Completed,
@@ -174,7 +190,7 @@ impl RunStatus {
         }
     }
 
-    fn as_u8(self) -> u8 {
+    pub(crate) fn as_u8(self) -> u8 {
         match self {
             RunStatus::Live => 0,
             RunStatus::Completed => 1,
@@ -184,7 +200,7 @@ impl RunStatus {
     }
 }
 
-/// Errors surfaced by the service API.
+/// Errors surfaced by the engine API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The catalog has no such specification.
@@ -193,13 +209,25 @@ pub enum ServiceError {
     UnknownRun(RunId),
     /// The run no longer accepts events.
     RunNotLive(RunId, RunStatus),
-    /// The event's vertex id exceeds the service's per-run bound
-    /// ([`WfService::max_vertex_id`]). Vertex ids size internal tables,
+    /// The event's vertex id exceeds the engine's per-run bound
+    /// ([`WfEngine::max_vertex_id`]). Vertex ids size internal tables,
     /// so an absurd id from a buggy engine must not allocate
     /// proportionally before validation.
     VertexOutOfBounds(RunId, VertexId),
     /// The underlying labeler rejected an event.
     Labeler(RunId, ExecError),
+    /// Configuration is frozen: engine parameters (the vertex-id
+    /// ceiling) can only change before the first run is opened —
+    /// afterwards, per-run state has already been sized against them.
+    ConfigFrozen,
+    /// The ingest pool has been drained ([`WfEngine::drain`]); no new
+    /// events are accepted. Queries keep working.
+    ShuttingDown,
+    /// The worker applying this event panicked (e.g. over a lock
+    /// poisoned by an earlier panic). The op did not complete and the
+    /// run's writer state may be unusable; published labels remain
+    /// queryable.
+    WorkerPanicked(RunId),
 }
 
 impl fmt::Display for ServiceError {
@@ -209,415 +237,25 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownRun(r) => write!(f, "unknown {r}"),
             ServiceError::RunNotLive(r, s) => write!(f, "{r} is {s:?}, not live"),
             ServiceError::VertexOutOfBounds(r, v) => {
-                write!(f, "{r}: vertex id {v:?} exceeds the service bound")
+                write!(f, "{r}: vertex id {v:?} exceeds the engine bound")
             }
             ServiceError::Labeler(r, e) => write!(f, "{r}: {e}"),
+            ServiceError::ConfigFrozen => {
+                write!(f, "engine configuration is frozen once the first run opens")
+            }
+            ServiceError::ShuttingDown => {
+                write!(f, "the ingest pool is drained; no new events are accepted")
+            }
+            ServiceError::WorkerPanicked(r) => {
+                write!(f, "{r}: the ingest worker panicked applying the event")
+            }
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
 
-/// Per-run state: the single-writer labeler behind a mutex, and the
-/// lock-free published-label index the query path reads.
-struct RunSlot<'s, S: SpecLabeling> {
-    spec: SpecId,
-    skl_bits: usize,
-    max_vertex_id: u32,
-    writer: Mutex<ExecutionLabeler<'s, S>>,
-    indexed: LabelIndex,
-    status: AtomicU8,
-    events: AtomicU64,
-    /// Queries answered against this run. Per-slot (each slot is its own
-    /// allocation) so the query hot path never contends on a single
-    /// service-wide cache line with ingest writers; `stats()` sums it.
-    queries: AtomicU64,
-}
-
-impl<S: SpecLabeling> RunSlot<'_, S> {
-    fn status(&self) -> RunStatus {
-        RunStatus::from_u8(self.status.load(Ordering::Acquire))
-    }
-
-    /// Apply one insertion under the writer lock, then publish the fresh
-    /// labels to the lock-free index.
-    ///
-    /// Lifecycle transitions ([`Self::complete`], failure marking) also
-    /// happen under the writer lock, so the Live check cannot race a
-    /// concurrent completion: once a run reports Completed, no event
-    /// slips in after it.
-    fn apply_insert(&self, run: RunId, ev: &ExecEvent) -> Result<(), ServiceError> {
-        if ev.vertex.0 > self.max_vertex_id {
-            // Reject before any table sizes to the id (both the labeler
-            // and the label index allocate proportionally to it).
-            return Err(ServiceError::VertexOutOfBounds(run, ev.vertex));
-        }
-        let mut w = self.writer.lock().expect("writer lock poisoned");
-        match self.status() {
-            RunStatus::Live => {}
-            s => return Err(ServiceError::RunNotLive(run, s)),
-        }
-        if let Err(e) = w.insert(ev) {
-            self.status
-                .store(RunStatus::Failed.as_u8(), Ordering::Release);
-            return Err(ServiceError::Labeler(run, e));
-        }
-        for v in w.take_fresh() {
-            let label = w.label(v).cloned().expect("fresh vertices carry labels");
-            self.indexed.publish(v, label, self.skl_bits);
-        }
-        self.events.fetch_add(1, Ordering::Relaxed);
-        Ok(())
-    }
-
-    fn complete(&self, run: RunId) -> Result<(), ServiceError> {
-        // Take the writer lock so completion serializes with in-flight
-        // inserts (see `apply_insert`).
-        let _w = self.writer.lock().expect("writer lock poisoned");
-        self.status
-            .compare_exchange(
-                RunStatus::Live.as_u8(),
-                RunStatus::Completed.as_u8(),
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
-            .map(|_| ())
-            .map_err(|s| ServiceError::RunNotLive(run, RunStatus::from_u8(s)))
-    }
-}
-
-/// Registry shard: one `RwLock`ed map per shard keeps run lookup
-/// contention independent of the number of concurrent runs.
-type Shard<'s, S> = RwLock<HashMap<u64, Arc<RunSlot<'s, S>>>>;
-
-/// The concurrent multi-run labeling service. See the crate docs for the
-/// architecture; `'s` is the lifetime of the shared [`SpecContext`]
-/// catalog (typically owned by `main` and borrowed for the service's
-/// whole life, which is what lets run workers share it across scoped
-/// threads without reference counting every query).
-pub struct WfService<'s, S: SpecLabeling = TclSpecLabels> {
-    catalog: &'s [SpecContext<S>],
-    shards: Box<[Shard<'s, S>]>,
-    shard_mask: u64,
-    max_vertex_id: u32,
-    next_run: AtomicU64,
-    counters: Counters,
-}
-
-/// Default per-run vertex-id ceiling: 2²⁴ ≈ 16M vertices, far beyond the
-/// paper's 32K-vertex runs yet small enough that a garbage id from a
-/// buggy engine cannot drive a multi-gigabyte table allocation.
-pub const DEFAULT_MAX_VERTEX_ID: u32 = (1 << 24) - 1;
-
-impl<'s, S: SpecLabeling + Sync> WfService<'s, S> {
-    /// A service over `catalog` with a default shard count.
-    pub fn new(catalog: &'s [SpecContext<S>]) -> Self {
-        Self::with_shards(catalog, 16)
-    }
-
-    /// A service with an explicit shard count (rounded up to a power of
-    /// two).
-    pub fn with_shards(catalog: &'s [SpecContext<S>], shards: usize) -> Self {
-        let n = shards.max(1).next_power_of_two();
-        let shards: Box<[Shard<'s, S>]> = (0..n).map(|_| RwLock::new(HashMap::new())).collect();
-        Self {
-            catalog,
-            shards,
-            shard_mask: (n - 1) as u64,
-            max_vertex_id: DEFAULT_MAX_VERTEX_ID,
-            next_run: AtomicU64::new(0),
-            counters: Counters::new(),
-        }
-    }
-
-    /// Raise or lower the per-run vertex-id ceiling (applies to runs
-    /// opened afterwards). Internal tables size to the largest vertex id
-    /// seen, so the ceiling bounds worst-case memory per run.
-    pub fn set_max_vertex_id(&mut self, max: u32) {
-        self.max_vertex_id = max;
-    }
-
-    /// The per-run vertex-id ceiling.
-    pub fn max_vertex_id(&self) -> u32 {
-        self.max_vertex_id
-    }
-
-    /// The shared specification catalog.
-    pub fn catalog(&self) -> &'s [SpecContext<S>] {
-        self.catalog
-    }
-
-    fn shard(&self, run: RunId) -> &Shard<'s, S> {
-        // Fibonacci hashing spreads sequential run ids across shards.
-        let h = run.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        &self.shards[(h & self.shard_mask) as usize]
-    }
-
-    fn slot(&self, run: RunId) -> Result<Arc<RunSlot<'s, S>>, ServiceError> {
-        self.shard(run)
-            .read()
-            .expect("shard lock poisoned")
-            .get(&run.0)
-            .cloned()
-            .ok_or(ServiceError::UnknownRun(run))
-    }
-
-    /// Open a new run of specification `spec`. Resolution is name-based
-    /// when the spec satisfies §5.3's Conditions 1–2, log-based
-    /// otherwise (log-based needs the `origin` field every [`ExecEvent`]
-    /// already carries).
-    pub fn open_run(&self, spec: SpecId) -> Result<RunId, ServiceError> {
-        let ctx = self
-            .catalog
-            .get(spec.0)
-            .ok_or(ServiceError::UnknownSpec(spec))?;
-        self.open_run_with(spec, ctx.default_resolution)
-    }
-
-    /// Open a new run with an explicit resolution mode.
-    pub fn open_run_with(
-        &self,
-        spec: SpecId,
-        resolution: ResolutionMode,
-    ) -> Result<RunId, ServiceError> {
-        let ctx = self
-            .catalog
-            .get(spec.0)
-            .ok_or(ServiceError::UnknownSpec(spec))?;
-        let run = RunId(self.next_run.fetch_add(1, Ordering::Relaxed));
-        let labeler = match resolution {
-            ResolutionMode::NameBased => ExecutionLabeler::new(&ctx.spec, &ctx.skeleton),
-            ResolutionMode::LogBased => ExecutionLabeler::new_log_based(&ctx.spec, &ctx.skeleton),
-        }
-        .map_err(|e| ServiceError::Labeler(run, e))?;
-        let slot = Arc::new(RunSlot {
-            spec,
-            skl_bits: labeler.skl_bits(),
-            max_vertex_id: self.max_vertex_id,
-            writer: Mutex::new(labeler),
-            indexed: LabelIndex::new(),
-            status: AtomicU8::new(RunStatus::Live.as_u8()),
-            events: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-        });
-        self.shard(run)
-            .write()
-            .expect("shard lock poisoned")
-            .insert(run.0, slot);
-        Counters::bump(&self.counters.runs_opened);
-        Ok(run)
-    }
-
-    /// Shared ingest bookkeeping for every submit path (single, batch,
-    /// handle): one place decides which counters an outcome bumps.
-    fn record_insert_outcome(&self, res: &Result<(), ServiceError>) {
-        match res {
-            Ok(()) => Counters::bump(&self.counters.events_ingested),
-            Err(ServiceError::Labeler(..)) => Counters::bump(&self.counters.runs_failed),
-            Err(_) => {}
-        }
-    }
-
-    /// Apply one insertion event to one run.
-    pub fn submit(&self, run: RunId, ev: &ExecEvent) -> Result<(), ServiceError> {
-        let slot = self.slot(run)?;
-        let res = slot.apply_insert(run, ev);
-        self.record_insert_outcome(&res);
-        res
-    }
-
-    /// Mark a run complete; its labels stay queryable.
-    pub fn complete_run(&self, run: RunId) -> Result<(), ServiceError> {
-        self.slot(run)?.complete(run).inspect(|()| {
-            Counters::bump(&self.counters.runs_completed);
-        })
-    }
-
-    /// Drop a run's state entirely (registry eviction). Outstanding
-    /// [`RunHandle`]s keep their reference-counted slot alive until
-    /// dropped and may continue *querying* published labels, but writes
-    /// through them are rejected with [`RunStatus::Evicted`] — an
-    /// eviction must not let a handle keep ingesting into state no new
-    /// lookup can reach. New lookups fail with
-    /// [`ServiceError::UnknownRun`].
-    pub fn evict_run(&self, run: RunId) -> Result<(), ServiceError> {
-        let slot = self
-            .shard(run)
-            .write()
-            .expect("shard lock poisoned")
-            .remove(&run.0)
-            .ok_or(ServiceError::UnknownRun(run))?;
-        // Serialize with any in-flight insert (writer lock), then mark.
-        let _w = slot.writer.lock().expect("writer lock poisoned");
-        slot.status
-            .store(RunStatus::Evicted.as_u8(), Ordering::Release);
-        Ok(())
-    }
-
-    /// Apply a batch of events: **per-run order is preserved** (events
-    /// of one run apply in batch order, on one worker) while **distinct
-    /// runs ingest in parallel** on scoped threads. Failures are
-    /// per-run: one run's bad event never blocks the others, and the
-    /// failed run keeps serving queries over its already-published
-    /// labels.
-    pub fn submit_batch(&self, events: &[ServiceEvent]) -> BatchOutcome {
-        // Group by run, preserving the submission order within each run.
-        let mut order: Vec<RunId> = Vec::new();
-        let mut groups: HashMap<u64, Vec<&RunOp>> = HashMap::new();
-        for ev in events {
-            groups
-                .entry(ev.run.0)
-                .or_insert_with(|| {
-                    order.push(ev.run);
-                    Vec::new()
-                })
-                .push(&ev.op);
-        }
-        let workers = std::thread::available_parallelism()
-            .map(usize::from)
-            .unwrap_or(4)
-            .min(order.len().max(1));
-        // Round-robin runs across workers: each run's group stays whole
-        // (ordered), distinct runs proceed concurrently.
-        let mut assignments: Vec<Vec<(RunId, &Vec<&RunOp>)>> = vec![Vec::new(); workers];
-        for (i, run) in order.iter().enumerate() {
-            assignments[i % workers].push((*run, &groups[&run.0]));
-        }
-        let mut outcome = BatchOutcome::default();
-        std::thread::scope(|scope| {
-            // The calling thread takes the first assignment itself, so a
-            // single-run batch (the common streaming case) spawns no
-            // threads at all.
-            let handles: Vec<_> = assignments[1..]
-                .iter()
-                .map(|runs| scope.spawn(move || self.apply_groups(runs)))
-                .collect();
-            let (applied, failures) = self.apply_groups(&assignments[0]);
-            outcome.applied += applied;
-            outcome.failures.extend(failures);
-            for h in handles {
-                let (applied, failures) = h.join().expect("batch worker panicked");
-                outcome.applied += applied;
-                outcome.failures.extend(failures);
-            }
-        });
-        Counters::bump(&self.counters.batches_ingested);
-        outcome
-    }
-
-    /// Worker body: apply each assigned run's ops in order. A failure
-    /// that leaves the run unable to accept events (a labeler error,
-    /// which marks it Failed, or a non-Live status) skips the run's
-    /// remaining ops; a per-event rejection like
-    /// [`ServiceError::VertexOutOfBounds`] records the failure and
-    /// carries on, so one forged event cannot strand an otherwise
-    /// healthy run mid-batch.
-    fn apply_groups(&self, runs: &[(RunId, &Vec<&RunOp>)]) -> (usize, Vec<(RunId, ServiceError)>) {
-        let mut applied = 0;
-        let mut failures = Vec::new();
-        'runs: for &(run, ops) in runs {
-            let slot = match self.slot(run) {
-                Ok(s) => s,
-                Err(e) => {
-                    failures.push((run, e));
-                    continue;
-                }
-            };
-            for op in ops {
-                let res = match op {
-                    RunOp::Insert(ev) => {
-                        let res = slot.apply_insert(run, ev);
-                        self.record_insert_outcome(&res);
-                        res.map(|()| applied += 1)
-                    }
-                    RunOp::Complete => slot.complete(run).inspect(|()| {
-                        Counters::bump(&self.counters.runs_completed);
-                    }),
-                };
-                if let Err(e) = res {
-                    let run_dead = !matches!(e, ServiceError::VertexOutOfBounds(..));
-                    failures.push((run, e));
-                    if run_dead {
-                        continue 'runs;
-                    }
-                }
-            }
-        }
-        (applied, failures)
-    }
-
-    /// Constant-time reachability `u ; v` within `run`, lock-free
-    /// against concurrent ingestion. `Ok(None)` means at least one of
-    /// the two vertices has not been labeled yet (its event is still in
-    /// flight); because labels and pairwise answers are immutable once
-    /// published, any `Some` answer remains valid forever.
-    pub fn reach(
-        &self,
-        run: RunId,
-        u: VertexId,
-        v: VertexId,
-    ) -> Result<Option<bool>, ServiceError> {
-        Ok(self.handle(run)?.reach(u, v))
-    }
-
-    /// The published label of `v`, if any.
-    pub fn label(&self, run: RunId, v: VertexId) -> Result<Option<DrlLabel>, ServiceError> {
-        Ok(self.handle(run)?.label(v).cloned())
-    }
-
-    /// A cached handle for hot query paths: resolves the registry shard
-    /// once; every query on the handle is lock-free.
-    pub fn handle(&self, run: RunId) -> Result<RunHandle<'_, 's, S>, ServiceError> {
-        let slot = self.slot(run)?;
-        let ctx = &self.catalog[slot.spec.0];
-        Ok(RunHandle {
-            service: self,
-            ctx,
-            run,
-            slot,
-        })
-    }
-
-    /// Status of a run.
-    pub fn run_status(&self, run: RunId) -> Result<RunStatus, ServiceError> {
-        Ok(self.slot(run)?.status())
-    }
-
-    /// Point-in-time service statistics. Per-run quantities (labels,
-    /// label bits, queries) are summed over *registered* runs — evicting
-    /// a run removes its contribution.
-    pub fn stats(&self) -> ServiceStats {
-        let mut labels_published = 0u64;
-        let mut label_bits_total = 0u64;
-        let mut queries_answered = 0u64;
-        let mut live = 0u64;
-        for shard in &self.shards {
-            for slot in shard.read().expect("shard lock poisoned").values() {
-                labels_published += slot.indexed.len() as u64;
-                label_bits_total += slot.indexed.total_bits();
-                queries_answered += slot.queries.load(Ordering::Relaxed);
-                if slot.status() == RunStatus::Live {
-                    live += 1;
-                }
-            }
-        }
-        let c = &self.counters;
-        ServiceStats {
-            runs_opened: c.runs_opened.load(Ordering::Relaxed),
-            runs_live: live,
-            runs_completed: c.runs_completed.load(Ordering::Relaxed),
-            runs_failed: c.runs_failed.load(Ordering::Relaxed),
-            events_ingested: c.events_ingested.load(Ordering::Relaxed),
-            batches_ingested: c.batches_ingested.load(Ordering::Relaxed),
-            queries_answered,
-            labels_published,
-            label_bits_total,
-            uptime: c.started.elapsed(),
-        }
-    }
-}
-
-/// Result of a batch submission.
+/// Result of a blocking batch submission.
 #[derive(Debug, Default)]
 pub struct BatchOutcome {
     /// Insertion events successfully applied.
@@ -625,305 +263,4 @@ pub struct BatchOutcome {
     /// Per-run failures (a failed run's later ops in the batch are
     /// skipped; other runs are unaffected).
     pub failures: Vec<(RunId, ServiceError)>,
-}
-
-/// A cached per-run query handle. Every method is lock-free: label
-/// lookups are two `Acquire` loads into the run's write-once index, and
-/// the reachability predicate reads only the two labels plus the shared
-/// immutable skeleton.
-pub struct RunHandle<'a, 's, S: SpecLabeling> {
-    service: &'a WfService<'s, S>,
-    ctx: &'s SpecContext<S>,
-    run: RunId,
-    slot: Arc<RunSlot<'s, S>>,
-}
-
-impl<S: SpecLabeling + Sync> RunHandle<'_, '_, S> {
-    /// The run this handle is for.
-    pub fn run(&self) -> RunId {
-        self.run
-    }
-
-    /// Constant-time `u ; v` from published labels; `None` until both
-    /// vertices' events have been applied.
-    pub fn reach(&self, u: VertexId, v: VertexId) -> Option<bool> {
-        let lu = self.slot.indexed.get(u)?;
-        let lv = self.slot.indexed.get(v)?;
-        let answer = DrlPredicate::new(&self.ctx.skeleton).reaches(lu, lv);
-        // Per-slot counter: readers of different runs never share a
-        // cache line with each other or with the service-wide ingest
-        // counters.
-        Counters::bump(&self.slot.queries);
-        Some(answer)
-    }
-
-    /// Apply one insertion event through the cached handle — the ingest
-    /// analogue of the lock-free query path: no registry shard lookup
-    /// per event, just the run's writer mutex.
-    pub fn submit(&self, ev: &ExecEvent) -> Result<(), ServiceError> {
-        let res = self.slot.apply_insert(self.run, ev);
-        self.service.record_insert_outcome(&res);
-        res
-    }
-
-    /// Mark the run complete through the cached handle.
-    pub fn complete(&self) -> Result<(), ServiceError> {
-        self.slot.complete(self.run).inspect(|()| {
-            Counters::bump(&self.service.counters.runs_completed);
-        })
-    }
-
-    /// The published label of `v`, if any.
-    pub fn label(&self, v: VertexId) -> Option<&DrlLabel> {
-        self.slot.indexed.get(v)
-    }
-
-    /// Published label length in bits.
-    pub fn label_bits(&self, v: VertexId) -> Option<usize> {
-        self.label(v).map(|l| l.bit_len(self.slot.skl_bits))
-    }
-
-    /// Number of labels published so far (monotone under ingestion).
-    pub fn published(&self) -> usize {
-        self.slot.indexed.len()
-    }
-
-    /// Events applied so far.
-    pub fn events_applied(&self) -> u64 {
-        self.slot.events.load(Ordering::Relaxed)
-    }
-
-    /// The run's lifecycle status.
-    pub fn status(&self) -> RunStatus {
-        self.slot.status()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use wf_run::{Execution, RunGenerator};
-
-    fn catalog() -> Vec<SpecContext> {
-        vec![
-            SpecContext::from_spec(wf_spec::corpus::running_example()),
-            SpecContext::from_spec(wf_spec::corpus::theorem1()),
-        ]
-    }
-
-    #[test]
-    fn unknown_ids_are_rejected() {
-        let catalog = catalog();
-        let service = WfService::new(&catalog);
-        assert_eq!(
-            service.open_run(SpecId(9)).unwrap_err(),
-            ServiceError::UnknownSpec(SpecId(9))
-        );
-        assert_eq!(
-            service
-                .reach(RunId(3), VertexId(0), VertexId(1))
-                .unwrap_err(),
-            ServiceError::UnknownRun(RunId(3))
-        );
-    }
-
-    #[test]
-    fn lifecycle_and_stats() {
-        let catalog = catalog();
-        let service = WfService::new(&catalog);
-        let run = service.open_run(SpecId(0)).unwrap();
-        assert_eq!(service.run_status(run).unwrap(), RunStatus::Live);
-
-        let mut rng = StdRng::seed_from_u64(1);
-        let gen = RunGenerator::new(&catalog[0].spec)
-            .target_size(50)
-            .generate_run(&mut rng);
-        let exec = Execution::deterministic(&gen.graph, &gen.origin);
-        for ev in exec.events() {
-            service.submit(run, ev).unwrap();
-        }
-        service.complete_run(run).unwrap();
-        assert_eq!(service.run_status(run).unwrap(), RunStatus::Completed);
-        // Completed runs reject further events but keep answering.
-        assert!(matches!(
-            service.submit(run, &exec.events()[0]).unwrap_err(),
-            ServiceError::RunNotLive(_, RunStatus::Completed)
-        ));
-        let s = service.stats();
-        assert_eq!(s.runs_opened, 1);
-        assert_eq!(s.runs_completed, 1);
-        assert_eq!(s.events_ingested as usize, exec.len());
-        assert_eq!(s.labels_published as usize, exec.len());
-        assert!(s.label_bits_total > 0);
-
-        // Eviction removes the registry entry.
-        service.evict_run(run).unwrap();
-        assert_eq!(
-            service.run_status(run).unwrap_err(),
-            ServiceError::UnknownRun(run)
-        );
-    }
-
-    #[test]
-    fn batch_preserves_per_run_order_and_isolates_failures() {
-        let catalog = catalog();
-        let service = WfService::new(&catalog);
-        let mut rng = StdRng::seed_from_u64(5);
-        // Four healthy runs (two per spec) and one poisoned run whose
-        // first event is invalid.
-        let runs: Vec<RunId> = (0..4)
-            .map(|i| service.open_run(SpecId(i % 2)).unwrap())
-            .collect();
-        let poisoned = service.open_run(SpecId(0)).unwrap();
-
-        let mut batch = Vec::new();
-        let mut execs = Vec::new();
-        for (i, &run) in runs.iter().enumerate() {
-            let ctx = &catalog[i % 2];
-            let gen = RunGenerator::new(&ctx.spec)
-                .target_size(80)
-                .generate_run(&mut rng);
-            let exec = Execution::random(&gen.graph, &gen.origin, &mut rng);
-            for ev in exec.events() {
-                batch.push(ServiceEvent {
-                    run,
-                    op: RunOp::Insert(ev.clone()),
-                });
-            }
-            batch.push(ServiceEvent {
-                run,
-                op: RunOp::Complete,
-            });
-            execs.push((run, gen, exec));
-        }
-        // The poisoned run starts with a non-source event.
-        batch.push(ServiceEvent {
-            run: poisoned,
-            op: RunOp::Insert(execs[0].2.events()[1].clone()),
-        });
-        let outcome = service.submit_batch(&batch);
-        assert_eq!(outcome.failures.len(), 1);
-        assert_eq!(outcome.failures[0].0, poisoned);
-        assert_eq!(service.run_status(poisoned).unwrap(), RunStatus::Failed);
-
-        // Every healthy run: fully applied, completed, and every pair
-        // answers exactly like the ground-truth oracle.
-        for (run, gen, exec) in &execs {
-            assert_eq!(service.run_status(*run).unwrap(), RunStatus::Completed);
-            let h = service.handle(*run).unwrap();
-            assert_eq!(h.published(), exec.len());
-            let oracle = wf_graph::reach::ReachOracle::new(&gen.graph);
-            for a in gen.graph.vertices() {
-                for b in gen.graph.vertices() {
-                    assert_eq!(h.reach(a, b), Some(oracle.reaches(a, b)), "{a:?};{b:?}");
-                }
-            }
-        }
-        let s = service.stats();
-        assert_eq!(s.runs_failed, 1);
-        assert_eq!(s.runs_completed, 4);
-        assert!(s.queries_answered > 0);
-    }
-
-    #[test]
-    fn absurd_vertex_ids_are_rejected_before_allocation() {
-        let catalog = catalog();
-        let service = WfService::new(&catalog);
-        let run = service.open_run(SpecId(0)).unwrap();
-        let mut rng = StdRng::seed_from_u64(13);
-        let gen = RunGenerator::new(&catalog[0].spec)
-            .target_size(30)
-            .generate_run(&mut rng);
-        let exec = Execution::deterministic(&gen.graph, &gen.origin);
-        // A forged event with a near-u32::MAX id must bounce with a
-        // typed error instead of sizing tables to the id.
-        let mut forged = exec.events()[0].clone();
-        forged.vertex = VertexId(u32::MAX - 1);
-        assert_eq!(
-            service.submit(run, &forged).unwrap_err(),
-            ServiceError::VertexOutOfBounds(run, forged.vertex)
-        );
-        // The run is unharmed: the real stream still applies.
-        for ev in exec.events() {
-            service.submit(run, ev).unwrap();
-        }
-        assert_eq!(service.handle(run).unwrap().published(), exec.len());
-    }
-
-    #[test]
-    fn batch_survives_per_event_rejections() {
-        let catalog = catalog();
-        let service = WfService::new(&catalog);
-        let run = service.open_run(SpecId(0)).unwrap();
-        let mut rng = StdRng::seed_from_u64(17);
-        let gen = RunGenerator::new(&catalog[0].spec)
-            .target_size(40)
-            .generate_run(&mut rng);
-        let exec = Execution::deterministic(&gen.graph, &gen.origin);
-        // Forge an out-of-bounds event into the middle of an otherwise
-        // healthy single-run batch ending in Complete.
-        let mut forged = exec.events()[1].clone();
-        forged.vertex = VertexId(u32::MAX - 7);
-        let mut batch: Vec<ServiceEvent> = Vec::new();
-        for (i, ev) in exec.events().iter().enumerate() {
-            if i == exec.len() / 2 {
-                batch.push(ServiceEvent {
-                    run,
-                    op: RunOp::Insert(forged.clone()),
-                });
-            }
-            batch.push(ServiceEvent {
-                run,
-                op: RunOp::Insert(ev.clone()),
-            });
-        }
-        batch.push(ServiceEvent {
-            run,
-            op: RunOp::Complete,
-        });
-        let outcome = service.submit_batch(&batch);
-        // The rejection is reported, but the rest of the run — including
-        // its Complete — still lands.
-        assert_eq!(
-            outcome.failures,
-            vec![(run, ServiceError::VertexOutOfBounds(run, forged.vertex))]
-        );
-        assert_eq!(outcome.applied, exec.len());
-        assert_eq!(service.run_status(run).unwrap(), RunStatus::Completed);
-        assert_eq!(service.handle(run).unwrap().published(), exec.len());
-    }
-
-    #[test]
-    fn handles_stay_valid_for_queries_but_reject_writes_after_eviction() {
-        let catalog = catalog();
-        let service = WfService::new(&catalog);
-        let run = service.open_run(SpecId(0)).unwrap();
-        let mut rng = StdRng::seed_from_u64(11);
-        let gen = RunGenerator::new(&catalog[0].spec)
-            .target_size(30)
-            .generate_run(&mut rng);
-        let exec = Execution::deterministic(&gen.graph, &gen.origin);
-        let handle = service.handle(run).unwrap();
-        for ev in &exec.events()[..exec.len() - 1] {
-            handle.submit(ev).unwrap();
-        }
-        service.evict_run(run).unwrap();
-        // The Arc keeps the slot alive: queries still work…
-        let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
-        assert!(handle.reach(u, v).is_some());
-        assert_eq!(handle.status(), RunStatus::Evicted);
-        // …but writes through the stale handle are rejected — otherwise
-        // they would ingest into state no new lookup can reach and skew
-        // the service counters forever.
-        assert_eq!(
-            handle.submit(&exec.events()[exec.len() - 1]).unwrap_err(),
-            ServiceError::RunNotLive(run, RunStatus::Evicted)
-        );
-        assert_eq!(
-            handle.complete().unwrap_err(),
-            ServiceError::RunNotLive(run, RunStatus::Evicted)
-        );
-    }
 }

@@ -1,0 +1,203 @@
+//! The cross-run query surface: lineage questions spanning **several
+//! runs** of one (or every) specification.
+//!
+//! Per-run queries resolve two labels and apply the paper's constant-
+//! time predicate (Algorithm 4). The cross-run surface lifts that to the
+//! fleet: because every published label is immutable and lives in a
+//! write-once chunk table ([`crate::index::LabelIndex`]), a scan over
+//! "all vertices named N across all completed runs of spec S" is a
+//! lock-free walk of published chunks — no writer is blocked, no lock is
+//! taken beyond the brief registry-shard read needed to snapshot the run
+//! list.
+//!
+//! The flagship question ("which completed runs of spec S have a vertex
+//! named N reachable from their source?") composes three write-once
+//! facts per run: the source vertex (first applied event), the published
+//! labels of every N-named vertex, and the skeleton predicate:
+//!
+//! ```
+//! # use wf_service::{WfEngine, SpecId, ServiceEvent, RunOp};
+//! # use wf_run::Execution;
+//! # use rand::{rngs::StdRng, SeedableRng};
+//! # let engine: WfEngine = WfEngine::builder().spec(wf_spec::corpus::running_example()).build();
+//! # let run = engine.open_run(SpecId(0)).unwrap();
+//! # let mut rng = StdRng::seed_from_u64(5);
+//! # let gen = wf_run::RunGenerator::new(&engine.context(SpecId(0)).unwrap().spec)
+//! #     .target_size(40).generate_run(&mut rng);
+//! # let exec = Execution::deterministic(&gen.graph, &gen.origin);
+//! # for ev in exec.events() { engine.submit(run, ev).unwrap(); }
+//! # let name = exec.events()[1].name;
+//! # engine.complete_run(run).unwrap();
+//! let hits = engine
+//!     .query()
+//!     .spec(SpecId(0))
+//!     .completed()
+//!     .runs_reaching_named_from_source(name);
+//! assert_eq!(hits, vec![run]);
+//! ```
+
+use crate::engine::{EngineShared, RunSlot};
+use crate::stats::Counters;
+use crate::{RunId, RunStatus, SpecId};
+use std::sync::Arc;
+use wf_drl::DrlPredicate;
+use wf_graph::{NameId, VertexId};
+use wf_skeleton::{SpecLabeling, TclSpecLabels};
+
+/// One run's answer to a "reachable from source" question: the source
+/// vertex and every in-scope vertex the source reaches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceReach {
+    /// The run.
+    pub run: RunId,
+    /// Its source vertex (first applied event).
+    pub source: VertexId,
+    /// The matching vertices reachable from `source`, in id order.
+    pub witnesses: Vec<VertexId>,
+}
+
+/// A scoped cross-run query: filter by specification and run status,
+/// then ask a fleet-level question. Answers are point-in-time — they
+/// reflect the labels published when the scan runs, and every individual
+/// answer is permanent (labels never change once published).
+pub struct CrossRunQuery<'e, S: SpecLabeling + Send + Sync + 'static = TclSpecLabels> {
+    shared: &'e EngineShared<S>,
+    spec: Option<SpecId>,
+    status: Option<RunStatus>,
+}
+
+impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
+    pub(crate) fn new(shared: &'e EngineShared<S>) -> Self {
+        Self {
+            shared,
+            spec: None,
+            status: None,
+        }
+    }
+
+    /// Restrict the scope to runs of one specification.
+    pub fn spec(mut self, spec: SpecId) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Restrict the scope to runs with this lifecycle status (sampled
+    /// when the scan runs).
+    pub fn with_status(mut self, status: RunStatus) -> Self {
+        self.status = Some(status);
+        self
+    }
+
+    /// Restrict the scope to completed runs.
+    pub fn completed(self) -> Self {
+        self.with_status(RunStatus::Completed)
+    }
+
+    /// Snapshot the in-scope run slots, sorted by run id.
+    fn slots(&self) -> Vec<(RunId, Arc<RunSlot<S>>)> {
+        let mut slots: Vec<_> = self
+            .shared
+            .snapshot_slots()
+            .into_iter()
+            .filter(|(_, slot)| {
+                self.spec.is_none_or(|s| slot.spec == s)
+                    && self.status.is_none_or(|st| slot.status() == st)
+            })
+            .collect();
+        slots.sort_by_key(|(run, _)| *run);
+        slots
+    }
+
+    /// The runs currently in scope, sorted by id.
+    pub fn run_ids(&self) -> Vec<RunId> {
+        self.slots().into_iter().map(|(run, _)| run).collect()
+    }
+
+    /// Every published vertex named `name`, per in-scope run (runs with
+    /// no match are omitted). Lock-free scan of published label chunks.
+    pub fn vertices_named(&self, name: NameId) -> Vec<(RunId, Vec<VertexId>)> {
+        self.slots()
+            .into_iter()
+            .filter_map(|(run, slot)| {
+                let vs: Vec<VertexId> = slot
+                    .indexed
+                    .iter()
+                    .filter(|(_, p)| p.name == name)
+                    .map(|(v, _)| v)
+                    .collect();
+                (!vs.is_empty()).then_some((run, vs))
+            })
+            .collect()
+    }
+
+    /// For each in-scope run whose source can reach at least one vertex
+    /// named `name`: the source and the full witness list. The paper's
+    /// constant-time predicate decides each pair, so a run costs
+    /// O(published) label-chunk visits plus O(matches) predicate calls.
+    pub fn reaching_named_from_source(&self, name: NameId) -> Vec<SourceReach> {
+        self.slots()
+            .into_iter()
+            .filter_map(|(run, slot)| {
+                let source = *slot.source.get()?;
+                let src_label = slot.indexed.get(source)?;
+                let ctx = &self.shared.catalog[slot.spec.0];
+                let predicate = DrlPredicate::new(&ctx.skeleton);
+                let witnesses: Vec<VertexId> = slot
+                    .indexed
+                    .iter()
+                    .filter(|(_, p)| p.name == name)
+                    .filter(|(_, p)| {
+                        Counters::bump(&slot.queries);
+                        predicate.reaches(src_label, &p.label)
+                    })
+                    .map(|(v, _)| v)
+                    .collect();
+                (!witnesses.is_empty()).then_some(SourceReach {
+                    run,
+                    source,
+                    witnesses,
+                })
+            })
+            .collect()
+    }
+
+    /// The flagship fleet question, e.g. *"which completed runs of spec
+    /// S have a vertex named N reachable from their source?"*: scope
+    /// with [`Self::spec`] + [`Self::completed`], then call this.
+    /// Returns matching run ids in id order.
+    pub fn runs_reaching_named_from_source(&self, name: NameId) -> Vec<RunId> {
+        self.reaching_named_from_source(name)
+            .into_iter()
+            .map(|r| r.run)
+            .collect()
+    }
+
+    /// Runs where *some* vertex named `from` reaches *some* vertex named
+    /// `to` — a name-level lineage join within each in-scope run. Costs
+    /// O(|from| · |to|) constant-time predicate calls per run.
+    pub fn runs_linking(&self, from: NameId, to: NameId) -> Vec<RunId> {
+        self.slots()
+            .into_iter()
+            .filter_map(|(run, slot)| {
+                let ctx = &self.shared.catalog[slot.spec.0];
+                let predicate = DrlPredicate::new(&ctx.skeleton);
+                let froms: Vec<_> = slot
+                    .indexed
+                    .iter()
+                    .filter(|(_, p)| p.name == from)
+                    .collect();
+                let tos: Vec<_> = slot.indexed.iter().filter(|(_, p)| p.name == to).collect();
+                let hit = froms.iter().any(|(u, pu)| {
+                    tos.iter().any(|(v, pv)| {
+                        if u == v {
+                            return false;
+                        }
+                        Counters::bump(&slot.queries);
+                        predicate.reaches(&pu.label, &pv.label)
+                    })
+                });
+                hit.then_some(run)
+            })
+            .collect()
+    }
+}

@@ -1,4 +1,4 @@
-//! Service-level counters and their point-in-time snapshot.
+//! Engine-level counters and their point-in-time snapshot.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -13,6 +13,7 @@ pub(crate) struct Counters {
     pub runs_failed: AtomicU64,
     pub events_ingested: AtomicU64,
     pub batches_ingested: AtomicU64,
+    pub flushes: AtomicU64,
 }
 
 impl Counters {
@@ -24,6 +25,7 @@ impl Counters {
             runs_failed: AtomicU64::new(0),
             events_ingested: AtomicU64::new(0),
             batches_ingested: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
         }
     }
 
@@ -32,7 +34,7 @@ impl Counters {
     }
 }
 
-/// A point-in-time snapshot of service activity.
+/// A point-in-time snapshot of engine activity.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceStats {
     /// Runs ever opened.
@@ -44,20 +46,33 @@ pub struct ServiceStats {
     pub runs_completed: u64,
     /// Runs whose ingestion hit an error.
     pub runs_failed: u64,
-    /// Insertion events applied across all runs.
+    /// Envelopes handed to the ingest worker pool (inserts and
+    /// completions, successful or not). **Pool-only**: the synchronous
+    /// [`crate::RunHandle::submit`] path never enqueues, so this can be
+    /// smaller than `events_ingested` when both paths are in use.
+    pub events_enqueued: u64,
+    /// Insertion events successfully applied across all runs, through
+    /// *either* path (pooled or synchronous handle submits).
     pub events_ingested: u64,
-    /// Batches accepted by [`crate::WfService::submit_batch`].
+    /// Envelopes enqueued but not yet processed by a worker — the live
+    /// depth of the pipeline (pool-only, like `events_enqueued`).
+    pub ingest_backlog: u64,
+    /// Batches accepted by [`crate::WfEngine::submit_batch`].
     pub batches_ingested: u64,
+    /// Watermark barriers taken ([`crate::WfEngine::flush`]).
+    pub flushes: u64,
+    /// Persistent ingest workers in the pool.
+    pub ingest_workers: u64,
     /// Reachability queries served, summed over currently-registered
     /// runs (counted per run slot so the query hot path never contends
-    /// on a service-wide cache line; evicting a run drops its count).
+    /// on an engine-wide cache line; evicting a run drops its count).
     pub queries_answered: u64,
     /// Labels published into the query indexes.
     pub labels_published: u64,
     /// Total size of published labels in bits (the paper's label-length
-    /// metric, aggregated service-wide).
+    /// metric, aggregated engine-wide).
     pub label_bits_total: u64,
-    /// Wall-clock since the service started.
+    /// Wall-clock since the engine started.
     pub uptime: Duration,
 }
 
@@ -87,13 +102,17 @@ impl std::fmt::Display for ServiceStats {
         write!(
             f,
             "runs: {} live / {} completed / {} failed (of {} opened); \
-             events: {} ({:.0}/s); queries: {}; labels: {} ({:.1} bits avg)",
+             events: {} applied ({:.0}/s; pool: {} enqueued, backlog {}); \
+             workers: {}; queries: {}; labels: {} ({:.1} bits avg)",
             self.runs_live,
             self.runs_completed,
             self.runs_failed,
             self.runs_opened,
             self.events_ingested,
             self.events_per_sec(),
+            self.events_enqueued,
+            self.ingest_backlog,
+            self.ingest_workers,
             self.queries_answered,
             self.labels_published,
             self.avg_label_bits(),

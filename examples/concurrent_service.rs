@@ -1,13 +1,16 @@
-//! The `wf-service` subsystem end to end: a fleet of workflow runs
-//! ingesting **concurrently** — per-run ordered events, cross-run
-//! parallelism — while reader threads answer reachability queries
-//! against published labels, lock-free and mid-flight.
+//! The `wf-service` Engine API v2 end to end: a fleet of workflow runs
+//! streamed through the **persistent channel-fed ingest pool** — per-run
+//! ordered events, cross-run parallelism across workers — while
+//! monitoring threads holding **cloned, lifetime-free run handles**
+//! answer reachability queries against published labels, lock-free and
+//! mid-flight, and a **cross-run query** sums up lineage over the whole
+//! fleet at the end.
 //!
 //! The scenario mirrors a production workflow engine: several pipelines
 //! (two different specifications) execute at once; the provenance
-//! service labels each module invocation the moment its event arrives
-//! (the paper's on-the-fly guarantee), and monitoring dashboards query
-//! lineage continuously without ever blocking an ingest writer.
+//! engine labels each module invocation the moment its event arrives
+//! (the paper's on-the-fly guarantee), and dashboards query lineage
+//! continuously without ever blocking an ingest worker.
 //!
 //! ```text
 //! cargo run --example concurrent_service
@@ -18,49 +21,57 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use wf_provenance::prelude::*;
 
 fn main() {
-    // Shared catalog: each specification is preprocessed once (skeleton
-    // labels, §5.1); every run of that workflow labels against it.
-    let catalog: Vec<SpecContext> = vec![
-        SpecContext::from_spec(wf_spec::corpus::running_example()),
-        SpecContext::from_spec(wf_spec::corpus::bioaid()),
-    ];
+    // The engine owns its catalog: each specification is preprocessed
+    // once (skeleton labels, §5.1); every run labels against it. All
+    // configuration happens in the builder — nothing to mutate later.
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::running_example())
+        .spec(wf_spec::corpus::bioaid())
+        .shards(8)
+        .ingest_workers(4)
+        .queue_capacity(512)
+        .build();
 
     // A fleet of eight simulated executions across the two
-    // specifications — generated *before* the service starts, so the
-    // service's events/s reflects ingest alone.
+    // specifications — generated *before* ingestion starts, so the
+    // engine's events/s reflects ingest alone.
     const FLEET: usize = 8;
     let mut executions = Vec::new();
     for i in 0..FLEET {
-        let spec = SpecId(i % catalog.len());
+        let spec = SpecId(i % engine.catalog().len());
         let mut rng = StdRng::seed_from_u64(2011 + i as u64);
-        let gen = RunGenerator::new(&catalog[spec.0].spec)
+        let gen = RunGenerator::new(&engine.context(spec).unwrap().spec)
             .target_size(1200)
             .generate_run(&mut rng);
         let exec = Execution::random(&gen.graph, &gen.origin, &mut rng);
         executions.push((spec, exec));
     }
 
-    let service = WfService::with_shards(&catalog, 8);
     let runs: Vec<(RunId, &Execution)> = executions
         .iter()
-        .map(|(spec, exec)| (service.open_run(*spec).expect("catalog spec"), exec))
+        .map(|(spec, exec)| (engine.open_run(*spec).expect("catalog spec"), exec))
         .collect();
     let total_events: usize = runs.iter().map(|(_, e)| e.len()).sum();
     println!(
         "fleet: {FLEET} runs over {} specifications, {total_events} events total",
-        catalog.len()
+        engine.catalog().len()
     );
 
     let done = AtomicBool::new(false);
     let queries = AtomicUsize::new(0);
     let mid_flight = AtomicUsize::new(0);
+    // Handles are cloneable and `'static`: resolve them once, hand
+    // clones to whoever needs them.
+    let handles: Vec<(RunHandle, &Execution)> = runs
+        .iter()
+        .map(|(run, exec)| (engine.handle(*run).expect("run registered"), *exec))
+        .collect();
     std::thread::scope(|scope| {
         // Two monitoring threads first (so they are live before the
         // first event lands): lock-free queries over random pairs,
-        // racing the writers.
+        // racing the ingest workers.
         for seed in 0..2u64 {
-            let runs = &runs;
-            let service = &service;
+            let handles = &handles;
             let (done, queries, mid_flight) = (&done, &queries, &mid_flight);
             scope.spawn(move || {
                 use rand::Rng;
@@ -71,8 +82,7 @@ fn main() {
                 // the threads (this container may have a single core).
                 let mut answered = 0u32;
                 while !done.load(Ordering::Acquire) || answered < 10_000 {
-                    let (run, exec) = &runs[rng.gen_range(0..runs.len())];
-                    let handle = service.handle(*run).expect("run registered");
+                    let (handle, exec) = &handles[rng.gen_range(0..handles.len())];
                     let u = exec.events()[rng.gen_range(0..exec.len())].vertex;
                     let v = exec.events()[rng.gen_range(0..exec.len())].vertex;
                     let published = handle.published();
@@ -86,24 +96,31 @@ fn main() {
                 }
             });
         }
-        // One writer thread per run: events must arrive in order per
-        // run; distinct runs ingest fully in parallel. Each writer
-        // resolves its run handle once and streams through it — no
-        // registry lookup per event.
+        // One producer thread per run feeds the pipelined ingest path:
+        // events of a run arrive in order (the pool pins each run to one
+        // worker's FIFO queue), distinct runs fan out across workers,
+        // and the bounded queues push back if producers outrun labeling.
         for (run, exec) in &runs {
-            scope.spawn(|| {
-                let h = service.handle(*run).expect("run registered");
+            let engine = &engine;
+            scope.spawn(move || {
                 for ev in exec.events() {
-                    h.submit(ev).expect("healthy event stream");
+                    engine
+                        .ingest(ServiceEvent {
+                            run: *run,
+                            op: RunOp::Insert(ev.clone()),
+                        })
+                        .expect("healthy event stream");
                 }
-                h.complete().expect("was live");
+                // Completion flows through the same queue, so it lands
+                // after every event above.
+                engine.complete_run(*run).expect("was live");
             });
         }
         // Coordinator: stop the monitors once every run completed.
         scope.spawn(|| loop {
             let all = runs
                 .iter()
-                .all(|(r, _)| service.run_status(*r).unwrap() != RunStatus::Live);
+                .all(|(r, _)| engine.run_status(*r).unwrap() != RunStatus::Live);
             if all {
                 done.store(true, Ordering::Release);
                 break;
@@ -112,9 +129,11 @@ fn main() {
         });
     });
 
-    let stats = service.stats();
+    // Watermark barrier: everything enqueued above is applied.
+    let watermark = engine.flush();
+    let stats = engine.stats();
     println!(
-        "ingested {} events in {:.1?} ({:.0} events/s sustained)",
+        "ingested {} events in {:.1?} ({:.0} events/s sustained, watermark {watermark})",
         stats.events_ingested,
         stats.uptime,
         stats.events_per_sec()
@@ -129,11 +148,26 @@ fn main() {
         stats.labels_published,
         stats.avg_label_bits()
     );
-    println!("service: {stats}");
+    println!("engine: {stats}");
+
+    // The cross-run query surface: fleet-level lineage without touching
+    // any run's writer. "Which completed runs have a vertex with this
+    // module name reachable from their source?"
+    let probe = executions[0].1.events()[executions[0].1.len() / 2].name;
+    let reached = engine
+        .query()
+        .completed()
+        .runs_reaching_named_from_source(probe);
+    println!(
+        "cross-run: {}/{} completed runs reach module name {:?} from their source",
+        reached.len(),
+        FLEET,
+        probe
+    );
 
     // Spot-check a lineage question on the first run, post completion.
     let (run, exec) = &runs[0];
-    let handle = service.handle(*run).unwrap();
+    let handle = engine.handle(*run).unwrap();
     let src = exec.events()[0].vertex;
     let last = exec.events()[exec.len() - 1].vertex;
     println!(

@@ -3,11 +3,14 @@
 //! (Section 1: "scientific workflows can take a long time to execute and
 //! users may want to ask provenance queries over partial executions").
 //!
-//! A BioAID-like pipeline executes module by module; every executed
-//! module is labeled immediately (execution-based scheme, §5.3), and a
-//! monitoring loop interleaves provenance queries such as "was this
-//! intermediate result derived from that input?" long before the run
-//! completes.
+//! A BioAID-like pipeline executes module by module. A producer thread
+//! streams each execution event into the engine's **channel-fed ingest
+//! pool** the moment it "happens" ([`WfEngine::ingest`] returns as soon
+//! as the event is enqueued), every executed module is labeled on
+//! arrival (execution-based scheme, §5.3), and the scientist's
+//! monitoring loop — holding nothing but a cloned [`RunHandle`] —
+//! interleaves provenance queries such as "was this intermediate result
+//! derived from that input?" long before the run completes.
 //!
 //! ```text
 //! cargo run --example streaming_provenance
@@ -17,80 +20,114 @@ use rand::rngs::StdRng;
 use wf_provenance::prelude::*;
 
 fn main() {
-    let spec = wf_spec::corpus::bioaid();
-    let skeleton = TclSpecLabels::build(&spec);
+    // Engine over one specification; builder-only configuration.
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::bioaid())
+        .ingest_workers(1) // one run → one writer; more would idle
+        .queue_capacity(256)
+        .build();
+    let spec = SpecId(0);
 
     // Simulate one execution of the pipeline (≈1500 module invocations),
     // streamed in a random topological order — as a workflow engine
     // would report them.
     let mut rng = StdRng::seed_from_u64(2011);
-    let run = RunGenerator::new(&spec)
+    let run_gen = RunGenerator::new(&engine.context(spec).unwrap().spec)
         .target_size(1500)
         .generate_run(&mut rng);
-    let execution = Execution::random(&run.graph, &run.origin, &mut rng);
+    let execution = Execution::random(&run_gen.graph, &run_gen.origin, &mut rng);
     println!(
         "executing BioAID-like pipeline: {} module invocations",
         execution.len()
     );
 
-    // The on-the-fly labeler. Name-based inference works because the
-    // spec satisfies §5.3's Conditions 1–2 (validated here).
-    let mut labeler = ExecutionLabeler::new(&spec, &skeleton).expect("conditions hold");
+    let run = engine.open_run(spec).expect("spec in catalog");
+    // The monitor's view of the run: a cloneable, lock-free handle.
+    let monitor = engine.handle(run).expect("run registered");
 
     let mut monitored: Vec<VertexId> = Vec::new();
     let mut queries_answered = 0usize;
     let mut positive = 0usize;
-    for (i, ev) in execution.events().iter().enumerate() {
-        labeler.insert(ev).expect("valid execution");
-        // Keep a sample of "interesting data products" to monitor.
-        if i % 97 == 0 {
-            monitored.push(ev.vertex);
+    std::thread::scope(|scope| {
+        // Producer: the "workflow engine" reporting events as they
+        // happen. Fire-and-forget enqueue; the bounded queue applies
+        // backpressure if labeling falls behind.
+        let engine = &engine;
+        let producer_events = execution.events();
+        scope.spawn(move || {
+            for ev in producer_events {
+                engine
+                    .ingest(ServiceEvent {
+                        run,
+                        op: RunOp::Insert(ev.clone()),
+                    })
+                    .expect("valid execution");
+            }
+            engine.complete_run(run).expect("was live");
+        });
+
+        // The scientist, on the main thread: watch labels appear and ask
+        // lineage questions mid-run, entirely from published labels.
+        let events = execution.events();
+        let mut asked_at = 0usize;
+        while monitor.status() == RunStatus::Live || asked_at < events.len() {
+            let published = monitor.published();
+            // Keep a sample of "interesting data products" to monitor.
+            while asked_at < published.min(events.len()) {
+                if asked_at.is_multiple_of(97) {
+                    monitored.push(events[asked_at].vertex);
+                }
+                // Every 200 applied events: which monitored products fed
+                // into the most recent one?
+                if asked_at % 200 == 199 {
+                    let newest = events[asked_at].vertex;
+                    let deps = monitored
+                        .iter()
+                        .filter(|&&m| monitor.reach(m, newest) == Some(true))
+                        .count();
+                    queries_answered += monitored.len();
+                    positive += deps;
+                    println!(
+                        "  after {:4} events: {:2}/{} monitored products are ancestors of the newest output",
+                        asked_at + 1,
+                        deps,
+                        monitored.len()
+                    );
+                }
+                asked_at += 1;
+            }
+            std::thread::yield_now();
         }
-        // Every 200 steps, the scientist asks: which monitored products
-        // fed into the most recent one?
-        if i % 200 == 199 {
-            let newest = ev.vertex;
-            let deps = monitored
-                .iter()
-                .filter(|&&m| labeler.reaches(m, newest).unwrap())
-                .count();
-            queries_answered += monitored.len();
-            positive += deps;
-            println!(
-                "  after {:4} steps: {:2}/{} monitored products are ancestors of the newest output",
-                i + 1,
-                deps,
-                monitored.len()
-            );
-        }
-    }
+    });
 
     // Cross-check every mid-run answer class once more at the end
     // against ground truth on the final graph (labels never changed, so
     // any mid-run answer equals the final answer for the same pair —
     // Remark 1).
-    let oracle = wf_graph::reach::ReachOracle::new(&run.graph);
+    let watermark = engine.flush();
+    let oracle = wf_graph::reach::ReachOracle::new(&run_gen.graph);
     for &a in &monitored {
         for &b in &monitored {
-            assert_eq!(labeler.reaches(a, b).unwrap(), oracle.reaches(a, b));
+            assert_eq!(monitor.reach(a, b), Some(oracle.reaches(a, b)));
         }
     }
     println!(
-        "run complete: {queries_answered} live queries answered ({positive} positive), \
-         all verified against ground truth"
+        "run complete (flush watermark {watermark}): {queries_answered} live queries answered \
+         ({positive} positive), all verified against ground truth"
     );
 
     // Label economics: the whole run was labeled with short labels.
-    let max_bits = run
+    let max_bits = run_gen
         .graph
         .vertices()
-        .map(|v| labeler.label_bits(v).unwrap())
+        .map(|v| monitor.label_bits(v).unwrap())
         .max()
         .unwrap();
-    let n = run.graph.vertex_count();
+    let n = run_gen.graph.vertex_count();
     println!(
         "max label: {max_bits} bits for n = {n} (log2(n) = {:.1}; naive dynamic TCL would need {} bits)",
         (n as f64).log2(),
         n - 1
     );
+    println!("engine: {}", engine.stats());
 }

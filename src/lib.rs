@@ -43,33 +43,45 @@
 //! }
 //! ```
 
-//! ## Concurrent service quickstart
+//! ## Concurrent engine quickstart
 //!
-//! [`service`] (`wf-service`) labels **many runs at once**: per-run
-//! ordered ingest, cross-run parallelism, and lock-free constant-time
-//! reachability queries concurrent with ingestion.
+//! [`service`] (`wf-service`) labels **many runs at once** behind an
+//! owned, `Send + Sync + 'static` [`WfEngine`](wf_service::WfEngine):
+//! channel-fed pipelined ingest through a persistent worker pool,
+//! lock-free constant-time reachability queries concurrent with
+//! ingestion, and a cross-run query surface over the whole fleet.
 //!
 //! ```
 //! use wf_provenance::prelude::*;
 //!
-//! // Shared catalog: specification + skeleton labels, built once.
-//! let catalog: Vec<SpecContext> =
-//!     vec![SpecContext::from_spec(wf_spec::corpus::running_example())];
-//! let service = WfService::new(&catalog);
+//! // The engine owns its catalog (specs + skeleton labels, built once).
+//! let engine: WfEngine = WfEngine::builder()
+//!     .spec(wf_spec::corpus::running_example())
+//!     .ingest_workers(2)
+//!     .build();
 //!
-//! // Open a run and stream its execution events in.
-//! let run = service.open_run(SpecId(0)).unwrap();
+//! // Open a run and stream its execution events through the pool.
+//! let run = engine.open_run(SpecId(0)).unwrap();
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-//! let gen = RunGenerator::new(&catalog[0].spec).target_size(80).generate_run(&mut rng);
+//! let gen = RunGenerator::new(&engine.context(SpecId(0)).unwrap().spec)
+//!     .target_size(80)
+//!     .generate_run(&mut rng);
 //! let exec = Execution::deterministic(&gen.graph, &gen.origin);
-//! let handle = service.handle(run).unwrap();
+//! let handle = engine.handle(run).unwrap(); // cloneable, lifetime-free
 //! for ev in exec.events() {
-//!     service.submit(run, ev).unwrap();
+//!     engine.ingest(ServiceEvent { run, op: RunOp::Insert(ev.clone()) }).unwrap();
 //!     // Queries are answered mid-ingest, from published labels alone.
 //!     let _ = handle.reach(exec.events()[0].vertex, ev.vertex);
 //! }
-//! service.complete_run(run).unwrap();
-//! assert_eq!(service.stats().runs_completed, 1);
+//! engine.flush();                     // watermark barrier
+//! engine.complete_run(run).unwrap();
+//!
+//! // Cross-run lineage: which completed runs reach a given module name
+//! // from their source?
+//! let name = exec.events()[1].name;
+//! let hits = engine.query().completed().runs_reaching_named_from_source(name);
+//! assert_eq!(hits, vec![run]);
+//! assert_eq!(engine.stats().runs_completed, 1);
 //! ```
 
 pub use wf_drl as drl;
@@ -90,8 +102,8 @@ pub mod prelude {
     pub use wf_graph::{Graph, NameId, VertexId};
     pub use wf_run::{CanonicalParseTree, Derivation, ExecEvent, Execution, RunGenerator};
     pub use wf_service::{
-        RunHandle, RunId, RunOp, RunStatus, ServiceEvent, ServiceStats, SpecContext, SpecId,
-        WfService,
+        CrossRunQuery, EngineBuilder, RunHandle, RunId, RunOp, RunStatus, ServiceError,
+        ServiceEvent, ServiceStats, SourceReach, SpecContext, SpecId, WfEngine,
     };
     pub use wf_skeleton::{BfsSpecLabels, SpecLabeling, TclSpecLabels};
     pub use wf_skl::{SklBfs, SklLabeling};

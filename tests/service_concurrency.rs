@@ -1,18 +1,22 @@
-//! Concurrency tests for `wf-service`: queries answered *while runs are
-//! ingesting* must agree, pair for pair, with a post-hoc
-//! [`NaiveDynamicDag`] replay of the same event prefix (the §3.2 scheme
-//! is exact for arbitrary dynamic DAGs, so it is the ground-truth oracle
-//! for every dynamic labeling answer).
+//! Concurrency tests for `wf-service`'s Engine API v2: queries answered
+//! *while runs are ingesting through the persistent worker pool* must
+//! agree, pair for pair, with a post-hoc [`NaiveDynamicDag`] replay of
+//! the same event prefix (the §3.2 scheme is exact for arbitrary dynamic
+//! DAGs, so it is the ground-truth oracle for every dynamic labeling
+//! answer), and the cross-run query surface must agree with a naive
+//! multi-run replay.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use wf_provenance::prelude::*;
 use wf_run::generator::GeneratedRun;
 
-fn catalog() -> Vec<SpecContext> {
-    vec![
-        SpecContext::from_spec(wf_spec::corpus::running_example()),
-        SpecContext::from_spec(wf_spec::corpus::bioaid()),
-    ]
+fn engine() -> WfEngine {
+    WfEngine::builder()
+        .spec(wf_spec::corpus::running_example())
+        .spec(wf_spec::corpus::bioaid())
+        .shards(8)
+        .ingest_workers(4)
+        .build()
 }
 
 fn sample(spec: &Specification, seed: u64, target: usize) -> (GeneratedRun, Execution) {
@@ -24,25 +28,28 @@ fn sample(spec: &Specification, seed: u64, target: usize) -> (GeneratedRun, Exec
     (gen, exec)
 }
 
-/// Single-threaded prefix semantics, stated exactly as the acceptance
-/// criterion: after every ingested event, *every* query over inserted
-/// vertices matches a `NaiveDynamicDag` replay of the same prefix.
+/// Single-threaded prefix semantics through the worker pool, stated
+/// exactly as the acceptance criterion: after every event acknowledged
+/// by the pipelined path, *every* query over inserted vertices matches a
+/// `NaiveDynamicDag` replay of the same prefix.
 #[test]
 fn mid_ingest_queries_match_prefix_replay() {
-    let catalog = catalog();
-    let service = WfService::new(&catalog);
+    let engine = engine();
     for (spec_idx, seed) in [(0usize, 21u64), (1, 22)] {
-        let run = service.open_run(SpecId(spec_idx)).unwrap();
-        let (_gen, exec) = sample(&catalog[spec_idx].spec, seed, 90);
-        let handle = service.handle(run).unwrap();
+        let run = engine.open_run(SpecId(spec_idx)).unwrap();
+        let (_gen, exec) = sample(&engine.context(SpecId(spec_idx)).unwrap().spec, seed, 90);
+        let handle = engine.handle(run).unwrap();
         let mut naive = NaiveDynamicDag::new();
         let mut inserted: Vec<VertexId> = Vec::new();
         for (i, ev) in exec.events().iter().enumerate() {
-            service.submit(run, ev).unwrap();
+            // Blocking submit = enqueue into the pool + wait for the
+            // worker's ack, so the event really flowed through the
+            // pipelined path before we query.
+            engine.submit(run, ev).unwrap();
             naive.insert(ev.vertex, &ev.preds);
             inserted.push(ev.vertex);
             assert_eq!(handle.published(), i + 1, "labels publish with the event");
-            // The service's answers over the prefix equal the naive
+            // The engine's answers over the prefix equal the naive
             // replay of that same prefix.
             for &a in &inserted {
                 for &b in &inserted {
@@ -58,24 +65,27 @@ fn mid_ingest_queries_match_prefix_replay() {
     }
 }
 
-/// The headline scenario: six runs (over two specifications) ingesting
-/// concurrently on their own writer threads while four reader threads
-/// fire interleaved reachability queries. Every answer returned
-/// mid-ingest is recorded and verified afterwards against a naive
-/// replay; the test also demands that a healthy share of the queries
-/// actually raced live ingestion.
+/// The headline scenario: six runs (over two specifications) pushed
+/// through the shared worker pool by their own producer threads while
+/// four reader threads holding cloned handles fire interleaved
+/// reachability queries. Every answer returned mid-ingest is recorded
+/// and verified afterwards against a naive replay; the test also demands
+/// that a healthy share of the queries actually raced live ingestion.
 #[test]
 fn concurrent_runs_with_interleaved_queries() {
     const RUNS: usize = 6;
     const READERS: usize = 4;
-    let catalog = catalog();
-    let service = WfService::with_shards(&catalog, 8);
+    let engine = engine();
 
     let mut runs = Vec::new();
     for i in 0..RUNS {
-        let spec_idx = i % catalog.len();
-        let run = service.open_run(SpecId(spec_idx)).unwrap();
-        let (gen, exec) = sample(&catalog[spec_idx].spec, 100 + i as u64, 220);
+        let spec_idx = i % engine.catalog().len();
+        let run = engine.open_run(SpecId(spec_idx)).unwrap();
+        let (gen, exec) = sample(
+            &engine.context(SpecId(spec_idx)).unwrap().spec,
+            100 + i as u64,
+            220,
+        );
         runs.push((run, gen, exec));
     }
 
@@ -86,20 +96,26 @@ fn concurrent_runs_with_interleaved_queries() {
 
     let readers_ready = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        // Writers: one per run, events strictly in order. Each writer
-        // waits for every reader to be live before its first event, so
-        // queries genuinely race ingestion on any scheduler.
+        // Producers: one per run, events strictly in order through the
+        // pipelined fire-and-forget path (the pool pins each run to one
+        // worker queue, preserving order). Each producer waits for every
+        // reader to be live before its first event, so queries genuinely
+        // race ingestion on any scheduler.
         for (run, _gen, exec) in &runs {
             let readers_ready = &readers_ready;
-            let service = &service;
+            let engine = &engine;
             let mid = &mid_ingest_answers;
             scope.spawn(move || {
                 while readers_ready.load(Ordering::Acquire) < READERS {
                     std::thread::yield_now();
                 }
-                let h = service.handle(*run).unwrap();
                 for (j, ev) in exec.events().iter().enumerate() {
-                    h.submit(ev).unwrap();
+                    engine
+                        .ingest(ServiceEvent {
+                            run: *run,
+                            op: RunOp::Insert(ev.clone()),
+                        })
+                        .unwrap();
                     // Halfway through, park until some reader has landed
                     // a mid-ingest answer — this makes the "queries race
                     // live ingestion" property deterministic instead of
@@ -115,26 +131,33 @@ fn concurrent_runs_with_interleaved_queries() {
                         std::thread::yield_now();
                     }
                 }
-                h.complete().unwrap();
+                // Completion is ordered after every event of the run by
+                // the same worker queue.
+                engine.complete_run(*run).unwrap();
             });
         }
-        // Readers: random pairs on random runs until all writers finish.
+        // Readers: random pairs on random runs until all runs finish,
+        // through cloned lifetime-free handles.
         let mut readers = Vec::new();
         for r in 0..READERS {
             let runs = &runs;
-            let service = &service;
+            let engine = &engine;
             let done = &done;
             let mid = &mid_ingest_answers;
             let readers_ready = &readers_ready;
             readers.push(scope.spawn(move || {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(999 + r as u64);
                 use rand::Rng;
+                let handles: Vec<RunHandle> = runs
+                    .iter()
+                    .map(|(run, ..)| engine.handle(*run).unwrap())
+                    .collect();
                 let mut seen = Vec::new();
                 readers_ready.fetch_add(1, Ordering::Release);
                 while !done.load(Ordering::Acquire) {
                     let i = rng.gen_range(0..runs.len());
-                    let (run, _, exec) = &runs[i];
-                    let handle = service.handle(*run).unwrap();
+                    let (_, _, exec) = &runs[i];
+                    let handle = &handles[i];
                     let total = exec.len();
                     let u = exec.events()[rng.gen_range(0..total)].vertex;
                     let v = exec.events()[rng.gen_range(0..total)].vertex;
@@ -149,12 +172,11 @@ fn concurrent_runs_with_interleaved_queries() {
                 seen
             }));
         }
-        // Writers are the non-reader handles; wait via scope end ordering:
-        // spawn a coordinator that flips `done` once every run completes.
+        // Coordinator: flip `done` once every run completes.
         scope.spawn(|| loop {
             let all_done = runs
                 .iter()
-                .all(|(run, ..)| service.run_status(*run).unwrap() != RunStatus::Live);
+                .all(|(run, ..)| engine.run_status(*run).unwrap() != RunStatus::Live);
             if all_done {
                 done.store(true, Ordering::Release);
                 break;
@@ -195,29 +217,34 @@ fn concurrent_runs_with_interleaved_queries() {
         "no query raced live ingestion — the interleaving never happened"
     );
 
-    // Service-level bookkeeping adds up.
-    let stats = service.stats();
+    // Engine-level bookkeeping adds up.
+    let stats = engine.stats();
     let total_events: usize = runs.iter().map(|(_, _, e)| e.len()).sum();
     assert_eq!(stats.events_ingested as usize, total_events);
     assert_eq!(stats.labels_published as usize, total_events);
     assert_eq!(stats.runs_completed as usize, RUNS);
     assert_eq!(stats.runs_live, 0);
+    assert_eq!(stats.ingest_backlog, 0);
     assert!(stats.queries_answered >= verified as u64);
 }
 
 /// Batched ingest across runs: one feeder thread pushes interleaved
-/// cross-run batches while readers query; per-run order is preserved by
-/// `submit_batch`, so the final labels agree with the oracle everywhere.
+/// cross-run batches through the pool while readers query; per-run order
+/// is preserved (each run rides one worker queue), so the final labels
+/// agree with the oracle everywhere.
 #[test]
 fn batched_ingest_with_concurrent_readers() {
     const RUNS: usize = 5;
-    let catalog = catalog();
-    let service = WfService::new(&catalog);
+    let engine = engine();
     let mut runs = Vec::new();
     for i in 0..RUNS {
-        let spec_idx = i % catalog.len();
-        let run = service.open_run(SpecId(spec_idx)).unwrap();
-        let (gen, exec) = sample(&catalog[spec_idx].spec, 500 + i as u64, 150);
+        let spec_idx = i % engine.catalog().len();
+        let run = engine.open_run(SpecId(spec_idx)).unwrap();
+        let (gen, exec) = sample(
+            &engine.context(SpecId(spec_idx)).unwrap().spec,
+            500 + i as u64,
+            150,
+        );
         runs.push((run, gen, exec));
     }
 
@@ -239,14 +266,14 @@ fn batched_ingest_with_concurrent_readers() {
     std::thread::scope(|scope| {
         scope.spawn(|| {
             for chunk in interleaved.chunks(64) {
-                let outcome = service.submit_batch(chunk);
+                let outcome = engine.submit_batch(chunk);
                 assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
             }
             done.store(true, Ordering::Release);
         });
         for r in 0..3u64 {
             let runs = &runs;
-            let service = &service;
+            let engine = &engine;
             let done = &done;
             scope.spawn(move || {
                 use rand::Rng;
@@ -255,7 +282,7 @@ fn batched_ingest_with_concurrent_readers() {
                 while !done.load(Ordering::Acquire) || checked == 0 {
                     let i = rng.gen_range(0..runs.len());
                     let (run, gen, exec) = &runs[i];
-                    let handle = service.handle(*run).unwrap();
+                    let handle = engine.handle(*run).unwrap();
                     let u = exec.events()[rng.gen_range(0..exec.len())].vertex;
                     let v = exec.events()[rng.gen_range(0..exec.len())].vertex;
                     if let Some(ans) = handle.reach(u, v) {
@@ -272,7 +299,7 @@ fn batched_ingest_with_concurrent_readers() {
     });
 
     for (run, gen, exec) in &runs {
-        let handle = service.handle(*run).unwrap();
+        let handle = engine.handle(*run).unwrap();
         assert_eq!(handle.published(), exec.len());
         let mut naive = NaiveDynamicDag::new();
         for ev in exec.events() {
@@ -286,4 +313,239 @@ fn batched_ingest_with_concurrent_readers() {
         }
         let _ = gen;
     }
+}
+
+/// Drain/shutdown determinism: the flush watermark covers everything
+/// submitted before it, queries never panic during or after shutdown,
+/// and the drain applies every queued event before closing.
+#[test]
+fn flush_watermark_and_graceful_drain() {
+    let mut engine = engine();
+    const RUNS: usize = 4;
+    let mut runs = Vec::new();
+    for i in 0..RUNS {
+        let spec_idx = i % engine.catalog().len();
+        let run = engine.open_run(SpecId(spec_idx)).unwrap();
+        let (_gen, exec) = sample(
+            &engine.context(SpecId(spec_idx)).unwrap().spec,
+            900 + i as u64,
+            120,
+        );
+        runs.push((run, exec));
+    }
+    let submitted: usize = runs.iter().map(|(_, e)| e.len()).sum();
+
+    // Producers race readers; a concurrent flusher takes watermark
+    // barriers the whole time.
+    std::thread::scope(|scope| {
+        for (run, exec) in &runs {
+            let engine = &engine;
+            scope.spawn(move || {
+                for ev in exec.events() {
+                    engine
+                        .ingest(ServiceEvent {
+                            run: *run,
+                            op: RunOp::Insert(ev.clone()),
+                        })
+                        .unwrap();
+                }
+            });
+        }
+        let engine = &engine;
+        scope.spawn(move || {
+            for _ in 0..8 {
+                let _ = engine.flush();
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    // Deterministic watermark property: everything enqueued
+    // happens-before this flush, so the returned watermark covers it.
+    let watermark = engine.flush();
+    assert!(
+        watermark >= submitted as u64,
+        "flush watermark {watermark} < submitted {submitted}"
+    );
+    for (run, exec) in &runs {
+        assert_eq!(engine.handle(*run).unwrap().published(), exec.len());
+    }
+    assert_eq!(engine.stats().ingest_backlog, 0);
+
+    // Queue more work, then drain while readers hammer queries: no
+    // panic, every queued event lands, ingest closes, queries survive.
+    let handles: Vec<(RunHandle, &Execution)> = runs
+        .iter()
+        .map(|(run, exec)| (engine.handle(*run).unwrap(), exec))
+        .collect();
+    for (run, exec) in &runs {
+        engine
+            .ingest(ServiceEvent {
+                run: *run,
+                op: RunOp::Complete,
+            })
+            .unwrap();
+        let _ = (run, exec);
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for r in 0..3u64 {
+            let handles = &handles;
+            let stop = &stop;
+            scope.spawn(move || {
+                use rand::Rng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(4400 + r);
+                while !stop.load(Ordering::Acquire) {
+                    let (handle, exec) = &handles[rng.gen_range(0..handles.len())];
+                    let u = exec.events()[rng.gen_range(0..exec.len())].vertex;
+                    let v = exec.events()[rng.gen_range(0..exec.len())].vertex;
+                    // Must never panic, mid-drain or after.
+                    let _ = handle.reach(u, v);
+                    let _ = handle.status();
+                }
+            });
+        }
+        engine.drain();
+        stop.store(true, Ordering::Release);
+    });
+
+    // The queued completions were applied before the pool closed.
+    for (run, _) in &runs {
+        assert_eq!(engine.run_status(*run).unwrap(), RunStatus::Completed);
+    }
+    // Ingest is closed with a typed error; queries still answer.
+    let (run0, exec0) = &runs[0];
+    assert_eq!(
+        engine.submit(*run0, &exec0.events()[0]).unwrap_err(),
+        ServiceError::ShuttingDown
+    );
+    let (u, v) = (exec0.events()[0].vertex, exec0.events()[1].vertex);
+    assert_eq!(engine.handle(*run0).unwrap().reach(u, v), Some(true));
+    assert!(engine.take_ingest_errors().is_empty());
+}
+
+/// The cross-run query surface against a naive multi-run replay: for
+/// every module name appearing anywhere, "which completed runs of spec
+/// S have a vertex of that name reachable from their source?" must
+/// match the answer computed by replaying every run through the exact
+/// naive scheme — and scope filters (spec, status) must hold.
+#[test]
+fn cross_run_queries_match_naive_multi_run_replay() {
+    let engine = engine();
+    const RUNS: usize = 6;
+    // Runs 0,2,4 on spec 0; runs 1,3,5 on spec 1. Run 4 stays live (not
+    // completed) to exercise the status filter.
+    let mut runs = Vec::new();
+    for i in 0..RUNS {
+        let spec_idx = i % 2;
+        let run = engine.open_run(SpecId(spec_idx)).unwrap();
+        let (gen, exec) = sample(
+            &engine.context(SpecId(spec_idx)).unwrap().spec,
+            3100 + i as u64,
+            130,
+        );
+        runs.push((run, spec_idx, gen, exec));
+    }
+    let mut batch = Vec::new();
+    for (run, _, _, exec) in &runs {
+        for ev in exec.events() {
+            batch.push(ServiceEvent {
+                run: *run,
+                op: RunOp::Insert(ev.clone()),
+            });
+        }
+    }
+    let outcome = engine.submit_batch(&batch);
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    for (run, _, _, _) in &runs {
+        if run.0 != 4 {
+            engine.complete_run(*run).unwrap();
+        }
+    }
+
+    // Naive ground truth, one exact replay per run.
+    let oracles: Vec<NaiveDynamicDag> = runs
+        .iter()
+        .map(|(_, _, _, exec)| {
+            let mut naive = NaiveDynamicDag::new();
+            for ev in exec.events() {
+                naive.insert(ev.vertex, &ev.preds);
+            }
+            naive
+        })
+        .collect();
+
+    // Every name that occurs in any run of either spec.
+    let mut names: Vec<NameId> = runs
+        .iter()
+        .flat_map(|(_, _, _, exec)| exec.events().iter().map(|ev| ev.name))
+        .collect();
+    names.sort_by_key(|n| n.0);
+    names.dedup();
+    assert!(names.len() > 3, "workload should span several names");
+
+    for spec_idx in 0..2usize {
+        for &name in &names {
+            // Engine answer: completed runs of this spec reaching `name`
+            // from their source.
+            let got = engine
+                .query()
+                .spec(SpecId(spec_idx))
+                .completed()
+                .runs_reaching_named_from_source(name);
+            // Naive answer over the same scope.
+            let want: Vec<RunId> = runs
+                .iter()
+                .enumerate()
+                .filter(|(_, (run, s, _, _))| {
+                    *s == spec_idx && engine.run_status(*run).unwrap() == RunStatus::Completed
+                })
+                .filter(|(i, (_, _, _, exec))| {
+                    let source = exec.events()[0].vertex;
+                    exec.events()
+                        .iter()
+                        .filter(|ev| ev.name == name)
+                        .any(|ev| oracles[*i].reaches(source, ev.vertex))
+                })
+                .map(|(_, (run, _, _, _))| *run)
+                .collect();
+            assert_eq!(got, want, "spec {spec_idx}, name {name:?}");
+        }
+    }
+
+    // Witness lists agree with the oracle, run by run.
+    for &name in &names {
+        for hit in engine.query().reaching_named_from_source(name) {
+            let (i, (_, _, _, exec)) = runs
+                .iter()
+                .enumerate()
+                .find(|(_, (run, _, _, _))| *run == hit.run)
+                .unwrap();
+            assert_eq!(hit.source, exec.events()[0].vertex);
+            let want: Vec<VertexId> = {
+                let mut w: Vec<VertexId> = exec
+                    .events()
+                    .iter()
+                    .filter(|ev| ev.name == name)
+                    .filter(|ev| oracles[i].reaches(hit.source, ev.vertex))
+                    .map(|ev| ev.vertex)
+                    .collect();
+                w.sort_by_key(|v| v.0);
+                w
+            };
+            assert_eq!(hit.witnesses, want, "witnesses for {name:?} in {}", hit.run);
+        }
+    }
+
+    // Scope bookkeeping: run_ids respects spec and status filters.
+    let all: Vec<RunId> = runs.iter().map(|(r, ..)| *r).collect();
+    assert_eq!(engine.query().run_ids(), all);
+    assert_eq!(
+        engine.query().with_status(RunStatus::Live).run_ids(),
+        vec![RunId(4)]
+    );
+    assert_eq!(
+        engine.query().spec(SpecId(0)).run_ids(),
+        vec![RunId(0), RunId(2), RunId(4)]
+    );
 }
