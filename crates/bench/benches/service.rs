@@ -3,7 +3,10 @@
 //! fire-and-forget + flush path, and lock-free query latency — at
 //! 1 / 16 / 256 concurrent runs with **Zipf-skewed run sizes** (rank-r
 //! run gets ~1/r of the events, the shape of real workflow fleets where
-//! a few pipelines dominate).
+//! a few pipelines dominate) — plus a **4096-run tiering scenario**:
+//! ingest → complete → freeze (encoded arenas) → spill (disk segments)
+//! → query across all three tiers, emitting the per-tier footprint JSON
+//! line next to the perf lines.
 //!
 //! Each JSON line printed by the harness carries `mean_ns` plus
 //! `elements_per_sec` (from the `Throughput::Elements` annotation); CI
@@ -16,11 +19,14 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use wf_graph::VertexId;
 use wf_run::{ExecEvent, Execution, RunGenerator};
-use wf_service::{RunOp, ServiceEvent, SpecContext, SpecId, WfEngine};
+use wf_service::{RunOp, ServiceEvent, SpecContext, SpecId, Tier, WfEngine};
 
 /// Fleet sizes the groups sweep. 256 runs is the cross-PR trajectory
 /// point the ROADMAP asks for.
 const FLEETS: [usize; 3] = [1, 16, 256];
+
+/// Fleet size of the tiering scenario (the ROADMAP's 4096-run point).
+const TIER_FLEET: usize = 4096;
 
 /// Preprocessed specs, shared across every engine the bench builds (the
 /// `Arc` catalog is exactly what makes this cheap in v2).
@@ -229,5 +235,137 @@ fn service_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, service_ingest, service_query);
+/// The 4096-run tiering scenario: ingest the fleet, complete it, then
+/// (a) time the full freeze sweep, and (b) query a long-lived engine
+/// whose fleet is spread across hot / frozen / persisted tiers —
+/// per-run `reach` through tier-pinned handles, and the flagship
+/// cross-run scan spanning all tiers. The engine's per-tier footprint
+/// JSON is printed alongside the perf lines for the CI artifact.
+fn service_tiering(c: &mut Criterion) {
+    let catalog = catalog();
+    let mut group = c.benchmark_group("service_tiering");
+    group.sample_size(5);
+    let streams = streams(&catalog, TIER_FLEET, 60_000, 44);
+    let total: usize = streams.iter().map(Vec::len).sum();
+
+    // (a) Lifecycle throughput: pipelined ingest, complete, freeze all.
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_with_input(
+        BenchmarkId::new("ingest_freeze", TIER_FLEET),
+        &streams,
+        |b, streams| {
+            b.iter(|| {
+                let engine = engine_over(&catalog);
+                let runs: Vec<_> = (0..streams.len())
+                    .map(|i| engine.open_run(SpecId(i % catalog.len())).expect("spec"))
+                    .collect();
+                for (i, stream) in streams.iter().enumerate() {
+                    for ev in stream {
+                        engine
+                            .ingest(ServiceEvent {
+                                run: runs[i],
+                                op: RunOp::Insert(ev.clone()),
+                            })
+                            .expect("live run");
+                    }
+                }
+                engine.flush();
+                for &run in &runs {
+                    engine.complete_run(run).expect("live");
+                }
+                for &run in &runs {
+                    engine.freeze_run(run).expect("completed");
+                }
+                let s = engine.stats();
+                assert_eq!(s.runs_frozen as usize, streams.len());
+                s.frozen_bytes
+            })
+        },
+    );
+
+    // (b) One long-lived engine, fleet spread across the three tiers:
+    // one third stays hot, one third frozen, one third spilled to disk.
+    let spill = std::env::temp_dir().join(format!("wf-bench-tier-{}", std::process::id()));
+    let mut builder = WfEngine::builder()
+        .shards(32)
+        .queue_capacity(1024)
+        .spill_dir(&spill);
+    for ctx in &catalog {
+        builder = builder.context(Arc::clone(ctx));
+    }
+    let engine = builder.build();
+    let run_ids: Vec<_> = (0..TIER_FLEET)
+        .map(|i| engine.open_run(SpecId(i % catalog.len())).expect("spec"))
+        .collect();
+    for (i, stream) in streams.iter().enumerate() {
+        let h = engine.handle(run_ids[i]).expect("registered");
+        for ev in stream {
+            h.submit(ev).expect("healthy stream");
+        }
+        h.complete().expect("live");
+    }
+    for (i, &run) in run_ids.iter().enumerate() {
+        match i % 3 {
+            0 => {} // stays hot
+            1 => engine.freeze_run(run).expect("completed"),
+            _ => engine.persist_run(run).expect("spill dir configured"),
+        }
+    }
+    // The per-tier footprint line CI uploads next to the perf lines.
+    println!("{}", engine.stats().tier_footprint_json());
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let pairs: Vec<(usize, VertexId, VertexId)> = (0..4096)
+        .map(|_| {
+            let i = rng.gen_range(0..TIER_FLEET);
+            let s = &streams[i];
+            (
+                i,
+                s[rng.gen_range(0..s.len())].vertex,
+                s[rng.gen_range(0..s.len())].vertex,
+            )
+        })
+        .collect();
+    let handles: Vec<_> = run_ids
+        .iter()
+        .map(|&r| engine.handle(r).expect("registered"))
+        .collect();
+    assert!(handles.iter().any(|h| h.tier() == Tier::Hot));
+    assert!(handles.iter().any(|h| h.tier() == Tier::Frozen));
+    assert!(handles.iter().any(|h| h.tier() == Tier::Persisted));
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("reach_across_tiers", TIER_FLEET),
+        &pairs,
+        |b, pairs| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|(i, u, v)| handles[*i].reach(*u, *v) == Some(true))
+                    .count()
+            })
+        },
+    );
+    let probe = streams[0][streams[0].len() / 2].name;
+    group.throughput(Throughput::Elements(TIER_FLEET as u64));
+    group.bench_with_input(
+        BenchmarkId::new("cross_run_scan_across_tiers", TIER_FLEET),
+        &probe,
+        |b, probe| {
+            b.iter(|| {
+                engine
+                    .query()
+                    .completed()
+                    .runs_reaching_named_from_source(*probe)
+                    .len()
+            })
+        },
+    );
+    group.finish();
+    drop(handles);
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&spill);
+}
+
+criterion_group!(benches, service_ingest, service_query, service_tiering);
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 
 use crate::entry::{Entry, NodeKind};
 use crate::label::DrlLabel;
-use wf_graph::VertexId;
+use wf_graph::{NameId, VertexId};
 use wf_spec::GraphId;
 
 /// Append-only bit buffer.
@@ -204,6 +204,155 @@ pub fn decode_label(bytes: &[u8], skl_bits: usize) -> Option<DrlLabel> {
     Some(DrlLabel::new(entries))
 }
 
+/// Directory entry of one vertex inside a [`LabelArena`]: where its
+/// encoded label starts, and the module name it was published under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaSlot {
+    /// The run vertex.
+    pub vertex: VertexId,
+    /// Its module name (carried so name-scoped scans work off the arena
+    /// alone, without the run's writer state).
+    pub name: NameId,
+    /// Byte offset of the encoded label in the arena. Labels are
+    /// self-delimiting ([`decode_label`] reads exactly one), so no
+    /// length is stored.
+    pub offset: u32,
+}
+
+/// **Run-level framing**: every label of one completed run, encoded with
+/// [`encode_label`] into a single contiguous byte arena plus a sorted
+/// vertex directory.
+///
+/// This is the compact at-rest representation of a finished run — the
+/// static end state of the paper's dynamic scheme. Compared to the
+/// in-memory decoded labels it trades two pointer-free, cache-friendly
+/// buffers (directory + arena) against a decode on every access, which
+/// is exactly the trade a hot/frozen tiering policy wants to make for
+/// runs that stopped growing.
+#[derive(Debug, Clone)]
+pub struct LabelArena {
+    /// Sorted by vertex id (strictly increasing).
+    slots: Box<[ArenaSlot]>,
+    bytes: Box<[u8]>,
+    skl_bits: usize,
+}
+
+impl LabelArena {
+    /// Encode every `(vertex, name, label)` into one arena. Input may
+    /// arrive in any order; the directory is sorted by vertex id.
+    /// `skl_bits` must match the labeler's (`LabelerCore::skl_bits`).
+    pub fn build<'a>(
+        skl_bits: usize,
+        labels: impl IntoIterator<Item = (VertexId, NameId, &'a DrlLabel)>,
+    ) -> Self {
+        let mut staged: Vec<(VertexId, NameId, &DrlLabel)> = labels.into_iter().collect();
+        staged.sort_by_key(|(v, ..)| *v);
+        let mut slots = Vec::with_capacity(staged.len());
+        let mut bytes = Vec::new();
+        for (vertex, name, label) in staged {
+            let offset = u32::try_from(bytes.len()).expect("arena exceeds 4 GiB");
+            bytes.extend_from_slice(&encode_label(label, skl_bits));
+            slots.push(ArenaSlot {
+                vertex,
+                name,
+                offset,
+            });
+        }
+        Self {
+            slots: slots.into_boxed_slice(),
+            bytes: bytes.into_boxed_slice(),
+            skl_bits,
+        }
+    }
+
+    /// Reassemble an arena from its raw parts (a deserialized snapshot).
+    /// Returns `None` unless the directory is strictly sorted with
+    /// in-bounds, non-decreasing offsets **and every label decodes** —
+    /// a truncated or corrupted buffer is rejected here, not at query
+    /// time.
+    pub fn from_parts(skl_bits: usize, slots: Vec<ArenaSlot>, bytes: Vec<u8>) -> Option<Self> {
+        for pair in slots.windows(2) {
+            if pair[0].vertex >= pair[1].vertex || pair[0].offset > pair[1].offset {
+                return None;
+            }
+        }
+        if let Some(last) = slots.last() {
+            if (last.offset as usize) >= bytes.len() {
+                return None;
+            }
+        }
+        let arena = Self {
+            slots: slots.into_boxed_slice(),
+            bytes: bytes.into_boxed_slice(),
+            skl_bits,
+        };
+        for slot in arena.slots.iter() {
+            decode_label(&arena.bytes[slot.offset as usize..], skl_bits)?;
+        }
+        Some(arena)
+    }
+
+    fn slot(&self, v: VertexId) -> Option<&ArenaSlot> {
+        let i = self.slots.binary_search_by_key(&v, |s| s.vertex).ok()?;
+        Some(&self.slots[i])
+    }
+
+    /// Decode the label of `v`, if the run labeled it.
+    pub fn get(&self, v: VertexId) -> Option<DrlLabel> {
+        let slot = self.slot(v)?;
+        decode_label(&self.bytes[slot.offset as usize..], self.skl_bits)
+    }
+
+    /// The module name `v` was published under.
+    pub fn name(&self, v: VertexId) -> Option<NameId> {
+        self.slot(v).map(|s| s.name)
+    }
+
+    /// Decode every label, in vertex-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, NameId, DrlLabel)> + '_ {
+        self.slots.iter().map(|s| {
+            let label = decode_label(&self.bytes[s.offset as usize..], self.skl_bits)
+                .expect("arena labels are validated at construction");
+            (s.vertex, s.name, label)
+        })
+    }
+
+    /// Number of labeled vertices.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True for the empty run.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The skeleton-pointer width the labels were encoded with.
+    pub fn skl_bits(&self) -> usize {
+        self.skl_bits
+    }
+
+    /// Size of the encoded label bytes alone.
+    pub fn encoded_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Total in-memory footprint: arena bytes plus the directory.
+    pub fn footprint_bytes(&self) -> usize {
+        self.bytes.len() + self.slots.len() * std::mem::size_of::<ArenaSlot>()
+    }
+
+    /// The raw directory (snapshot serialization).
+    pub fn slots(&self) -> &[ArenaSlot] {
+        &self.slots
+    }
+
+    /// The raw arena bytes (snapshot serialization).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,5 +431,80 @@ mod tests {
         let mut w = BitWriter::new();
         w.push_gamma(9);
         assert!(decode_label(&w.into_bytes(), 4).is_none());
+    }
+
+    #[test]
+    fn arena_roundtrips_a_whole_run() {
+        let spec = wf_spec::corpus::running_example();
+        let skeleton = TclSpecLabels::build(&spec);
+        let mut rng = StdRng::seed_from_u64(99);
+        let run = RunGenerator::new(&spec)
+            .target_size(200)
+            .generate_run(&mut rng);
+        let mut labeler = crate::DerivationLabeler::new(&spec, &skeleton);
+        for step in run.derivation.steps() {
+            labeler.apply(step).unwrap();
+        }
+        let skl_bits = labeler.skl_bits();
+        // Feed vertices in reverse order: build must sort.
+        let vertices: Vec<_> = run.graph.vertices().collect();
+        let labeled: Vec<(VertexId, NameId, &DrlLabel)> = vertices
+            .iter()
+            .rev()
+            .map(|&v| (v, NameId(v.0 % 5), labeler.label(v).unwrap()))
+            .collect();
+        let arena = LabelArena::build(skl_bits, labeled);
+        assert_eq!(arena.len(), vertices.len());
+        for &v in &vertices {
+            assert_eq!(arena.get(v).as_ref(), labeler.label(v), "{v:?}");
+            assert_eq!(arena.name(v), Some(NameId(v.0 % 5)));
+        }
+        assert!(arena.get(VertexId(1 << 30)).is_none());
+        // iter is vertex-ordered and complete.
+        let order: Vec<u32> = arena.iter().map(|(v, ..)| v.0).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+        assert_eq!(order.len(), vertices.len());
+        // Raw-parts round-trip (what a disk snapshot does).
+        let back = LabelArena::from_parts(skl_bits, arena.slots().to_vec(), arena.bytes().to_vec())
+            .unwrap();
+        for &v in &vertices {
+            assert_eq!(back.get(v).as_ref(), labeler.label(v));
+        }
+        assert_eq!(back.encoded_bytes(), arena.encoded_bytes());
+        assert!(arena.footprint_bytes() > arena.encoded_bytes());
+    }
+
+    #[test]
+    fn arena_from_parts_rejects_corruption() {
+        let label = DrlLabel::new(vec![Entry {
+            index: 3,
+            kind: NodeKind::N,
+            skl: Some((GraphId(0), VertexId(1))),
+            rec: None,
+        }]);
+        let arena = LabelArena::build(4, vec![(VertexId(0), NameId(0), &label)]);
+        let slots = arena.slots().to_vec();
+        let bytes = arena.bytes().to_vec();
+        // Intact parts reassemble.
+        assert!(LabelArena::from_parts(4, slots.clone(), bytes.clone()).is_some());
+        // Truncated arena: the label no longer decodes.
+        assert!(LabelArena::from_parts(4, slots.clone(), vec![]).is_none());
+        // Out-of-bounds offset.
+        let mut bad = slots.clone();
+        bad[0].offset = bytes.len() as u32 + 7;
+        assert!(LabelArena::from_parts(4, bad, bytes.clone()).is_none());
+        // Unsorted directory.
+        let two = LabelArena::build(
+            4,
+            vec![
+                (VertexId(0), NameId(0), &label),
+                (VertexId(1), NameId(1), &label),
+            ],
+        );
+        let mut swapped = two.slots().to_vec();
+        swapped.swap(0, 1);
+        assert!(LabelArena::from_parts(4, swapped, two.bytes().to_vec()).is_none());
     }
 }

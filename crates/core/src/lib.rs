@@ -37,7 +37,7 @@ pub mod predicate;
 pub mod tree;
 
 pub use derivation::DerivationLabeler;
-pub use encode::{decode_label, encode_label};
+pub use encode::{decode_label, encode_label, ArenaSlot, LabelArena};
 pub use entry::{Entry, NodeKind, SklPtr};
 pub use execution::{ExecError, ExecutionLabeler, ResolutionMode};
 pub use label::DrlLabel;

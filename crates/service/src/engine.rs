@@ -9,20 +9,25 @@
 //! `Arc` allocation its slot co-owns — the single `unsafe` in the
 //! workspace, with the invariants documented at the site.
 
+use crate::freeze::freeze_slot;
 use crate::handle::RunHandle;
 use crate::index::LabelIndex;
 use crate::ingest::{BatchTracker, Envelope, IngestPool};
 use crate::query::CrossRunQuery;
+use crate::snapshot::{self, PersistedRun};
 use crate::stats::{Counters, ServiceStats};
+use crate::store::{LabelStore, RunView, Tier};
 use crate::{
     BatchOutcome, RunId, RunOp, RunStatus, ServiceError, ServiceEvent, SpecContext, SpecId,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 use wf_drl::{ExecError, ExecutionLabeler, ResolutionMode};
 use wf_graph::VertexId;
-use wf_run::ExecEvent;
+use wf_run::{Derivation, ExecEvent};
 use wf_skeleton::{SpecLabeling, TclSpecLabels};
 use wf_spec::Specification;
 
@@ -91,6 +96,10 @@ pub(crate) struct RunSlot<S: SpecLabeling + 'static> {
     /// allocation) so the query hot path never contends on a single
     /// engine-wide cache line with ingest writers; `stats()` sums it.
     pub(crate) queries: AtomicU64,
+    /// The run's derivation, when the caller recorded it
+    /// ([`WfEngine::provide_derivation`]) — what unlocks the SKL
+    /// re-label at freeze time.
+    pub(crate) derivation: Mutex<Option<Derivation>>,
 }
 
 impl<S: SpecLabeling> RunSlot<S> {
@@ -152,23 +161,47 @@ impl<S: SpecLabeling> RunSlot<S> {
     }
 }
 
-/// Registry shard: one `RwLock`ed map per shard keeps run lookup
-/// contention independent of the number of concurrent runs.
-type Shard<S> = RwLock<HashMap<u64, Arc<RunSlot<S>>>>;
+/// The automatic hot→frozen(→persisted) policy the background tiering
+/// worker enforces. All knobs optional; unset means manual-only tiering.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TierPolicy {
+    /// Keep at most this many *completed* runs hot; older completions
+    /// freeze in completion order (the recency bound).
+    pub(crate) freeze_after: Option<usize>,
+    /// Hard cap on hot-tier runs: when exceeded, completed runs freeze
+    /// even within the recency bound (live runs are never frozen).
+    pub(crate) max_hot_runs: Option<usize>,
+}
+
+impl TierPolicy {
+    pub(crate) fn is_active(&self) -> bool {
+        self.freeze_after.is_some() || self.max_hot_runs.is_some()
+    }
+}
+
+/// Spill configuration: where segments go, plus the lock serializing
+/// segment + manifest writes.
+pub(crate) struct SpillState {
+    pub(crate) dir: PathBuf,
+    pub(crate) manifest: Mutex<()>,
+}
 
 /// Everything the engine, its worker pool, and every outstanding
 /// [`RunHandle`] share by reference count. This is the `'static` heart
 /// of the v2 API: nothing in here borrows from a caller.
 pub(crate) struct EngineShared<S: SpecLabeling + 'static> {
     pub(crate) catalog: Box<[Arc<SpecContext<S>>]>,
-    shards: Box<[Shard<S>]>,
-    shard_mask: u64,
+    /// The tiered run registry (hot / frozen / persisted).
+    pub(crate) store: LabelStore<S>,
     /// The per-run vertex-id ceiling, behind a mutex so the freeze check
     /// in [`WfEngine::set_max_vertex_id`] and the ceiling read in
     /// `open_run` serialize: a run can never be sized against a ceiling
     /// a concurrent (successful) reconfiguration disowns.
     max_vertex_id: Mutex<u32>,
     next_run: AtomicU64,
+    /// Where `next_run` started (above reloaded persisted history): the
+    /// config-freeze check compares against this, not zero.
+    first_run: u64,
     pub(crate) draining: AtomicBool,
     pub(crate) counters: Counters,
     pub(crate) ingest_workers: usize,
@@ -179,8 +212,20 @@ pub(crate) struct EngineShared<S: SpecLabeling + 'static> {
     flush_waiters: AtomicUsize,
     flush_lock: Mutex<()>,
     flush_cv: Condvar,
-    /// Recent failures from the fire-and-forget ingest path (bounded).
+    /// Recent failures from the fire-and-forget ingest path (bounded);
+    /// the background tiering worker reports here too.
     ingest_errors: Mutex<VecDeque<(RunId, ServiceError)>>,
+    /// The automatic tiering policy.
+    pub(crate) policy: TierPolicy,
+    /// Spill directory, when persistence is configured.
+    pub(crate) spill: Option<SpillState>,
+    /// Completed runs in completion order — the tiering worker's freeze
+    /// queue (stale entries are skipped when popped).
+    completed_order: Mutex<VecDeque<RunId>>,
+    /// Tiering worker shutdown flag + wakeup.
+    tiering_stop: AtomicBool,
+    tiering_lock: Mutex<()>,
+    tiering_cv: Condvar,
 }
 
 /// Fibonacci hash of a run id — the single routing function shared by
@@ -191,39 +236,14 @@ pub(crate) fn route_hash(run: RunId) -> u64 {
 }
 
 impl<S: SpecLabeling> EngineShared<S> {
-    fn shard(&self, run: RunId) -> &Shard<S> {
-        &self.shards[(route_hash(run) & self.shard_mask) as usize]
-    }
-
+    /// The *writable* slot of `run`: its hot-tier state. A run that has
+    /// left the hot tier rejects writes with its lifecycle status (it is
+    /// still known — queries keep working through [`LabelStore::view`]).
     pub(crate) fn slot(&self, run: RunId) -> Result<Arc<RunSlot<S>>, ServiceError> {
-        self.shard(run)
-            .read()
-            .expect("shard lock poisoned")
-            .get(&run.0)
-            .cloned()
-            .ok_or(ServiceError::UnknownRun(run))
-    }
-
-    /// Point-in-time snapshot of the registry (unordered) — the scope
-    /// the cross-run query surface scans. The shard read locks are held
-    /// only long enough to clone the `Arc`s.
-    pub(crate) fn snapshot_slots(&self) -> Vec<(RunId, Arc<RunSlot<S>>)> {
-        let mut out = Vec::new();
-        for shard in &self.shards {
-            for (id, slot) in shard.read().expect("shard lock poisoned").iter() {
-                out.push((RunId(*id), Arc::clone(slot)));
-            }
-        }
-        out
-    }
-
-    /// Visit every registered slot without allocating or ordering —
-    /// the stats path.
-    pub(crate) fn for_each_slot(&self, mut f: impl FnMut(&RunSlot<S>)) {
-        for shard in &self.shards {
-            for slot in shard.read().expect("shard lock poisoned").values() {
-                f(slot);
-            }
+        match self.store.view(run) {
+            Some(RunView::Hot(slot)) => Ok(slot),
+            Some(view) => Err(ServiceError::RunNotLive(run, view.status())),
+            None => Err(ServiceError::UnknownRun(run)),
         }
     }
 
@@ -237,9 +257,189 @@ impl<S: SpecLabeling> EngineShared<S> {
         }
     }
 
-    pub(crate) fn record_complete_outcome(&self, res: &Result<(), ServiceError>) {
+    pub(crate) fn record_complete_outcome(&self, run: RunId, res: &Result<(), ServiceError>) {
         if res.is_ok() {
             Counters::bump(&self.counters.runs_completed);
+            // The completion queue feeds the tiering worker; without a
+            // policy nothing ever drains it, so don't grow it (and skip
+            // the pointless lock + notify on every completion).
+            if self.policy.is_active() {
+                self.completed_order
+                    .lock()
+                    .expect("completed queue poisoned")
+                    .push_back(run);
+                self.wake_tiering();
+            }
+        }
+    }
+
+    fn wake_tiering(&self) {
+        let _g = self.tiering_lock.lock().expect("tiering lock poisoned");
+        self.tiering_cv.notify_all();
+    }
+
+    /// Freeze one completed run: compact its published labels into an
+    /// encoded arena (plus the optional SKL re-label), publish it in the
+    /// frozen tier, drop the hot slot. Idempotent for already-cold runs.
+    ///
+    /// The compaction runs **without** the slot's writer lock: once a
+    /// run is `Completed` its index is final (completion and inserts
+    /// serialize on the writer lock), so the only races are with an
+    /// eviction or another freeze — both resolved by the store's
+    /// conditional [`LabelStore::promote_frozen`], so a stale queued
+    /// event never stalls behind a multi-millisecond SKL re-label.
+    pub(crate) fn freeze(&self, run: RunId) -> Result<(), ServiceError> {
+        let slot = match self.store.view(run) {
+            Some(RunView::Hot(slot)) => slot,
+            Some(_) => return Ok(()), // already frozen or persisted
+            None => return Err(ServiceError::UnknownRun(run)),
+        };
+        match slot.status() {
+            RunStatus::Completed => {}
+            s => return Err(ServiceError::NotCompleted(run, s)),
+        }
+        let derivation = slot
+            .derivation
+            .lock()
+            .expect("derivation lock poisoned")
+            .take();
+        let ctx = &self.catalog[slot.spec.0];
+        let frozen = freeze_slot(run, &slot, ctx, derivation.as_ref());
+        let report = frozen.skl_report().copied();
+        if !self.store.promote_frozen(run, Arc::new(frozen)) {
+            // Lost the race: either another freeze won (the run is cold
+            // now — fine) or an eviction removed it (report that).
+            return match self.store.view(run) {
+                Some(_) => Ok(()),
+                None => Err(ServiceError::UnknownRun(run)),
+            };
+        }
+        Counters::bump(&self.counters.freezes);
+        if let Some(report) = report {
+            Counters::bump(&self.counters.skl_relabeled);
+            self.counters
+                .skl_bits_total
+                .fetch_add(report.skl_bits, Ordering::Relaxed);
+            self.counters
+                .skl_drl_bits_total
+                .fetch_add(report.drl_bits, Ordering::Relaxed);
+            self.counters
+                .skl_build_ns
+                .fetch_add(report.build_ns, Ordering::Relaxed);
+            self.counters
+                .skl_query_ns
+                .fetch_add(report.skl_query_ns, Ordering::Relaxed);
+            self.counters
+                .frozen_query_ns
+                .fetch_add(report.drl_query_ns, Ordering::Relaxed);
+            self.counters
+                .skl_pairs_sampled
+                .fetch_add(report.pairs_sampled, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Spill one run to disk: freeze it if still hot, write the segment
+    /// and manifest, and replace the in-memory arena with a lazily
+    /// loaded persisted entry. Idempotent for already-persisted runs.
+    pub(crate) fn persist(&self, run: RunId) -> Result<(), ServiceError> {
+        let spill = self.spill.as_ref().ok_or(ServiceError::NoSpillDir)?;
+        match self.store.view(run) {
+            Some(RunView::Persisted(_)) => return Ok(()),
+            Some(RunView::Hot(_)) => self.freeze(run)?,
+            Some(RunView::Frozen(_)) => {}
+            None => return Err(ServiceError::UnknownRun(run)),
+        }
+        let frozen = match self.store.view(run) {
+            Some(RunView::Frozen(f)) => f,
+            Some(RunView::Persisted(_)) => return Ok(()),
+            _ => return Err(ServiceError::UnknownRun(run)),
+        };
+        // One spill at a time: segment write + manifest rewrite are a
+        // unit, and the manifest always lists the full persisted set.
+        let _g = spill.manifest.lock().expect("manifest lock poisoned");
+        let (path, bytes) = snapshot::write_segment(&spill.dir, &frozen)
+            .map_err(|e| ServiceError::Snapshot(run, e.to_string()))?;
+        let persisted = Arc::new(PersistedRun::from_frozen(&frozen, path.clone(), bytes));
+        if !self.store.promote_persisted(run, persisted) {
+            // The run left the frozen tier while the segment was being
+            // written (evicted, most likely): do not resurrect it — drop
+            // the orphan file instead.
+            let _ = std::fs::remove_file(&path);
+            return match self.store.view(run) {
+                Some(RunView::Persisted(_)) => Ok(()),
+                _ => Err(ServiceError::UnknownRun(run)),
+            };
+        }
+        let entries: Vec<snapshot::ManifestEntry> = self
+            .store
+            .persisted_runs()
+            .into_iter()
+            .map(|p| snapshot::ManifestEntry {
+                run: p.run(),
+                file: snapshot::segment_file_name(p.run()),
+                bytes: p.disk_bytes(),
+            })
+            .collect();
+        snapshot::write_manifest(&spill.dir, &entries)
+            .map_err(|e| ServiceError::Snapshot(run, e.to_string()))?;
+        Counters::bump(&self.counters.spills);
+        Ok(())
+    }
+
+    /// One pass of the automatic tiering policy: freeze (and spill) the
+    /// oldest completed hot runs until the policy is satisfied.
+    pub(crate) fn apply_tier_policy(&self) {
+        if !self.policy.is_active() {
+            return;
+        }
+        loop {
+            let mut hot_total = 0usize;
+            let mut hot_completed = 0usize;
+            self.store.for_each_hot_slot(|_, slot| {
+                hot_total += 1;
+                if slot.status() == RunStatus::Completed {
+                    hot_completed += 1;
+                }
+            });
+            let mut to_freeze = 0usize;
+            if let Some(k) = self.policy.freeze_after {
+                to_freeze = to_freeze.max(hot_completed.saturating_sub(k));
+            }
+            if let Some(m) = self.policy.max_hot_runs {
+                to_freeze = to_freeze.max(hot_total.saturating_sub(m).min(hot_completed));
+            }
+            if to_freeze == 0 {
+                return;
+            }
+            // Oldest completed run that is still hot (stale queue
+            // entries — evicted or manually frozen runs — are skipped).
+            let run = {
+                let mut q = self
+                    .completed_order
+                    .lock()
+                    .expect("completed queue poisoned");
+                loop {
+                    match q.pop_front() {
+                        None => break None,
+                        Some(r) if self.store.hot_slot(r).is_some() => break Some(r),
+                        Some(_) => {}
+                    }
+                }
+            };
+            let Some(run) = run else { return };
+            let res = self.freeze(run).and_then(|()| {
+                if self.spill.is_some() {
+                    self.persist(run)
+                } else {
+                    Ok(())
+                }
+            });
+            if let Err(e) = res {
+                // Surface tiering failures the same way fire-and-forget
+                // ingest failures surface: through the bounded ring.
+                self.push_ingest_error(run, e);
+            }
         }
     }
 
@@ -287,6 +487,27 @@ impl<S: SpecLabeling> EngineShared<S> {
     }
 }
 
+/// Body of the background tiering worker: apply the policy whenever a
+/// completion (or the periodic tick) wakes it, until shutdown.
+fn tiering_loop<S: SpecLabeling + Send + Sync + 'static>(shared: &EngineShared<S>) {
+    loop {
+        shared.apply_tier_policy();
+        if shared.tiering_stop.load(Ordering::Acquire) {
+            return;
+        }
+        let g = shared.tiering_lock.lock().expect("tiering lock poisoned");
+        if shared.tiering_stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Timed wait as a backstop, like the flush condvar: correctness
+        // never depends on a perfectly-delivered notification.
+        let _ = shared
+            .tiering_cv
+            .wait_timeout(g, std::time::Duration::from_millis(20))
+            .expect("tiering lock poisoned");
+    }
+}
+
 /// The owned, concurrent multi-run labeling engine. `Send + Sync +
 /// 'static`: hold it in a struct, share it across threads, move handles
 /// into spawned tasks — no catalog lifetime to thread through. See the
@@ -294,6 +515,26 @@ impl<S: SpecLabeling> EngineShared<S> {
 pub struct WfEngine<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels> {
     shared: Arc<EngineShared<S>>,
     pool: IngestPool<S>,
+    /// The background tiering worker, when a policy is configured.
+    tiering: Option<JoinHandle<()>>,
+}
+
+impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
+    /// Stop and join the tiering worker (idempotent).
+    fn stop_tiering(&mut self) {
+        self.shared.tiering_stop.store(true, Ordering::Release);
+        {
+            let _g = self
+                .shared
+                .tiering_lock
+                .lock()
+                .expect("tiering lock poisoned");
+            self.shared.tiering_cv.notify_all();
+        }
+        if let Some(worker) = self.tiering.take() {
+            let _ = worker.join();
+        }
+    }
 }
 
 impl<S: SpecLabeling + Send + Sync + 'static> Drop for WfEngine<S> {
@@ -303,6 +544,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> Drop for WfEngine<S> {
         // surviving `RunHandle` clones reject writes (queries keep
         // working off the reference-counted slots).
         self.shared.draining.store(true, Ordering::Release);
+        self.stop_tiering();
     }
 }
 
@@ -369,7 +611,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             .max_vertex_id
             .lock()
             .expect("config lock poisoned");
-        if self.shared.next_run.load(Ordering::Acquire) > 0 {
+        if self.shared.next_run.load(Ordering::Acquire) > self.shared.first_run {
             return Err(ServiceError::ConfigFrozen);
         }
         *ceiling = max;
@@ -414,12 +656,9 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             status: AtomicU8::new(RunStatus::Live.as_u8()),
             events: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            derivation: Mutex::new(None),
         });
-        self.shared
-            .shard(run)
-            .write()
-            .expect("shard lock poisoned")
-            .insert(run.0, slot);
+        self.shared.store.insert_hot(run, slot);
         Counters::bump(&self.shared.counters.runs_opened);
         Ok(run)
     }
@@ -572,6 +811,12 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
     pub fn drain(&mut self) {
         self.shared.draining.store(true, Ordering::Release);
         self.pool.shutdown();
+        self.stop_tiering();
+        // One final policy pass on this thread, after the ingest pool
+        // and the worker have both stopped: runs completed by the
+        // draining workers deterministically tier out (the worker's own
+        // last pass can race the stop flag); queries keep working after.
+        self.shared.apply_tier_policy();
     }
 
     /// True once [`Self::drain`] has begun.
@@ -591,26 +836,77 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             .collect()
     }
 
-    /// Drop a run's state entirely (registry eviction). Outstanding
-    /// [`RunHandle`]s keep their reference-counted slot alive until
-    /// dropped and may continue *querying* published labels, but writes
-    /// through them — and events already queued in the pool — are
-    /// rejected with [`RunStatus::Evicted`]: an eviction must not let
-    /// anything keep ingesting into state no new lookup can reach. New
-    /// lookups fail with [`ServiceError::UnknownRun`].
+    /// Drop a run's state entirely (registry eviction, from whichever
+    /// tier holds it). Outstanding [`RunHandle`]s keep their
+    /// reference-counted state alive until dropped and may continue
+    /// *querying* published labels, but writes through them — and events
+    /// already queued in the pool — are rejected with
+    /// [`RunStatus::Evicted`]: an eviction must not let anything keep
+    /// ingesting into state no new lookup can reach. New lookups fail
+    /// with [`ServiceError::UnknownRun`]. Evicting a persisted run
+    /// forgets the registration; its segment file stays on disk.
     pub fn evict_run(&self, run: RunId) -> Result<(), ServiceError> {
-        let slot = self
-            .shared
-            .shard(run)
-            .write()
-            .expect("shard lock poisoned")
-            .remove(&run.0)
-            .ok_or(ServiceError::UnknownRun(run))?;
-        // Serialize with any in-flight insert (writer lock), then mark.
-        let _w = slot.writer.lock().expect("writer lock poisoned");
-        slot.status
-            .store(RunStatus::Evicted.as_u8(), Ordering::Release);
+        match self.shared.store.remove(run) {
+            Some(RunView::Hot(slot)) => {
+                // Serialize with any in-flight insert (writer lock).
+                let _w = slot.writer.lock().expect("writer lock poisoned");
+                slot.status
+                    .store(RunStatus::Evicted.as_u8(), Ordering::Release);
+                Ok(())
+            }
+            Some(_) => Ok(()),
+            None => Err(ServiceError::UnknownRun(run)),
+        }
+    }
+
+    /// **Freeze** a completed run now: compact its published labels into
+    /// a contiguous encoded arena (decode-on-read), re-label with the
+    /// static SKL baseline when a derivation was
+    /// [provided](Self::provide_derivation) (recording the DRL-vs-SKL
+    /// bit/latency delta in [`Self::stats`]), and drop the hot labeler
+    /// state. Queries — [`Self::reach`], handles, [`Self::query`] — keep
+    /// answering tier-transparently. No-op if the run is already frozen
+    /// or persisted; [`ServiceError::NotCompleted`] while it is live.
+    pub fn freeze_run(&self, run: RunId) -> Result<(), ServiceError> {
+        self.shared.freeze(run)
+    }
+
+    /// **Spill** a run's frozen arena to disk (freezing it first if
+    /// needed): write a versioned snapshot segment + manifest under the
+    /// configured [`EngineBuilder::spill_dir`], and replace the
+    /// in-memory arena with a lazily-loaded persisted entry. Requires a
+    /// spill directory ([`ServiceError::NoSpillDir`] otherwise).
+    pub fn persist_run(&self, run: RunId) -> Result<(), ServiceError> {
+        self.shared.persist(run)
+    }
+
+    /// Which storage tier currently serves `run`.
+    pub fn run_tier(&self, run: RunId) -> Result<Tier, ServiceError> {
+        self.shared
+            .store
+            .view(run)
+            .map(|v| v.tier())
+            .ok_or(ServiceError::UnknownRun(run))
+    }
+
+    /// Record the derivation that produced `run` (e.g. from the workflow
+    /// engine's log). Freezing uses it to re-label the finished run with
+    /// the static SKL baseline for the §7.4 memory/latency comparison;
+    /// without it the run still freezes, just without the SKL report.
+    /// Only hot runs accept a derivation.
+    pub fn provide_derivation(
+        &self,
+        run: RunId,
+        derivation: Derivation,
+    ) -> Result<(), ServiceError> {
+        let slot = self.shared.slot(run)?;
+        *slot.derivation.lock().expect("derivation lock poisoned") = Some(derivation);
         Ok(())
+    }
+
+    /// The configured spill directory, if any.
+    pub fn spill_dir(&self) -> Option<&Path> {
+        self.shared.spill.as_ref().map(|s| s.dir.as_path())
     }
 
     /// Constant-time reachability `u ; v` within `run`, lock-free
@@ -627,19 +923,27 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
         Ok(self.handle(run)?.reach(u, v))
     }
 
-    /// The published label of `v`, if any.
+    /// The published label of `v`, if any (decoded from the run's
+    /// current tier).
     pub fn label(&self, run: RunId, v: VertexId) -> Result<Option<wf_drl::DrlLabel>, ServiceError> {
-        Ok(self.handle(run)?.label(v).cloned())
+        Ok(self.handle(run)?.label(v))
     }
 
     /// A cloneable, lifetime-free handle for hot paths on one run:
-    /// resolves the registry shard once; every query on the handle is
-    /// lock-free, and the handle stays valid (for queries) even after
-    /// the run is evicted or the engine drained.
+    /// resolves the run's **tier view** once ([`crate::Tier`]); every
+    /// query on the handle is lock-free, and the handle stays valid (for
+    /// queries) even after the run is evicted, tiered out, or the engine
+    /// drained. A handle is pinned to the tier it was taken from — take
+    /// a fresh handle after a freeze to query the compact
+    /// representation.
     pub fn handle(&self, run: RunId) -> Result<RunHandle<S>, ServiceError> {
-        let slot = self.shared.slot(run)?;
-        let ctx = Arc::clone(&self.shared.catalog[slot.spec.0]);
-        Ok(RunHandle::new(Arc::clone(&self.shared), ctx, run, slot))
+        let view = self
+            .shared
+            .store
+            .view(run)
+            .ok_or(ServiceError::UnknownRun(run))?;
+        let ctx = Arc::clone(&self.shared.catalog[view.spec().0]);
+        Ok(RunHandle::new(Arc::clone(&self.shared), ctx, run, view))
     }
 
     /// The cross-run query surface: lineage questions over *several*
@@ -649,27 +953,57 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
         CrossRunQuery::new(&self.shared)
     }
 
-    /// Status of a run.
+    /// Status of a run (tier-transparent: frozen and persisted runs are
+    /// `Completed`).
     pub fn run_status(&self, run: RunId) -> Result<RunStatus, ServiceError> {
-        Ok(self.shared.slot(run)?.status())
+        self.shared
+            .store
+            .view(run)
+            .map(|v| v.status())
+            .ok_or(ServiceError::UnknownRun(run))
     }
 
-    /// Point-in-time engine statistics. Per-run quantities (labels,
-    /// label bits, queries) are summed over *registered* runs — evicting
-    /// a run removes its contribution.
+    /// Point-in-time engine statistics, including the per-tier byte
+    /// footprints. Per-run quantities (labels, label bits, queries) are
+    /// summed over *registered* runs — evicting a run removes its
+    /// contribution; freezing a run moves it from the hot columns to the
+    /// frozen ones.
     pub fn stats(&self) -> ServiceStats {
         let mut labels_published = 0u64;
-        let mut label_bits_total = 0u64;
+        let mut hot_label_bits = 0u64;
+        let mut hot_resident_bytes = 0u64;
         let mut queries_answered = 0u64;
         let mut live = 0u64;
-        self.shared.for_each_slot(|slot| {
+        let mut runs_hot = 0u64;
+        self.shared.store.for_each_hot_slot(|_, slot| {
+            runs_hot += 1;
             labels_published += slot.indexed.len() as u64;
-            label_bits_total += slot.indexed.total_bits();
+            hot_label_bits += slot.indexed.total_bits();
+            hot_resident_bytes += slot.indexed.resident_bytes();
             queries_answered += slot.queries.load(Ordering::Relaxed);
             if slot.status() == RunStatus::Live {
                 live += 1;
             }
         });
+        let labels_hot = labels_published;
+        let mut runs_frozen = 0u64;
+        let mut frozen_bytes = 0u64;
+        let mut frozen_label_bits = 0u64;
+        for f in self.shared.store.frozen_runs() {
+            runs_frozen += 1;
+            labels_published += f.published() as u64;
+            frozen_bytes += f.footprint_bytes() as u64;
+            frozen_label_bits += f.drl_bits();
+            queries_answered += f.queries.load(Ordering::Relaxed);
+        }
+        let mut runs_persisted = 0u64;
+        let mut persisted_bytes = 0u64;
+        for p in self.shared.store.persisted_runs() {
+            runs_persisted += 1;
+            labels_published += p.published as u64;
+            persisted_bytes += p.disk_bytes();
+            queries_answered += p.queries.load(Ordering::Relaxed);
+        }
         let c = &self.shared.counters;
         let enqueued = self.shared.enqueued.load(Ordering::Acquire);
         let processed = self.shared.processed.load(Ordering::Acquire);
@@ -686,7 +1020,24 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             ingest_workers: self.shared.ingest_workers as u64,
             queries_answered,
             labels_published,
-            label_bits_total,
+            labels_hot,
+            label_bits_total: hot_label_bits,
+            hot_resident_bytes,
+            runs_hot,
+            runs_frozen,
+            runs_persisted,
+            freezes: c.freezes.load(Ordering::Relaxed),
+            spills: c.spills.load(Ordering::Relaxed),
+            frozen_bytes,
+            frozen_label_bits,
+            persisted_bytes,
+            skl_relabeled: c.skl_relabeled.load(Ordering::Relaxed),
+            skl_bits_total: c.skl_bits_total.load(Ordering::Relaxed),
+            skl_drl_bits_total: c.skl_drl_bits_total.load(Ordering::Relaxed),
+            skl_build_ns: c.skl_build_ns.load(Ordering::Relaxed),
+            skl_query_ns: c.skl_query_ns.load(Ordering::Relaxed),
+            frozen_query_ns: c.frozen_query_ns.load(Ordering::Relaxed),
+            skl_pairs_sampled: c.skl_pairs_sampled.load(Ordering::Relaxed),
             uptime: c.started.elapsed(),
         }
     }
@@ -701,6 +1052,9 @@ pub struct EngineBuilder<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels
     ingest_workers: usize,
     queue_capacity: usize,
     max_vertex_id: u32,
+    freeze_after: Option<usize>,
+    max_hot_runs: Option<usize>,
+    spill_dir: Option<PathBuf>,
 }
 
 impl<S: SpecLabeling + Send + Sync + 'static> Default for EngineBuilder<S> {
@@ -721,6 +1075,9 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             ingest_workers: parallelism.clamp(1, 8),
             queue_capacity: 1024,
             max_vertex_id: DEFAULT_MAX_VERTEX_ID,
+            freeze_after: None,
+            max_hot_runs: None,
+            spill_dir: None,
         }
     }
 
@@ -766,16 +1123,64 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
         self
     }
 
-    /// Build the engine and start its ingest worker pool.
+    /// **Recency bound of the hot tier**: keep at most `n` *completed*
+    /// runs hot; older completions are frozen (encoded arena, optional
+    /// SKL re-label) by the background tiering worker, in completion
+    /// order. `0` freezes every run as soon as it completes.
+    pub fn freeze_after(mut self, n: usize) -> Self {
+        self.freeze_after = Some(n);
+        self
+    }
+
+    /// **Hard cap on hot-tier runs**: when the hot tier exceeds `n`
+    /// runs, the tiering worker freezes the oldest completed runs even
+    /// within the [`Self::freeze_after`] bound (live runs are never
+    /// frozen).
+    pub fn max_hot_runs(mut self, n: usize) -> Self {
+        self.max_hot_runs = Some(n);
+        self
+    }
+
+    /// **Spill directory**: frozen runs are snapshotted here (versioned
+    /// binary segments + manifest) and their in-memory arenas replaced
+    /// by lazily-loaded persisted entries. At build time any segments
+    /// already in the directory are registered, so historical runs from
+    /// previous engine lifetimes keep answering [`WfEngine::query`] —
+    /// with the **same catalog** (spec ids must mean the same thing
+    /// across lifetimes; segments naming unknown specs are skipped).
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Build the engine and start its ingest worker pool (and the
+    /// background tiering worker, when a tiering policy is configured).
     pub fn build(self) -> WfEngine<S> {
-        let n = self.shards.max(1).next_power_of_two();
-        let shards: Box<[Shard<S>]> = (0..n).map(|_| RwLock::new(HashMap::new())).collect();
+        // Reload persisted history from the spill directory's manifest:
+        // header-only reads; arenas fault in lazily at first query.
+        let mut persisted: Vec<Arc<PersistedRun>> = Vec::new();
+        if let Some(dir) = &self.spill_dir {
+            let entries = snapshot::load_manifest(dir).unwrap_or_default();
+            for entry in entries {
+                let Ok(run) = PersistedRun::open(dir.join(&entry.file)) else {
+                    continue; // unreadable/corrupt segment: skip
+                };
+                if run.spec.0 < self.contexts.len() {
+                    persisted.push(Arc::new(run));
+                }
+            }
+        }
+        let first_run = persisted.iter().map(|p| p.run().0 + 1).max().unwrap_or(0);
+        let policy = TierPolicy {
+            freeze_after: self.freeze_after,
+            max_hot_runs: self.max_hot_runs,
+        };
         let shared = Arc::new(EngineShared {
             catalog: self.contexts.into_boxed_slice(),
-            shards,
-            shard_mask: (n - 1) as u64,
+            store: LabelStore::new(self.shards, persisted),
             max_vertex_id: Mutex::new(self.max_vertex_id),
-            next_run: AtomicU64::new(0),
+            next_run: AtomicU64::new(first_run),
+            first_run,
             counters: Counters::new(),
             ingest_workers: self.ingest_workers,
             enqueued: AtomicU64::new(0),
@@ -785,13 +1190,33 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             flush_cv: Condvar::new(),
             draining: AtomicBool::new(false),
             ingest_errors: Mutex::new(VecDeque::new()),
+            policy,
+            spill: self.spill_dir.map(|dir| SpillState {
+                dir,
+                manifest: Mutex::new(()),
+            }),
+            completed_order: Mutex::new(VecDeque::new()),
+            tiering_stop: AtomicBool::new(false),
+            tiering_lock: Mutex::new(()),
+            tiering_cv: Condvar::new(),
         });
         let pool = IngestPool::start(
             Arc::clone(&shared),
             self.ingest_workers,
             self.queue_capacity,
         );
-        WfEngine { shared, pool }
+        let tiering = policy.is_active().then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wf-tiering".into())
+                .spawn(move || tiering_loop(&shared))
+                .expect("spawn tiering worker")
+        });
+        WfEngine {
+            shared,
+            pool,
+            tiering,
+        }
     }
 }
 
@@ -1122,6 +1547,275 @@ mod tests {
         assert_eq!(engine.query().run_ids(), vec![run]);
         // flush() on a drained engine returns immediately.
         assert_eq!(engine.flush(), exec.len() as u64);
+    }
+
+    /// A temp dir that cleans up after itself (no tempfile crate in the
+    /// offline workspace).
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "wf-tier-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Ingest a full sampled run and complete it; returns the execution.
+    fn ingest_run(engine: &WfEngine, run: RunId, spec: SpecId, seed: u64, n: usize) -> Execution {
+        let exec = sample(engine, spec, seed, n);
+        for ev in exec.events() {
+            engine.submit(run, ev).unwrap();
+        }
+        engine.complete_run(run).unwrap();
+        exec
+    }
+
+    #[test]
+    fn freeze_preserves_every_answer_and_shrinks_the_footprint() {
+        // A non-recursive spec so the freeze-time SKL re-label applies
+        // (SKL rejects recursion — that is DRL's whole edge).
+        let engine: WfEngine = WfEngine::builder()
+            .spec(wf_spec::corpus::bioaid_nonrecursive())
+            .ingest_workers(2)
+            .build();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let gen = RunGenerator::new(&engine.context(SpecId(0)).unwrap().spec)
+            .target_size(120)
+            .generate_run(&mut rng);
+        let exec = Execution::deterministic(&gen.graph, &gen.origin);
+        for ev in exec.events() {
+            engine.submit(run, ev).unwrap();
+        }
+        // Freezing a live run is refused — the labeler is still needed.
+        assert_eq!(
+            engine.freeze_run(run).unwrap_err(),
+            ServiceError::NotCompleted(run, RunStatus::Live)
+        );
+        engine
+            .provide_derivation(run, gen.derivation.clone())
+            .unwrap();
+        engine.complete_run(run).unwrap();
+
+        // Record the hot answers, then freeze.
+        let hot = engine.handle(run).unwrap();
+        assert_eq!(hot.tier(), Tier::Hot);
+        let before = engine.stats();
+        assert!(before.label_bits_total > 0);
+        engine.freeze_run(run).unwrap();
+        engine.freeze_run(run).unwrap(); // idempotent
+        assert_eq!(engine.run_tier(run).unwrap(), Tier::Frozen);
+        assert_eq!(engine.run_status(run).unwrap(), RunStatus::Completed);
+
+        // The old hot handle still answers; a fresh handle decodes from
+        // the arena; both agree with the ground-truth oracle everywhere.
+        let frozen = engine.handle(run).unwrap();
+        assert_eq!(frozen.tier(), Tier::Frozen);
+        assert_eq!(frozen.published(), exec.len());
+        let oracle = wf_graph::reach::ReachOracle::new(&gen.graph);
+        for a in gen.graph.vertices() {
+            for b in gen.graph.vertices() {
+                let want = Some(oracle.reaches(a, b));
+                assert_eq!(frozen.reach(a, b), want, "frozen {a:?};{b:?}");
+                assert_eq!(hot.reach(a, b), want, "stale hot handle {a:?};{b:?}");
+            }
+        }
+        // Writes through any handle are rejected with Completed.
+        assert!(matches!(
+            frozen.submit(&exec.events()[0]).unwrap_err(),
+            ServiceError::RunNotLive(_, RunStatus::Completed)
+        ));
+
+        // Per-tier stats: the run moved out of the hot columns, and the
+        // SKL re-label (derivation was provided) recorded its deltas.
+        let after = engine.stats();
+        assert_eq!(after.runs_frozen, 1);
+        assert_eq!(after.freezes, 1);
+        assert_eq!(after.label_bits_total, 0, "hot tier emptied");
+        assert!(after.frozen_bytes > 0);
+        assert_eq!(after.frozen_label_bits, before.label_bits_total);
+        assert_eq!(after.labels_published as usize, exec.len());
+        assert_eq!(after.skl_relabeled, 1);
+        assert!(after.skl_bits_total > 0);
+        assert_eq!(after.skl_drl_bits_total, before.label_bits_total);
+        assert!(after.skl_bits_ratio().is_some());
+        assert!(after.skl_pairs_sampled > 0);
+        assert!(after.tier_footprint_json().contains("\"runs_frozen\":1"));
+    }
+
+    #[test]
+    fn persist_and_reload_across_engine_lifetimes() {
+        let dir = TempDir::new("reload");
+        let (run, gen, exec, name) = {
+            let engine: WfEngine = WfEngine::builder()
+                .spec(wf_spec::corpus::running_example())
+                .ingest_workers(2)
+                .spill_dir(&dir.0)
+                .build();
+            let run = engine.open_run(SpecId(0)).unwrap();
+            let mut rng = StdRng::seed_from_u64(53);
+            let gen = RunGenerator::new(&engine.context(SpecId(0)).unwrap().spec)
+                .target_size(90)
+                .generate_run(&mut rng);
+            let exec = Execution::deterministic(&gen.graph, &gen.origin);
+            for ev in exec.events() {
+                engine.submit(run, ev).unwrap();
+            }
+            engine.complete_run(run).unwrap();
+            // Answer a few queries while hot, then tier out: the
+            // engine-wide query counter must stay monotone across both
+            // transitions (it travels with the run).
+            let hot = engine.handle(run).unwrap();
+            for ev in &exec.events()[..4] {
+                hot.reach(exec.events()[0].vertex, ev.vertex).unwrap();
+            }
+            let queries_before = engine.stats().queries_answered;
+            assert!(queries_before >= 4);
+            engine.persist_run(run).unwrap(); // freezes, then spills
+            assert_eq!(engine.run_tier(run).unwrap(), Tier::Persisted);
+            let s = engine.stats();
+            assert_eq!((s.freezes, s.spills, s.runs_persisted), (1, 1, 1));
+            assert!(s.persisted_bytes > 0);
+            assert!(
+                s.queries_answered >= queries_before,
+                "query counter went backwards across tiering: {} < {queries_before}",
+                s.queries_answered
+            );
+            // Still answers after the arena moved to disk (lazy reload).
+            let h = engine.handle(run).unwrap();
+            assert_eq!(h.tier(), Tier::Persisted);
+            let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+            assert_eq!(h.reach(u, v), Some(true));
+            let name = exec.events()[1].name;
+            (run, gen, exec, name)
+        };
+        // A brand-new engine over the same spill dir sees the history.
+        let engine: WfEngine = WfEngine::builder()
+            .spec(wf_spec::corpus::running_example())
+            .spill_dir(&dir.0)
+            .build();
+        assert_eq!(engine.run_tier(run).unwrap(), Tier::Persisted);
+        assert_eq!(engine.run_status(run).unwrap(), RunStatus::Completed);
+        let h = engine.handle(run).unwrap();
+        assert_eq!(h.published(), exec.len());
+        let oracle = wf_graph::reach::ReachOracle::new(&gen.graph);
+        for a in gen.graph.vertices() {
+            for b in gen.graph.vertices() {
+                assert_eq!(h.reach(a, b), Some(oracle.reaches(a, b)), "{a:?};{b:?}");
+            }
+        }
+        // Cross-run queries span the reloaded history…
+        assert_eq!(
+            engine
+                .query()
+                .completed()
+                .runs_reaching_named_from_source(name),
+            vec![run]
+        );
+        // …and new runs get fresh ids above it.
+        let next = engine.open_run(SpecId(0)).unwrap();
+        assert!(next.0 > run.0, "fresh ids start above reloaded history");
+    }
+
+    #[test]
+    fn tiering_worker_enforces_the_recency_bound() {
+        let dir = TempDir::new("policy");
+        let engine: WfEngine = WfEngine::builder()
+            .spec(wf_spec::corpus::running_example())
+            .ingest_workers(2)
+            .freeze_after(2)
+            .spill_dir(&dir.0)
+            .build();
+        let mut runs = Vec::new();
+        for i in 0..5 {
+            let run = engine.open_run(SpecId(0)).unwrap();
+            ingest_run(&engine, run, SpecId(0), 100 + i, 40);
+            runs.push(run);
+        }
+        // The worker keeps ≤2 completed runs hot; the 3 oldest spill all
+        // the way to disk. Poll briefly (the worker is asynchronous).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let s = engine.stats();
+            if s.runs_persisted == 3 && s.runs_hot == 2 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "tiering worker never converged: {s}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // Oldest completions went first.
+        assert_eq!(engine.run_tier(runs[0]).unwrap(), Tier::Persisted);
+        assert_eq!(engine.run_tier(runs[1]).unwrap(), Tier::Persisted);
+        assert_eq!(engine.run_tier(runs[2]).unwrap(), Tier::Persisted);
+        assert_eq!(engine.run_tier(runs[3]).unwrap(), Tier::Hot);
+        assert_eq!(engine.run_tier(runs[4]).unwrap(), Tier::Hot);
+        assert!(
+            engine.take_ingest_errors().is_empty(),
+            "no tiering failures"
+        );
+        // Every run still answers its own queries.
+        for &run in &runs {
+            let h = engine.handle(run).unwrap();
+            let src = h.source().unwrap();
+            assert_eq!(h.reach(src, src), Some(true));
+        }
+        // The cross-run surface sees all five, tier-transparently.
+        assert_eq!(engine.query().completed().run_ids().len(), 5);
+        assert_eq!(engine.query().tier(Tier::Persisted).run_ids().len(), 3);
+    }
+
+    #[test]
+    fn max_hot_runs_freezes_even_recent_completions() {
+        let engine: WfEngine = WfEngine::builder()
+            .spec(wf_spec::corpus::running_example())
+            .ingest_workers(2)
+            .max_hot_runs(1)
+            .build();
+        let a = engine.open_run(SpecId(0)).unwrap();
+        ingest_run(&engine, a, SpecId(0), 7, 30);
+        let b = engine.open_run(SpecId(0)).unwrap(); // stays live
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while engine.run_tier(a).unwrap() != Tier::Frozen {
+            assert!(std::time::Instant::now() < deadline, "run a never froze");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // The live run is never frozen, even over the cap.
+        assert_eq!(engine.run_tier(b).unwrap(), Tier::Hot);
+        assert_eq!(engine.run_status(b).unwrap(), RunStatus::Live);
+    }
+
+    #[test]
+    fn persist_without_spill_dir_is_rejected() {
+        let engine = engine();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        ingest_run(&engine, run, SpecId(0), 3, 30);
+        assert_eq!(
+            engine.persist_run(run).unwrap_err(),
+            ServiceError::NoSpillDir
+        );
+        assert_eq!(engine.spill_dir(), None);
+        // Eviction works from the frozen tier too.
+        engine.freeze_run(run).unwrap();
+        engine.evict_run(run).unwrap();
+        assert_eq!(
+            engine.run_tier(run).unwrap_err(),
+            ServiceError::UnknownRun(run)
+        );
     }
 
     #[test]

@@ -1,14 +1,21 @@
-//! Cloneable, lifetime-free per-run handles.
+//! Cloneable, lifetime-free, **tier-transparent** per-run handles.
 //!
 //! A v1 `RunHandle<'a, 's, S>` borrowed both the service and its
 //! catalog; it could not be stored, cloned, or moved to another thread.
 //! The v2 handle owns everything it touches by reference count — clone
 //! it freely, move clones into spawned threads, keep one after the run
-//! is evicted or the engine drained (queries over published labels keep
-//! working; writes are rejected once the run is no longer live).
+//! is evicted, tiered out, or the engine drained (queries over published
+//! labels keep working; writes are rejected once the run is no longer
+//! live).
+//!
+//! With the tiered label store a handle resolves to whichever tier held
+//! the run when the handle was taken: hot handles answer from the
+//! lock-free in-memory index (allocation-free), frozen handles decode
+//! from the compact arena, persisted handles lazily fault the snapshot
+//! segment in. The query API is identical across tiers.
 
-use crate::engine::{EngineShared, RunSlot};
-use crate::stats::Counters;
+use crate::engine::EngineShared;
+use crate::store::{RunView, Tier};
 use crate::{RunId, RunStatus, ServiceError, SpecContext};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -17,16 +24,16 @@ use wf_graph::{NameId, VertexId};
 use wf_run::ExecEvent;
 use wf_skeleton::{SpecLabeling, TclSpecLabels};
 
-/// A cached per-run handle. Every query method is lock-free: label
-/// lookups are two `Acquire` loads into the run's write-once index, and
-/// the reachability predicate reads only the two labels plus the shared
-/// immutable skeleton. `Send + Sync + 'static`, and [`Clone`] regardless
-/// of whether `S` is.
+/// A cached per-run handle over one tier view. Every query method is
+/// lock-free; on the hot tier a label lookup is two `Acquire` loads into
+/// the run's write-once index and the reachability predicate reads only
+/// the two labels plus the shared immutable skeleton. `Send + Sync +
+/// 'static`, and [`Clone`] regardless of whether `S` is.
 pub struct RunHandle<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels> {
     shared: Arc<EngineShared<S>>,
     ctx: Arc<SpecContext<S>>,
     run: RunId,
-    slot: Arc<RunSlot<S>>,
+    view: RunView<S>,
 }
 
 // Manual impl: `S` itself need not be `Clone` — only `Arc`s are cloned.
@@ -36,7 +43,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> Clone for RunHandle<S> {
             shared: Arc::clone(&self.shared),
             ctx: Arc::clone(&self.ctx),
             run: self.run,
-            slot: Arc::clone(&self.slot),
+            view: self.view.clone(),
         }
     }
 }
@@ -46,13 +53,13 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
         shared: Arc<EngineShared<S>>,
         ctx: Arc<SpecContext<S>>,
         run: RunId,
-        slot: Arc<RunSlot<S>>,
+        view: RunView<S>,
     ) -> Self {
         Self {
             shared,
             ctx,
             run,
-            slot,
+            view,
         }
     }
 
@@ -66,17 +73,19 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
         &self.ctx
     }
 
+    /// The storage tier this handle resolved to when it was taken (the
+    /// run itself may have tiered further since; take a fresh handle
+    /// from the engine to follow it).
+    pub fn tier(&self) -> Tier {
+        self.view.tier()
+    }
+
     /// Constant-time `u ; v` from published labels; `None` until both
-    /// vertices' events have been applied.
+    /// vertices' events have been applied. Hot handles stay
+    /// allocation-free; colder tiers decode the two labels first.
     pub fn reach(&self, u: VertexId, v: VertexId) -> Option<bool> {
-        let lu = self.slot.indexed.get(u)?;
-        let lv = self.slot.indexed.get(v)?;
-        let answer = DrlPredicate::new(&self.ctx.skeleton).reaches(lu, lv);
-        // Per-slot counter: readers of different runs never share a
-        // cache line with each other or with the engine-wide ingest
-        // counters.
-        Counters::bump(&self.slot.queries);
-        Some(answer)
+        self.view
+            .reach(&DrlPredicate::new(&self.ctx.skeleton), u, v)
     }
 
     /// Apply one insertion event **synchronously**, bypassing the worker
@@ -86,11 +95,16 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
     /// two yourself (e.g. with a `flush` between them). Rejected with
     /// [`ServiceError::ShuttingDown`] once the engine has drained:
     /// "ingest is closed" covers every flavor, including this one.
+    /// Handles over frozen/persisted views reject writes with the run's
+    /// `Completed` status.
     pub fn submit(&self, ev: &ExecEvent) -> Result<(), ServiceError> {
         if self.shared.draining.load(Ordering::Acquire) {
             return Err(ServiceError::ShuttingDown);
         }
-        let res = self.slot.apply_insert(self.run, ev);
+        let RunView::Hot(slot) = &self.view else {
+            return Err(ServiceError::RunNotLive(self.run, self.view.status()));
+        };
+        let res = slot.apply_insert(self.run, ev);
         self.shared.record_insert_outcome(&res);
         res
     }
@@ -101,43 +115,58 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
         if self.shared.draining.load(Ordering::Acquire) {
             return Err(ServiceError::ShuttingDown);
         }
-        let res = self.slot.complete(self.run);
-        self.shared.record_complete_outcome(&res);
+        let RunView::Hot(slot) = &self.view else {
+            return Err(ServiceError::RunNotLive(self.run, self.view.status()));
+        };
+        let res = slot.complete(self.run);
+        self.shared.record_complete_outcome(self.run, &res);
         res
     }
 
-    /// The published label of `v`, if any.
-    pub fn label(&self, v: VertexId) -> Option<&DrlLabel> {
-        self.slot.indexed.get(v)
+    /// The published label of `v`, if any — cloned from the hot index or
+    /// decoded from the run's arena.
+    pub fn label(&self, v: VertexId) -> Option<DrlLabel> {
+        self.view.label(v)
     }
 
     /// The module name `v` was published under, if labeled yet.
     pub fn name(&self, v: VertexId) -> Option<NameId> {
-        self.slot.indexed.get_published(v).map(|p| p.name)
+        self.view.name(v)
     }
 
-    /// Published label length in bits.
+    /// Published label length in bits (the accounting size, identical
+    /// across tiers — encoding does not change the label).
     pub fn label_bits(&self, v: VertexId) -> Option<usize> {
-        self.label(v).map(|l| l.bit_len(self.slot.skl_bits))
+        let skl_bits = match &self.view {
+            RunView::Hot(slot) => slot.skl_bits,
+            RunView::Frozen(f) => f.arena().skl_bits(),
+            RunView::Persisted(p) => p.load()?.arena().skl_bits(),
+        };
+        self.label(v).map(|l| l.bit_len(skl_bits))
     }
 
     /// The run's source vertex (first applied event), once ingested.
     pub fn source(&self) -> Option<VertexId> {
-        self.slot.source.get().copied()
+        self.view.source()
     }
 
-    /// Number of labels published so far (monotone under ingestion).
+    /// Number of labels published so far (monotone under ingestion;
+    /// final once the run froze).
     pub fn published(&self) -> usize {
-        self.slot.indexed.len()
+        self.view.published()
     }
 
-    /// Events applied so far.
+    /// Events applied so far (hot tier only; a frozen run reports its
+    /// published label count — one applied insertion per label).
     pub fn events_applied(&self) -> u64 {
-        self.slot.events.load(Ordering::Relaxed)
+        match &self.view {
+            RunView::Hot(slot) => slot.events.load(Ordering::Relaxed),
+            _ => self.view.published() as u64,
+        }
     }
 
     /// The run's lifecycle status.
     pub fn status(&self) -> RunStatus {
-        self.slot.status()
+        self.view.status()
     }
 }

@@ -58,6 +58,9 @@ pub struct LabelIndex {
     published: AtomicUsize,
     /// Total bits across published labels (service-level stats).
     bits: AtomicU64,
+    /// Estimated resident bytes of the decoded labels (entry arrays +
+    /// label headers) — what freezing actually releases.
+    resident: AtomicU64,
 }
 
 impl Default for LabelIndex {
@@ -73,6 +76,7 @@ impl LabelIndex {
             chunks: std::array::from_fn(|_| OnceLock::new()),
             published: AtomicUsize::new(0),
             bits: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
         }
     }
 
@@ -88,8 +92,11 @@ impl LabelIndex {
                 .into_boxed_slice()
         });
         let bits = label.bit_len(skl_bits) as u64;
+        let resident = (std::mem::size_of::<PublishedLabel>()
+            + label.depth() * std::mem::size_of::<wf_drl::Entry>()) as u64;
         if cells[offset].set(PublishedLabel { name, label }).is_ok() {
             self.bits.fetch_add(bits, Ordering::Relaxed);
+            self.resident.fetch_add(resident, Ordering::Relaxed);
             self.published.fetch_add(1, Ordering::Release);
         } else {
             debug_assert!(false, "label for {v:?} published twice");
@@ -140,9 +147,25 @@ impl LabelIndex {
         self.len() == 0
     }
 
-    /// Total bits across published labels.
+    /// Total bits across published labels (the paper's accounting size).
     pub fn total_bits(&self) -> u64 {
         self.bits.load(Ordering::Relaxed)
+    }
+
+    /// Hot-tier byte footprint of the published labels (accounting bits
+    /// rounded up) — the unit the per-tier stats compare against frozen
+    /// arena bytes and on-disk segment bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// Estimated **resident** bytes of the decoded labels (entry arrays
+    /// plus per-cell headers; excludes the chunk table itself). This is
+    /// the memory freezing actually releases — typically several times
+    /// the accounting size, since a decoded [`wf_drl::Entry`] spends a
+    /// machine word where the accounting charges a few bits.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
     }
 }
 

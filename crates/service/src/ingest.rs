@@ -286,7 +286,7 @@ fn process<S: SpecLabeling + Send + Sync>(shared: &EngineShared<S>, env: Envelop
         }
         RunOp::Complete => {
             let res = slot.complete(run);
-            shared.record_complete_outcome(&res);
+            shared.record_complete_outcome(run, &res);
             res.map(|()| false)
         }
     });

@@ -31,8 +31,21 @@
 //!   lineage questions spanning several runs of one specification
 //!   ("which completed runs have a vertex named N reachable from their
 //!   source?"), answered by iterating published label chunks lock-free;
+//! * the run registry is a **tiered label store** ([`Tier`]): live runs
+//!   are **hot** (decoded labels, allocation-free queries), completed
+//!   runs **freeze** into contiguous encoded arenas
+//!   ([`WfEngine::freeze_run`], optionally re-labeled with the static
+//!   SKL baseline to record the paper's §7.4 DRL-vs-SKL deltas), and
+//!   frozen runs **spill** to versioned disk snapshots
+//!   ([`WfEngine::persist_run`]) that reload at build time and fault in
+//!   lazily — with [`RunHandle::reach`] and [`WfEngine::query`]
+//!   answering tier-transparently. A background tiering worker enforces
+//!   [`EngineBuilder::freeze_after`] / [`EngineBuilder::max_hot_runs`] /
+//!   [`EngineBuilder::spill_dir`] in completion order;
 //! * [`WfEngine::stats`] reports engine-level activity (runs live and
-//!   completed, events enqueued/ingested, ingest backlog, label bits).
+//!   completed, events enqueued/ingested, ingest backlog, label bits)
+//!   plus the per-tier byte footprints and freeze-time SKL deltas
+//!   ([`ServiceStats::tier_footprint_json`]).
 //!
 //! ```
 //! use wf_service::{RunOp, ServiceEvent, WfEngine};
@@ -72,17 +85,23 @@
 //! ```
 
 mod engine;
+mod freeze;
 mod handle;
 pub mod index;
 mod ingest;
 mod query;
+pub mod snapshot;
 mod stats;
+mod store;
 
 pub use engine::{EngineBuilder, WfEngine, DEFAULT_MAX_VERTEX_ID};
+pub use freeze::{FrozenRun, SklReport};
 pub use handle::RunHandle;
 pub use index::PublishedLabel;
 pub use query::{CrossRunQuery, SourceReach};
-pub use stats::ServiceStats;
+pub use snapshot::SnapshotError;
+pub use stats::{EngineStats, ServiceStats};
+pub use store::Tier;
 
 use std::fmt;
 use wf_drl::{ExecError, ResolutionMode};
@@ -228,6 +247,15 @@ pub enum ServiceError {
     /// run's writer state may be unusable; published labels remain
     /// queryable.
     WorkerPanicked(RunId),
+    /// Only completed runs can be frozen: freezing discards the dynamic
+    /// labeler state, which a live run still needs for the next event.
+    NotCompleted(RunId, RunStatus),
+    /// Persisting requires a spill directory
+    /// ([`EngineBuilder::spill_dir`]).
+    NoSpillDir,
+    /// Writing or reading a snapshot segment failed (message carries the
+    /// underlying IO/format error).
+    Snapshot(RunId, String),
 }
 
 impl fmt::Display for ServiceError {
@@ -249,6 +277,16 @@ impl fmt::Display for ServiceError {
             ServiceError::WorkerPanicked(r) => {
                 write!(f, "{r}: the ingest worker panicked applying the event")
             }
+            ServiceError::NotCompleted(r, s) => {
+                write!(f, "{r} is {s:?}; only completed runs can be frozen")
+            }
+            ServiceError::NoSpillDir => {
+                write!(
+                    f,
+                    "no spill directory configured (EngineBuilder::spill_dir)"
+                )
+            }
+            ServiceError::Snapshot(r, e) => write!(f, "{r}: snapshot failed: {e}"),
         }
     }
 }

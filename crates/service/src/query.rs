@@ -1,14 +1,13 @@
 //! The cross-run query surface: lineage questions spanning **several
-//! runs** of one (or every) specification.
+//! runs** of one (or every) specification, across **every storage
+//! tier**.
 //!
 //! Per-run queries resolve two labels and apply the paper's constant-
 //! time predicate (Algorithm 4). The cross-run surface lifts that to the
-//! fleet: because every published label is immutable and lives in a
-//! write-once chunk table ([`crate::index::LabelIndex`]), a scan over
-//! "all vertices named N across all completed runs of spec S" is a
-//! lock-free walk of published chunks — no writer is blocked, no lock is
-//! taken beyond the brief registry-shard read needed to snapshot the run
-//! list.
+//! fleet: hot runs are scanned lock-free from their write-once chunk
+//! tables ([`crate::index::LabelIndex`]), frozen runs decode from their
+//! compact arenas, and persisted runs lazily fault their snapshot
+//! segments in — one scan, three tiers, no writer blocked anywhere.
 //!
 //! The flagship question ("which completed runs of spec S have a vertex
 //! named N reachable from their source?") composes three write-once
@@ -28,6 +27,7 @@
 //! # for ev in exec.events() { engine.submit(run, ev).unwrap(); }
 //! # let name = exec.events()[1].name;
 //! # engine.complete_run(run).unwrap();
+//! # engine.freeze_run(run).unwrap(); // frozen runs answer identically
 //! let hits = engine
 //!     .query()
 //!     .spec(SpecId(0))
@@ -36,11 +36,10 @@
 //! assert_eq!(hits, vec![run]);
 //! ```
 
-use crate::engine::{EngineShared, RunSlot};
-use crate::stats::Counters;
-use crate::{RunId, RunStatus, SpecId};
-use std::sync::Arc;
-use wf_drl::DrlPredicate;
+use crate::engine::EngineShared;
+use crate::store::RunView;
+use crate::{RunId, RunStatus, SpecId, Tier};
+use wf_drl::{DrlLabel, DrlPredicate};
 use wf_graph::{NameId, VertexId};
 use wf_skeleton::{SpecLabeling, TclSpecLabels};
 
@@ -56,14 +55,16 @@ pub struct SourceReach {
     pub witnesses: Vec<VertexId>,
 }
 
-/// A scoped cross-run query: filter by specification and run status,
-/// then ask a fleet-level question. Answers are point-in-time — they
-/// reflect the labels published when the scan runs, and every individual
-/// answer is permanent (labels never change once published).
+/// A scoped cross-run query: filter by specification, run status and/or
+/// storage tier, then ask a fleet-level question. Answers are
+/// point-in-time — they reflect the labels published when the scan runs,
+/// and every individual answer is permanent (labels never change once
+/// published).
 pub struct CrossRunQuery<'e, S: SpecLabeling + Send + Sync + 'static = TclSpecLabels> {
     shared: &'e EngineShared<S>,
     spec: Option<SpecId>,
     status: Option<RunStatus>,
+    tier: Option<Tier>,
 }
 
 impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
@@ -72,6 +73,7 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
             shared,
             spec: None,
             status: None,
+            tier: None,
         }
     }
 
@@ -88,43 +90,55 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
         self
     }
 
-    /// Restrict the scope to completed runs.
+    /// Restrict the scope to completed runs — **whichever tier** they
+    /// live in (frozen and persisted runs are completed by
+    /// construction).
     pub fn completed(self) -> Self {
         self.with_status(RunStatus::Completed)
     }
 
-    /// Snapshot the in-scope run slots, sorted by run id.
-    fn slots(&self) -> Vec<(RunId, Arc<RunSlot<S>>)> {
-        let mut slots: Vec<_> = self
+    /// Restrict the scope to one storage tier (e.g. only hot runs for a
+    /// latency-bounded scan, or only persisted runs for a historical
+    /// audit).
+    pub fn tier(mut self, tier: Tier) -> Self {
+        self.tier = Some(tier);
+        self
+    }
+
+    /// Snapshot the in-scope run views, sorted by run id.
+    fn views(&self) -> Vec<(RunId, RunView<S>)> {
+        let mut views: Vec<_> = self
             .shared
-            .snapshot_slots()
+            .store
+            .snapshot_views()
             .into_iter()
-            .filter(|(_, slot)| {
-                self.spec.is_none_or(|s| slot.spec == s)
-                    && self.status.is_none_or(|st| slot.status() == st)
+            .filter(|(_, view)| {
+                self.spec.is_none_or(|s| view.spec() == s)
+                    && self.status.is_none_or(|st| view.status() == st)
+                    && self.tier.is_none_or(|t| view.tier() == t)
             })
             .collect();
-        slots.sort_by_key(|(run, _)| *run);
-        slots
+        views.sort_by_key(|(run, _)| *run);
+        views
     }
 
     /// The runs currently in scope, sorted by id.
     pub fn run_ids(&self) -> Vec<RunId> {
-        self.slots().into_iter().map(|(run, _)| run).collect()
+        self.views().into_iter().map(|(run, _)| run).collect()
     }
 
     /// Every published vertex named `name`, per in-scope run (runs with
-    /// no match are omitted). Lock-free scan of published label chunks.
+    /// no match are omitted).
     pub fn vertices_named(&self, name: NameId) -> Vec<(RunId, Vec<VertexId>)> {
-        self.slots()
+        self.views()
             .into_iter()
-            .filter_map(|(run, slot)| {
-                let vs: Vec<VertexId> = slot
-                    .indexed
-                    .iter()
-                    .filter(|(_, p)| p.name == name)
-                    .map(|(v, _)| v)
-                    .collect();
+            .filter_map(|(run, view)| {
+                let mut vs: Vec<VertexId> = Vec::new();
+                view.for_each_label(|v, n, _| {
+                    if n == name {
+                        vs.push(v);
+                    }
+                });
                 (!vs.is_empty()).then_some((run, vs))
             })
             .collect()
@@ -133,25 +147,24 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
     /// For each in-scope run whose source can reach at least one vertex
     /// named `name`: the source and the full witness list. The paper's
     /// constant-time predicate decides each pair, so a run costs
-    /// O(published) label-chunk visits plus O(matches) predicate calls.
+    /// O(published) label visits plus O(matches) predicate calls.
     pub fn reaching_named_from_source(&self, name: NameId) -> Vec<SourceReach> {
-        self.slots()
+        self.views()
             .into_iter()
-            .filter_map(|(run, slot)| {
-                let source = *slot.source.get()?;
-                let src_label = slot.indexed.get(source)?;
-                let ctx = &self.shared.catalog[slot.spec.0];
+            .filter_map(|(run, view)| {
+                let source = view.source()?;
+                let src_label = view.label(source)?;
+                let ctx = &self.shared.catalog[view.spec().0];
                 let predicate = DrlPredicate::new(&ctx.skeleton);
-                let witnesses: Vec<VertexId> = slot
-                    .indexed
-                    .iter()
-                    .filter(|(_, p)| p.name == name)
-                    .filter(|(_, p)| {
-                        Counters::bump(&slot.queries);
-                        predicate.reaches(src_label, &p.label)
-                    })
-                    .map(|(v, _)| v)
-                    .collect();
+                let mut witnesses: Vec<VertexId> = Vec::new();
+                view.for_each_label(|v, n, label| {
+                    if n == name {
+                        view.note_query();
+                        if predicate.reaches(&src_label, label) {
+                            witnesses.push(v);
+                        }
+                    }
+                });
                 (!witnesses.is_empty()).then_some(SourceReach {
                     run,
                     source,
@@ -176,24 +189,28 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
     /// `to` — a name-level lineage join within each in-scope run. Costs
     /// O(|from| · |to|) constant-time predicate calls per run.
     pub fn runs_linking(&self, from: NameId, to: NameId) -> Vec<RunId> {
-        self.slots()
+        self.views()
             .into_iter()
-            .filter_map(|(run, slot)| {
-                let ctx = &self.shared.catalog[slot.spec.0];
+            .filter_map(|(run, view)| {
+                let ctx = &self.shared.catalog[view.spec().0];
                 let predicate = DrlPredicate::new(&ctx.skeleton);
-                let froms: Vec<_> = slot
-                    .indexed
-                    .iter()
-                    .filter(|(_, p)| p.name == from)
-                    .collect();
-                let tos: Vec<_> = slot.indexed.iter().filter(|(_, p)| p.name == to).collect();
+                let mut froms: Vec<(VertexId, DrlLabel)> = Vec::new();
+                let mut tos: Vec<(VertexId, DrlLabel)> = Vec::new();
+                view.for_each_label(|v, n, label| {
+                    if n == from {
+                        froms.push((v, label.clone()));
+                    }
+                    if n == to {
+                        tos.push((v, label.clone()));
+                    }
+                });
                 let hit = froms.iter().any(|(u, pu)| {
                     tos.iter().any(|(v, pv)| {
                         if u == v {
                             return false;
                         }
-                        Counters::bump(&slot.queries);
-                        predicate.reaches(&pu.label, &pv.label)
+                        view.note_query();
+                        predicate.reaches(pu, pv)
                     })
                 });
                 hit.then_some(run)

@@ -1,0 +1,424 @@
+//! The **persisted tier**: frozen label arenas snapshotted to disk in a
+//! versioned binary segment format with a manifest, loadable at engine
+//! build time so historical runs keep answering cross-run queries.
+//!
+//! One segment file per run (`run-<id>.wfseg`):
+//!
+//! ```text
+//! magic    8 B   "WFTIERS1"
+//! version  u32   1
+//! run      u64
+//! spec     u32
+//! skl_bits u32
+//! source   u32   (u32::MAX = no source recorded)
+//! count    u32   labeled vertices
+//! arena    u64   arena byte length
+//! drl_bits u64   DRL accounting bits (hot-tier footprint, for stats)
+//! slots    count × (vertex u32, name u32, offset u32)
+//! bytes    arena encoded labels
+//! checksum u64   FNV-1a over everything above
+//! ```
+//!
+//! All integers little-endian. Segments are written to a temp file and
+//! renamed into place, and the loader verifies length, magic, version
+//! and checksum **and decodes every label** before accepting — a
+//! truncated or corrupted snapshot is rejected with a typed error, never
+//! a panic. The manifest (`wf-tier-manifest.txt`) lists the live
+//! segments and is rewritten atomically after every spill.
+
+use crate::freeze::FrozenRun;
+use crate::{RunId, SpecId};
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, OnceLock};
+use wf_drl::{ArenaSlot, LabelArena};
+use wf_graph::{NameId, VertexId};
+
+/// Segment file magic.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"WFTIERS1";
+/// Current segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Manifest file name inside the spill directory.
+pub const MANIFEST_FILE: &str = "wf-tier-manifest.txt";
+/// Manifest header line (versioned like the segments).
+pub const MANIFEST_HEADER: &str = "wf-tier-manifest v1";
+
+const HEADER_LEN: usize = 8 + 4 + 8 + 4 + 4 + 4 + 4 + 8 + 8;
+const CHECKSUM_LEN: usize = 8;
+
+/// Errors reading or writing snapshot segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Filesystem failure (message carries the `io::Error`).
+    Io(String),
+    /// The bytes are not a valid segment: wrong magic/version, truncated,
+    /// checksum mismatch, or a label that does not decode.
+    Format(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Format(e) => write!(f, "invalid snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e.to_string())
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| SnapshotError::Format("truncated segment".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Fixed-size segment header — everything the engine needs to register a
+/// persisted run *without* reading its arena (the lazy-load metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// The run the segment holds.
+    pub run: RunId,
+    /// Its specification (catalog index; must match across restarts).
+    pub spec: SpecId,
+    /// Skeleton-pointer width the labels were encoded with.
+    pub skl_bits: u32,
+    /// The run's source vertex, if recorded.
+    pub source: Option<VertexId>,
+    /// Labeled vertices in the segment.
+    pub count: u32,
+    /// Arena byte length.
+    pub arena_len: u64,
+    /// DRL accounting bits (what the run cost in the hot tier).
+    pub drl_bits: u64,
+}
+
+fn parse_header(bytes: &[u8]) -> Result<SegmentHeader, SnapshotError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take(8)?;
+    if magic != SEGMENT_MAGIC {
+        return Err(SnapshotError::Format("bad magic".into()));
+    }
+    let version = r.u32()?;
+    if version != SEGMENT_VERSION {
+        return Err(SnapshotError::Format(format!(
+            "unsupported segment version {version}"
+        )));
+    }
+    let run = RunId(r.u64()?);
+    let spec = SpecId(r.u32()? as usize);
+    let skl_bits = r.u32()?;
+    let source = match r.u32()? {
+        u32::MAX => None,
+        v => Some(VertexId(v)),
+    };
+    let count = r.u32()?;
+    let arena_len = r.u64()?;
+    let drl_bits = r.u64()?;
+    Ok(SegmentHeader {
+        run,
+        spec,
+        skl_bits,
+        source,
+        count,
+        arena_len,
+        drl_bits,
+    })
+}
+
+/// Segment file name for a run.
+pub fn segment_file_name(run: RunId) -> String {
+    format!("run-{}.wfseg", run.0)
+}
+
+/// Serialize a frozen run into segment bytes.
+pub fn encode_segment(frozen: &FrozenRun) -> Vec<u8> {
+    let arena = frozen.arena();
+    let mut out = Vec::with_capacity(HEADER_LEN + arena.len() * 12 + arena.encoded_bytes() + 8);
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out.extend_from_slice(&frozen.run().0.to_le_bytes());
+    out.extend_from_slice(&(frozen.spec().0 as u32).to_le_bytes());
+    out.extend_from_slice(&(arena.skl_bits() as u32).to_le_bytes());
+    out.extend_from_slice(&frozen.source().map_or(u32::MAX, |v| v.0).to_le_bytes());
+    out.extend_from_slice(&(arena.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(arena.encoded_bytes() as u64).to_le_bytes());
+    out.extend_from_slice(&frozen.drl_bits().to_le_bytes());
+    for slot in arena.slots() {
+        out.extend_from_slice(&slot.vertex.0.to_le_bytes());
+        out.extend_from_slice(&slot.name.0.to_le_bytes());
+        out.extend_from_slice(&slot.offset.to_le_bytes());
+    }
+    out.extend_from_slice(arena.bytes());
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Parse and fully validate segment bytes back into a [`FrozenRun`]
+/// (SKL reports are not persisted; reloaded runs carry `None`).
+pub fn decode_segment(bytes: &[u8]) -> Result<FrozenRun, SnapshotError> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(SnapshotError::Format("truncated segment".into()));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a(body) != stored {
+        return Err(SnapshotError::Format("checksum mismatch".into()));
+    }
+    let header = parse_header(body)?;
+    let slots_len = (header.count as usize)
+        .checked_mul(12)
+        .ok_or_else(|| SnapshotError::Format("slot count overflow".into()))?;
+    let expected = HEADER_LEN
+        .checked_add(slots_len)
+        .and_then(|n| n.checked_add(header.arena_len as usize))
+        .ok_or_else(|| SnapshotError::Format("length overflow".into()))?;
+    if body.len() != expected {
+        return Err(SnapshotError::Format(format!(
+            "segment length {} does not match header (expected {expected})",
+            body.len()
+        )));
+    }
+    let mut r = ByteReader::new(&body[HEADER_LEN..]);
+    let mut slots = Vec::with_capacity(header.count as usize);
+    for _ in 0..header.count {
+        slots.push(ArenaSlot {
+            vertex: VertexId(r.u32()?),
+            name: NameId(r.u32()?),
+            offset: r.u32()?,
+        });
+    }
+    let arena_bytes = r.take(header.arena_len as usize)?.to_vec();
+    let arena = LabelArena::from_parts(header.skl_bits as usize, slots, arena_bytes)
+        .ok_or_else(|| SnapshotError::Format("arena validation failed".into()))?;
+    Ok(FrozenRun {
+        run: header.run,
+        spec: header.spec,
+        source: header.source,
+        arena,
+        drl_bits: header.drl_bits,
+        skl: None,
+        queries: AtomicU64::new(0),
+    })
+}
+
+/// Atomically write a frozen run's segment into `dir`. Returns the final
+/// path and the on-disk byte count.
+pub fn write_segment(dir: &Path, frozen: &FrozenRun) -> Result<(PathBuf, u64), SnapshotError> {
+    fs::create_dir_all(dir)?;
+    let bytes = encode_segment(frozen);
+    let path = dir.join(segment_file_name(frozen.run()));
+    let tmp = dir.join(format!(".{}.tmp", segment_file_name(frozen.run())));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    Ok((path, bytes.len() as u64))
+}
+
+/// Read and validate a segment file.
+pub fn read_segment(path: &Path) -> Result<FrozenRun, SnapshotError> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    decode_segment(&bytes)
+}
+
+/// Read only a segment's header (the lazy-load registration path).
+pub fn read_header(path: &Path) -> Result<SegmentHeader, SnapshotError> {
+    let mut buf = vec![0u8; HEADER_LEN];
+    let mut f = fs::File::open(path)?;
+    f.read_exact(&mut buf)
+        .map_err(|_| SnapshotError::Format("truncated segment header".into()))?;
+    parse_header(&buf)
+}
+
+/// One manifest line: a persisted run and its segment file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The persisted run.
+    pub run: RunId,
+    /// Segment file name, relative to the spill directory.
+    pub file: String,
+    /// On-disk size of the segment.
+    pub bytes: u64,
+}
+
+/// Atomically rewrite the manifest with the full persisted set.
+pub fn write_manifest(dir: &Path, entries: &[ManifestEntry]) -> Result<(), SnapshotError> {
+    fs::create_dir_all(dir)?;
+    let mut out = String::from(MANIFEST_HEADER);
+    out.push('\n');
+    for e in entries {
+        out.push_str(&format!("{} {} {}\n", e.run.0, e.file, e.bytes));
+    }
+    let tmp = dir.join(format!(".{MANIFEST_FILE}.tmp"));
+    fs::write(&tmp, out)?;
+    fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+    Ok(())
+}
+
+/// Load the manifest; a missing file is an empty manifest, malformed
+/// lines are skipped (the segment loader re-validates everything, so the
+/// manifest is an index, not a trust root).
+pub fn load_manifest(dir: &Path) -> Result<Vec<ManifestEntry>, SnapshotError> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == MANIFEST_HEADER => {}
+        other => {
+            return Err(SnapshotError::Format(format!(
+                "bad manifest header {other:?}"
+            )))
+        }
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        let (Some(run), Some(file), Some(bytes)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let (Ok(run), Ok(bytes)) = (run.parse::<u64>(), bytes.parse::<u64>()) else {
+            continue;
+        };
+        entries.push(ManifestEntry {
+            run: RunId(run),
+            file: file.to_string(),
+            bytes,
+        });
+    }
+    Ok(entries)
+}
+
+/// A run living in the persisted tier: registered from a segment header
+/// at engine build (or at spill time), with the full arena **lazily
+/// loaded** on first query and cached.
+#[derive(Debug)]
+pub struct PersistedRun {
+    pub(crate) run: RunId,
+    pub(crate) spec: SpecId,
+    pub(crate) source: Option<VertexId>,
+    pub(crate) published: usize,
+    pub(crate) disk_bytes: u64,
+    pub(crate) path: PathBuf,
+    /// Lazily-loaded arena. `Some(None)` caches a failed load (the
+    /// segment vanished or was corrupted after registration) so queries
+    /// degrade to "no labels" instead of re-reading a broken file.
+    loaded: OnceLock<Option<Arc<FrozenRun>>>,
+    pub(crate) queries: AtomicU64,
+}
+
+impl PersistedRun {
+    /// Register a segment file by reading its header only.
+    pub fn open(path: PathBuf) -> Result<Self, SnapshotError> {
+        let header = read_header(&path)?;
+        let disk_bytes = fs::metadata(&path)?.len();
+        Ok(Self {
+            run: header.run,
+            spec: header.spec,
+            source: header.source,
+            published: header.count as usize,
+            disk_bytes,
+            path,
+            loaded: OnceLock::new(),
+            queries: AtomicU64::new(0),
+        })
+    }
+
+    /// Register a segment that was just written from `frozen` (spill
+    /// path) — header facts come from the in-memory run; the arena still
+    /// reloads lazily from disk, which keeps the memory release of
+    /// persisting real.
+    pub(crate) fn from_frozen(frozen: &FrozenRun, path: PathBuf, disk_bytes: u64) -> Self {
+        Self {
+            run: frozen.run(),
+            spec: frozen.spec(),
+            source: frozen.source(),
+            published: frozen.published(),
+            disk_bytes,
+            path,
+            loaded: OnceLock::new(),
+            // Carry the query count across the tier change so the
+            // engine-wide `queries_answered` stays monotone.
+            queries: AtomicU64::new(frozen.queries.load(std::sync::atomic::Ordering::Relaxed)),
+        }
+    }
+
+    /// The run this segment holds.
+    pub fn run(&self) -> RunId {
+        self.run
+    }
+
+    /// On-disk size of the segment.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_bytes
+    }
+
+    /// The segment file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The arena, loading and validating the segment on first use.
+    /// `None` if the segment no longer reads back cleanly.
+    pub fn load(&self) -> Option<&Arc<FrozenRun>> {
+        self.loaded
+            .get_or_init(|| read_segment(&self.path).ok().map(Arc::new))
+            .as_ref()
+    }
+
+    /// True once the arena has been faulted into memory.
+    pub fn is_loaded(&self) -> bool {
+        matches!(self.loaded.get(), Some(Some(_)))
+    }
+}

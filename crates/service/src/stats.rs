@@ -1,4 +1,5 @@
-//! Engine-level counters and their point-in-time snapshot.
+//! Engine-level counters and their point-in-time snapshot, including
+//! the per-tier byte footprints of the label store.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -14,6 +15,26 @@ pub(crate) struct Counters {
     pub events_ingested: AtomicU64,
     pub batches_ingested: AtomicU64,
     pub flushes: AtomicU64,
+    /// Freeze operations (hot → frozen transitions), cumulative.
+    pub freezes: AtomicU64,
+    /// Spill operations (frozen → persisted transitions), cumulative.
+    pub spills: AtomicU64,
+    /// Frozen runs that were re-labeled with the static SKL baseline.
+    pub skl_relabeled: AtomicU64,
+    /// Total SKL label bits across re-labeled runs.
+    pub skl_bits_total: AtomicU64,
+    /// Total DRL label bits across the *same* re-labeled runs (the
+    /// apples-to-apples denominator for the bits-per-label comparison).
+    pub skl_drl_bits_total: AtomicU64,
+    /// Wall-clock spent building SKL labelings at freeze time.
+    pub skl_build_ns: AtomicU64,
+    /// Wall-clock for the sampled query pairs through SKL labels.
+    pub skl_query_ns: AtomicU64,
+    /// Wall-clock for the same pairs through frozen (decode + predicate)
+    /// DRL labels.
+    pub frozen_query_ns: AtomicU64,
+    /// Number of `(u, v)` pairs sampled for the latency comparison.
+    pub skl_pairs_sampled: AtomicU64,
 }
 
 impl Counters {
@@ -26,6 +47,15 @@ impl Counters {
             events_ingested: AtomicU64::new(0),
             batches_ingested: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
+            freezes: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            skl_relabeled: AtomicU64::new(0),
+            skl_bits_total: AtomicU64::new(0),
+            skl_drl_bits_total: AtomicU64::new(0),
+            skl_build_ns: AtomicU64::new(0),
+            skl_query_ns: AtomicU64::new(0),
+            frozen_query_ns: AtomicU64::new(0),
+            skl_pairs_sampled: AtomicU64::new(0),
         }
     }
 
@@ -34,7 +64,8 @@ impl Counters {
     }
 }
 
-/// A point-in-time snapshot of engine activity.
+/// A point-in-time snapshot of engine activity across all three label
+/// tiers. Also exported as [`EngineStats`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceStats {
     /// Runs ever opened.
@@ -64,17 +95,60 @@ pub struct ServiceStats {
     /// Persistent ingest workers in the pool.
     pub ingest_workers: u64,
     /// Reachability queries served, summed over currently-registered
-    /// runs (counted per run slot so the query hot path never contends
-    /// on an engine-wide cache line; evicting a run drops its count).
+    /// runs of every tier (counted per run so the query hot path never
+    /// contends on an engine-wide cache line; evicting a run drops its
+    /// count, tiering carries it along).
     pub queries_answered: u64,
-    /// Labels published into the query indexes.
+    /// Labels published, across all tiers.
     pub labels_published: u64,
-    /// Total size of published labels in bits (the paper's label-length
-    /// metric, aggregated engine-wide).
+    /// Labels currently held decoded in the hot tier.
+    pub labels_hot: u64,
+    /// **Hot tier** label storage in bits (the paper's label-length
+    /// accounting, over decoded in-memory labels).
     pub label_bits_total: u64,
+    /// **Hot tier** estimated resident bytes (decoded entry arrays +
+    /// label headers) — the memory a freeze actually releases, typically
+    /// several times [`Self::hot_bytes`].
+    pub hot_resident_bytes: u64,
+    /// Runs currently in the hot tier (any status).
+    pub runs_hot: u64,
+    /// Runs currently in the frozen tier.
+    pub runs_frozen: u64,
+    /// Runs currently in the persisted tier.
+    pub runs_persisted: u64,
+    /// Cumulative hot→frozen transitions.
+    pub freezes: u64,
+    /// Cumulative frozen→persisted transitions (snapshot writes).
+    pub spills: u64,
+    /// **Frozen tier** footprint in bytes: encoded arenas + vertex
+    /// directories.
+    pub frozen_bytes: u64,
+    /// DRL accounting bits the frozen runs occupied while hot (the
+    /// compaction numerator: `frozen_label_bits/8` vs `frozen_bytes`).
+    pub frozen_label_bits: u64,
+    /// **Persisted tier** footprint in bytes: segment files on disk.
+    pub persisted_bytes: u64,
+    /// Frozen runs re-labeled with the static SKL baseline.
+    pub skl_relabeled: u64,
+    /// Total SKL bits across re-labeled runs (§7.4: slope ≈ 3·log n).
+    pub skl_bits_total: u64,
+    /// Total DRL bits across the same runs (slope ≈ log n).
+    pub skl_drl_bits_total: u64,
+    /// Wall-clock spent building SKL labelings at freeze time.
+    pub skl_build_ns: u64,
+    /// Sampled query time through SKL labels.
+    pub skl_query_ns: u64,
+    /// Sampled query time through frozen DRL labels (decode +
+    /// constant-time predicate), over the same pairs.
+    pub frozen_query_ns: u64,
+    /// Pairs sampled for the latency comparison.
+    pub skl_pairs_sampled: u64,
     /// Wall-clock since the engine started.
     pub uptime: Duration,
 }
+
+/// The engine-level name for [`ServiceStats`].
+pub type EngineStats = ServiceStats;
 
 impl ServiceStats {
     /// Average ingest throughput since start, in events per second.
@@ -87,13 +161,63 @@ impl ServiceStats {
         }
     }
 
-    /// Mean published-label size in bits.
+    /// Mean published-label size in bits over the hot tier.
     pub fn avg_label_bits(&self) -> f64 {
-        if self.labels_published > 0 {
-            self.label_bits_total as f64 / self.labels_published as f64
+        if self.labels_hot > 0 {
+            self.label_bits_total as f64 / self.labels_hot as f64
         } else {
             0.0
         }
+    }
+
+    /// Hot-tier label storage in bytes (accounting bits, rounded up) —
+    /// the same unit as the frozen/persisted footprints, so the
+    /// SKL-vs-DRL / hot-vs-frozen memory comparison is a one-liner.
+    pub fn hot_bytes(&self) -> u64 {
+        self.label_bits_total.div_ceil(8)
+    }
+
+    /// SKL-to-DRL label size ratio over the re-labeled runs (the paper
+    /// measures ≈ 3; `None` until a run has been SKL re-labeled).
+    pub fn skl_bits_ratio(&self) -> Option<f64> {
+        (self.skl_drl_bits_total > 0)
+            .then(|| self.skl_bits_total as f64 / self.skl_drl_bits_total as f64)
+    }
+
+    /// One JSON line with the per-tier run counts and byte footprints —
+    /// what CI uploads next to the bench artifact.
+    pub fn tier_footprint_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"metric\":\"tier_footprint\",",
+                "\"runs_hot\":{},\"runs_frozen\":{},\"runs_persisted\":{},",
+                "\"hot_bytes\":{},\"hot_resident_bytes\":{},",
+                "\"frozen_bytes\":{},\"persisted_bytes\":{},",
+                "\"hot_label_bits\":{},\"frozen_label_bits\":{},",
+                "\"freezes\":{},\"spills\":{},",
+                "\"skl_relabeled\":{},\"skl_bits\":{},\"skl_drl_bits\":{},",
+                "\"skl_build_ns\":{},\"skl_query_ns\":{},\"frozen_query_ns\":{},",
+                "\"skl_pairs\":{}}}"
+            ),
+            self.runs_hot,
+            self.runs_frozen,
+            self.runs_persisted,
+            self.hot_bytes(),
+            self.hot_resident_bytes,
+            self.frozen_bytes,
+            self.persisted_bytes,
+            self.label_bits_total,
+            self.frozen_label_bits,
+            self.freezes,
+            self.spills,
+            self.skl_relabeled,
+            self.skl_bits_total,
+            self.skl_drl_bits_total,
+            self.skl_build_ns,
+            self.skl_query_ns,
+            self.frozen_query_ns,
+            self.skl_pairs_sampled,
+        )
     }
 }
 
@@ -102,12 +226,19 @@ impl std::fmt::Display for ServiceStats {
         write!(
             f,
             "runs: {} live / {} completed / {} failed (of {} opened); \
+             tiers: {} hot ({} B) / {} frozen ({} B) / {} persisted ({} B); \
              events: {} applied ({:.0}/s; pool: {} enqueued, backlog {}); \
              workers: {}; queries: {}; labels: {} ({:.1} bits avg)",
             self.runs_live,
             self.runs_completed,
             self.runs_failed,
             self.runs_opened,
+            self.runs_hot,
+            self.hot_bytes(),
+            self.runs_frozen,
+            self.frozen_bytes,
+            self.runs_persisted,
+            self.persisted_bytes,
             self.events_ingested,
             self.events_per_sec(),
             self.events_enqueued,

@@ -1,0 +1,379 @@
+//! The tiered **label store**: one registry, three tiers, one read path.
+//!
+//! * **Hot** — in-flight (and recently completed) runs: full labeler
+//!   state plus the lock-free write-once [`crate::index::LabelIndex`].
+//!   Labels are decoded in memory; queries are two `Acquire` loads and a
+//!   constant-time predicate.
+//! * **Frozen** — completed runs compacted into contiguous encoded
+//!   arenas ([`crate::FrozenRun`]): ~an order of magnitude smaller, at
+//!   the price of a decode per label access.
+//! * **Persisted** — frozen arenas snapshotted to disk
+//!   ([`crate::snapshot::PersistedRun`]): zero resident bytes until the
+//!   first query lazily faults the segment back in.
+//!
+//! Every reader — [`crate::RunHandle::reach`], [`crate::WfEngine::query`],
+//! the stats — resolves runs through [`LabelStore::view`], which returns
+//! a tier-transparent [`RunView`]; callers never know (or care) which
+//! tier answered. Lookup checks hot first, so a live run costs exactly
+//! what it cost before tiering existed.
+
+use crate::engine::{route_hash, RunSlot};
+use crate::freeze::FrozenRun;
+use crate::snapshot::PersistedRun;
+use crate::stats::Counters;
+use crate::{RunId, RunStatus, SpecId};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, RwLock};
+use wf_drl::{DrlLabel, DrlPredicate};
+use wf_graph::{NameId, VertexId};
+use wf_skeleton::SpecLabeling;
+
+/// Which storage tier currently serves a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Live labeler state + decoded in-memory label index.
+    Hot,
+    /// Encoded in-memory arena (completed runs).
+    Frozen,
+    /// On-disk snapshot segment, lazily loaded for queries.
+    Persisted,
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tier::Hot => write!(f, "hot"),
+            Tier::Frozen => write!(f, "frozen"),
+            Tier::Persisted => write!(f, "persisted"),
+        }
+    }
+}
+
+/// Registry shard for the hot tier: one `RwLock`ed map per shard keeps
+/// run lookup contention independent of the number of concurrent runs.
+type Shard<S> = RwLock<HashMap<u64, Arc<RunSlot<S>>>>;
+
+/// A tier-transparent, reference-counted view of one run — everything
+/// the read path needs, with the tier dispatch in one place.
+pub(crate) enum RunView<S: SpecLabeling + 'static> {
+    Hot(Arc<RunSlot<S>>),
+    Frozen(Arc<FrozenRun>),
+    Persisted(Arc<PersistedRun>),
+}
+
+impl<S: SpecLabeling> Clone for RunView<S> {
+    fn clone(&self) -> Self {
+        match self {
+            RunView::Hot(s) => RunView::Hot(Arc::clone(s)),
+            RunView::Frozen(f) => RunView::Frozen(Arc::clone(f)),
+            RunView::Persisted(p) => RunView::Persisted(Arc::clone(p)),
+        }
+    }
+}
+
+impl<S: SpecLabeling> RunView<S> {
+    pub(crate) fn tier(&self) -> Tier {
+        match self {
+            RunView::Hot(_) => Tier::Hot,
+            RunView::Frozen(_) => Tier::Frozen,
+            RunView::Persisted(_) => Tier::Persisted,
+        }
+    }
+
+    pub(crate) fn spec(&self) -> SpecId {
+        match self {
+            RunView::Hot(s) => s.spec,
+            RunView::Frozen(f) => f.spec,
+            RunView::Persisted(p) => p.spec,
+        }
+    }
+
+    /// Lifecycle status. Only completed runs freeze, so the cold tiers
+    /// are `Completed` by construction.
+    pub(crate) fn status(&self) -> RunStatus {
+        match self {
+            RunView::Hot(s) => s.status(),
+            RunView::Frozen(_) | RunView::Persisted(_) => RunStatus::Completed,
+        }
+    }
+
+    pub(crate) fn source(&self) -> Option<VertexId> {
+        match self {
+            RunView::Hot(s) => s.source.get().copied(),
+            RunView::Frozen(f) => f.source,
+            RunView::Persisted(p) => p.source,
+        }
+    }
+
+    pub(crate) fn published(&self) -> usize {
+        match self {
+            RunView::Hot(s) => s.indexed.len(),
+            RunView::Frozen(f) => f.arena.len(),
+            RunView::Persisted(p) => p.published,
+        }
+    }
+
+    /// The label of `v` — borrowed-then-cloned from the hot index,
+    /// decoded from an arena otherwise.
+    pub(crate) fn label(&self, v: VertexId) -> Option<DrlLabel> {
+        match self {
+            RunView::Hot(s) => s.indexed.get(v).cloned(),
+            RunView::Frozen(f) => f.arena.get(v),
+            RunView::Persisted(p) => p.load()?.arena.get(v),
+        }
+    }
+
+    /// The module name `v` was published under.
+    pub(crate) fn name(&self, v: VertexId) -> Option<NameId> {
+        match self {
+            RunView::Hot(s) => s.indexed.get_published(v).map(|p| p.name),
+            RunView::Frozen(f) => f.arena.name(v),
+            RunView::Persisted(p) => p.load()?.arena.name(v),
+        }
+    }
+
+    /// Constant-time `u ; v`, answered from this tier. The hot path
+    /// stays allocation-free (two borrowed labels); the cold tiers
+    /// decode the two labels first.
+    pub(crate) fn reach(
+        &self,
+        predicate: &DrlPredicate<'_, S>,
+        u: VertexId,
+        v: VertexId,
+    ) -> Option<bool> {
+        let answer = match self {
+            RunView::Hot(s) => {
+                let lu = s.indexed.get(u)?;
+                let lv = s.indexed.get(v)?;
+                predicate.reaches(lu, lv)
+            }
+            RunView::Frozen(f) => predicate.reaches(&f.arena.get(u)?, &f.arena.get(v)?),
+            RunView::Persisted(p) => {
+                let f = p.load()?;
+                predicate.reaches(&f.arena.get(u)?, &f.arena.get(v)?)
+            }
+        };
+        self.note_query();
+        Some(answer)
+    }
+
+    /// Visit every published `(vertex, name, label)` of the run. Hot
+    /// labels are passed by reference straight from the index; cold
+    /// labels decode into a scratch value per visit.
+    pub(crate) fn for_each_label(&self, mut f: impl FnMut(VertexId, NameId, &DrlLabel)) {
+        match self {
+            RunView::Hot(s) => {
+                for (v, p) in s.indexed.iter() {
+                    f(v, p.name, &p.label);
+                }
+            }
+            RunView::Frozen(fr) => {
+                for (v, name, label) in fr.arena.iter() {
+                    f(v, name, &label);
+                }
+            }
+            RunView::Persisted(p) => {
+                if let Some(fr) = p.load() {
+                    for (v, name, label) in fr.arena.iter() {
+                        f(v, name, &label);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bump the run's per-tier query counter (kept per run so the query
+    /// hot path never contends on an engine-wide cache line).
+    pub(crate) fn note_query(&self) {
+        match self {
+            RunView::Hot(s) => Counters::bump(&s.queries),
+            RunView::Frozen(f) => Counters::bump(&f.queries),
+            RunView::Persisted(p) => Counters::bump(&p.queries),
+        }
+    }
+}
+
+/// The engine's run registry across all three tiers. Hot stays sharded
+/// (lookup contention scales with concurrent live runs); the cold tiers
+/// are single maps (mutated only by the much rarer freeze/spill
+/// transitions).
+pub(crate) struct LabelStore<S: SpecLabeling + 'static> {
+    shards: Box<[Shard<S>]>,
+    shard_mask: u64,
+    frozen: RwLock<HashMap<u64, Arc<FrozenRun>>>,
+    persisted: RwLock<HashMap<u64, Arc<PersistedRun>>>,
+}
+
+impl<S: SpecLabeling> LabelStore<S> {
+    /// An empty store with `shards` hot shards (rounded up to a power of
+    /// two), pre-seeded with persisted segments loaded from disk.
+    pub(crate) fn new(shards: usize, persisted: Vec<Arc<PersistedRun>>) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            shard_mask: (n - 1) as u64,
+            frozen: RwLock::new(HashMap::new()),
+            persisted: RwLock::new(persisted.into_iter().map(|p| (p.run.0, p)).collect()),
+        }
+    }
+
+    fn shard(&self, run: RunId) -> &Shard<S> {
+        &self.shards[(route_hash(run) & self.shard_mask) as usize]
+    }
+
+    pub(crate) fn insert_hot(&self, run: RunId, slot: Arc<RunSlot<S>>) {
+        self.shard(run)
+            .write()
+            .expect("shard lock poisoned")
+            .insert(run.0, slot);
+    }
+
+    /// The hot slot of `run`, if it is in the hot tier.
+    pub(crate) fn hot_slot(&self, run: RunId) -> Option<Arc<RunSlot<S>>> {
+        self.shard(run)
+            .read()
+            .expect("shard lock poisoned")
+            .get(&run.0)
+            .cloned()
+    }
+
+    /// Tier-transparent lookup: hot shadows frozen shadows persisted.
+    pub(crate) fn view(&self, run: RunId) -> Option<RunView<S>> {
+        if let Some(slot) = self.hot_slot(run) {
+            return Some(RunView::Hot(slot));
+        }
+        if let Some(f) = self
+            .frozen
+            .read()
+            .expect("frozen lock poisoned")
+            .get(&run.0)
+        {
+            return Some(RunView::Frozen(Arc::clone(f)));
+        }
+        self.persisted
+            .read()
+            .expect("persisted lock poisoned")
+            .get(&run.0)
+            .map(|p| RunView::Persisted(Arc::clone(p)))
+    }
+
+    /// Move a run into the frozen tier — **conditional**: succeeds only
+    /// if the run is still hot, so a freeze racing an eviction (or
+    /// another freeze) cannot resurrect a removed run. Both locks are
+    /// held across the move (shard → frozen, the store's fixed lock
+    /// order), so a concurrent lookup sees exactly one tier, never a
+    /// gap.
+    #[must_use]
+    pub(crate) fn promote_frozen(&self, run: RunId, frozen: Arc<FrozenRun>) -> bool {
+        let mut shard = self.shard(run).write().expect("shard lock poisoned");
+        let mut cold = self.frozen.write().expect("frozen lock poisoned");
+        if shard.remove(&run.0).is_none() {
+            return false;
+        }
+        cold.insert(run.0, frozen);
+        true
+    }
+
+    /// Move a run into the persisted tier — conditional on it still
+    /// being frozen, with both locks held across the move (frozen →
+    /// persisted, the fixed lock order), like [`Self::promote_frozen`].
+    #[must_use]
+    pub(crate) fn promote_persisted(&self, run: RunId, persisted: Arc<PersistedRun>) -> bool {
+        let mut cold = self.frozen.write().expect("frozen lock poisoned");
+        let mut disk = self.persisted.write().expect("persisted lock poisoned");
+        if cold.remove(&run.0).is_none() {
+            return false;
+        }
+        disk.insert(run.0, persisted);
+        true
+    }
+
+    /// Evict a run from whichever tier holds it; returns the hot slot if
+    /// the run was hot (the caller marks it evicted under its writer
+    /// lock).
+    pub(crate) fn remove(&self, run: RunId) -> Option<RunView<S>> {
+        if let Some(slot) = self
+            .shard(run)
+            .write()
+            .expect("shard lock poisoned")
+            .remove(&run.0)
+        {
+            return Some(RunView::Hot(slot));
+        }
+        if let Some(f) = self
+            .frozen
+            .write()
+            .expect("frozen lock poisoned")
+            .remove(&run.0)
+        {
+            return Some(RunView::Frozen(f));
+        }
+        self.persisted
+            .write()
+            .expect("persisted lock poisoned")
+            .remove(&run.0)
+            .map(RunView::Persisted)
+    }
+
+    /// Point-in-time snapshot of every registered run across all tiers
+    /// (unordered) — the scope the cross-run query surface scans. Locks
+    /// are held only long enough to clone `Arc`s. The scan visits the
+    /// tiers in sequence, so a run mid-promotion could appear in two
+    /// maps; the warmest sighting wins (each run appears exactly once).
+    pub(crate) fn snapshot_views(&self) -> Vec<(RunId, RunView<S>)> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for shard in self.shards.iter() {
+            for (id, slot) in shard.read().expect("shard lock poisoned").iter() {
+                if seen.insert(*id) {
+                    out.push((RunId(*id), RunView::Hot(Arc::clone(slot))));
+                }
+            }
+        }
+        for (id, f) in self.frozen.read().expect("frozen lock poisoned").iter() {
+            if seen.insert(*id) {
+                out.push((RunId(*id), RunView::Frozen(Arc::clone(f))));
+            }
+        }
+        for (id, p) in self
+            .persisted
+            .read()
+            .expect("persisted lock poisoned")
+            .iter()
+        {
+            if seen.insert(*id) {
+                out.push((RunId(*id), RunView::Persisted(Arc::clone(p))));
+            }
+        }
+        out
+    }
+
+    /// Visit every hot slot without allocating (stats, tiering policy).
+    pub(crate) fn for_each_hot_slot(&self, mut f: impl FnMut(RunId, &RunSlot<S>)) {
+        for shard in self.shards.iter() {
+            for (id, slot) in shard.read().expect("shard lock poisoned").iter() {
+                f(RunId(*id), slot);
+            }
+        }
+    }
+
+    /// The frozen tier's current membership.
+    pub(crate) fn frozen_runs(&self) -> Vec<Arc<FrozenRun>> {
+        self.frozen
+            .read()
+            .expect("frozen lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// The persisted tier's current membership.
+    pub(crate) fn persisted_runs(&self) -> Vec<Arc<PersistedRun>> {
+        self.persisted
+            .read()
+            .expect("persisted lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+}

@@ -341,6 +341,18 @@ impl<G: GlobalScheme> SklLabeling<G> {
         Some(self.reaches(self.label(u)?, self.label(v)?))
     }
 
+    /// Total label storage across the run in bits (the §7.4 memory
+    /// comparison against DRL, as one number per completed run). This is
+    /// what a tiering engine records when it re-labels a frozen run with
+    /// SKL to measure the static scheme's compaction.
+    pub fn total_label_bits(&self) -> usize {
+        self.labels
+            .iter()
+            .flatten()
+            .map(|l| l.bit_len(self.global_bits))
+            .sum()
+    }
+
     /// Global skeleton pointer width in bits.
     pub fn global_bits(&self) -> usize {
         self.global_bits

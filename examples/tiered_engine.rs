@@ -1,0 +1,120 @@
+//! Run lifecycle across the tiered label store:
+//! open → completed → **frozen** (encoded arena + SKL re-label) →
+//! **persisted** (disk snapshot) — with queries answered identically at
+//! every stage, and the per-tier footprint JSON CI harvests.
+//!
+//! ```text
+//! cargo run --release --example tiered_engine
+//! ```
+//!
+//! The last stdout line is the engine's `tier_footprint` JSON (the
+//! SKL-vs-DRL bits and latency deltas recorded at freeze time live in
+//! it), which the CI `tiering` step uploads next to the bench artifact.
+
+use std::sync::Arc;
+use wf_provenance::prelude::*;
+
+fn main() {
+    // A non-recursive workflow so the freeze-time SKL re-label applies
+    // (§7.4's static baseline rejects recursion — DRL's whole edge).
+    let spec = wf_spec::corpus::bioaid_nonrecursive();
+    let spill = std::env::temp_dir().join(format!("wf-tiered-engine-{}", std::process::id()));
+
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec)
+        .ingest_workers(4)
+        .freeze_after(8) // keep the 8 most recent completions hot
+        .spill_dir(&spill) // frozen runs spill to disk automatically
+        .build();
+    let ctx = Arc::clone(engine.context(SpecId(0)).unwrap());
+
+    // A fleet of 32 runs: ingest, hand the engine each run's derivation
+    // (unlocking the SKL re-label), complete.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    let mut runs = Vec::new();
+    let mut probe = None;
+    for _ in 0..32 {
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let gen = RunGenerator::new(&ctx.spec)
+            .target_size(400)
+            .generate_run(&mut rng);
+        let exec = Execution::random(&gen.graph, &gen.origin, &mut rng);
+        for ev in exec.events() {
+            engine
+                .ingest(ServiceEvent {
+                    run,
+                    op: RunOp::Insert(ev.clone()),
+                })
+                .unwrap();
+        }
+        engine.flush();
+        engine
+            .provide_derivation(run, gen.derivation.clone())
+            .unwrap();
+        engine.complete_run(run).unwrap();
+        probe.get_or_insert(exec.events()[1].name);
+        runs.push((run, exec));
+    }
+
+    // Let the background tiering worker converge: 8 hot, the rest cold.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while engine.stats().runs_hot > 8 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let stats = engine.stats();
+    println!("engine: {stats}");
+    println!(
+        "tiers: {} hot / {} frozen / {} persisted ({} freezes, {} spills)",
+        stats.runs_hot, stats.runs_frozen, stats.runs_persisted, stats.freezes, stats.spills
+    );
+
+    // Tier-transparent queries: every run answers, whatever its tier,
+    // and the answers agree with a fresh handle taken *after* tiering.
+    let probe = probe.unwrap();
+    let hits = engine
+        .query()
+        .completed()
+        .runs_reaching_named_from_source(probe);
+    println!(
+        "cross-run scan (name {probe:?}): {} of {} completed runs hit, across all tiers",
+        hits.len(),
+        runs.len()
+    );
+    for (run, exec) in &runs {
+        let h = engine.handle(*run).unwrap();
+        let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+        assert_eq!(h.reach(u, v), Some(true), "{run} ({:?} tier)", h.tier());
+    }
+
+    // The DRL-vs-SKL comparison the freezer recorded (§7.4, per run).
+    if stats.skl_relabeled > 0 {
+        println!(
+            "SKL re-label over {} frozen runs: {} SKL bits vs {} DRL bits \
+             (ratio {:.2}; paper's eq. 4 predicts ≈3 asymptotically); \
+             sampled queries: SKL {} ns vs frozen-DRL {} ns over {} pairs",
+            stats.skl_relabeled,
+            stats.skl_bits_total,
+            stats.skl_drl_bits_total,
+            stats.skl_bits_ratio().unwrap(),
+            stats.skl_query_ns,
+            stats.frozen_query_ns,
+            stats.skl_pairs_sampled,
+        );
+    }
+
+    // Per-tier memory: hot resident vs frozen arena vs disk segments.
+    println!(
+        "memory: hot {} B resident ({} B accounting) | frozen {} B | disk {} B",
+        stats.hot_resident_bytes,
+        stats.hot_bytes(),
+        stats.frozen_bytes,
+        stats.persisted_bytes
+    );
+
+    // Machine-readable footprint line, last: CI uploads this.
+    println!("{}", stats.tier_footprint_json());
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&spill);
+}

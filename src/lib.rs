@@ -82,6 +82,15 @@
 //! let hits = engine.query().completed().runs_reaching_named_from_source(name);
 //! assert_eq!(hits, vec![run]);
 //! assert_eq!(engine.stats().runs_completed, 1);
+//!
+//! // Completed runs can be *frozen*: compacted into an encoded arena,
+//! // the dynamic labeler state dropped. Queries are tier-transparent.
+//! engine.freeze_run(run).unwrap();
+//! assert_eq!(engine.run_tier(run).unwrap(), Tier::Frozen);
+//! assert_eq!(
+//!     engine.query().completed().runs_reaching_named_from_source(name),
+//!     vec![run]
+//! );
 //! ```
 
 pub use wf_drl as drl;
@@ -102,8 +111,9 @@ pub mod prelude {
     pub use wf_graph::{Graph, NameId, VertexId};
     pub use wf_run::{CanonicalParseTree, Derivation, ExecEvent, Execution, RunGenerator};
     pub use wf_service::{
-        CrossRunQuery, EngineBuilder, RunHandle, RunId, RunOp, RunStatus, ServiceError,
-        ServiceEvent, ServiceStats, SourceReach, SpecContext, SpecId, WfEngine,
+        CrossRunQuery, EngineBuilder, EngineStats, FrozenRun, RunHandle, RunId, RunOp, RunStatus,
+        ServiceError, ServiceEvent, ServiceStats, SklReport, SourceReach, SpecContext, SpecId,
+        Tier, WfEngine,
     };
     pub use wf_skeleton::{BfsSpecLabels, SpecLabeling, TclSpecLabels};
     pub use wf_skl::{SklBfs, SklLabeling};

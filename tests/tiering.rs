@@ -1,0 +1,207 @@
+//! Tiered label store: freeze → snapshot → reload → query agreement
+//! with naive replay, and crash-safety of the snapshot loader.
+//!
+//! The acceptance bar for tiering is exactness: a completed run must
+//! answer `reach()` and `engine.query()` identically from the hot index,
+//! the frozen arena, and a persisted segment reloaded by a *different*
+//! engine — verified here against [`NaiveDynamicDag`], the paper's
+//! ground-truth dynamic scheme, for every sampled vertex pair. A
+//! truncated or bit-flipped segment must be rejected cleanly at load
+//! (typed error, no panic), with queries degrading to "no labels".
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wf_provenance::prelude::*;
+use wf_service::{snapshot, SnapshotError, Tier};
+
+/// A temp dir that cleans up after itself (no tempfile crate offline).
+/// Honors `WF_TIER_TEST_DIR` so CI can point the round-trip at a
+/// dedicated tempdir.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let base = std::env::var_os("WF_TIER_TEST_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = base.join(format!(
+            "wf-tiering-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn spec_for(seed: u64) -> Specification {
+    if seed.is_multiple_of(2) {
+        wf_spec::corpus::running_example()
+    } else {
+        wf_spec::corpus::bioaid_nonrecursive()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// freeze → snapshot → reload → query agrees with [`NaiveDynamicDag`]
+    /// replay for every vertex pair sampled, across both a recursive and
+    /// a non-recursive spec (the latter exercising the SKL re-label).
+    #[test]
+    fn frozen_and_persisted_answers_match_naive_replay(
+        seed in 0u64..10_000,
+        target in 30usize..140,
+    ) {
+        let dir = TempDir::new("prop");
+        let spec = spec_for(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = RunGenerator::new(&spec).target_size(target).generate_run(&mut rng);
+        let exec = Execution::random(&gen.graph, &gen.origin, &mut rng);
+
+        // Ground truth: replay the execution through the naive scheme.
+        let mut naive = NaiveDynamicDag::new();
+        for ev in exec.events() {
+            naive.insert(ev.vertex, &ev.preds);
+        }
+
+        // Ingest, complete, freeze, spill.
+        let engine: WfEngine = WfEngine::builder()
+            .spec(spec.clone())
+            .ingest_workers(2)
+            .spill_dir(&dir.0)
+            .build();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        for ev in exec.events() {
+            engine.submit(run, ev).unwrap();
+        }
+        engine.provide_derivation(run, gen.derivation.clone()).unwrap();
+        engine.complete_run(run).unwrap();
+        engine.freeze_run(run).unwrap();
+        prop_assert_eq!(engine.run_tier(run).unwrap(), Tier::Frozen);
+
+        // Sampled pairs (every pair for small runs) from the frozen arena.
+        let vertices: Vec<VertexId> = exec.events().iter().map(|e| e.vertex).collect();
+        let frozen = engine.handle(run).unwrap();
+        for a in vertices.iter().step_by(3) {
+            for b in vertices.iter().step_by(2) {
+                prop_assert_eq!(frozen.reach(*a, *b), Some(naive.reaches(*a, *b)));
+            }
+        }
+
+        engine.persist_run(run).unwrap();
+        prop_assert_eq!(engine.run_tier(run).unwrap(), Tier::Persisted);
+        drop(engine);
+
+        // Reload in a fresh engine and compare against naive again.
+        let reloaded: WfEngine = WfEngine::builder()
+            .spec(spec)
+            .spill_dir(&dir.0)
+            .build();
+        prop_assert_eq!(reloaded.run_status(run).unwrap(), RunStatus::Completed);
+        let h = reloaded.handle(run).unwrap();
+        prop_assert_eq!(h.published(), exec.len());
+        for a in vertices.iter().step_by(2) {
+            for b in vertices.iter().step_by(3) {
+                prop_assert_eq!(h.reach(*a, *b), Some(naive.reaches(*a, *b)));
+            }
+        }
+        // The cross-run surface sees the reloaded run, and its labels
+        // round-tripped bit-exactly through the segment (`frozen` still
+        // holds the pre-spill arena to compare against).
+        prop_assert_eq!(reloaded.query().completed().run_ids(), vec![run]);
+        for &v in vertices.iter().step_by(5) {
+            prop_assert_eq!(reloaded.label(run, v).unwrap(), frozen.label(v));
+        }
+    }
+}
+
+/// A truncated snapshot file is rejected cleanly (typed error, no
+/// panic), at every prefix length; a bit flip is caught by the checksum.
+#[test]
+fn truncated_or_corrupt_snapshots_are_rejected_cleanly() {
+    let dir = TempDir::new("trunc");
+    let spec = wf_spec::corpus::running_example();
+    let mut rng = StdRng::seed_from_u64(77);
+    let gen = RunGenerator::new(&spec)
+        .target_size(60)
+        .generate_run(&mut rng);
+    let exec = Execution::deterministic(&gen.graph, &gen.origin);
+
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .spill_dir(&dir.0)
+        .build();
+    let run = engine.open_run(SpecId(0)).unwrap();
+    for ev in exec.events() {
+        engine.submit(run, ev).unwrap();
+    }
+    engine.complete_run(run).unwrap();
+    engine.persist_run(run).unwrap();
+    drop(engine);
+
+    let seg_path = dir.0.join(snapshot::segment_file_name(run));
+    let bytes = std::fs::read(&seg_path).unwrap();
+    assert!(
+        snapshot::read_segment(&seg_path).is_ok(),
+        "intact segment loads"
+    );
+
+    // Every strict prefix is rejected with a Format error — never a
+    // panic, never a half-loaded arena.
+    for cut in (0..bytes.len()).step_by(7).chain([bytes.len() - 1]) {
+        match snapshot::decode_segment(&bytes[..cut]) {
+            Err(SnapshotError::Format(_)) => {}
+            other => panic!("truncation at {cut} not rejected: {other:?}"),
+        }
+    }
+    // A single flipped bit anywhere trips the checksum (or a deeper
+    // validation layer) — sample a few positions.
+    for pos in [0, 11, bytes.len() / 2, bytes.len() - 9] {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x40;
+        assert!(
+            snapshot::decode_segment(&bad).is_err(),
+            "bit flip at {pos} accepted"
+        );
+    }
+
+    // Engine build over a segment truncated inside the header: the run
+    // is skipped at registration, the engine stays usable, no panic.
+    std::fs::write(&seg_path, &bytes[..20]).unwrap();
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .spill_dir(&dir.0)
+        .build();
+    assert_eq!(
+        engine.run_tier(run).unwrap_err(),
+        wf_service::ServiceError::UnknownRun(run)
+    );
+    assert!(engine.query().completed().run_ids().is_empty());
+    // The engine still opens and serves fresh runs.
+    let fresh = engine.open_run(SpecId(0)).unwrap();
+    for ev in exec.events() {
+        engine.submit(fresh, ev).unwrap();
+    }
+    assert_eq!(engine.handle(fresh).unwrap().published(), exec.len());
+
+    // Truncation *after* registration (header reads fine, body gone):
+    // queries degrade to "no labels", never a panic.
+    std::fs::write(&seg_path, &bytes).unwrap();
+    let engine2: WfEngine = WfEngine::builder().spec(spec).spill_dir(&dir.0).build();
+    assert_eq!(engine2.run_tier(run).unwrap(), Tier::Persisted);
+    std::fs::write(&seg_path, &bytes[..bytes.len() / 3]).unwrap();
+    let h = engine2.handle(run).unwrap();
+    let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+    assert_eq!(h.reach(u, v), None, "broken segment degrades, not panics");
+}
