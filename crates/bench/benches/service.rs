@@ -238,9 +238,12 @@ fn service_query(c: &mut Criterion) {
 /// The 4096-run tiering scenario: ingest the fleet, complete it, then
 /// (a) time the full freeze sweep, and (b) query a long-lived engine
 /// whose fleet is spread across hot / frozen / persisted tiers —
-/// per-run `reach` through tier-pinned handles, and the flagship
-/// cross-run scan spanning all tiers. The engine's per-tier footprint
-/// JSON is printed alongside the perf lines for the CI artifact.
+/// per-run `reach` through tier-pinned handles, the flagship cross-run
+/// scan spanning all tiers, and reach on a re-heated run. The persisted
+/// third is **compacted** into packed segment files first (asserting
+/// the ≥10× file-count cut); the compaction report and the engine's
+/// per-tier footprint JSON are printed alongside the perf lines for the
+/// CI artifacts.
 fn service_tiering(c: &mut Criterion) {
     let catalog = catalog();
     let mut group = c.benchmark_group("service_tiering");
@@ -311,7 +314,20 @@ fn service_tiering(c: &mut Criterion) {
             _ => engine.persist_run(run).expect("spill dir configured"),
         }
     }
-    // The per-tier footprint line CI uploads next to the perf lines.
+    // Compaction: ~1365 loose per-run segment files pack into a couple
+    // of multi-run files. The acceptance bar for the persisted tier at
+    // fleet scale is a ≥10× file-count cut; the JSON line is what CI
+    // uploads as the compaction artifact.
+    let report = engine.compact().expect("spill dir configured");
+    println!("{}", report.json());
+    assert!(
+        report.files_after * 10 <= report.files_before,
+        "compaction must cut segment file count ≥10×: {} → {}",
+        report.files_before,
+        report.files_after
+    );
+    // The per-tier footprint line CI uploads next to the perf lines
+    // (post-compaction: segment_files is the packed count).
     println!("{}", engine.stats().tier_footprint_json());
 
     let mut rng = StdRng::seed_from_u64(9);
@@ -358,6 +374,38 @@ fn service_tiering(c: &mut Criterion) {
                     .completed()
                     .runs_reaching_named_from_source(*probe)
                     .len()
+            })
+        },
+    );
+    // Re-heat: promote one persisted run back to the resident tier and
+    // measure reach on it — the memory-speed end of the re-heat story
+    // (contrast with reach_across_tiers, where persisted runs decode
+    // through the lazily loaded segment path).
+    let reheated_idx = 2; // index 2 is persisted (i % 3 == 2 above)
+    engine
+        .reheat_run(run_ids[reheated_idx])
+        .expect("persisted run re-heats");
+    let reheated = engine.handle(run_ids[reheated_idx]).expect("registered");
+    assert_eq!(reheated.tier(), Tier::Frozen);
+    let s = &streams[reheated_idx];
+    let hot_pairs: Vec<(VertexId, VertexId)> = (0..1024)
+        .map(|_| {
+            (
+                s[rng.gen_range(0..s.len())].vertex,
+                s[rng.gen_range(0..s.len())].vertex,
+            )
+        })
+        .collect();
+    group.throughput(Throughput::Elements(hot_pairs.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("reach_reheated", TIER_FLEET),
+        &hot_pairs,
+        |b, pairs| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter(|(u, v)| reheated.reach(*u, *v) == Some(true))
+                    .count()
             })
         },
     );

@@ -219,6 +219,30 @@ pub struct ArenaSlot {
     pub offset: u32,
 }
 
+impl ArenaSlot {
+    /// On-disk size of one directory entry (three little-endian `u32`s).
+    /// The slot wire format belongs to the arena, not to any particular
+    /// snapshot container: every segment format version shares it.
+    pub const WIRE_BYTES: usize = 12;
+
+    /// Append the slot's little-endian wire form.
+    pub fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.vertex.0.to_le_bytes());
+        out.extend_from_slice(&self.name.0.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+    }
+
+    /// Parse one slot from the first [`Self::WIRE_BYTES`] of `bytes`.
+    pub fn read_le(bytes: &[u8]) -> Option<Self> {
+        let b: &[u8; Self::WIRE_BYTES] = bytes.get(..Self::WIRE_BYTES)?.try_into().ok()?;
+        Some(Self {
+            vertex: VertexId(u32::from_le_bytes(b[0..4].try_into().ok()?)),
+            name: NameId(u32::from_le_bytes(b[4..8].try_into().ok()?)),
+            offset: u32::from_le_bytes(b[8..12].try_into().ok()?),
+        })
+    }
+}
+
 /// **Run-level framing**: every label of one completed run, encoded with
 /// [`encode_label`] into a single contiguous byte arena plus a sorted
 /// vertex directory.

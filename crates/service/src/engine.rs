@@ -16,7 +16,7 @@ use crate::ingest::{BatchTracker, Envelope, IngestPool};
 use crate::query::CrossRunQuery;
 use crate::snapshot::{self, PersistedRun};
 use crate::stats::{Counters, ServiceStats};
-use crate::store::{LabelStore, RunView, Tier};
+use crate::store::{LabelStore, RunView, SegmentLru, Tier};
 use crate::{
     BatchOutcome, RunId, RunOp, RunStatus, ServiceError, ServiceEvent, SpecContext, SpecId,
 };
@@ -171,19 +171,71 @@ pub(crate) struct TierPolicy {
     /// Hard cap on hot-tier runs: when exceeded, completed runs freeze
     /// even within the recency bound (live runs are never frozen).
     pub(crate) max_hot_runs: Option<usize>,
+    /// Re-heat a persisted run to the frozen (resident) tier once it has
+    /// answered this many queries — the cold-run-turned-hot promotion.
+    pub(crate) reheat_after: Option<u64>,
+    /// Run a compaction pass once this many *loose* segment files (files
+    /// below [`snapshot::MIN_PACK_RUNS`] runs) have accumulated.
+    pub(crate) compact_after: Option<usize>,
 }
 
 impl TierPolicy {
     pub(crate) fn is_active(&self) -> bool {
-        self.freeze_after.is_some() || self.max_hot_runs.is_some()
+        self.freeze_after.is_some()
+            || self.max_hot_runs.is_some()
+            || self.reheat_after.is_some()
+            || self.compact_after.is_some()
     }
 }
 
 /// Spill configuration: where segments go, plus the lock serializing
-/// segment + manifest writes.
+/// segment + manifest writes and the pack-file sequence counter.
 pub(crate) struct SpillState {
     pub(crate) dir: PathBuf,
     pub(crate) manifest: Mutex<()>,
+    /// Next `pack-<seq>.wfseg` number (seeded past any packs already in
+    /// the directory, so restarts never reuse a name).
+    pub(crate) pack_seq: AtomicU64,
+}
+
+/// What one compaction pass did: how many segment files and logical
+/// bytes the persisted tier referenced before and after, and how many
+/// runs moved into freshly written packs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Distinct segment files referenced before the pass.
+    pub files_before: usize,
+    /// Distinct segment files referenced after the pass.
+    pub files_after: usize,
+    /// Sum of persisted blob bytes before the pass.
+    pub bytes_before: u64,
+    /// Sum of persisted blob bytes after the pass.
+    pub bytes_after: u64,
+    /// Runs rewritten into packs by this pass.
+    pub runs_packed: usize,
+    /// Pack files this pass wrote.
+    pub packs_written: usize,
+}
+
+impl CompactionReport {
+    /// One JSON line with the before/after file-count and byte stats —
+    /// what CI uploads as the `compaction-<sha>` artifact.
+    pub fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"metric\":\"compaction\",",
+                "\"files_before\":{},\"files_after\":{},",
+                "\"bytes_before\":{},\"bytes_after\":{},",
+                "\"runs_packed\":{},\"packs_written\":{}}}"
+            ),
+            self.files_before,
+            self.files_after,
+            self.bytes_before,
+            self.bytes_after,
+            self.runs_packed,
+            self.packs_written,
+        )
+    }
 }
 
 /// Everything the engine, its worker pool, and every outstanding
@@ -226,6 +278,11 @@ pub(crate) struct EngineShared<S: SpecLabeling + 'static> {
     tiering_stop: AtomicBool,
     tiering_lock: Mutex<()>,
     tiering_cv: Condvar,
+    /// Last spills+compactions+reheats sum the segment policy observed —
+    /// the cheap "did the persisted tier change shape" stamp that gates
+    /// the per-tick loose-file census. Starts at `u64::MAX` so the first
+    /// pass always counts (reloaded history may already need packing).
+    segment_policy_stamp: AtomicU64,
 }
 
 /// Fibonacci hash of a run id — the single routing function shared by
@@ -360,7 +417,12 @@ impl<S: SpecLabeling> EngineShared<S> {
         let _g = spill.manifest.lock().expect("manifest lock poisoned");
         let (path, bytes) = snapshot::write_segment(&spill.dir, &frozen)
             .map_err(|e| ServiceError::Snapshot(run, e.to_string()))?;
-        let persisted = Arc::new(PersistedRun::from_frozen(&frozen, path.clone(), bytes));
+        let persisted = Arc::new(PersistedRun::from_frozen(
+            &frozen,
+            path.clone(),
+            bytes,
+            Arc::clone(&self.store.lru),
+        ));
         if !self.store.promote_persisted(run, persisted) {
             // The run left the frozen tier while the segment was being
             // written (evicted, most likely): do not resurrect it — drop
@@ -371,20 +433,313 @@ impl<S: SpecLabeling> EngineShared<S> {
                 _ => Err(ServiceError::UnknownRun(run)),
             };
         }
-        let entries: Vec<snapshot::ManifestEntry> = self
-            .store
-            .persisted_runs()
-            .into_iter()
-            .map(|p| snapshot::ManifestEntry {
-                run: p.run(),
-                file: snapshot::segment_file_name(p.run()),
-                bytes: p.disk_bytes(),
-            })
-            .collect();
-        snapshot::write_manifest(&spill.dir, &entries)
+        snapshot::write_manifest(&spill.dir, &self.manifest_entries())
             .map_err(|e| ServiceError::Snapshot(run, e.to_string()))?;
         Counters::bump(&self.counters.spills);
         Ok(())
+    }
+
+    /// The manifest lines for the current persisted set (call with the
+    /// spill manifest lock held).
+    fn manifest_entries(&self) -> Vec<snapshot::ManifestEntry> {
+        self.store
+            .persisted_runs()
+            .into_iter()
+            .filter_map(|p| {
+                let file = p.path().file_name()?.to_str()?.to_string();
+                Some(snapshot::ManifestEntry {
+                    run: p.run(),
+                    file,
+                    offset: p.offset(),
+                    bytes: p.disk_bytes(),
+                })
+            })
+            .collect()
+    }
+
+    /// **Re-heat** one persisted run: fault its arena in (if needed) and
+    /// promote it back to the frozen tier, where queries answer from the
+    /// resident arena with no LRU in the way. The segment stays on disk;
+    /// the run simply stops being registered against it until the next
+    /// [`Self::persist`]. Idempotent for hot/frozen runs.
+    pub(crate) fn reheat(&self, run: RunId) -> Result<(), ServiceError> {
+        let persisted = match self.store.view(run) {
+            Some(RunView::Persisted(p)) => p,
+            Some(_) => return Ok(()), // already resident
+            None => return Err(ServiceError::UnknownRun(run)),
+        };
+        let Some(frozen) = persisted.load() else {
+            return Err(ServiceError::Snapshot(
+                run,
+                "segment no longer reads back cleanly".into(),
+            ));
+        };
+        // Carry the persisted-tier query count so `queries_answered`
+        // stays monotone across the promotion (mirrors freeze_slot).
+        frozen
+            .queries
+            .store(persisted.queries.load(Ordering::Relaxed), Ordering::Relaxed);
+        if !self.store.promote_reheated(run, frozen) {
+            // Raced an eviction or another re-heat; report honestly.
+            return match self.store.view(run) {
+                Some(_) => Ok(()),
+                None => Err(ServiceError::UnknownRun(run)),
+            };
+        }
+        Counters::bump(&self.counters.reheats);
+        Ok(())
+    }
+
+    /// **Compaction**: merge loose per-run segment files (and underfull
+    /// packs) into packed multi-run files, rewrite the manifest
+    /// atomically, swap the in-memory registrations, delete the migrated
+    /// files, then sweep any `.wfseg` the manifest no longer references
+    /// (orphans left by a crash between earlier steps). Crash-safe at
+    /// every step: until the new manifest is renamed into place the old
+    /// manifest and old files are intact; after it, the old files are
+    /// orphans the sweep (this pass's or any later one's) removes.
+    /// Memory is bounded: blobs stream through one pack buffer at a time
+    /// (≤ [`snapshot::PACK_TARGET_BYTES`] + one blob), never the whole
+    /// tier at once. Blobs are copied verbatim (each keeps its own
+    /// checksum and format version), so v1 and v2 segments pack side by
+    /// side.
+    pub(crate) fn compact_segments(&self) -> Result<CompactionReport, ServiceError> {
+        let spill = self.spill.as_ref().ok_or(ServiceError::NoSpillDir)?;
+        let _g = spill.manifest.lock().expect("manifest lock poisoned");
+        let persisted = self.store.persisted_runs();
+        let mut by_file: HashMap<PathBuf, Vec<Arc<PersistedRun>>> = HashMap::new();
+        for p in &persisted {
+            by_file
+                .entry(p.path().to_path_buf())
+                .or_default()
+                .push(Arc::clone(p));
+        }
+        let bytes_before: u64 = persisted.iter().map(|p| p.disk_bytes()).sum();
+        let mut report = CompactionReport {
+            files_before: by_file.len(),
+            files_after: by_file.len(),
+            bytes_before,
+            bytes_after: bytes_before,
+            runs_packed: 0,
+            packs_written: 0,
+        };
+        // Loose files: below the pack threshold. Packing fewer than two
+        // files together gains nothing — leave them.
+        let loose: HashSet<PathBuf> = by_file
+            .iter()
+            .filter(|(_, runs)| runs.len() < snapshot::MIN_PACK_RUNS)
+            .map(|(path, _)| path.clone())
+            .collect();
+        if loose.len() < 2 {
+            // Nothing to pack, but still reclaim crash orphans (packs or
+            // segments no manifest references).
+            self.sweep_orphans(spill, &self.manifest_entries());
+            return Ok(report);
+        }
+        // Candidate runs in id order (deterministic pack layout),
+        // streamed one blob at a time into the current pack buffer. A
+        // blob that fails to read back marks its whole file failed: that
+        // file is never deleted, and blobs already copied out of it are
+        // simply dead bytes there (the manifest re-points them).
+        let mut candidates: Vec<Arc<PersistedRun>> = persisted
+            .iter()
+            .filter(|p| loose.contains(p.path()))
+            .cloned()
+            .collect();
+        candidates.sort_by_key(|p| p.run());
+        type PackMember = (Arc<PersistedRun>, u64, u64);
+        let mut packs: Vec<(PathBuf, Vec<PackMember>)> = Vec::new();
+        let mut failed: HashSet<PathBuf> = HashSet::new();
+        let mut pack_bytes: Vec<u8> = Vec::new();
+        let mut members: Vec<PackMember> = Vec::new();
+        let mut write_pack =
+            |pack_bytes: &mut Vec<u8>, members: &mut Vec<PackMember>| -> Result<(), ServiceError> {
+                if members.is_empty() {
+                    return Ok(());
+                }
+                let seq = spill.pack_seq.fetch_add(1, Ordering::Relaxed);
+                let path = spill.dir.join(snapshot::pack_file_name(seq));
+                snapshot::write_blob_file(&spill.dir, &path, pack_bytes)
+                    .map_err(|e| ServiceError::Compaction(e.to_string()))?;
+                packs.push((path, std::mem::take(members)));
+                pack_bytes.clear();
+                Ok(())
+            };
+        for p in &candidates {
+            let blob = match snapshot::read_raw_range(p.path(), p.offset(), p.disk_bytes())
+                .and_then(|bytes| snapshot::verify_segment_bytes(&bytes).map(|_| bytes))
+            {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    failed.insert(p.path().to_path_buf());
+                    continue;
+                }
+            };
+            members.push((Arc::clone(p), pack_bytes.len() as u64, blob.len() as u64));
+            pack_bytes.extend_from_slice(&blob);
+            if members.len() >= snapshot::PACK_MAX_RUNS
+                || pack_bytes.len() as u64 >= snapshot::PACK_TARGET_BYTES
+            {
+                write_pack(&mut pack_bytes, &mut members)?;
+            }
+        }
+        write_pack(&mut pack_bytes, &mut members)?;
+        // Packed members whose source file later failed keep their old
+        // registration (their pack copy becomes dead bytes in the pack).
+        let packed: Vec<(PathBuf, Vec<PackMember>)> = packs
+            .into_iter()
+            .map(|(path, members)| {
+                let kept: Vec<PackMember> = members
+                    .into_iter()
+                    .filter(|(p, ..)| !failed.contains(p.path()))
+                    .collect();
+                (path, kept)
+            })
+            .collect();
+        if packed.iter().map(|(_, m)| m.len()).sum::<usize>() < 2 {
+            // Nothing (or one blob) actually migrated; leave the
+            // registry untouched. The written packs are unreferenced by
+            // the manifest and removed by the orphan sweep below.
+            self.sweep_orphans(spill, &self.manifest_entries());
+            return Ok(report);
+        }
+        // The new manifest: packed runs re-pointed, everything else kept.
+        let mut relocated: HashMap<u64, (PathBuf, u64, u64)> = HashMap::new();
+        for (path, members) in &packed {
+            for (p, offset, len) in members {
+                relocated.insert(p.run().0, (path.clone(), *offset, *len));
+            }
+        }
+        let entries: Vec<snapshot::ManifestEntry> = persisted
+            .iter()
+            .filter_map(|p| {
+                let (path, offset, bytes) = match relocated.get(&p.run().0) {
+                    Some((path, offset, len)) => (path.clone(), *offset, *len),
+                    None => (p.path().to_path_buf(), p.offset(), p.disk_bytes()),
+                };
+                let file = path.file_name()?.to_str()?.to_string();
+                Some(snapshot::ManifestEntry {
+                    run: p.run(),
+                    file,
+                    offset,
+                    bytes,
+                })
+            })
+            .collect();
+        snapshot::write_manifest(&spill.dir, &entries)
+            .map_err(|e| ServiceError::Compaction(e.to_string()))?;
+        // Swap the live registrations, then delete the migrated files.
+        for (path, members) in &packed {
+            for (p, offset, len) in members {
+                let entry = Arc::new(PersistedRun::repacked(p, path.clone(), *offset, *len));
+                if self.store.replace_persisted(p.run(), entry) {
+                    report.runs_packed += 1;
+                }
+            }
+        }
+        for path in &loose {
+            if !failed.contains(path) {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        self.sweep_orphans(spill, &entries);
+        Counters::bump(&self.counters.compactions);
+        report.packs_written = packed.len();
+        let after: HashSet<&str> = entries.iter().map(|e| e.file.as_str()).collect();
+        report.files_after = after.len();
+        report.bytes_after = entries.iter().map(|e| e.bytes).sum();
+        Ok(report)
+    }
+
+    /// Delete `.wfseg` files the manifest does not reference — leftovers
+    /// of a crash between a pack/manifest write and the old-file
+    /// deletion, or of this pass itself bailing out. Runs under the
+    /// manifest lock, so the entry list is authoritative; files still
+    /// registered in the live store are kept too (an evicted-then-kept
+    /// segment is not the sweep's to judge).
+    fn sweep_orphans(&self, spill: &SpillState, entries: &[snapshot::ManifestEntry]) {
+        let mut referenced: HashSet<String> = entries.iter().map(|e| e.file.clone()).collect();
+        for p in self.store.persisted_runs() {
+            if let Some(name) = p.path().file_name().and_then(|n| n.to_str()) {
+                referenced.insert(name.to_string());
+            }
+        }
+        let Ok(dir) = std::fs::read_dir(&spill.dir) else {
+            return;
+        };
+        for entry in dir.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let is_segment =
+                (name.starts_with("run-") || name.starts_with("pack-")) && name.ends_with(".wfseg");
+            if is_segment && !referenced.contains(name) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// One pass of the segment-level policy: promote query-hot persisted
+    /// runs ([`TierPolicy::reheat_after`]) and compact once enough loose
+    /// segment files pile up ([`TierPolicy::compact_after`]). One
+    /// allocation-free sweep of the registry serves both branches; the
+    /// loose-file census (which clones paths) only reruns after a
+    /// spill/compaction/re-heat changed the tier since the last pass.
+    pub(crate) fn apply_segment_policy(&self) {
+        let reheat_th = self.policy.reheat_after;
+        let compact_th = if self.spill.is_some() {
+            self.policy.compact_after
+        } else {
+            None
+        };
+        if reheat_th.is_none() && compact_th.is_none() {
+            return;
+        }
+        let stamp = self
+            .counters
+            .spills
+            .load(Ordering::Relaxed)
+            .wrapping_add(self.counters.compactions.load(Ordering::Relaxed))
+            .wrapping_add(self.counters.reheats.load(Ordering::Relaxed));
+        let recount = compact_th.is_some()
+            && self.segment_policy_stamp.swap(stamp, Ordering::Relaxed) != stamp;
+        let mut to_reheat: Vec<RunId> = Vec::new();
+        let mut file_runs: HashMap<PathBuf, usize> = HashMap::new();
+        self.store.for_each_persisted(|p| {
+            if let Some(th) = reheat_th {
+                // Threshold on traffic *since persisting* (the lifetime
+                // counter carries over for stats monotonicity — a run
+                // popular while hot must not bounce right back). Skip
+                // registrations whose load already failed (sticky):
+                // retrying every pass would only flood the error ring
+                // with duplicates of an error already reported once.
+                let since = p
+                    .queries
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(p.queries_at_persist);
+                if since >= th && !p.is_load_failed() {
+                    to_reheat.push(p.run());
+                }
+            }
+            if recount {
+                *file_runs.entry(p.path().to_path_buf()).or_default() += 1;
+            }
+        });
+        for run in to_reheat {
+            if let Err(e) = self.reheat(run) {
+                self.push_ingest_error(run, e);
+            }
+        }
+        if let Some(threshold) = compact_th {
+            let loose = file_runs
+                .values()
+                .filter(|&&n| n < snapshot::MIN_PACK_RUNS)
+                .count();
+            if recount && loose >= threshold.max(2) {
+                if let Err(e) = self.compact_segments() {
+                    self.push_ingest_error(RunId(u64::MAX), e);
+                }
+            }
+        }
     }
 
     /// One pass of the automatic tiering policy: freeze (and spill) the
@@ -492,6 +847,7 @@ impl<S: SpecLabeling> EngineShared<S> {
 fn tiering_loop<S: SpecLabeling + Send + Sync + 'static>(shared: &EngineShared<S>) {
     loop {
         shared.apply_tier_policy();
+        shared.apply_segment_policy();
         if shared.tiering_stop.load(Ordering::Acquire) {
             return;
         }
@@ -844,7 +1200,9 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
     /// [`RunStatus::Evicted`]: an eviction must not let anything keep
     /// ingesting into state no new lookup can reach. New lookups fail
     /// with [`ServiceError::UnknownRun`]. Evicting a persisted run
-    /// forgets the registration; its segment file stays on disk.
+    /// forgets the registration; its segment file stays on disk until
+    /// the next manifest rewrite drops it and a compaction pass sweeps
+    /// the orphan.
     pub fn evict_run(&self, run: RunId) -> Result<(), ServiceError> {
         match self.shared.store.remove(run) {
             Some(RunView::Hot(slot)) => {
@@ -878,6 +1236,29 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
     /// spill directory ([`ServiceError::NoSpillDir`] otherwise).
     pub fn persist_run(&self, run: RunId) -> Result<(), ServiceError> {
         self.shared.persist(run)
+    }
+
+    /// **Re-heat** a persisted run: fault its arena back into memory and
+    /// promote it to the frozen (resident) tier, so subsequent queries
+    /// never touch disk and the LRU cannot shed it. The inverse of
+    /// [`Self::persist_run`] — the segment stays on disk, and persisting
+    /// again later is cheap. No-op if the run is already hot or frozen.
+    /// The tiering worker does this automatically for runs whose query
+    /// count crosses [`EngineBuilder::reheat_after`].
+    pub fn reheat_run(&self, run: RunId) -> Result<(), ServiceError> {
+        self.shared.reheat(run)
+    }
+
+    /// **Compact** the persisted tier now: merge loose per-run segment
+    /// files into packed multi-run files (`pack-<seq>.wfseg`) with an
+    /// atomic, crash-safe manifest rewrite, cutting the spill
+    /// directory's file count — the difference between 10⁵ files and a
+    /// few hundred at fleet scale. Handles taken before a compaction
+    /// keep answering until they next fault (take fresh handles after).
+    /// The tiering worker runs this automatically once
+    /// [`EngineBuilder::compact_after`] loose files accumulate.
+    pub fn compact(&self) -> Result<CompactionReport, ServiceError> {
+        self.shared.compact_segments()
     }
 
     /// Which storage tier currently serves `run`.
@@ -998,11 +1379,13 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
         }
         let mut runs_persisted = 0u64;
         let mut persisted_bytes = 0u64;
+        let mut segment_paths: HashSet<PathBuf> = HashSet::new();
         for p in self.shared.store.persisted_runs() {
             runs_persisted += 1;
             labels_published += p.published as u64;
             persisted_bytes += p.disk_bytes();
             queries_answered += p.queries.load(Ordering::Relaxed);
+            segment_paths.insert(p.path().to_path_buf());
         }
         let c = &self.shared.counters;
         let enqueued = self.shared.enqueued.load(Ordering::Acquire);
@@ -1028,9 +1411,15 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             runs_persisted,
             freezes: c.freezes.load(Ordering::Relaxed),
             spills: c.spills.load(Ordering::Relaxed),
+            reheats: c.reheats.load(Ordering::Relaxed),
+            compactions: c.compactions.load(Ordering::Relaxed),
             frozen_bytes,
             frozen_label_bits,
             persisted_bytes,
+            persisted_resident_bytes: self.shared.store.lru.resident_bytes(),
+            segment_files: segment_paths.len() as u64,
+            segment_loads: self.shared.store.lru.loads.load(Ordering::Relaxed),
+            segment_sheds: self.shared.store.lru.sheds.load(Ordering::Relaxed),
             skl_relabeled: c.skl_relabeled.load(Ordering::Relaxed),
             skl_bits_total: c.skl_bits_total.load(Ordering::Relaxed),
             skl_drl_bits_total: c.skl_drl_bits_total.load(Ordering::Relaxed),
@@ -1055,6 +1444,9 @@ pub struct EngineBuilder<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels
     freeze_after: Option<usize>,
     max_hot_runs: Option<usize>,
     spill_dir: Option<PathBuf>,
+    max_resident_bytes: Option<u64>,
+    reheat_after: Option<u64>,
+    compact_after: Option<usize>,
 }
 
 impl<S: SpecLabeling + Send + Sync + 'static> Default for EngineBuilder<S> {
@@ -1078,6 +1470,9 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             freeze_after: None,
             max_hot_runs: None,
             spill_dir: None,
+            max_resident_bytes: None,
+            reheat_after: None,
+            compact_after: None,
         }
     }
 
@@ -1153,16 +1548,45 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
         self
     }
 
+    /// **Resident-byte budget of the persisted tier**: loaded segment
+    /// arenas are tracked by a size/age LRU, and once their total
+    /// exceeds `n` bytes the least-recently-queried arenas are shed back
+    /// to cold (oldest freeze time breaking ties). Unset = arenas stay
+    /// resident once faulted in (PR 3 behavior, minus the books).
+    pub fn max_resident_bytes(mut self, n: u64) -> Self {
+        self.max_resident_bytes = Some(n);
+        self
+    }
+
+    /// **Automatic re-heat threshold**: the tiering worker promotes a
+    /// persisted run back to the frozen (resident) tier once it has
+    /// answered `n` queries — query traffic turns a cold run hot again.
+    /// Unset = manual [`WfEngine::reheat_run`] only.
+    pub fn reheat_after(mut self, n: u64) -> Self {
+        self.reheat_after = Some(n);
+        self
+    }
+
+    /// **Automatic compaction threshold**: the tiering worker merges
+    /// loose per-run segment files into packs once `n` of them
+    /// accumulate (minimum 2). Unset = manual [`WfEngine::compact`]
+    /// only.
+    pub fn compact_after(mut self, n: usize) -> Self {
+        self.compact_after = Some(n);
+        self
+    }
+
     /// Build the engine and start its ingest worker pool (and the
     /// background tiering worker, when a tiering policy is configured).
     pub fn build(self) -> WfEngine<S> {
         // Reload persisted history from the spill directory's manifest:
         // header-only reads; arenas fault in lazily at first query.
+        let lru = Arc::new(SegmentLru::new(self.max_resident_bytes));
         let mut persisted: Vec<Arc<PersistedRun>> = Vec::new();
         if let Some(dir) = &self.spill_dir {
             let entries = snapshot::load_manifest(dir).unwrap_or_default();
             for entry in entries {
-                let Ok(run) = PersistedRun::open(dir.join(&entry.file)) else {
+                let Ok(run) = PersistedRun::open_entry(dir, &entry, Arc::clone(&lru)) else {
                     continue; // unreadable/corrupt segment: skip
                 };
                 if run.spec.0 < self.contexts.len() {
@@ -1174,14 +1598,43 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
         let policy = TierPolicy {
             freeze_after: self.freeze_after,
             max_hot_runs: self.max_hot_runs,
+            reheat_after: self.reheat_after,
+            compact_after: self.compact_after,
         };
+        let counters = Counters::new();
+        // Replay the §7.4 aggregates out of the v2 headers so a reloaded
+        // engine reports the same DRL-vs-SKL deltas its predecessor
+        // measured at freeze time (v1 segments contribute nothing).
+        for p in &persisted {
+            if let Some(r) = p.skl_report() {
+                Counters::bump(&counters.skl_relabeled);
+                counters
+                    .skl_bits_total
+                    .fetch_add(r.skl_bits, Ordering::Relaxed);
+                counters
+                    .skl_drl_bits_total
+                    .fetch_add(r.drl_bits, Ordering::Relaxed);
+                counters
+                    .skl_build_ns
+                    .fetch_add(r.build_ns, Ordering::Relaxed);
+                counters
+                    .skl_query_ns
+                    .fetch_add(r.skl_query_ns, Ordering::Relaxed);
+                counters
+                    .frozen_query_ns
+                    .fetch_add(r.drl_query_ns, Ordering::Relaxed);
+                counters
+                    .skl_pairs_sampled
+                    .fetch_add(r.pairs_sampled, Ordering::Relaxed);
+            }
+        }
         let shared = Arc::new(EngineShared {
             catalog: self.contexts.into_boxed_slice(),
-            store: LabelStore::new(self.shards, persisted),
+            store: LabelStore::new(self.shards, persisted, lru),
             max_vertex_id: Mutex::new(self.max_vertex_id),
             next_run: AtomicU64::new(first_run),
             first_run,
-            counters: Counters::new(),
+            counters,
             ingest_workers: self.ingest_workers,
             enqueued: AtomicU64::new(0),
             processed: AtomicU64::new(0),
@@ -1191,14 +1644,33 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             draining: AtomicBool::new(false),
             ingest_errors: Mutex::new(VecDeque::new()),
             policy,
-            spill: self.spill_dir.map(|dir| SpillState {
-                dir,
-                manifest: Mutex::new(()),
+            spill: self.spill_dir.map(|dir| {
+                // Never reuse a pack name across engine lifetimes.
+                let next_pack = std::fs::read_dir(&dir)
+                    .ok()
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|e| {
+                        let name = e.ok()?.file_name();
+                        let name = name.to_str()?;
+                        name.strip_prefix("pack-")?
+                            .strip_suffix(".wfseg")?
+                            .parse::<u64>()
+                            .ok()
+                    })
+                    .max()
+                    .map_or(0, |m| m + 1);
+                SpillState {
+                    dir,
+                    manifest: Mutex::new(()),
+                    pack_seq: AtomicU64::new(next_pack),
+                }
             }),
             completed_order: Mutex::new(VecDeque::new()),
             tiering_stop: AtomicBool::new(false),
             tiering_lock: Mutex::new(()),
             tiering_cv: Condvar::new(),
+            segment_policy_stamp: AtomicU64::new(u64::MAX),
         });
         let pool = IngestPool::start(
             Arc::clone(&shared),
@@ -1816,6 +2288,153 @@ mod tests {
             engine.run_tier(run).unwrap_err(),
             ServiceError::UnknownRun(run)
         );
+    }
+
+    #[test]
+    fn compaction_packs_segments_and_survives_restart() {
+        let dir = TempDir::new("compact");
+        let spec = wf_spec::corpus::running_example();
+        let mut payloads = Vec::new();
+        {
+            let engine: WfEngine = WfEngine::builder()
+                .spec(spec.clone())
+                .ingest_workers(2)
+                .spill_dir(&dir.0)
+                .build();
+            for i in 0..6u64 {
+                let run = engine.open_run(SpecId(0)).unwrap();
+                let exec = ingest_run(&engine, run, SpecId(0), 200 + i, 40);
+                engine.persist_run(run).unwrap();
+                payloads.push((run, exec));
+            }
+            let before = engine.stats();
+            assert_eq!(before.segment_files, 6, "one loose file per run");
+            let report = engine.compact().unwrap();
+            assert_eq!(report.files_before, 6);
+            assert_eq!(report.files_after, 1, "six loose files → one pack");
+            assert_eq!(report.runs_packed, 6);
+            assert_eq!(report.packs_written, 1);
+            assert_eq!(report.bytes_after, report.bytes_before, "blobs verbatim");
+            assert!(report.json().contains("\"files_after\":1"));
+            let after = engine.stats();
+            assert_eq!(after.segment_files, 1);
+            assert_eq!(after.compactions, 1);
+            // A second pass has nothing loose left to merge.
+            let again = engine.compact().unwrap();
+            assert_eq!(again.runs_packed, 0);
+            // Queries answer through the packed offsets.
+            for (run, exec) in &payloads {
+                let h = engine.handle(*run).unwrap();
+                assert_eq!(h.tier(), Tier::Persisted);
+                let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+                assert_eq!(h.reach(u, v), Some(true));
+            }
+        }
+        // The old per-run files are gone; only the pack + manifest stay.
+        let seg_files: Vec<String> = std::fs::read_dir(&dir.0)
+            .unwrap()
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".wfseg"))
+            .collect();
+        assert_eq!(seg_files, vec!["pack-0.wfseg".to_string()]);
+        // A fresh engine reloads everything from the packed manifest.
+        let engine: WfEngine = WfEngine::builder().spec(spec).spill_dir(&dir.0).build();
+        for (run, exec) in &payloads {
+            assert_eq!(engine.run_tier(*run).unwrap(), Tier::Persisted);
+            let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+            assert_eq!(engine.reach(*run, u, v).unwrap(), Some(true));
+        }
+        assert_eq!(engine.stats().segment_files, 1);
+    }
+
+    #[test]
+    fn reheat_promotes_a_persisted_run_to_resident() {
+        let dir = TempDir::new("reheat");
+        let engine: WfEngine = WfEngine::builder()
+            .spec(wf_spec::corpus::running_example())
+            .ingest_workers(2)
+            .spill_dir(&dir.0)
+            .build();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let exec = ingest_run(&engine, run, SpecId(0), 9, 40);
+        engine.persist_run(run).unwrap();
+        assert_eq!(engine.run_tier(run).unwrap(), Tier::Persisted);
+        let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+        // One query through the persisted tier, then promote.
+        assert_eq!(engine.reach(run, u, v).unwrap(), Some(true));
+        let queries_before = engine.stats().queries_answered;
+        engine.reheat_run(run).unwrap();
+        assert_eq!(engine.run_tier(run).unwrap(), Tier::Frozen);
+        engine.reheat_run(run).unwrap(); // idempotent
+        let s = engine.stats();
+        assert_eq!(s.reheats, 1);
+        assert_eq!((s.runs_frozen, s.runs_persisted), (1, 0));
+        assert!(s.frozen_bytes > 0, "arena resident again");
+        assert!(
+            s.queries_answered >= queries_before,
+            "query counter survives the promotion"
+        );
+        // Queries keep answering, and the loads counter stays flat: a
+        // re-heated run never faults the segment again.
+        let loads = s.segment_loads;
+        assert_eq!(engine.reach(run, u, v).unwrap(), Some(true));
+        assert_eq!(engine.stats().segment_loads, loads);
+        // The round trip back to disk still works.
+        engine.persist_run(run).unwrap();
+        assert_eq!(engine.run_tier(run).unwrap(), Tier::Persisted);
+    }
+
+    #[test]
+    fn lru_sheds_resident_arenas_under_the_byte_budget() {
+        let dir = TempDir::new("lru");
+        // A 1-byte budget: at most one arena survives each enforcement
+        // pass (the just-loaded one is protected).
+        let engine: WfEngine = WfEngine::builder()
+            .spec(wf_spec::corpus::running_example())
+            .ingest_workers(2)
+            .spill_dir(&dir.0)
+            .max_resident_bytes(1)
+            .build();
+        let mut payloads = Vec::new();
+        for i in 0..4u64 {
+            let run = engine.open_run(SpecId(0)).unwrap();
+            let exec = ingest_run(&engine, run, SpecId(0), 300 + i, 40);
+            engine.persist_run(run).unwrap();
+            payloads.push((run, exec));
+        }
+        assert_eq!(engine.stats().persisted_resident_bytes, 0, "all cold");
+        let mut max_resident = 0;
+        for (run, exec) in &payloads {
+            let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+            assert_eq!(engine.reach(*run, u, v).unwrap(), Some(true));
+            max_resident = max_resident.max(engine.stats().persisted_resident_bytes);
+        }
+        let s = engine.stats();
+        assert_eq!(s.segment_loads, 4, "each run faulted in once");
+        assert!(
+            s.segment_sheds >= 3,
+            "earlier arenas were shed: {} sheds",
+            s.segment_sheds
+        );
+        // The budget bounds residency to one arena at a time.
+        let h = engine.handle(payloads[3].0).unwrap();
+        assert!(h.is_resident(), "most recent load survives");
+        assert!(!engine.handle(payloads[0].0).unwrap().is_resident());
+        // Repeat queries on the resident run never re-fault it…
+        let loads = s.segment_loads;
+        let (run, exec) = &payloads[3];
+        let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+        for _ in 0..8 {
+            assert_eq!(engine.reach(*run, u, v).unwrap(), Some(true));
+        }
+        assert_eq!(engine.stats().segment_loads, loads, "no re-fault");
+        // …and the resident-only query scope sees exactly that run.
+        assert_eq!(
+            engine.query().resident().run_ids(),
+            vec![*run],
+            "resident scope skips cold segments without faulting them"
+        );
+        assert_eq!(engine.query().completed().run_ids().len(), 4);
     }
 
     #[test]

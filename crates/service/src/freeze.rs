@@ -60,6 +60,9 @@ pub struct FrozenRun {
     pub(crate) arena: LabelArena,
     /// DRL accounting bits the hot tier was charging for this run.
     pub(crate) drl_bits: u64,
+    /// Unix seconds at freeze time (0 = unknown, e.g. a reloaded v1
+    /// segment). The persisted tier's LRU breaks recency ties on it.
+    pub(crate) frozen_at: u64,
     pub(crate) skl: Option<SklReport>,
     /// Queries answered against this frozen run.
     pub(crate) queries: AtomicU64,
@@ -112,6 +115,20 @@ impl FrozenRun {
     pub fn arena(&self) -> &LabelArena {
         &self.arena
     }
+
+    /// Unix seconds at freeze time (0 when unknown — reloaded v1
+    /// segments predate the field).
+    pub fn frozen_at(&self) -> u64 {
+        self.frozen_at
+    }
+}
+
+/// Unix seconds now (0 if the clock is before the epoch).
+pub(crate) fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 /// Compact one completed run slot into a [`FrozenRun`]. The caller has
@@ -136,6 +153,7 @@ pub(crate) fn freeze_slot<S: SpecLabeling>(
         source: slot.source.get().copied(),
         arena,
         drl_bits,
+        frozen_at: unix_now(),
         skl,
         // Carry the hot-tier query count forward so engine-wide
         // `queries_answered` does not drop when a run changes tier.

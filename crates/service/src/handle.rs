@@ -80,6 +80,13 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
         self.view.tier()
     }
 
+    /// True while queries through this handle cost no disk fault: always
+    /// for hot/frozen views, and for persisted views while the segment
+    /// arena is resident (loaded and not shed by the LRU).
+    pub fn is_resident(&self) -> bool {
+        self.view.is_resident()
+    }
+
     /// Constant-time `u ; v` from published labels; `None` until both
     /// vertices' events have been applied. Hot handles stay
     /// allocation-free; colder tiers decode the two labels first.

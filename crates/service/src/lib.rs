@@ -94,7 +94,7 @@ pub mod snapshot;
 mod stats;
 mod store;
 
-pub use engine::{EngineBuilder, WfEngine, DEFAULT_MAX_VERTEX_ID};
+pub use engine::{CompactionReport, EngineBuilder, WfEngine, DEFAULT_MAX_VERTEX_ID};
 pub use freeze::{FrozenRun, SklReport};
 pub use handle::RunHandle;
 pub use index::PublishedLabel;
@@ -256,6 +256,10 @@ pub enum ServiceError {
     /// Writing or reading a snapshot segment failed (message carries the
     /// underlying IO/format error).
     Snapshot(RunId, String),
+    /// A compaction pass failed (message carries the underlying
+    /// IO/format/sync error). The persisted tier is untouched: until the
+    /// new manifest renames into place the old files stay live.
+    Compaction(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -287,6 +291,7 @@ impl fmt::Display for ServiceError {
                 )
             }
             ServiceError::Snapshot(r, e) => write!(f, "{r}: snapshot failed: {e}"),
+            ServiceError::Compaction(e) => write!(f, "compaction failed: {e}"),
         }
     }
 }

@@ -65,6 +65,7 @@ pub struct CrossRunQuery<'e, S: SpecLabeling + Send + Sync + 'static = TclSpecLa
     spec: Option<SpecId>,
     status: Option<RunStatus>,
     tier: Option<Tier>,
+    resident_only: bool,
 }
 
 impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
@@ -74,6 +75,7 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
             spec: None,
             status: None,
             tier: None,
+            resident_only: false,
         }
     }
 
@@ -105,6 +107,16 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
         self
     }
 
+    /// Restrict the scope to runs whose labels are **resident in
+    /// memory**: hot and frozen runs, plus persisted runs whose segment
+    /// arena is currently loaded. The memory-bounded scan — it never
+    /// faults a cold segment in (and so never grows the LRU's resident
+    /// set), at the price of skipping cold history.
+    pub fn resident(mut self) -> Self {
+        self.resident_only = true;
+        self
+    }
+
     /// Snapshot the in-scope run views, sorted by run id.
     fn views(&self) -> Vec<(RunId, RunView<S>)> {
         let mut views: Vec<_> = self
@@ -116,6 +128,7 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
                 self.spec.is_none_or(|s| view.spec() == s)
                     && self.status.is_none_or(|st| view.status() == st)
                     && self.tier.is_none_or(|t| view.tier() == t)
+                    && (!self.resident_only || view.is_resident())
             })
             .collect();
         views.sort_by_key(|(run, _)| *run);

@@ -2,51 +2,83 @@
 //! versioned binary segment format with a manifest, loadable at engine
 //! build time so historical runs keep answering cross-run queries.
 //!
-//! One segment file per run (`run-<id>.wfseg`):
+//! A *segment blob* holds one run. **Format v2** (current):
 //!
 //! ```text
-//! magic    8 B   "WFTIERS1"
-//! version  u32   1
-//! run      u64
-//! spec     u32
-//! skl_bits u32
-//! source   u32   (u32::MAX = no source recorded)
-//! count    u32   labeled vertices
-//! arena    u64   arena byte length
-//! drl_bits u64   DRL accounting bits (hot-tier footprint, for stats)
-//! slots    count × (vertex u32, name u32, offset u32)
-//! bytes    arena encoded labels
-//! checksum u64   FNV-1a over everything above
+//! magic     8 B   "WFTIERS1"
+//! version   u32   2
+//! run       u64
+//! spec      u32
+//! skl_bits  u32
+//! source    u32   (u32::MAX = no source recorded)
+//! count     u32   labeled vertices
+//! arena     u64   arena byte length
+//! drl_bits  u64   DRL accounting bits (hot-tier footprint, for stats)
+//! frozen_at u64   unix seconds at freeze time (0 = unknown)
+//! skl_flag  u32   1 = the five SKL-report fields below are live
+//! skl_bits_total u64 ┐
+//! skl_build_ns   u64 │ the freeze-time §7.4 SKL re-label deltas, so a
+//! drl_query_ns   u64 │ reloaded engine reproduces its DRL-vs-SKL
+//! skl_query_ns   u64 │ report (all zero when skl_flag = 0)
+//! skl_pairs      u64 ┘
+//! slots     count × 12 (vertex u32, name u32, offset u32)
+//! bytes     arena encoded labels
+//! checksum  u64   FNV-1a over everything above
 //! ```
 //!
-//! All integers little-endian. Segments are written to a temp file and
-//! renamed into place, and the loader verifies length, magic, version
-//! and checksum **and decodes every label** before accepting — a
-//! truncated or corrupted snapshot is rejected with a typed error, never
-//! a panic. The manifest (`wf-tier-manifest.txt`) lists the live
-//! segments and is rewritten atomically after every spill.
+//! **Format v1** (PR 3) lacks the `frozen_at`/SKL fields; v1 blobs stay
+//! readable forever (the SKL report reloads as absent). All integers
+//! little-endian.
+//!
+//! Blobs live either in a **per-run file** (`run-<id>.wfseg`, one blob
+//! at offset 0 — how spills write them) or in a **packed file**
+//! (`pack-<seq>.wfseg`, many blobs concatenated — what compaction
+//! produces to cut file count at 10⁵+ runs). Each blob carries its own
+//! checksum, so a pack needs no container framing: the manifest
+//! (`wf-tier-manifest.txt`, v2: `run file offset len` per line) is the
+//! directory. Segments and manifests are written to a temp file, fsynced,
+//! renamed into place, **and the directory is fsynced after the rename**
+//! — a crash cannot leave the manifest pointing at unsynced segments
+//! (sync failures surface as the typed [`SnapshotError::Sync`]). The
+//! loader verifies length, magic, version and checksum **and decodes
+//! every label** before accepting; a truncated or corrupted snapshot is
+//! rejected with a typed error, never a panic.
 
-use crate::freeze::FrozenRun;
+use crate::freeze::{FrozenRun, SklReport};
+use crate::store::SegmentLru;
 use crate::{RunId, SpecId};
 use std::fmt;
 use std::fs;
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use wf_drl::{ArenaSlot, LabelArena};
-use wf_graph::{NameId, VertexId};
+use wf_graph::VertexId;
 
 /// Segment file magic.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"WFTIERS1";
 /// Current segment format version.
-pub const SEGMENT_VERSION: u32 = 1;
+pub const SEGMENT_VERSION: u32 = 2;
+/// The PR 3 segment format (no freeze metadata / SKL report persisted).
+pub const SEGMENT_VERSION_V1: u32 = 1;
 /// Manifest file name inside the spill directory.
 pub const MANIFEST_FILE: &str = "wf-tier-manifest.txt";
-/// Manifest header line (versioned like the segments).
-pub const MANIFEST_HEADER: &str = "wf-tier-manifest v1";
+/// Current manifest header line (`run file offset len` entries).
+pub const MANIFEST_HEADER: &str = "wf-tier-manifest v2";
+/// The PR 3 manifest header (`run file bytes` entries, offset 0).
+pub const MANIFEST_HEADER_V1: &str = "wf-tier-manifest v1";
 
-const HEADER_LEN: usize = 8 + 4 + 8 + 4 + 4 + 4 + 4 + 8 + 8;
+/// A file holding at least this many runs is considered packed;
+/// compaction only repacks *loose* files below the threshold.
+pub const MIN_PACK_RUNS: usize = 64;
+/// Compaction closes a pack once it holds this many runs…
+pub const PACK_MAX_RUNS: usize = 1024;
+/// …or this many bytes, whichever comes first.
+pub const PACK_TARGET_BYTES: u64 = 64 << 20;
+
+const HEADER_LEN_V1: usize = 8 + 4 + 8 + 4 + 4 + 4 + 4 + 8 + 8;
+const HEADER_LEN_V2: usize = HEADER_LEN_V1 + 8 + 4 + 5 * 8;
 const CHECKSUM_LEN: usize = 8;
 
 /// Errors reading or writing snapshot segments.
@@ -57,6 +89,11 @@ pub enum SnapshotError {
     /// The bytes are not a valid segment: wrong magic/version, truncated,
     /// checksum mismatch, or a label that does not decode.
     Format(String),
+    /// An fsync of a just-written file or of the spill directory failed
+    /// after the atomic rename — durability of the rename is not
+    /// guaranteed, so the operation reports the failure instead of
+    /// silently degrading.
+    Sync(String),
 }
 
 impl fmt::Display for SnapshotError {
@@ -64,6 +101,7 @@ impl fmt::Display for SnapshotError {
         match self {
             SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
             SnapshotError::Format(e) => write!(f, "invalid snapshot: {e}"),
+            SnapshotError::Sync(e) => write!(f, "snapshot fsync failed: {e}"),
         }
     }
 }
@@ -83,6 +121,22 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// Fsync `dir` so a rename inside it survives a crash. On non-unix
+/// platforms directory handles cannot be opened for sync; the rename
+/// alone is the best available guarantee there.
+fn fsync_dir(dir: &Path) -> Result<(), SnapshotError> {
+    #[cfg(unix)]
+    {
+        let f = fs::File::open(dir)
+            .map_err(|e| SnapshotError::Sync(format!("{}: {e}", dir.display())))?;
+        f.sync_all()
+            .map_err(|e| SnapshotError::Sync(format!("{}: {e}", dir.display())))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
 }
 
 struct ByteReader<'a> {
@@ -117,8 +171,10 @@ impl<'a> ByteReader<'a> {
 
 /// Fixed-size segment header — everything the engine needs to register a
 /// persisted run *without* reading its arena (the lazy-load metadata).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentHeader {
+    /// The format the blob was written with (1 or 2).
+    pub version: u32,
     /// The run the segment holds.
     pub run: RunId,
     /// Its specification (catalog index; must match across restarts).
@@ -133,6 +189,19 @@ pub struct SegmentHeader {
     pub arena_len: u64,
     /// DRL accounting bits (what the run cost in the hot tier).
     pub drl_bits: u64,
+    /// Unix seconds at freeze time (0 = unknown; always 0 for v1).
+    pub frozen_at: u64,
+    /// The freeze-time SKL re-label deltas, when recorded (v2 only).
+    pub skl: Option<SklReport>,
+}
+
+impl SegmentHeader {
+    fn len(&self) -> usize {
+        match self.version {
+            SEGMENT_VERSION_V1 => HEADER_LEN_V1,
+            _ => HEADER_LEN_V2,
+        }
+    }
 }
 
 fn parse_header(bytes: &[u8]) -> Result<SegmentHeader, SnapshotError> {
@@ -142,7 +211,7 @@ fn parse_header(bytes: &[u8]) -> Result<SegmentHeader, SnapshotError> {
         return Err(SnapshotError::Format("bad magic".into()));
     }
     let version = r.u32()?;
-    if version != SEGMENT_VERSION {
+    if version != SEGMENT_VERSION_V1 && version != SEGMENT_VERSION {
         return Err(SnapshotError::Format(format!(
             "unsupported segment version {version}"
         )));
@@ -157,7 +226,28 @@ fn parse_header(bytes: &[u8]) -> Result<SegmentHeader, SnapshotError> {
     let count = r.u32()?;
     let arena_len = r.u64()?;
     let drl_bits = r.u64()?;
+    let (frozen_at, skl) = if version >= SEGMENT_VERSION {
+        let frozen_at = r.u64()?;
+        let flag = r.u32()?;
+        let skl_bits_total = r.u64()?;
+        let build_ns = r.u64()?;
+        let drl_query_ns = r.u64()?;
+        let skl_query_ns = r.u64()?;
+        let pairs_sampled = r.u64()?;
+        let skl = (flag != 0).then_some(SklReport {
+            skl_bits: skl_bits_total,
+            drl_bits,
+            build_ns,
+            drl_query_ns,
+            skl_query_ns,
+            pairs_sampled,
+        });
+        (frozen_at, skl)
+    } else {
+        (0, None)
+    };
     Ok(SegmentHeader {
+        version,
         run,
         spec,
         skl_bits,
@@ -165,20 +255,35 @@ fn parse_header(bytes: &[u8]) -> Result<SegmentHeader, SnapshotError> {
         count,
         arena_len,
         drl_bits,
+        frozen_at,
+        skl,
     })
 }
 
-/// Segment file name for a run.
+/// Segment file name for a run spilled on its own.
 pub fn segment_file_name(run: RunId) -> String {
     format!("run-{}.wfseg", run.0)
 }
 
-/// Serialize a frozen run into segment bytes.
-pub fn encode_segment(frozen: &FrozenRun) -> Vec<u8> {
+/// File name of the `seq`-th packed multi-run segment.
+pub fn pack_file_name(seq: u64) -> String {
+    format!("pack-{seq}.wfseg")
+}
+
+/// One encoder for both format versions: the common prefix, the v2
+/// extension block when asked for, then slots + arena + checksum.
+fn encode_with_version(frozen: &FrozenRun, version: u32) -> Vec<u8> {
     let arena = frozen.arena();
-    let mut out = Vec::with_capacity(HEADER_LEN + arena.len() * 12 + arena.encoded_bytes() + 8);
+    let header_len = if version >= SEGMENT_VERSION {
+        HEADER_LEN_V2
+    } else {
+        HEADER_LEN_V1
+    };
+    let mut out = Vec::with_capacity(
+        header_len + arena.len() * ArenaSlot::WIRE_BYTES + arena.encoded_bytes() + CHECKSUM_LEN,
+    );
     out.extend_from_slice(&SEGMENT_MAGIC);
-    out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&frozen.run().0.to_le_bytes());
     out.extend_from_slice(&(frozen.spec().0 as u32).to_le_bytes());
     out.extend_from_slice(&(arena.skl_bits() as u32).to_le_bytes());
@@ -186,10 +291,27 @@ pub fn encode_segment(frozen: &FrozenRun) -> Vec<u8> {
     out.extend_from_slice(&(arena.len() as u32).to_le_bytes());
     out.extend_from_slice(&(arena.encoded_bytes() as u64).to_le_bytes());
     out.extend_from_slice(&frozen.drl_bits().to_le_bytes());
+    if version >= SEGMENT_VERSION {
+        out.extend_from_slice(&frozen.frozen_at().to_le_bytes());
+        let report = frozen.skl_report();
+        out.extend_from_slice(&u32::from(report.is_some()).to_le_bytes());
+        let zero = SklReport {
+            skl_bits: 0,
+            drl_bits: 0,
+            build_ns: 0,
+            drl_query_ns: 0,
+            skl_query_ns: 0,
+            pairs_sampled: 0,
+        };
+        let r = report.unwrap_or(&zero);
+        out.extend_from_slice(&r.skl_bits.to_le_bytes());
+        out.extend_from_slice(&r.build_ns.to_le_bytes());
+        out.extend_from_slice(&r.drl_query_ns.to_le_bytes());
+        out.extend_from_slice(&r.skl_query_ns.to_le_bytes());
+        out.extend_from_slice(&r.pairs_sampled.to_le_bytes());
+    }
     for slot in arena.slots() {
-        out.extend_from_slice(&slot.vertex.0.to_le_bytes());
-        out.extend_from_slice(&slot.name.0.to_le_bytes());
-        out.extend_from_slice(&slot.offset.to_le_bytes());
+        slot.write_le(&mut out);
     }
     out.extend_from_slice(arena.bytes());
     let checksum = fnv1a(&out);
@@ -197,10 +319,25 @@ pub fn encode_segment(frozen: &FrozenRun) -> Vec<u8> {
     out
 }
 
-/// Parse and fully validate segment bytes back into a [`FrozenRun`]
-/// (SKL reports are not persisted; reloaded runs carry `None`).
-pub fn decode_segment(bytes: &[u8]) -> Result<FrozenRun, SnapshotError> {
-    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+/// Serialize a frozen run into a format-v2 segment blob.
+pub fn encode_segment(frozen: &FrozenRun) -> Vec<u8> {
+    encode_with_version(frozen, SEGMENT_VERSION)
+}
+
+/// Serialize a frozen run into a **format-v1** blob — what PR 3 engines
+/// wrote (the common layout minus the v2 extension block). Kept so the
+/// v1→v2 migration path stays testable end-to-end; new spills always
+/// write v2.
+pub fn encode_segment_v1(frozen: &FrozenRun) -> Vec<u8> {
+    encode_with_version(frozen, SEGMENT_VERSION_V1)
+}
+
+/// Validate a blob's framing — length, magic, version, checksum — and
+/// return its header **without** decoding any label. This is the cheap
+/// integrity check compaction runs before copying a blob verbatim into a
+/// pack (the full label decode still happens at fault-in).
+pub fn verify_segment_bytes(bytes: &[u8]) -> Result<SegmentHeader, SnapshotError> {
+    if bytes.len() < HEADER_LEN_V1 + CHECKSUM_LEN {
         return Err(SnapshotError::Format("truncated segment".into()));
     }
     let (body, tail) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
@@ -210,9 +347,10 @@ pub fn decode_segment(bytes: &[u8]) -> Result<FrozenRun, SnapshotError> {
     }
     let header = parse_header(body)?;
     let slots_len = (header.count as usize)
-        .checked_mul(12)
+        .checked_mul(ArenaSlot::WIRE_BYTES)
         .ok_or_else(|| SnapshotError::Format("slot count overflow".into()))?;
-    let expected = HEADER_LEN
+    let expected = header
+        .len()
         .checked_add(slots_len)
         .and_then(|n| n.checked_add(header.arena_len as usize))
         .ok_or_else(|| SnapshotError::Format("length overflow".into()))?;
@@ -222,14 +360,20 @@ pub fn decode_segment(bytes: &[u8]) -> Result<FrozenRun, SnapshotError> {
             body.len()
         )));
     }
-    let mut r = ByteReader::new(&body[HEADER_LEN..]);
+    Ok(header)
+}
+
+/// Parse and fully validate segment bytes (either format version) back
+/// into a [`FrozenRun`]. v2 blobs restore their freeze-time SKL report;
+/// v1 blobs reload with `skl: None`.
+pub fn decode_segment(bytes: &[u8]) -> Result<FrozenRun, SnapshotError> {
+    let header = verify_segment_bytes(bytes)?;
+    let mut r = ByteReader::new(&bytes[header.len()..bytes.len() - CHECKSUM_LEN]);
     let mut slots = Vec::with_capacity(header.count as usize);
     for _ in 0..header.count {
-        slots.push(ArenaSlot {
-            vertex: VertexId(r.u32()?),
-            name: NameId(r.u32()?),
-            offset: r.u32()?,
-        });
+        let slot = ArenaSlot::read_le(r.take(ArenaSlot::WIRE_BYTES)?)
+            .ok_or_else(|| SnapshotError::Format("truncated slot".into()))?;
+        slots.push(slot);
     }
     let arena_bytes = r.take(header.arena_len as usize)?.to_vec();
     let arena = LabelArena::from_parts(header.skl_bits as usize, slots, arena_bytes)
@@ -240,71 +384,114 @@ pub fn decode_segment(bytes: &[u8]) -> Result<FrozenRun, SnapshotError> {
         source: header.source,
         arena,
         drl_bits: header.drl_bits,
-        skl: None,
+        frozen_at: header.frozen_at,
+        skl: header.skl,
         queries: AtomicU64::new(0),
     })
 }
 
-/// Atomically write a frozen run's segment into `dir`. Returns the final
-/// path and the on-disk byte count.
+/// Atomically write a frozen run's segment into `dir` (temp file →
+/// fsync → rename → directory fsync). Returns the final path and the
+/// on-disk byte count.
 pub fn write_segment(dir: &Path, frozen: &FrozenRun) -> Result<(PathBuf, u64), SnapshotError> {
     fs::create_dir_all(dir)?;
     let bytes = encode_segment(frozen);
     let path = dir.join(segment_file_name(frozen.run()));
-    let tmp = dir.join(format!(".{}.tmp", segment_file_name(frozen.run())));
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, &path)?;
+    write_blob_file(dir, &path, &bytes)?;
     Ok((path, bytes.len() as u64))
 }
 
-/// Read and validate a segment file.
+/// Atomically materialize `bytes` at `path` inside `dir`: temp file,
+/// fsync, rename, directory fsync.
+pub(crate) fn write_blob_file(dir: &Path, path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| SnapshotError::Io("segment path has no file name".into()))?;
+    let tmp = dir.join(format!(".{file_name}.tmp"));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+            .map_err(|e| SnapshotError::Sync(format!("{}: {e}", tmp.display())))?;
+    }
+    fs::rename(&tmp, path)?;
+    fsync_dir(dir)
+}
+
+/// Read `len` raw bytes at `offset` of `path` (a blob's slice of a
+/// per-run or packed file), without validating them.
+pub(crate) fn read_raw_range(path: &Path, offset: u64, len: u64) -> Result<Vec<u8>, SnapshotError> {
+    let mut f = fs::File::open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; len as usize];
+    f.read_exact(&mut buf)
+        .map_err(|_| SnapshotError::Format("truncated segment".into()))?;
+    Ok(buf)
+}
+
+/// Read and validate the blob at `[offset, offset+len)` of `path`.
+pub fn read_segment_range(path: &Path, offset: u64, len: u64) -> Result<FrozenRun, SnapshotError> {
+    decode_segment(&read_raw_range(path, offset, len)?)
+}
+
+/// Read and validate a whole segment file (one blob at offset 0).
 pub fn read_segment(path: &Path) -> Result<FrozenRun, SnapshotError> {
     let mut bytes = Vec::new();
     fs::File::open(path)?.read_to_end(&mut bytes)?;
     decode_segment(&bytes)
 }
 
-/// Read only a segment's header (the lazy-load registration path).
-pub fn read_header(path: &Path) -> Result<SegmentHeader, SnapshotError> {
-    let mut buf = vec![0u8; HEADER_LEN];
+/// Read only the header of the blob at `offset` (the lazy-load
+/// registration path — no slots, no arena, no checksum).
+pub fn read_header_at(path: &Path, offset: u64) -> Result<SegmentHeader, SnapshotError> {
     let mut f = fs::File::open(path)?;
-    f.read_exact(&mut buf)
-        .map_err(|_| SnapshotError::Format("truncated segment header".into()))?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut buf = Vec::with_capacity(HEADER_LEN_V2);
+    f.take(HEADER_LEN_V2 as u64).read_to_end(&mut buf)?;
     parse_header(&buf)
 }
 
-/// One manifest line: a persisted run and its segment file.
+/// Read only a segment file's leading header.
+pub fn read_header(path: &Path) -> Result<SegmentHeader, SnapshotError> {
+    read_header_at(path, 0)
+}
+
+/// One manifest line: a persisted run and the byte range of its blob.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ManifestEntry {
     /// The persisted run.
     pub run: RunId,
-    /// Segment file name, relative to the spill directory.
+    /// Blob file name (per-run or pack), relative to the spill dir.
     pub file: String,
-    /// On-disk size of the segment.
+    /// Byte offset of the run's blob within the file (0 for per-run
+    /// files and for every v1 manifest entry).
+    pub offset: u64,
+    /// Length of the blob in bytes.
     pub bytes: u64,
 }
 
-/// Atomically rewrite the manifest with the full persisted set.
+/// Atomically rewrite the manifest with the full persisted set: temp
+/// file, fsync, rename, directory fsync — after this returns, a crash
+/// cannot resurrect the previous manifest or leave the new one pointing
+/// at unsynced data.
 pub fn write_manifest(dir: &Path, entries: &[ManifestEntry]) -> Result<(), SnapshotError> {
     fs::create_dir_all(dir)?;
     let mut out = String::from(MANIFEST_HEADER);
     out.push('\n');
     for e in entries {
-        out.push_str(&format!("{} {} {}\n", e.run.0, e.file, e.bytes));
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            e.run.0, e.file, e.offset, e.bytes
+        ));
     }
-    let tmp = dir.join(format!(".{MANIFEST_FILE}.tmp"));
-    fs::write(&tmp, out)?;
-    fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
-    Ok(())
+    write_blob_file(dir, &dir.join(MANIFEST_FILE), out.as_bytes())
 }
 
-/// Load the manifest; a missing file is an empty manifest, malformed
-/// lines are skipped (the segment loader re-validates everything, so the
-/// manifest is an index, not a trust root).
+/// Load the manifest (either header version); a missing file is an empty
+/// manifest, malformed lines are skipped (the segment loader
+/// re-validates everything, so the manifest is an index, not a trust
+/// root). v1 lines (`run file bytes`) load with offset 0.
 pub fn load_manifest(dir: &Path) -> Result<Vec<ManifestEntry>, SnapshotError> {
     let path = dir.join(MANIFEST_FILE);
     let text = match fs::read_to_string(&path) {
@@ -313,65 +500,141 @@ pub fn load_manifest(dir: &Path) -> Result<Vec<ManifestEntry>, SnapshotError> {
         Err(e) => return Err(e.into()),
     };
     let mut lines = text.lines();
-    match lines.next() {
-        Some(h) if h.trim() == MANIFEST_HEADER => {}
+    let with_offset = match lines.next().map(str::trim) {
+        Some(h) if h == MANIFEST_HEADER => true,
+        Some(h) if h == MANIFEST_HEADER_V1 => false,
         other => {
             return Err(SnapshotError::Format(format!(
                 "bad manifest header {other:?}"
             )))
         }
-    }
+    };
     let mut entries = Vec::new();
     for line in lines {
         let mut parts = line.split_whitespace();
-        let (Some(run), Some(file), Some(bytes)) = (parts.next(), parts.next(), parts.next())
-        else {
+        let (Some(run), Some(file)) = (parts.next(), parts.next()) else {
             continue;
         };
-        let (Ok(run), Ok(bytes)) = (run.parse::<u64>(), bytes.parse::<u64>()) else {
+        let Ok(run) = run.parse::<u64>() else {
             continue;
         };
-        entries.push(ManifestEntry {
-            run: RunId(run),
-            file: file.to_string(),
-            bytes,
-        });
+        let entry = if with_offset {
+            let (Some(offset), Some(bytes)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let (Ok(offset), Ok(bytes)) = (offset.parse::<u64>(), bytes.parse::<u64>()) else {
+                continue;
+            };
+            ManifestEntry {
+                run: RunId(run),
+                file: file.to_string(),
+                offset,
+                bytes,
+            }
+        } else {
+            let Some(bytes) = parts.next() else { continue };
+            let Ok(bytes) = bytes.parse::<u64>() else {
+                continue;
+            };
+            ManifestEntry {
+                run: RunId(run),
+                file: file.to_string(),
+                offset: 0,
+                bytes,
+            }
+        };
+        entries.push(entry);
     }
     Ok(entries)
 }
 
+/// Load state of a persisted run's arena: cold, resident, or known-bad.
+#[derive(Debug)]
+pub(crate) enum LoadState {
+    /// Not in memory; the next query faults the blob in.
+    Unloaded,
+    /// Resident — queries answer without touching disk until the LRU
+    /// sheds the arena again.
+    Loaded(Arc<FrozenRun>),
+    /// A load failed (the blob vanished or was corrupted after
+    /// registration); cached so queries degrade to "no labels" instead
+    /// of re-reading a broken file.
+    Failed,
+}
+
 /// A run living in the persisted tier: registered from a segment header
-/// at engine build (or at spill time), with the full arena **lazily
-/// loaded** on first query and cached.
+/// at engine build (or at spill/compaction time), with the full arena
+/// **lazily faulted in** on first query. Unlike PR 3's write-once cache,
+/// the arena can be *shed* again: every fault-in registers with the
+/// store's [`SegmentLru`], which drops least-recently-used arenas when
+/// the resident-byte budget is exceeded — so a persisted run that turns
+/// hot re-heats to memory speed, and cools back to zero resident bytes
+/// when the traffic moves on.
 #[derive(Debug)]
 pub struct PersistedRun {
     pub(crate) run: RunId,
     pub(crate) spec: SpecId,
     pub(crate) source: Option<VertexId>,
     pub(crate) published: usize,
+    /// Length of this run's blob on disk (not the whole file: packs
+    /// share one file among many runs).
     pub(crate) disk_bytes: u64,
     pub(crate) path: PathBuf,
-    /// Lazily-loaded arena. `Some(None)` caches a failed load (the
-    /// segment vanished or was corrupted after registration) so queries
-    /// degrade to "no labels" instead of re-reading a broken file.
-    loaded: OnceLock<Option<Arc<FrozenRun>>>,
+    pub(crate) offset: u64,
+    pub(crate) frozen_at: u64,
+    /// The freeze-time SKL re-label deltas, straight from the v2 header
+    /// (absent for v1 blobs) — what lets a reloaded engine reproduce its
+    /// §7.4 report without faulting a single arena in.
+    pub(crate) skl: Option<SklReport>,
+    state: RwLock<LoadState>,
+    /// LRU recency stamp (the store's logical clock at last query).
+    pub(crate) last_access: AtomicU64,
+    /// Set when this registration leaves the persisted tier (evicted,
+    /// re-heated, or replaced by compaction): a fault-in that races the
+    /// departure must not pin the arena in the LRU afterwards.
+    pub(crate) retired: AtomicBool,
+    lru: Arc<SegmentLru>,
     pub(crate) queries: AtomicU64,
+    /// The query counter's value when the run entered the persisted
+    /// tier. `queries` carries the run's lifetime count across tier
+    /// changes (so engine-wide `queries_answered` stays monotone), but
+    /// policy decisions — the auto-re-heat threshold — must only see
+    /// traffic received *since* persisting, or every popular run would
+    /// bounce straight back to memory after each spill.
+    pub(crate) queries_at_persist: u64,
 }
 
 impl PersistedRun {
-    /// Register a segment file by reading its header only.
-    pub fn open(path: PathBuf) -> Result<Self, SnapshotError> {
-        let header = read_header(&path)?;
-        let disk_bytes = fs::metadata(&path)?.len();
+    /// Register a manifest entry by reading its blob header only.
+    pub(crate) fn open_entry(
+        dir: &Path,
+        entry: &ManifestEntry,
+        lru: Arc<SegmentLru>,
+    ) -> Result<Self, SnapshotError> {
+        let path = dir.join(&entry.file);
+        let header = read_header_at(&path, entry.offset)?;
+        if header.run != entry.run {
+            return Err(SnapshotError::Format(format!(
+                "manifest names {} but the blob holds {}",
+                entry.run, header.run
+            )));
+        }
         Ok(Self {
             run: header.run,
             spec: header.spec,
             source: header.source,
             published: header.count as usize,
-            disk_bytes,
+            disk_bytes: entry.bytes,
             path,
-            loaded: OnceLock::new(),
+            offset: entry.offset,
+            frozen_at: header.frozen_at,
+            skl: header.skl,
+            state: RwLock::new(LoadState::Unloaded),
+            last_access: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
+            lru,
             queries: AtomicU64::new(0),
+            queries_at_persist: 0,
         })
     }
 
@@ -379,7 +642,12 @@ impl PersistedRun {
     /// path) — header facts come from the in-memory run; the arena still
     /// reloads lazily from disk, which keeps the memory release of
     /// persisting real.
-    pub(crate) fn from_frozen(frozen: &FrozenRun, path: PathBuf, disk_bytes: u64) -> Self {
+    pub(crate) fn from_frozen(
+        frozen: &FrozenRun,
+        path: PathBuf,
+        disk_bytes: u64,
+        lru: Arc<SegmentLru>,
+    ) -> Self {
         Self {
             run: frozen.run(),
             spec: frozen.spec(),
@@ -387,10 +655,41 @@ impl PersistedRun {
             published: frozen.published(),
             disk_bytes,
             path,
-            loaded: OnceLock::new(),
+            offset: 0,
+            frozen_at: frozen.frozen_at(),
+            skl: frozen.skl_report().copied(),
+            state: RwLock::new(LoadState::Unloaded),
+            last_access: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
+            lru,
             // Carry the query count across the tier change so the
-            // engine-wide `queries_answered` stays monotone.
-            queries: AtomicU64::new(frozen.queries.load(std::sync::atomic::Ordering::Relaxed)),
+            // engine-wide `queries_answered` stays monotone; the policy
+            // baseline starts here.
+            queries: AtomicU64::new(frozen.queries.load(Ordering::Relaxed)),
+            queries_at_persist: frozen.queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The compaction swap: the same run re-registered at its new blob
+    /// location, carrying the per-run counters forward. Residency starts
+    /// cold (the old entry's arena is forgotten with the old entry).
+    pub(crate) fn repacked(old: &PersistedRun, path: PathBuf, offset: u64, bytes: u64) -> Self {
+        Self {
+            run: old.run,
+            spec: old.spec,
+            source: old.source,
+            published: old.published,
+            disk_bytes: bytes,
+            path,
+            offset,
+            frozen_at: old.frozen_at,
+            skl: old.skl,
+            state: RwLock::new(LoadState::Unloaded),
+            last_access: AtomicU64::new(old.last_access.load(Ordering::Relaxed)),
+            retired: AtomicBool::new(false),
+            lru: Arc::clone(&old.lru),
+            queries: AtomicU64::new(old.queries.load(Ordering::Relaxed)),
+            queries_at_persist: old.queries_at_persist,
         }
     }
 
@@ -399,26 +698,103 @@ impl PersistedRun {
         self.run
     }
 
-    /// On-disk size of the segment.
+    /// On-disk size of the run's blob.
     pub fn disk_bytes(&self) -> u64 {
         self.disk_bytes
     }
 
-    /// The segment file path.
+    /// The blob's file (per-run segment or pack).
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// The arena, loading and validating the segment on first use.
-    /// `None` if the segment no longer reads back cleanly.
-    pub fn load(&self) -> Option<&Arc<FrozenRun>> {
-        self.loaded
-            .get_or_init(|| read_segment(&self.path).ok().map(Arc::new))
-            .as_ref()
+    /// Byte offset of the blob within [`Self::path`].
+    pub fn offset(&self) -> u64 {
+        self.offset
     }
 
-    /// True once the arena has been faulted into memory.
+    /// The freeze-time SKL re-label deltas persisted in the v2 header.
+    pub fn skl_report(&self) -> Option<&SklReport> {
+        self.skl.as_ref()
+    }
+
+    /// The arena, faulting the blob in (and registering with the LRU) on
+    /// first use after a cold start or a shed. `None` if the blob no
+    /// longer reads back cleanly.
+    pub fn load(self: &Arc<Self>) -> Option<Arc<FrozenRun>> {
+        self.last_access.store(self.lru.tick(), Ordering::Relaxed);
+        {
+            let g = self.state.read().expect("segment state poisoned");
+            match &*g {
+                LoadState::Loaded(f) => return Some(Arc::clone(f)),
+                LoadState::Failed => return None,
+                LoadState::Unloaded => {}
+            }
+        }
+        let loaded = {
+            let mut g = self.state.write().expect("segment state poisoned");
+            match &*g {
+                LoadState::Loaded(f) => return Some(Arc::clone(f)),
+                LoadState::Failed => return None,
+                LoadState::Unloaded => {}
+            }
+            match read_segment_range(&self.path, self.offset, self.disk_bytes) {
+                Ok(f) => {
+                    let f = Arc::new(f);
+                    *g = LoadState::Loaded(Arc::clone(&f));
+                    Some(f)
+                }
+                Err(_) => {
+                    *g = LoadState::Failed;
+                    None
+                }
+            }
+        };
+        // Register outside the state lock: the LRU's shed path takes
+        // state locks under its own mutex, so nesting the other way
+        // around here would risk an ordering inversion.
+        let f = loaded?;
+        self.lru.admit(Arc::clone(self));
+        Some(f)
+    }
+
+    /// True while the arena is resident in memory.
     pub fn is_loaded(&self) -> bool {
-        matches!(self.loaded.get(), Some(Some(_)))
+        matches!(
+            &*self.state.read().expect("segment state poisoned"),
+            LoadState::Loaded(_)
+        )
+    }
+
+    /// True once a load has failed (sticky): the blob no longer reads
+    /// back cleanly, so retrying — e.g. the auto-re-heat policy — is
+    /// pointless until the registration changes.
+    pub fn is_load_failed(&self) -> bool {
+        matches!(
+            &*self.state.read().expect("segment state poisoned"),
+            LoadState::Failed
+        )
+    }
+
+    /// Resident bytes of the loaded arena (0 when cold or failed).
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        match &*self.state.read().expect("segment state poisoned") {
+            LoadState::Loaded(f) => f.footprint_bytes() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Drop the resident arena (LRU eviction). Non-blocking: returns
+    /// `None` if the state lock is contended (a fault-in or query is
+    /// mid-flight) or nothing is loaded; the bytes freed otherwise.
+    pub(crate) fn shed(&self) -> Option<u64> {
+        let mut g = self.state.try_write().ok()?;
+        match std::mem::replace(&mut *g, LoadState::Unloaded) {
+            LoadState::Loaded(f) => Some(f.footprint_bytes() as u64),
+            other => {
+                *g = other;
+                None
+            }
+        }
     }
 }

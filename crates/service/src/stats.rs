@@ -19,6 +19,10 @@ pub(crate) struct Counters {
     pub freezes: AtomicU64,
     /// Spill operations (frozen → persisted transitions), cumulative.
     pub spills: AtomicU64,
+    /// Re-heat operations (persisted → frozen promotions), cumulative.
+    pub reheats: AtomicU64,
+    /// Compaction passes that wrote at least one pack, cumulative.
+    pub compactions: AtomicU64,
     /// Frozen runs that were re-labeled with the static SKL baseline.
     pub skl_relabeled: AtomicU64,
     /// Total SKL label bits across re-labeled runs.
@@ -49,6 +53,8 @@ impl Counters {
             flushes: AtomicU64::new(0),
             freezes: AtomicU64::new(0),
             spills: AtomicU64::new(0),
+            reheats: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
             skl_relabeled: AtomicU64::new(0),
             skl_bits_total: AtomicU64::new(0),
             skl_drl_bits_total: AtomicU64::new(0),
@@ -120,14 +126,29 @@ pub struct ServiceStats {
     pub freezes: u64,
     /// Cumulative frozen→persisted transitions (snapshot writes).
     pub spills: u64,
+    /// Cumulative persisted→frozen re-heat promotions.
+    pub reheats: u64,
+    /// Cumulative compaction passes that wrote packs.
+    pub compactions: u64,
     /// **Frozen tier** footprint in bytes: encoded arenas + vertex
     /// directories.
     pub frozen_bytes: u64,
     /// DRL accounting bits the frozen runs occupied while hot (the
     /// compaction numerator: `frozen_label_bits/8` vs `frozen_bytes`).
     pub frozen_label_bits: u64,
-    /// **Persisted tier** footprint in bytes: segment files on disk.
+    /// **Persisted tier** footprint in bytes: segment blobs on disk.
     pub persisted_bytes: u64,
+    /// **Persisted tier** resident bytes: segment arenas currently
+    /// faulted into memory (governed by
+    /// [`crate::EngineBuilder::max_resident_bytes`]).
+    pub persisted_resident_bytes: u64,
+    /// Distinct segment files (per-run + packs) the persisted tier
+    /// references — what compaction exists to keep small.
+    pub segment_files: u64,
+    /// Cumulative segment fault-ins (cold or post-shed loads).
+    pub segment_loads: u64,
+    /// Cumulative arenas shed by the resident-byte LRU.
+    pub segment_sheds: u64,
     /// Frozen runs re-labeled with the static SKL baseline.
     pub skl_relabeled: u64,
     /// Total SKL bits across re-labeled runs (§7.4: slope ≈ 3·log n).
@@ -193,8 +214,10 @@ impl ServiceStats {
                 "\"runs_hot\":{},\"runs_frozen\":{},\"runs_persisted\":{},",
                 "\"hot_bytes\":{},\"hot_resident_bytes\":{},",
                 "\"frozen_bytes\":{},\"persisted_bytes\":{},",
+                "\"persisted_resident_bytes\":{},\"segment_files\":{},",
+                "\"segment_loads\":{},\"segment_sheds\":{},",
                 "\"hot_label_bits\":{},\"frozen_label_bits\":{},",
-                "\"freezes\":{},\"spills\":{},",
+                "\"freezes\":{},\"spills\":{},\"reheats\":{},\"compactions\":{},",
                 "\"skl_relabeled\":{},\"skl_bits\":{},\"skl_drl_bits\":{},",
                 "\"skl_build_ns\":{},\"skl_query_ns\":{},\"frozen_query_ns\":{},",
                 "\"skl_pairs\":{}}}"
@@ -206,10 +229,16 @@ impl ServiceStats {
             self.hot_resident_bytes,
             self.frozen_bytes,
             self.persisted_bytes,
+            self.persisted_resident_bytes,
+            self.segment_files,
+            self.segment_loads,
+            self.segment_sheds,
             self.label_bits_total,
             self.frozen_label_bits,
             self.freezes,
             self.spills,
+            self.reheats,
+            self.compactions,
             self.skl_relabeled,
             self.skl_bits_total,
             self.skl_drl_bits_total,

@@ -23,10 +23,140 @@ use crate::snapshot::PersistedRun;
 use crate::stats::Counters;
 use crate::{RunId, RunStatus, SpecId};
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use wf_drl::{DrlLabel, DrlPredicate};
 use wf_graph::{NameId, VertexId};
 use wf_skeleton::SpecLabeling;
+
+/// The **size/age LRU over loaded segments**: every persisted arena that
+/// faults into memory registers here, and when the resident total
+/// exceeds the configured budget ([`crate::EngineBuilder::max_resident_bytes`])
+/// the least-recently-queried arenas are shed back to cold — oldest
+/// freeze time breaking recency ties. Without a budget the LRU only
+/// keeps the books (loads, sheds, resident bytes for the stats).
+///
+/// Locking: `resident` (this mutex) may be held while *try*-locking a
+/// run's load state; a fault-in holds its own load state lock and then
+/// takes `resident` — the try-lock is what makes that safe (the shed
+/// path skips contended victims instead of blocking on them).
+#[derive(Debug)]
+pub(crate) struct SegmentLru {
+    max_resident: Option<u64>,
+    clock: AtomicU64,
+    resident: Mutex<HashMap<u64, Arc<PersistedRun>>>,
+    resident_bytes: AtomicU64,
+    /// Cumulative segment fault-ins (cold or post-shed loads).
+    pub(crate) loads: AtomicU64,
+    /// Cumulative arenas shed by the budget.
+    pub(crate) sheds: AtomicU64,
+}
+
+impl SegmentLru {
+    pub(crate) fn new(max_resident: Option<u64>) -> Self {
+        Self {
+            max_resident,
+            clock: AtomicU64::new(0),
+            resident: Mutex::new(HashMap::new()),
+            resident_bytes: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance the logical clock (every query on a persisted run ticks).
+    pub(crate) fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current resident bytes across loaded segments.
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    fn sub_bytes(&self, bytes: u64) {
+        let _ = self
+            .resident_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(bytes))
+            });
+    }
+
+    /// A segment finished faulting in: account for it, then enforce the
+    /// budget (never shedding the segment just loaded). A registration
+    /// retired while the fault was in flight is dropped again instead of
+    /// pinned (the admit/forget race), and a displaced same-id entry's
+    /// bytes come off the books.
+    pub(crate) fn admit(&self, run: Arc<PersistedRun>) {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        let id = run.run().0;
+        {
+            let mut map = self.resident.lock().expect("lru map poisoned");
+            if run.retired.load(Ordering::Acquire) {
+                // The registration left the persisted tier while the
+                // fault was in flight (forget_entry's retire store
+                // happens before its map removal, which serializes on
+                // this lock): drop the arena instead of pinning it.
+                drop(map);
+                let _ = run.shed();
+                return;
+            }
+            let bytes = run.resident_bytes();
+            if let Some(old) = map.insert(id, Arc::clone(&run)) {
+                self.sub_bytes(old.resident_bytes());
+            }
+            self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        self.enforce(Some(id));
+    }
+
+    /// Drop a registration from the books (evicted, re-heated, or
+    /// replaced by compaction). Marks the entry retired first, so a
+    /// fault-in racing this call cannot re-pin it afterwards; only this
+    /// exact registration is removed (a newer same-id registration that
+    /// already admitted stays). The arena itself goes with the entry's
+    /// last `Arc`.
+    pub(crate) fn forget_entry(&self, run: &PersistedRun) {
+        run.retired.store(true, Ordering::Release);
+        let mut map = self.resident.lock().expect("lru map poisoned");
+        let ours = map
+            .get(&run.run().0)
+            .is_some_and(|p| std::ptr::eq(Arc::as_ptr(p), std::ptr::from_ref(run)));
+        if ours {
+            let p = map.remove(&run.run().0).expect("checked above");
+            self.sub_bytes(p.resident_bytes());
+        }
+    }
+
+    /// Shed least-recently-used arenas until the budget holds. Each
+    /// candidate is tried once per pass (a contended victim — one being
+    /// queried or faulted right now — is skipped, not waited on).
+    fn enforce(&self, protect: Option<u64>) {
+        let Some(budget) = self.max_resident else {
+            return;
+        };
+        let mut map = self.resident.lock().expect("lru map poisoned");
+        if self.resident_bytes.load(Ordering::Relaxed) <= budget {
+            return;
+        }
+        let mut victims: Vec<Arc<PersistedRun>> = map
+            .values()
+            .filter(|p| Some(p.run().0) != protect)
+            .cloned()
+            .collect();
+        victims.sort_by_key(|p| (p.last_access.load(Ordering::Relaxed), p.frozen_at));
+        for victim in victims {
+            if self.resident_bytes.load(Ordering::Relaxed) <= budget {
+                break;
+            }
+            if let Some(freed) = victim.shed() {
+                map.remove(&victim.run().0);
+                self.sub_bytes(freed);
+                self.sheds.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
 
 /// Which storage tier currently serves a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,6 +232,16 @@ impl<S: SpecLabeling> RunView<S> {
             RunView::Hot(s) => s.source.get().copied(),
             RunView::Frozen(f) => f.source,
             RunView::Persisted(p) => p.source,
+        }
+    }
+
+    /// True when answering from this view costs no disk fault: hot and
+    /// frozen runs always, persisted runs only while their arena is
+    /// resident (loaded and not yet shed by the LRU).
+    pub(crate) fn is_resident(&self) -> bool {
+        match self {
+            RunView::Hot(_) | RunView::Frozen(_) => true,
+            RunView::Persisted(p) => p.is_loaded(),
         }
     }
 
@@ -202,18 +342,25 @@ pub(crate) struct LabelStore<S: SpecLabeling + 'static> {
     shard_mask: u64,
     frozen: RwLock<HashMap<u64, Arc<FrozenRun>>>,
     persisted: RwLock<HashMap<u64, Arc<PersistedRun>>>,
+    /// Residency governor shared by every persisted run in this store.
+    pub(crate) lru: Arc<SegmentLru>,
 }
 
 impl<S: SpecLabeling> LabelStore<S> {
     /// An empty store with `shards` hot shards (rounded up to a power of
     /// two), pre-seeded with persisted segments loaded from disk.
-    pub(crate) fn new(shards: usize, persisted: Vec<Arc<PersistedRun>>) -> Self {
+    pub(crate) fn new(
+        shards: usize,
+        persisted: Vec<Arc<PersistedRun>>,
+        lru: Arc<SegmentLru>,
+    ) -> Self {
         let n = shards.max(1).next_power_of_two();
         Self {
             shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
             shard_mask: (n - 1) as u64,
             frozen: RwLock::new(HashMap::new()),
             persisted: RwLock::new(persisted.into_iter().map(|p| (p.run.0, p)).collect()),
+            lru,
         }
     }
 
@@ -288,6 +435,44 @@ impl<S: SpecLabeling> LabelStore<S> {
         true
     }
 
+    /// Promote a persisted run back to the **frozen (resident) tier** —
+    /// the re-heat transition. Conditional on the run still being
+    /// persisted, with both locks held across the move (frozen →
+    /// persisted, the fixed lock order), like [`Self::promote_persisted`]
+    /// in reverse. The segment file stays on disk; only the registry
+    /// moves.
+    #[must_use]
+    pub(crate) fn promote_reheated(&self, run: RunId, frozen: Arc<FrozenRun>) -> bool {
+        let old = {
+            let mut cold = self.frozen.write().expect("frozen lock poisoned");
+            let mut disk = self.persisted.write().expect("persisted lock poisoned");
+            let Some(old) = disk.remove(&run.0) else {
+                return false;
+            };
+            cold.insert(run.0, frozen);
+            old
+        };
+        self.lru.forget_entry(&old);
+        true
+    }
+
+    /// Swap a persisted run's registration for a new one (compaction
+    /// re-pointing the run at its packed blob). Conditional: a run that
+    /// left the persisted tier mid-compaction is not resurrected.
+    #[must_use]
+    pub(crate) fn replace_persisted(&self, run: RunId, entry: Arc<PersistedRun>) -> bool {
+        let old = {
+            let mut disk = self.persisted.write().expect("persisted lock poisoned");
+            let Some(slot) = disk.get_mut(&run.0) else {
+                return false;
+            };
+            std::mem::replace(slot, entry)
+        };
+        // Forget the *old* entry's residency (the new one starts cold).
+        self.lru.forget_entry(&old);
+        true
+    }
+
     /// Evict a run from whichever tier holds it; returns the hot slot if
     /// the run was hot (the caller marks it evicted under its writer
     /// lock).
@@ -308,11 +493,16 @@ impl<S: SpecLabeling> LabelStore<S> {
         {
             return Some(RunView::Frozen(f));
         }
-        self.persisted
+        let removed = self
+            .persisted
             .write()
             .expect("persisted lock poisoned")
-            .remove(&run.0)
-            .map(RunView::Persisted)
+            .remove(&run.0);
+        if let Some(p) = removed {
+            self.lru.forget_entry(&p);
+            return Some(RunView::Persisted(p));
+        }
+        None
     }
 
     /// Point-in-time snapshot of every registered run across all tiers
@@ -375,5 +565,19 @@ impl<S: SpecLabeling> LabelStore<S> {
             .values()
             .cloned()
             .collect()
+    }
+
+    /// Visit every persisted entry without allocating (the tiering
+    /// worker's per-tick scans; the read lock is held for the visit, so
+    /// keep `f` cheap).
+    pub(crate) fn for_each_persisted(&self, mut f: impl FnMut(&Arc<PersistedRun>)) {
+        for p in self
+            .persisted
+            .read()
+            .expect("persisted lock poisoned")
+            .values()
+        {
+            f(p);
+        }
     }
 }

@@ -1,15 +1,19 @@
 //! Run lifecycle across the tiered label store:
 //! open → completed → **frozen** (encoded arena + SKL re-label) →
-//! **persisted** (disk snapshot) — with queries answered identically at
-//! every stage, and the per-tier footprint JSON CI harvests.
+//! **persisted** (disk snapshot) → **re-heated** (resident again under
+//! query traffic) — with queries answered identically at every stage,
+//! the persisted segments **compacted** into packed files, and the
+//! per-tier footprint JSON CI harvests.
 //!
 //! ```text
 //! cargo run --release --example tiered_engine
 //! ```
 //!
-//! The last stdout line is the engine's `tier_footprint` JSON (the
-//! SKL-vs-DRL bits and latency deltas recorded at freeze time live in
-//! it), which the CI `tiering` step uploads next to the bench artifact.
+//! Two machine-readable stdout lines feed CI artifacts: the
+//! `compaction` JSON (before/after file-count + byte stats) and, last,
+//! the engine's `tier_footprint` JSON (per-tier bytes plus the
+//! SKL-vs-DRL deltas recorded at freeze time — which format-v2 segments
+//! persist, so they survive engine restarts).
 
 use std::sync::Arc;
 use wf_provenance::prelude::*;
@@ -25,6 +29,7 @@ fn main() {
         .ingest_workers(4)
         .freeze_after(8) // keep the 8 most recent completions hot
         .spill_dir(&spill) // frozen runs spill to disk automatically
+        .max_resident_bytes(256 * 1024) // LRU budget over loaded segments
         .build();
     let ctx = Arc::clone(engine.context(SpecId(0)).unwrap());
 
@@ -69,6 +74,26 @@ fn main() {
         stats.runs_hot, stats.runs_frozen, stats.runs_persisted, stats.freezes, stats.spills
     );
 
+    // Compaction: the spilled runs each landed in their own
+    // `run-<id>.wfseg`; pack them into one multi-run file (the CI
+    // compaction artifact is this line).
+    let report = engine.compact().expect("spill dir configured");
+    println!("{}", report.json());
+    println!(
+        "compaction: {} segment files → {} ({} runs packed)",
+        report.files_before, report.files_after, report.runs_packed
+    );
+
+    // Re-heat: the oldest run sees query traffic again — promote it
+    // back to the resident (frozen) tier; queries stop touching disk.
+    let oldest = runs[0].0;
+    engine.reheat_run(oldest).expect("persisted run re-heats");
+    println!(
+        "re-heat: {oldest} promoted {:?} → {:?}",
+        Tier::Persisted,
+        engine.run_tier(oldest).unwrap()
+    );
+
     // Tier-transparent queries: every run answers, whatever its tier,
     // and the answers agree with a fresh handle taken *after* tiering.
     let probe = probe.unwrap();
@@ -103,13 +128,20 @@ fn main() {
         );
     }
 
-    // Per-tier memory: hot resident vs frozen arena vs disk segments.
+    // Per-tier memory: hot resident vs frozen arena vs disk segments,
+    // plus the LRU's view of the persisted tier after the query sweep.
+    let stats = engine.stats();
     println!(
-        "memory: hot {} B resident ({} B accounting) | frozen {} B | disk {} B",
+        "memory: hot {} B resident ({} B accounting) | frozen {} B | \
+         disk {} B in {} files ({} B resident, {} loads, {} sheds)",
         stats.hot_resident_bytes,
         stats.hot_bytes(),
         stats.frozen_bytes,
-        stats.persisted_bytes
+        stats.persisted_bytes,
+        stats.segment_files,
+        stats.persisted_resident_bytes,
+        stats.segment_loads,
+        stats.segment_sheds,
     );
 
     // Machine-readable footprint line, last: CI uploads this.

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json perf-trajectory artifacts and emit a delta table.
+
+Usage: trajectory_delta.py CURRENT.json [PREVIOUS.json]
+
+Each artifact is JSON-lines: bench lines ({"bench": ..., "mean_ns": ...,
+"elements_per_sec": ...}), the tier_footprint line and the compaction
+line, as printed by `cargo bench -p wf-bench --bench service`.
+
+Writes a markdown table (events/s, ns/query, bytes/tier, file counts) to
+$GITHUB_STEP_SUMMARY (stdout otherwise). Soft regression gate: exits 1
+only when an ingest or reach throughput metric drops more than
+GATE_DROP_PCT (default 25%) versus the previous artifact — noise warns,
+cliffs fail. No previous artifact means nothing to gate against.
+"""
+
+import json
+import os
+import sys
+
+GATE_DROP_PCT = float(os.environ.get("GATE_DROP_PCT", "25"))
+WARN_DROP_PCT = float(os.environ.get("WARN_DROP_PCT", "5"))
+
+# Metrics whose *throughput* regression fails the job (substring match on
+# the bench id). Everything else is informational.
+GATED = ("service_tiering/ingest_freeze", "service_tiering/reach_across_tiers")
+
+
+def load(path):
+    """Parse one artifact into {key: {metric: value}} keyed by bench id."""
+    out = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            key = rec.get("bench") or rec.get("metric")
+            if key:
+                out[key] = rec
+    return out
+
+
+def fmt(value):
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:,.1f}"
+    return f"{value:,}"
+
+
+def delta_pct(prev, cur):
+    if prev in (None, 0) or cur is None:
+        return None
+    return (cur - prev) / prev * 100.0
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current = load(sys.argv[1])
+    previous = load(sys.argv[2]) if len(sys.argv) > 2 and os.path.exists(sys.argv[2]) else {}
+
+    rows = []
+    failures = []
+    warnings = []
+
+    # Bench lines: compare throughput where annotated, mean_ns otherwise.
+    for key in sorted(k for k in current if "bench" in current[k]):
+        cur, prev = current[key], previous.get(key, {})
+        for metric, higher_is_better in (("elements_per_sec", True), ("mean_ns", False)):
+            c, p = cur.get(metric), prev.get(metric)
+            if c is None:
+                continue
+            d = delta_pct(p, c)
+            rows.append((f"{key} ({metric})", p, c, d))
+            if d is None:
+                continue
+            drop = -d if higher_is_better else d
+            label = f"{key} {metric}: {d:+.1f}%"
+            if metric == "elements_per_sec" and any(g in key for g in GATED):
+                if drop > GATE_DROP_PCT:
+                    failures.append(label)
+                elif drop > WARN_DROP_PCT:
+                    warnings.append(label)
+            elif drop > WARN_DROP_PCT:
+                warnings.append(label)
+
+    # Footprint + compaction lines: bytes/tier and file counts.
+    for key, fields in (
+        ("tier_footprint", ("hot_bytes", "frozen_bytes", "persisted_bytes",
+                            "persisted_resident_bytes", "segment_files",
+                            "skl_bits", "skl_drl_bits")),
+        ("compaction", ("files_before", "files_after", "bytes_after", "runs_packed")),
+    ):
+        cur, prev = current.get(key, {}), previous.get(key, {})
+        for f in fields:
+            if f in cur:
+                rows.append((f"{key}.{f}", prev.get(f), cur.get(f), delta_pct(prev.get(f), cur.get(f))))
+
+    lines = ["## Perf trajectory", ""]
+    if not previous:
+        lines.append("_No previous artifact found — first data point, nothing to gate against._")
+        lines.append("")
+    lines.append("| metric | previous | current | Δ% |")
+    lines.append("|---|---:|---:|---:|")
+    for name, p, c, d in rows:
+        lines.append(f"| `{name}` | {fmt(p)} | {fmt(c)} | {'—' if d is None else f'{d:+.1f}%'} |")
+    lines.append("")
+    if failures:
+        lines.append(f"**GATE FAILED** (>{GATE_DROP_PCT:.0f}% throughput drop): " + "; ".join(failures))
+    elif warnings:
+        lines.append("Soft warnings: " + "; ".join(warnings))
+    else:
+        lines.append("No regressions beyond noise thresholds.")
+    report = "\n".join(lines) + "\n"
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as f:
+            f.write(report)
+    print(report)
+
+    for w in warnings:
+        print(f"::warning::perf drop (soft): {w}")
+    if failures:
+        for f in failures:
+            print(f"::error::perf cliff (>{GATE_DROP_PCT:.0f}%): {f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

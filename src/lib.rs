@@ -111,9 +111,9 @@ pub mod prelude {
     pub use wf_graph::{Graph, NameId, VertexId};
     pub use wf_run::{CanonicalParseTree, Derivation, ExecEvent, Execution, RunGenerator};
     pub use wf_service::{
-        CrossRunQuery, EngineBuilder, EngineStats, FrozenRun, RunHandle, RunId, RunOp, RunStatus,
-        ServiceError, ServiceEvent, ServiceStats, SklReport, SourceReach, SpecContext, SpecId,
-        Tier, WfEngine,
+        CompactionReport, CrossRunQuery, EngineBuilder, EngineStats, FrozenRun, RunHandle, RunId,
+        RunOp, RunStatus, ServiceError, ServiceEvent, ServiceStats, SklReport, SourceReach,
+        SpecContext, SpecId, Tier, WfEngine,
     };
     pub use wf_skeleton::{BfsSpecLabels, SpecLabeling, TclSpecLabels};
     pub use wf_skl::{SklBfs, SklLabeling};

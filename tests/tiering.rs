@@ -126,6 +126,217 @@ proptest! {
     }
 }
 
+/// An engine built over a **mixed v1/v2 spill directory** answers
+/// identically to naive replay for every run: v1 segments (PR 3's
+/// format, re-created here byte-for-byte via `encode_segment_v1`) load
+/// without an SKL report, v2 segments reload theirs — and compaction
+/// packs both formats verbatim into one file that still round-trips
+/// across another engine lifetime.
+#[test]
+fn v1_and_v2_segments_migrate_and_compact_together() {
+    let dir = TempDir::new("migrate");
+    let spec = wf_spec::corpus::bioaid_nonrecursive();
+    let mut rng = StdRng::seed_from_u64(2027);
+    let mut naive_for = Vec::new();
+
+    // Two runs, both with derivations, persisted as v2 segments.
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .ingest_workers(2)
+        .spill_dir(&dir.0)
+        .build();
+    for _ in 0..2 {
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let gen = RunGenerator::new(&spec)
+            .target_size(60)
+            .generate_run(&mut rng);
+        let exec = Execution::deterministic(&gen.graph, &gen.origin);
+        let mut naive = NaiveDynamicDag::new();
+        for ev in exec.events() {
+            engine.submit(run, ev).unwrap();
+            naive.insert(ev.vertex, &ev.preds);
+        }
+        engine
+            .provide_derivation(run, gen.derivation.clone())
+            .unwrap();
+        engine.complete_run(run).unwrap();
+        engine.persist_run(run).unwrap();
+        naive_for.push((run, exec, naive));
+    }
+    drop(engine);
+
+    // Downgrade run A's segment to format v1 and the manifest to the
+    // PR 3 layout (`run file bytes`), exactly what an old engine left.
+    let (run_a, ..) = naive_for[0];
+    let (run_b, ..) = naive_for[1];
+    let path_a = dir.0.join(snapshot::segment_file_name(run_a));
+    let frozen_a = snapshot::read_segment(&path_a).unwrap();
+    assert!(
+        frozen_a.skl_report().is_some() && frozen_a.frozen_at() > 0,
+        "v2 round-trips the freeze metadata"
+    );
+    let v1_bytes = snapshot::encode_segment_v1(&frozen_a);
+    let v1_back = snapshot::decode_segment(&v1_bytes).unwrap();
+    assert!(v1_back.skl_report().is_none(), "v1 has nowhere to keep it");
+    assert_eq!(v1_back.frozen_at(), 0);
+    std::fs::write(&path_a, &v1_bytes).unwrap();
+    let len_b = std::fs::metadata(dir.0.join(snapshot::segment_file_name(run_b)))
+        .unwrap()
+        .len();
+    std::fs::write(
+        dir.0.join(snapshot::MANIFEST_FILE),
+        format!(
+            "{}\n{} {} {}\n{} {} {}\n",
+            snapshot::MANIFEST_HEADER_V1,
+            run_a.0,
+            snapshot::segment_file_name(run_a),
+            v1_bytes.len(),
+            run_b.0,
+            snapshot::segment_file_name(run_b),
+            len_b,
+        ),
+    )
+    .unwrap();
+
+    // A reloaded engine over the mixed directory: both runs answer
+    // exactly like replay, and the v2 run's §7.4 report survived.
+    let reloaded: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .spill_dir(&dir.0)
+        .build();
+    let s = reloaded.stats();
+    assert_eq!(s.runs_persisted, 2);
+    assert_eq!(s.skl_relabeled, 1, "only the v2 header carries the report");
+    assert!(s.skl_bits_total > 0, "reloaded engine reports SKL deltas");
+    assert!(s.skl_pairs_sampled > 0);
+    for (run, exec, naive) in &naive_for {
+        let h = reloaded.handle(*run).unwrap();
+        assert_eq!(h.tier(), Tier::Persisted);
+        for a in exec.events().iter().step_by(2) {
+            for b in exec.events().iter().step_by(3) {
+                assert_eq!(
+                    h.reach(a.vertex, b.vertex),
+                    Some(naive.reaches(a.vertex, b.vertex)),
+                    "{run} {:?};{:?}",
+                    a.vertex,
+                    b.vertex
+                );
+            }
+        }
+    }
+    // Compaction packs the v1 and v2 blobs verbatim into one file…
+    let report = reloaded.compact().unwrap();
+    assert_eq!((report.files_before, report.files_after), (2, 1));
+    assert_eq!(report.runs_packed, 2);
+    drop(reloaded);
+    // …and a third engine lifetime reads both out of the pack, v2
+    // metadata intact.
+    let packed: WfEngine = WfEngine::builder().spec(spec).spill_dir(&dir.0).build();
+    assert_eq!(packed.stats().segment_files, 1);
+    assert_eq!(packed.stats().skl_relabeled, 1);
+    for (run, exec, naive) in &naive_for {
+        let h = packed.handle(*run).unwrap();
+        for a in exec.events().iter().step_by(3) {
+            for b in exec.events().iter().step_by(2) {
+                assert_eq!(
+                    h.reach(a.vertex, b.vertex),
+                    Some(naive.reaches(a.vertex, b.vertex))
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Compaction racing re-heats, evictions and queries: whatever
+    /// interleaving happens, surviving runs answer exactly per naive
+    /// replay (mid-race queries may transiently miss, but never lie),
+    /// and the manifest left behind reloads into a consistent engine.
+    #[test]
+    fn compaction_races_eviction_and_reheat(seed in 0u64..1_000) {
+        let dir = TempDir::new("race");
+        let spec = spec_for(seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+        let engine: WfEngine = WfEngine::builder()
+            .spec(spec.clone())
+            .ingest_workers(2)
+            .spill_dir(&dir.0)
+            .max_resident_bytes(4096)
+            .build();
+        let mut fleet = Vec::new();
+        for _ in 0..8 {
+            let run = engine.open_run(SpecId(0)).unwrap();
+            let gen = RunGenerator::new(&spec).target_size(36).generate_run(&mut rng);
+            let exec = Execution::deterministic(&gen.graph, &gen.origin);
+            let mut naive = NaiveDynamicDag::new();
+            for ev in exec.events() {
+                engine.submit(run, ev).unwrap();
+                naive.insert(ev.vertex, &ev.preds);
+            }
+            engine.complete_run(run).unwrap();
+            engine.persist_run(run).unwrap();
+            fleet.push((run, exec, naive));
+        }
+        let evicted = fleet[0].0;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..3 {
+                    engine.compact().unwrap();
+                }
+            });
+            s.spawn(|| {
+                for (run, ..) in &fleet[2..5] {
+                    let _ = engine.reheat_run(*run);
+                }
+            });
+            s.spawn(|| {
+                let _ = engine.evict_run(evicted);
+            });
+            s.spawn(|| {
+                // Mid-race queries must never contradict the replay.
+                for (run, exec, naive) in &fleet[1..] {
+                    let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+                    if let Ok(Some(got)) = engine.reach(*run, u, v) {
+                        assert_eq!(got, naive.reaches(u, v));
+                    }
+                }
+            });
+        });
+        // Settled state: every surviving run answers exactly.
+        for (run, exec, naive) in &fleet[1..] {
+            let h = engine.handle(*run).unwrap();
+            for a in exec.events().iter().step_by(3) {
+                for b in exec.events().iter().step_by(3) {
+                    prop_assert_eq!(
+                        h.reach(a.vertex, b.vertex),
+                        Some(naive.reaches(a.vertex, b.vertex)),
+                        "{:?} ({:?} tier)", run, h.tier()
+                    );
+                }
+            }
+        }
+        drop(engine);
+        // The manifest on disk reloads into a consistent engine: every
+        // run it lists answers per replay (the evicted run may or may
+        // not resurrect depending on which manifest write won — both
+        // are valid crash states).
+        let reloaded: WfEngine = WfEngine::builder().spec(spec).spill_dir(&dir.0).build();
+        for (run, exec, naive) in &fleet {
+            let Ok(h) = reloaded.handle(*run) else { continue };
+            for a in exec.events().iter().step_by(4) {
+                for b in exec.events().iter().step_by(3) {
+                    prop_assert_eq!(
+                        h.reach(a.vertex, b.vertex),
+                        Some(naive.reaches(a.vertex, b.vertex))
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// A truncated snapshot file is rejected cleanly (typed error, no
 /// panic), at every prefix length; a bit flip is caught by the checksum.
 #[test]
