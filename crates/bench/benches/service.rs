@@ -17,6 +17,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use std::time::Instant;
 use wf_graph::VertexId;
 use wf_run::{ExecEvent, Execution, RunGenerator};
 use wf_service::{RunOp, ServiceEvent, SpecContext, SpecId, Tier, WfEngine};
@@ -410,10 +411,142 @@ fn service_tiering(c: &mut Criterion) {
         },
     );
     group.finish();
+
+    // Latency percentiles out of the engine's own histograms — the
+    // per-operation view the mean-based bench lines cannot give. Keyed
+    // `latency/<family>` in the trajectory artifact; p99 on the reach
+    // and ingest-apply families is soft-gated by trajectory_delta.py.
+    let metrics = engine.metrics();
+    for name in metrics.histogram_names() {
+        let h = metrics.histogram(&name).expect("registered family");
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "{{\"metric\":\"latency\",\"name\":\"{name}\",\"count\":{},\
+             \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"mean_ns\":{:.1}}}",
+            h.count(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.mean(),
+        );
+    }
+    // Optional full export for the CI metrics artifact: Prometheus
+    // exposition, the JSON snapshot, and the trace ring as JSON lines.
+    if let Some(dir) = std::env::var_os("WF_OBS_DUMP_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create WF_OBS_DUMP_DIR");
+        std::fs::write(dir.join("metrics.prom"), metrics.render_prometheus())
+            .expect("write metrics.prom");
+        std::fs::write(dir.join("metrics.json"), metrics.render_json())
+            .expect("write metrics.json");
+        let trace: String = engine
+            .trace_dump()
+            .iter()
+            .map(|e| e.json() + "\n")
+            .collect();
+        std::fs::write(dir.join("trace.jsonl"), trace).expect("write trace.jsonl");
+    }
+
     drop(handles);
     drop(engine);
     let _ = std::fs::remove_dir_all(&spill);
 }
 
-criterion_group!(benches, service_ingest, service_query, service_tiering);
+/// One telemetry-overhead trial: synchronous-handle ingest of the whole
+/// fleet, then a burst of reach probes, on an engine built with
+/// telemetry on or off. Returns (ingest events/s, reach probes/s).
+fn obs_trial(
+    catalog: &[Arc<SpecContext>],
+    streams: &[Vec<ExecEvent>],
+    pairs: &[(usize, VertexId, VertexId)],
+    telemetry: bool,
+) -> (f64, f64) {
+    let mut b = WfEngine::builder()
+        .shards(32)
+        .queue_capacity(1024)
+        .telemetry(telemetry);
+    for ctx in catalog {
+        b = b.context(Arc::clone(ctx));
+    }
+    let engine = b.build();
+    let handles: Vec<_> = (0..streams.len())
+        .map(|i| {
+            let run = engine.open_run(SpecId(i % catalog.len())).expect("spec");
+            engine.handle(run).expect("registered")
+        })
+        .collect();
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let t = Instant::now();
+    for (i, stream) in streams.iter().enumerate() {
+        for ev in stream {
+            handles[i].submit(ev).expect("healthy stream");
+        }
+    }
+    let ingest_eps = total as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let hits = pairs
+        .iter()
+        .filter(|(i, u, v)| handles[*i].reach(*u, *v) == Some(true))
+        .count();
+    criterion::black_box(hits);
+    let reach_eps = pairs.len() as f64 / t.elapsed().as_secs_f64();
+    (ingest_eps, reach_eps)
+}
+
+/// The observability tax, measured head-to-head: the same workload on a
+/// telemetry-enabled engine vs a `telemetry(false)` one, interleaved
+/// best-of-5 so thermal drift hits both sides equally. Instrumentation
+/// must cost **< 5%** on both ingest and reach throughput — asserted
+/// here, reported in the JSON artifact.
+fn service_obs_overhead(_c: &mut Criterion) {
+    let catalog = catalog();
+    let streams = streams(&catalog, 512, 12_000, 45);
+    let mut rng = StdRng::seed_from_u64(17);
+    let pairs: Vec<(usize, VertexId, VertexId)> = (0..8192)
+        .map(|_| {
+            let i = rng.gen_range(0..streams.len());
+            let s = &streams[i];
+            (
+                i,
+                s[rng.gen_range(0..s.len())].vertex,
+                s[rng.gen_range(0..s.len())].vertex,
+            )
+        })
+        .collect();
+    let (mut best_on, mut best_off) = ((0.0f64, 0.0f64), (0.0f64, 0.0f64));
+    for _ in 0..5 {
+        let off = obs_trial(&catalog, &streams, &pairs, false);
+        let on = obs_trial(&catalog, &streams, &pairs, true);
+        best_off = (best_off.0.max(off.0), best_off.1.max(off.1));
+        best_on = (best_on.0.max(on.0), best_on.1.max(on.1));
+    }
+    let ingest_ratio = best_on.0 / best_off.0;
+    let reach_ratio = best_on.1 / best_off.1;
+    println!(
+        "{{\"metric\":\"obs_overhead\",\"ingest_eps_on\":{:.1},\"ingest_eps_off\":{:.1},\
+         \"reach_eps_on\":{:.1},\"reach_eps_off\":{:.1},\
+         \"ingest_ratio\":{ingest_ratio:.4},\"reach_ratio\":{reach_ratio:.4}}}",
+        best_on.0, best_off.0, best_on.1, best_off.1,
+    );
+    assert!(
+        ingest_ratio >= 0.95,
+        "telemetry costs {:.1}% ingest throughput (budget: 5%)",
+        (1.0 - ingest_ratio) * 100.0
+    );
+    assert!(
+        reach_ratio >= 0.95,
+        "telemetry costs {:.1}% reach throughput (budget: 5%)",
+        (1.0 - reach_ratio) * 100.0
+    );
+}
+
+criterion_group!(
+    benches,
+    service_ingest,
+    service_query,
+    service_tiering,
+    service_obs_overhead
+);
 criterion_main!(benches);

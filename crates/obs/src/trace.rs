@@ -1,0 +1,205 @@
+//! Bounded in-memory structured tracing.
+//!
+//! [`TraceRing`] keeps the most recent `capacity` [`TraceEvent`]s under a
+//! mutex, overwriting the oldest on overflow — recording is off every
+//! per-operation fast path (callers only trace lifecycle transitions and
+//! slow-op outliers), so a short critical section is fine there.
+
+use crate::{clock, json_escape_into};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the ring was created (engine start).
+    pub ts_ns: u64,
+    /// Event kind, e.g. `"freeze"`, `"fault_in"`, `"shed"`.
+    pub kind: &'static str,
+    /// Run the event concerns, when applicable.
+    pub run_id: Option<u64>,
+    /// Tier the event concerns, when applicable.
+    pub tier: Option<&'static str>,
+    /// Duration of the traced span; 0 for instantaneous events.
+    pub dur_ns: u64,
+    /// Free-form context (bytes moved, file counts, …).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Render as one compact JSON object.
+    pub fn json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"ts_ns\":{},\"kind\":", self.ts_ns);
+        json_escape_into(&mut out, self.kind);
+        match self.run_id {
+            Some(r) => {
+                let _ = write!(out, ",\"run\":{r}");
+            }
+            None => out.push_str(",\"run\":null"),
+        }
+        match self.tier {
+            Some(t) => {
+                out.push_str(",\"tier\":");
+                json_escape_into(&mut out, t);
+            }
+            None => out.push_str(",\"tier\":null"),
+        }
+        let _ = write!(out, ",\"dur_ns\":{},\"detail\":", self.dur_ns);
+        json_escape_into(&mut out, &self.detail);
+        out.push('}');
+        out
+    }
+}
+
+struct RingInner {
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// Bounded ring of [`TraceEvent`]s with overwrite-oldest semantics.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    start: clock::Ticks,
+    inner: Mutex<RingInner>,
+}
+
+impl std::fmt::Debug for RingInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingInner")
+            .field("len", &self.buf.len())
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            start: clock::now(),
+            inner: Mutex::new(RingInner {
+                buf: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record an event, stamping `ts_ns` from the ring's creation time.
+    /// The oldest event is dropped when the ring is full.
+    pub fn record(
+        &self,
+        kind: &'static str,
+        run_id: Option<u64>,
+        tier: Option<&'static str>,
+        dur_ns: u64,
+        detail: String,
+    ) {
+        let event = TraceEvent {
+            ts_ns: clock::elapsed_ns(self.start),
+            kind,
+            run_id,
+            tier,
+            dur_ns,
+            detail,
+        };
+        let mut inner = self.inner.lock().expect("trace ring poisoned");
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(event);
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().expect("trace ring poisoned");
+        inner.buf.iter().cloned().collect()
+    }
+
+    /// Number of events overwritten since creation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace ring poisoned").dropped
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace ring poisoned").buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_overwrites_oldest() {
+        let ring = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.record("tick", Some(i), None, i, String::new());
+        }
+        let events = ring.dump();
+        assert_eq!(events.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        // The four newest survive, oldest first.
+        let runs: Vec<u64> = events.iter().filter_map(|e| e.run_id).collect();
+        assert_eq!(runs, vec![6, 7, 8, 9]);
+        // Timestamps are monotone within the dump.
+        for pair in events.windows(2) {
+            assert!(pair[0].ts_ns <= pair[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let ring = TraceRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record("a", None, None, 0, String::new());
+        ring.record("b", None, None, 0, String::new());
+        let events = ring.dump();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "b");
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let e = TraceEvent {
+            ts_ns: 12,
+            kind: "fault_in",
+            run_id: Some(7),
+            tier: Some("persisted"),
+            dur_ns: 3400,
+            detail: "bytes=128".to_string(),
+        };
+        assert_eq!(
+            e.json(),
+            "{\"ts_ns\":12,\"kind\":\"fault_in\",\"run\":7,\"tier\":\"persisted\",\
+             \"dur_ns\":3400,\"detail\":\"bytes=128\"}"
+        );
+        let bare = TraceEvent {
+            ts_ns: 0,
+            kind: "shed",
+            run_id: None,
+            tier: None,
+            dur_ns: 0,
+            detail: String::new(),
+        };
+        assert!(bare.json().contains("\"run\":null"));
+        assert!(bare.json().contains("\"tier\":null"));
+    }
+}

@@ -15,8 +15,9 @@ use crate::index::LabelIndex;
 use crate::ingest::{BatchTracker, Envelope, IngestPool};
 use crate::query::CrossRunQuery;
 use crate::snapshot::{self, PersistedRun};
-use crate::stats::{Counters, ServiceStats};
+use crate::stats::ServiceStats;
 use crate::store::{LabelStore, RunView, SegmentLru, Tier};
+use crate::telemetry::{tier_tag, Telemetry, TelemetryConfig};
 use crate::{
     BatchOutcome, RunId, RunOp, RunStatus, ServiceError, ServiceEvent, SpecContext, SpecId,
 };
@@ -255,7 +256,8 @@ pub(crate) struct EngineShared<S: SpecLabeling + 'static> {
     /// config-freeze check compares against this, not zero.
     first_run: u64,
     pub(crate) draining: AtomicBool,
-    pub(crate) counters: Counters,
+    /// All observability state: counters, histograms, the trace ring.
+    pub(crate) obs: Arc<Telemetry>,
     pub(crate) ingest_workers: usize,
     /// Ingest watermark: envelopes handed to the pool…
     enqueued: AtomicU64,
@@ -308,15 +310,15 @@ impl<S: SpecLabeling> EngineShared<S> {
     /// direct): one place decides which counters an outcome bumps.
     pub(crate) fn record_insert_outcome(&self, res: &Result<(), ServiceError>) {
         match res {
-            Ok(()) => Counters::bump(&self.counters.events_ingested),
-            Err(ServiceError::Labeler(..)) => Counters::bump(&self.counters.runs_failed),
+            Ok(()) => self.obs.events_ingested.inc(),
+            Err(ServiceError::Labeler(..)) => self.obs.runs_failed.inc(),
             Err(_) => {}
         }
     }
 
     pub(crate) fn record_complete_outcome(&self, run: RunId, res: &Result<(), ServiceError>) {
         if res.is_ok() {
-            Counters::bump(&self.counters.runs_completed);
+            self.obs.runs_completed.inc();
             // The completion queue feeds the tiering worker; without a
             // policy nothing ever drains it, so don't grow it (and skip
             // the pointless lock + notify on every completion).
@@ -360,9 +362,11 @@ impl<S: SpecLabeling> EngineShared<S> {
             .lock()
             .expect("derivation lock poisoned")
             .take();
+        let span = self.obs.timer();
         let ctx = &self.catalog[slot.spec.0];
-        let frozen = freeze_slot(run, &slot, ctx, derivation.as_ref());
+        let frozen = freeze_slot(run, &slot, ctx, derivation.as_ref(), &self.obs);
         let report = frozen.skl_report().copied();
+        let labels = frozen.arena().len() as u64;
         if !self.store.promote_frozen(run, Arc::new(frozen)) {
             // Lost the race: either another freeze won (the run is cold
             // now — fine) or an eviction removed it (report that).
@@ -371,28 +375,28 @@ impl<S: SpecLabeling> EngineShared<S> {
                 None => Err(ServiceError::UnknownRun(run)),
             };
         }
-        Counters::bump(&self.counters.freezes);
+        self.obs.freezes.inc();
         if let Some(report) = report {
-            Counters::bump(&self.counters.skl_relabeled);
-            self.counters
-                .skl_bits_total
-                .fetch_add(report.skl_bits, Ordering::Relaxed);
-            self.counters
-                .skl_drl_bits_total
-                .fetch_add(report.drl_bits, Ordering::Relaxed);
-            self.counters
-                .skl_build_ns
-                .fetch_add(report.build_ns, Ordering::Relaxed);
-            self.counters
-                .skl_query_ns
-                .fetch_add(report.skl_query_ns, Ordering::Relaxed);
-            self.counters
-                .frozen_query_ns
-                .fetch_add(report.drl_query_ns, Ordering::Relaxed);
-            self.counters
-                .skl_pairs_sampled
-                .fetch_add(report.pairs_sampled, Ordering::Relaxed);
+            self.obs.skl_relabeled.inc();
+            self.obs.skl_bits_total.add(report.skl_bits);
+            self.obs.skl_drl_bits_total.add(report.drl_bits);
+            self.obs.skl_build_ns_total.add(report.build_ns);
+            self.obs.skl_query_ns_total.add(report.skl_query_ns);
+            self.obs.frozen_query_ns_total.add(report.drl_query_ns);
+            self.obs.skl_pairs_sampled.add(report.pairs_sampled);
         }
+        self.obs.span(
+            &self.obs.h_freeze,
+            "freeze",
+            Some(run.0),
+            Some(tier_tag(Tier::Frozen)),
+            span,
+            true,
+            || match report {
+                Some(r) => format!("labels={labels} skl_bits={}", r.skl_bits),
+                None => format!("labels={labels}"),
+            },
+        );
         Ok(())
     }
 
@@ -415,6 +419,7 @@ impl<S: SpecLabeling> EngineShared<S> {
         // One spill at a time: segment write + manifest rewrite are a
         // unit, and the manifest always lists the full persisted set.
         let _g = spill.manifest.lock().expect("manifest lock poisoned");
+        let span = self.obs.timer();
         let (path, bytes) = snapshot::write_segment(&spill.dir, &frozen)
             .map_err(|e| ServiceError::Snapshot(run, e.to_string()))?;
         let persisted = Arc::new(PersistedRun::from_frozen(
@@ -435,7 +440,16 @@ impl<S: SpecLabeling> EngineShared<S> {
         }
         snapshot::write_manifest(&spill.dir, &self.manifest_entries())
             .map_err(|e| ServiceError::Snapshot(run, e.to_string()))?;
-        Counters::bump(&self.counters.spills);
+        self.obs.spills.inc();
+        self.obs.span(
+            &self.obs.h_spill,
+            "spill",
+            Some(run.0),
+            Some(tier_tag(Tier::Persisted)),
+            span,
+            true,
+            || format!("bytes={bytes}"),
+        );
         Ok(())
     }
 
@@ -468,6 +482,7 @@ impl<S: SpecLabeling> EngineShared<S> {
             Some(_) => return Ok(()), // already resident
             None => return Err(ServiceError::UnknownRun(run)),
         };
+        let span = self.obs.timer();
         let Some(frozen) = persisted.load() else {
             return Err(ServiceError::Snapshot(
                 run,
@@ -486,7 +501,16 @@ impl<S: SpecLabeling> EngineShared<S> {
                 None => Err(ServiceError::UnknownRun(run)),
             };
         }
-        Counters::bump(&self.counters.reheats);
+        self.obs.reheats.inc();
+        self.obs.span(
+            &self.obs.h_reheat,
+            "reheat",
+            Some(run.0),
+            Some(tier_tag(Tier::Frozen)),
+            span,
+            true,
+            || format!("bytes={}", persisted.disk_bytes()),
+        );
         Ok(())
     }
 
@@ -506,6 +530,7 @@ impl<S: SpecLabeling> EngineShared<S> {
     pub(crate) fn compact_segments(&self) -> Result<CompactionReport, ServiceError> {
         let spill = self.spill.as_ref().ok_or(ServiceError::NoSpillDir)?;
         let _g = spill.manifest.lock().expect("manifest lock poisoned");
+        let span = self.obs.timer();
         let persisted = self.store.persisted_runs();
         let mut by_file: HashMap<PathBuf, Vec<Arc<PersistedRun>>> = HashMap::new();
         for p in &persisted {
@@ -643,11 +668,25 @@ impl<S: SpecLabeling> EngineShared<S> {
             }
         }
         self.sweep_orphans(spill, &entries);
-        Counters::bump(&self.counters.compactions);
+        self.obs.compactions.inc();
         report.packs_written = packed.len();
         let after: HashSet<&str> = entries.iter().map(|e| e.file.as_str()).collect();
         report.files_after = after.len();
         report.bytes_after = entries.iter().map(|e| e.bytes).sum();
+        self.obs.span(
+            &self.obs.h_compaction,
+            "compaction",
+            None,
+            Some(tier_tag(Tier::Persisted)),
+            span,
+            true,
+            || {
+                format!(
+                    "files={}->{} runs_packed={}",
+                    report.files_before, report.files_after, report.runs_packed
+                )
+            },
+        );
         Ok(report)
     }
 
@@ -695,11 +734,11 @@ impl<S: SpecLabeling> EngineShared<S> {
             return;
         }
         let stamp = self
-            .counters
+            .obs
             .spills
-            .load(Ordering::Relaxed)
-            .wrapping_add(self.counters.compactions.load(Ordering::Relaxed))
-            .wrapping_add(self.counters.reheats.load(Ordering::Relaxed));
+            .get()
+            .wrapping_add(self.obs.compactions.get())
+            .wrapping_add(self.obs.reheats.get());
         let recount = compact_th.is_some()
             && self.segment_policy_stamp.swap(stamp, Ordering::Relaxed) != stamp;
         let mut to_reheat: Vec<RunId> = Vec::new();
@@ -1015,7 +1054,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             derivation: Mutex::new(None),
         });
         self.shared.store.insert_hot(run, slot);
-        Counters::bump(&self.shared.counters.runs_opened);
+        self.shared.obs.runs_opened.inc();
         Ok(run)
     }
 
@@ -1144,7 +1183,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
         let pooled = tracker.wait();
         outcome.applied = pooled.applied;
         outcome.failures.extend(pooled.failures);
-        Counters::bump(&self.shared.counters.batches_ingested);
+        self.shared.obs.batches_ingested.inc();
         outcome
     }
 
@@ -1153,9 +1192,21 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
     /// Returns the processed watermark — always ≥ the number of events
     /// enqueued before the call.
     pub fn flush(&self) -> u64 {
-        Counters::bump(&self.shared.counters.flushes);
+        let obs = &self.shared.obs;
+        obs.flushes.inc();
+        let span = obs.timer();
         let target = self.shared.enqueued.load(Ordering::Acquire);
-        self.shared.wait_processed(target)
+        let watermark = self.shared.wait_processed(target);
+        obs.span(
+            &obs.h_flush_wait,
+            "flush_barrier",
+            None,
+            None,
+            span,
+            false,
+            || format!("watermark={watermark}"),
+        );
+        watermark
     }
 
     /// **Graceful shutdown of the ingest pool**: stop accepting events,
@@ -1350,6 +1401,17 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
     /// contribution; freezing a run moves it from the hot columns to the
     /// frozen ones.
     pub fn stats(&self) -> ServiceStats {
+        self.stats_at(true)
+    }
+
+    /// `stats()` without advancing the windowed-rate snapshot — used by
+    /// the metrics exporter so rendering never perturbs the window an
+    /// application is watching.
+    pub(crate) fn stats_peek(&self) -> ServiceStats {
+        self.stats_at(false)
+    }
+
+    fn stats_at(&self, advance_window: bool) -> ServiceStats {
         let mut labels_published = 0u64;
         let mut hot_label_bits = 0u64;
         let mut hot_resident_bytes = 0u64;
@@ -1387,19 +1449,24 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             queries_answered += p.queries.load(Ordering::Relaxed);
             segment_paths.insert(p.path().to_path_buf());
         }
-        let c = &self.shared.counters;
+        let obs = &self.shared.obs;
         let enqueued = self.shared.enqueued.load(Ordering::Acquire);
         let processed = self.shared.processed.load(Ordering::Acquire);
+        let (window_events, window) = if advance_window {
+            obs.advance_window()
+        } else {
+            obs.peek_window()
+        };
         ServiceStats {
-            runs_opened: c.runs_opened.load(Ordering::Relaxed),
+            runs_opened: obs.runs_opened.get(),
             runs_live: live,
-            runs_completed: c.runs_completed.load(Ordering::Relaxed),
-            runs_failed: c.runs_failed.load(Ordering::Relaxed),
+            runs_completed: obs.runs_completed.get(),
+            runs_failed: obs.runs_failed.get(),
             events_enqueued: enqueued,
-            events_ingested: c.events_ingested.load(Ordering::Relaxed),
+            events_ingested: obs.events_ingested.get(),
             ingest_backlog: enqueued.saturating_sub(processed),
-            batches_ingested: c.batches_ingested.load(Ordering::Relaxed),
-            flushes: c.flushes.load(Ordering::Relaxed),
+            batches_ingested: obs.batches_ingested.get(),
+            flushes: obs.flushes.get(),
             ingest_workers: self.shared.ingest_workers as u64,
             queries_answered,
             labels_published,
@@ -1409,26 +1476,97 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             runs_hot,
             runs_frozen,
             runs_persisted,
-            freezes: c.freezes.load(Ordering::Relaxed),
-            spills: c.spills.load(Ordering::Relaxed),
-            reheats: c.reheats.load(Ordering::Relaxed),
-            compactions: c.compactions.load(Ordering::Relaxed),
+            freezes: obs.freezes.get(),
+            spills: obs.spills.get(),
+            reheats: obs.reheats.get(),
+            compactions: obs.compactions.get(),
             frozen_bytes,
             frozen_label_bits,
             persisted_bytes,
             persisted_resident_bytes: self.shared.store.lru.resident_bytes(),
             segment_files: segment_paths.len() as u64,
-            segment_loads: self.shared.store.lru.loads.load(Ordering::Relaxed),
-            segment_sheds: self.shared.store.lru.sheds.load(Ordering::Relaxed),
-            skl_relabeled: c.skl_relabeled.load(Ordering::Relaxed),
-            skl_bits_total: c.skl_bits_total.load(Ordering::Relaxed),
-            skl_drl_bits_total: c.skl_drl_bits_total.load(Ordering::Relaxed),
-            skl_build_ns: c.skl_build_ns.load(Ordering::Relaxed),
-            skl_query_ns: c.skl_query_ns.load(Ordering::Relaxed),
-            frozen_query_ns: c.frozen_query_ns.load(Ordering::Relaxed),
-            skl_pairs_sampled: c.skl_pairs_sampled.load(Ordering::Relaxed),
-            uptime: c.started.elapsed(),
+            segment_loads: obs.segment_loads.get(),
+            segment_sheds: obs.segment_sheds.get(),
+            skl_relabeled: obs.skl_relabeled.get(),
+            skl_bits_total: obs.skl_bits_total.get(),
+            skl_drl_bits_total: obs.skl_drl_bits_total.get(),
+            skl_build_ns: obs.skl_build_ns_total.get(),
+            skl_query_ns: obs.skl_query_ns_total.get(),
+            frozen_query_ns: obs.frozen_query_ns_total.get(),
+            skl_pairs_sampled: obs.skl_pairs_sampled.get(),
+            window_events,
+            window,
+            uptime: obs.started.elapsed(),
         }
+    }
+
+    /// The metrics export surface: Prometheus text exposition and a JSON
+    /// snapshot, both rendered from the live registry (gauges are
+    /// refreshed from a stats snapshot at render time).
+    pub fn metrics(&self) -> EngineMetrics<'_, S> {
+        EngineMetrics { engine: self }
+    }
+
+    /// Copy of the structured trace ring, oldest event first: lifecycle
+    /// transitions (freeze, spill, shed, re-heat, compaction) plus any
+    /// span that exceeded [`EngineBuilder::slow_op_threshold`].
+    pub fn trace_dump(&self) -> Vec<wf_obs::TraceEvent> {
+        self.shared.obs.trace.dump()
+    }
+
+    /// Events overwritten out of the bounded trace ring since start.
+    pub fn trace_dropped(&self) -> u64 {
+        self.shared.obs.trace.dropped()
+    }
+}
+
+/// Borrowed export surface over the engine's metrics registry, obtained
+/// from [`WfEngine::metrics`]. Rendering refreshes the tier gauges from
+/// a fresh (non-window-advancing) stats snapshot first, so exported
+/// gauges always reflect the moment of the scrape.
+pub struct EngineMetrics<'e, S: SpecLabeling + Send + Sync + 'static = TclSpecLabels> {
+    engine: &'e WfEngine<S>,
+}
+
+impl<S: SpecLabeling + Send + Sync + 'static> EngineMetrics<'_, S> {
+    /// Walk the store once and push the point-in-time quantities into
+    /// the registry gauges, so both render paths agree with `stats()`.
+    fn refresh_gauges(&self) {
+        let stats = self.engine.stats_peek();
+        let obs = &self.engine.shared.obs;
+        obs.g_runs_hot.set(stats.runs_hot);
+        obs.g_runs_frozen.set(stats.runs_frozen);
+        obs.g_runs_persisted.set(stats.runs_persisted);
+        obs.g_ingest_backlog.set(stats.ingest_backlog);
+        obs.g_hot_bytes.set(stats.hot_bytes());
+        obs.g_persisted_resident_bytes
+            .set(stats.persisted_resident_bytes);
+        obs.g_segment_files.set(stats.segment_files);
+    }
+
+    /// Render the registry in Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` lines, cumulative histogram buckets).
+    pub fn render_prometheus(&self) -> String {
+        self.refresh_gauges();
+        self.engine.shared.obs.registry.render_prometheus()
+    }
+
+    /// Render the registry as one JSON object
+    /// (`{"counters":…,"gauges":…,"histograms":…}`).
+    pub fn render_json(&self) -> String {
+        self.refresh_gauges();
+        self.engine.shared.obs.registry.render_json()
+    }
+
+    /// Snapshot one latency histogram by registry name (e.g.
+    /// `"wf_ingest_apply_ns"`); `None` for unknown names.
+    pub fn histogram(&self, name: &str) -> Option<wf_obs::HistogramSnapshot> {
+        self.engine.shared.obs.registry.histogram_snapshot(name)
+    }
+
+    /// Registered histogram family names, in registration order.
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.engine.shared.obs.registry.histogram_names()
     }
 }
 
@@ -1447,7 +1585,17 @@ pub struct EngineBuilder<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels
     max_resident_bytes: Option<u64>,
     reheat_after: Option<u64>,
     compact_after: Option<usize>,
+    telemetry: bool,
+    slow_op_threshold: std::time::Duration,
+    trace_capacity: usize,
 }
+
+/// Default slow-op threshold: spans at or above this are promoted into
+/// the trace ring even on otherwise-untracked fast paths.
+pub const DEFAULT_SLOW_OP_THRESHOLD: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// Default bounded trace-ring capacity (events retained).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
 
 impl<S: SpecLabeling + Send + Sync + 'static> Default for EngineBuilder<S> {
     fn default() -> Self {
@@ -1473,6 +1621,9 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             max_resident_bytes: None,
             reheat_after: None,
             compact_after: None,
+            telemetry: true,
+            slow_op_threshold: DEFAULT_SLOW_OP_THRESHOLD,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -1576,12 +1727,44 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
         self
     }
 
+    /// **Telemetry toggle** (default on): when off, span timing,
+    /// histograms, and trace recording are skipped — only the plain
+    /// lifetime counters behind [`WfEngine::stats`] keep running. The
+    /// tiering bench uses this to measure instrumentation overhead.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// **Slow-op threshold** (default 25ms): any timed span — ingest
+    /// apply, flush barrier, fault-in, cross-run scan — whose duration
+    /// reaches this is promoted into the trace ring, so outliers are
+    /// visible in [`WfEngine::trace_dump`] without tracing every
+    /// operation. `Duration::ZERO` traces every timed span.
+    pub fn slow_op_threshold(mut self, threshold: std::time::Duration) -> Self {
+        self.slow_op_threshold = threshold;
+        self
+    }
+
+    /// **Trace ring capacity** (default 1024): how many structured
+    /// events [`WfEngine::trace_dump`] retains; the oldest are
+    /// overwritten first.
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = events;
+        self
+    }
+
     /// Build the engine and start its ingest worker pool (and the
     /// background tiering worker, when a tiering policy is configured).
     pub fn build(self) -> WfEngine<S> {
+        let obs = Arc::new(Telemetry::new(TelemetryConfig {
+            enabled: self.telemetry,
+            slow_op_ns: u64::try_from(self.slow_op_threshold.as_nanos()).unwrap_or(u64::MAX),
+            trace_capacity: self.trace_capacity,
+        }));
         // Reload persisted history from the spill directory's manifest:
         // header-only reads; arenas fault in lazily at first query.
-        let lru = Arc::new(SegmentLru::new(self.max_resident_bytes));
+        let lru = Arc::new(SegmentLru::new(self.max_resident_bytes, Arc::clone(&obs)));
         let mut persisted: Vec<Arc<PersistedRun>> = Vec::new();
         if let Some(dir) = &self.spill_dir {
             let entries = snapshot::load_manifest(dir).unwrap_or_default();
@@ -1601,31 +1784,18 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             reheat_after: self.reheat_after,
             compact_after: self.compact_after,
         };
-        let counters = Counters::new();
         // Replay the §7.4 aggregates out of the v2 headers so a reloaded
         // engine reports the same DRL-vs-SKL deltas its predecessor
         // measured at freeze time (v1 segments contribute nothing).
         for p in &persisted {
             if let Some(r) = p.skl_report() {
-                Counters::bump(&counters.skl_relabeled);
-                counters
-                    .skl_bits_total
-                    .fetch_add(r.skl_bits, Ordering::Relaxed);
-                counters
-                    .skl_drl_bits_total
-                    .fetch_add(r.drl_bits, Ordering::Relaxed);
-                counters
-                    .skl_build_ns
-                    .fetch_add(r.build_ns, Ordering::Relaxed);
-                counters
-                    .skl_query_ns
-                    .fetch_add(r.skl_query_ns, Ordering::Relaxed);
-                counters
-                    .frozen_query_ns
-                    .fetch_add(r.drl_query_ns, Ordering::Relaxed);
-                counters
-                    .skl_pairs_sampled
-                    .fetch_add(r.pairs_sampled, Ordering::Relaxed);
+                obs.skl_relabeled.inc();
+                obs.skl_bits_total.add(r.skl_bits);
+                obs.skl_drl_bits_total.add(r.drl_bits);
+                obs.skl_build_ns_total.add(r.build_ns);
+                obs.skl_query_ns_total.add(r.skl_query_ns);
+                obs.frozen_query_ns_total.add(r.drl_query_ns);
+                obs.skl_pairs_sampled.add(r.pairs_sampled);
             }
         }
         let shared = Arc::new(EngineShared {
@@ -1634,7 +1804,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             max_vertex_id: Mutex::new(self.max_vertex_id),
             next_run: AtomicU64::new(first_run),
             first_run,
-            counters,
+            obs,
             ingest_workers: self.ingest_workers,
             enqueued: AtomicU64::new(0),
             processed: AtomicU64::new(0),

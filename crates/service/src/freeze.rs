@@ -19,6 +19,7 @@
 //! be assigned on-the-fly and static labels that need the whole run.
 
 use crate::engine::RunSlot;
+use crate::telemetry::Telemetry;
 use crate::{RunId, SpecContext, SpecId};
 use std::hint::black_box;
 use std::sync::atomic::AtomicU64;
@@ -139,14 +140,32 @@ pub(crate) fn freeze_slot<S: SpecLabeling>(
     slot: &RunSlot<S>,
     ctx: &SpecContext<S>,
     derivation: Option<&Derivation>,
+    obs: &Telemetry,
 ) -> FrozenRun {
     let skl_bits = slot.skl_bits;
+    let encode = obs.timer();
     let arena = LabelArena::build(
         skl_bits,
         slot.indexed.iter().map(|(v, p)| (v, p.name, &p.label)),
     );
+    // Encode is a sub-span of the freeze span the engine opens; no trace
+    // event of its own unless it alone crosses the slow-op threshold.
+    obs.span(
+        &obs.h_freeze_encode,
+        "freeze_encode",
+        Some(run.0),
+        Some("frozen"),
+        encode,
+        false,
+        String::new,
+    );
     let drl_bits = slot.indexed.total_bits();
     let skl = derivation.and_then(|d| skl_report(ctx, d, &arena, drl_bits));
+    if obs.enabled {
+        if let Some(report) = &skl {
+            obs.h_skl_build.record(report.build_ns);
+        }
+    }
     FrozenRun {
         run,
         spec: slot.spec,

@@ -91,8 +91,29 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
     /// vertices' events have been applied. Hot handles stay
     /// allocation-free; colder tiers decode the two labels first.
     pub fn reach(&self, u: VertexId, v: VertexId) -> Option<bool> {
-        self.view
-            .reach(&DrlPredicate::new(&self.ctx.skeleton), u, v)
+        let obs = &self.shared.obs;
+        if obs.reach_sampled() {
+            // Sampled probe: time it and feed the latency histogram. The
+            // unsampled path (63 of 64) costs one branch and a
+            // thread-local increment.
+            let span = obs.timer();
+            let answer = self
+                .view
+                .reach(&DrlPredicate::new(&self.ctx.skeleton), u, v);
+            obs.span(
+                &obs.h_reach,
+                "reach",
+                Some(self.run.0),
+                Some(crate::telemetry::tier_tag(self.view.tier())),
+                span,
+                false,
+                String::new,
+            );
+            answer
+        } else {
+            self.view
+                .reach(&DrlPredicate::new(&self.ctx.skeleton), u, v)
+        }
     }
 
     /// Apply one insertion event **synchronously**, bypassing the worker
@@ -111,7 +132,23 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
         let RunView::Hot(slot) = &self.view else {
             return Err(ServiceError::RunNotLive(self.run, self.view.status()));
         };
-        let res = slot.apply_insert(self.run, ev);
+        let obs = &self.shared.obs;
+        let res = if obs.apply_sampled() {
+            let span = obs.timer();
+            let res = slot.apply_insert(self.run, ev);
+            obs.span(
+                &obs.h_ingest_apply,
+                "ingest_apply",
+                Some(self.run.0),
+                Some("hot"),
+                span,
+                false,
+                String::new,
+            );
+            res
+        } else {
+            slot.apply_insert(self.run, ev)
+        };
         self.shared.record_insert_outcome(&res);
         res
     }

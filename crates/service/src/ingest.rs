@@ -280,7 +280,23 @@ fn process<S: SpecLabeling + Send + Sync>(shared: &EngineShared<S>, env: Envelop
     }
     settle.outcome = Some(match &op {
         RunOp::Insert(ev) => {
-            let res = slot.apply_insert(run, ev);
+            let obs = &shared.obs;
+            let res = if obs.apply_sampled() {
+                let span = obs.timer();
+                let res = slot.apply_insert(run, ev);
+                obs.span(
+                    &obs.h_ingest_apply,
+                    "ingest_apply",
+                    Some(run.0),
+                    Some("hot"),
+                    span,
+                    false,
+                    String::new,
+                );
+                res
+            } else {
+                slot.apply_insert(run, ev)
+            };
             shared.record_insert_outcome(&res);
             res.map(|()| true)
         }

@@ -93,8 +93,12 @@ mod query;
 pub mod snapshot;
 mod stats;
 mod store;
+mod telemetry;
 
-pub use engine::{CompactionReport, EngineBuilder, WfEngine, DEFAULT_MAX_VERTEX_ID};
+pub use engine::{
+    CompactionReport, EngineBuilder, EngineMetrics, WfEngine, DEFAULT_MAX_VERTEX_ID,
+    DEFAULT_SLOW_OP_THRESHOLD, DEFAULT_TRACE_CAPACITY,
+};
 pub use freeze::{FrozenRun, SklReport};
 pub use handle::RunHandle;
 pub use index::PublishedLabel;
@@ -102,6 +106,7 @@ pub use query::{CrossRunQuery, SourceReach};
 pub use snapshot::SnapshotError;
 pub use stats::{EngineStats, ServiceStats};
 pub use store::Tier;
+pub use wf_obs::{HistogramSnapshot, TraceEvent};
 
 use std::fmt;
 use wf_drl::{ExecError, ResolutionMode};

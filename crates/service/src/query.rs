@@ -140,21 +140,42 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
         self.views().into_iter().map(|(run, _)| run).collect()
     }
 
+    /// Time one whole fleet scan into the cross-run histogram (slow
+    /// scans — e.g. ones that faulted cold segments in — are promoted
+    /// into the trace ring).
+    fn timed_scan<T>(&self, f: impl FnOnce() -> T) -> T {
+        let obs = &self.shared.obs;
+        let span = obs.timer();
+        let out = f();
+        obs.span(
+            &obs.h_cross_run_scan,
+            "cross_run_scan",
+            None,
+            None,
+            span,
+            false,
+            String::new,
+        );
+        out
+    }
+
     /// Every published vertex named `name`, per in-scope run (runs with
     /// no match are omitted).
     pub fn vertices_named(&self, name: NameId) -> Vec<(RunId, Vec<VertexId>)> {
-        self.views()
-            .into_iter()
-            .filter_map(|(run, view)| {
-                let mut vs: Vec<VertexId> = Vec::new();
-                view.for_each_label(|v, n, _| {
-                    if n == name {
-                        vs.push(v);
-                    }
-                });
-                (!vs.is_empty()).then_some((run, vs))
-            })
-            .collect()
+        self.timed_scan(|| {
+            self.views()
+                .into_iter()
+                .filter_map(|(run, view)| {
+                    let mut vs: Vec<VertexId> = Vec::new();
+                    view.for_each_label(|v, n, _| {
+                        if n == name {
+                            vs.push(v);
+                        }
+                    });
+                    (!vs.is_empty()).then_some((run, vs))
+                })
+                .collect()
+        })
     }
 
     /// For each in-scope run whose source can reach at least one vertex
@@ -162,29 +183,31 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
     /// constant-time predicate decides each pair, so a run costs
     /// O(published) label visits plus O(matches) predicate calls.
     pub fn reaching_named_from_source(&self, name: NameId) -> Vec<SourceReach> {
-        self.views()
-            .into_iter()
-            .filter_map(|(run, view)| {
-                let source = view.source()?;
-                let src_label = view.label(source)?;
-                let ctx = &self.shared.catalog[view.spec().0];
-                let predicate = DrlPredicate::new(&ctx.skeleton);
-                let mut witnesses: Vec<VertexId> = Vec::new();
-                view.for_each_label(|v, n, label| {
-                    if n == name {
-                        view.note_query();
-                        if predicate.reaches(&src_label, label) {
-                            witnesses.push(v);
+        self.timed_scan(|| {
+            self.views()
+                .into_iter()
+                .filter_map(|(run, view)| {
+                    let source = view.source()?;
+                    let src_label = view.label(source)?;
+                    let ctx = &self.shared.catalog[view.spec().0];
+                    let predicate = DrlPredicate::new(&ctx.skeleton);
+                    let mut witnesses: Vec<VertexId> = Vec::new();
+                    view.for_each_label(|v, n, label| {
+                        if n == name {
+                            view.note_query();
+                            if predicate.reaches(&src_label, label) {
+                                witnesses.push(v);
+                            }
                         }
-                    }
-                });
-                (!witnesses.is_empty()).then_some(SourceReach {
-                    run,
-                    source,
-                    witnesses,
+                    });
+                    (!witnesses.is_empty()).then_some(SourceReach {
+                        run,
+                        source,
+                        witnesses,
+                    })
                 })
-            })
-            .collect()
+                .collect()
+        })
     }
 
     /// The flagship fleet question, e.g. *"which completed runs of spec
@@ -202,32 +225,34 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
     /// `to` — a name-level lineage join within each in-scope run. Costs
     /// O(|from| · |to|) constant-time predicate calls per run.
     pub fn runs_linking(&self, from: NameId, to: NameId) -> Vec<RunId> {
-        self.views()
-            .into_iter()
-            .filter_map(|(run, view)| {
-                let ctx = &self.shared.catalog[view.spec().0];
-                let predicate = DrlPredicate::new(&ctx.skeleton);
-                let mut froms: Vec<(VertexId, DrlLabel)> = Vec::new();
-                let mut tos: Vec<(VertexId, DrlLabel)> = Vec::new();
-                view.for_each_label(|v, n, label| {
-                    if n == from {
-                        froms.push((v, label.clone()));
-                    }
-                    if n == to {
-                        tos.push((v, label.clone()));
-                    }
-                });
-                let hit = froms.iter().any(|(u, pu)| {
-                    tos.iter().any(|(v, pv)| {
-                        if u == v {
-                            return false;
+        self.timed_scan(|| {
+            self.views()
+                .into_iter()
+                .filter_map(|(run, view)| {
+                    let ctx = &self.shared.catalog[view.spec().0];
+                    let predicate = DrlPredicate::new(&ctx.skeleton);
+                    let mut froms: Vec<(VertexId, DrlLabel)> = Vec::new();
+                    let mut tos: Vec<(VertexId, DrlLabel)> = Vec::new();
+                    view.for_each_label(|v, n, label| {
+                        if n == from {
+                            froms.push((v, label.clone()));
                         }
-                        view.note_query();
-                        predicate.reaches(pu, pv)
-                    })
-                });
-                hit.then_some(run)
-            })
-            .collect()
+                        if n == to {
+                            tos.push((v, label.clone()));
+                        }
+                    });
+                    let hit = froms.iter().any(|(u, pu)| {
+                        tos.iter().any(|(v, pv)| {
+                            if u == v {
+                                return false;
+                            }
+                            view.note_query();
+                            predicate.reaches(pu, pv)
+                        })
+                    });
+                    hit.then_some(run)
+                })
+                .collect()
+        })
     }
 }

@@ -738,8 +738,22 @@ impl PersistedRun {
                 LoadState::Failed => return None,
                 LoadState::Unloaded => {}
             }
+            // This branch is the actual disk fault — the only load()
+            // caller that pays for I/O — so it alone feeds the fault-in
+            // histogram (slow faults are promoted into the trace ring).
+            let obs = &self.lru.obs;
+            let span = obs.timer();
             match read_segment_range(&self.path, self.offset, self.disk_bytes) {
                 Ok(f) => {
+                    obs.span(
+                        &obs.h_fault_in,
+                        "fault_in",
+                        Some(self.run.0),
+                        Some("persisted"),
+                        span,
+                        false,
+                        || format!("bytes={}", self.disk_bytes),
+                    );
                     let f = Arc::new(f);
                     *g = LoadState::Loaded(Arc::clone(&f));
                     Some(f)

@@ -1,74 +1,15 @@
-//! Engine-level counters and their point-in-time snapshot, including
-//! the per-tier byte footprints of the label store.
+//! Point-in-time snapshot of engine activity, including the per-tier
+//! byte footprints of the label store.
+//!
+//! The atomic counters behind this snapshot live in the engine's
+//! [`crate::telemetry::Telemetry`] registry (`wf_*_total` families), so
+//! the same numbers flow to `stats()`, `render_prometheus()`, and
+//! `render_json()` without double bookkeeping. `ServiceStats` is the
+//! compatibility view: a flat `Copy` struct, stable across telemetry
+//! being enabled or disabled.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
-
-/// Internal atomic counters, updated with relaxed ordering (stats are
-/// monitoring data, not synchronization).
-#[derive(Debug)]
-pub(crate) struct Counters {
-    pub started: Instant,
-    pub runs_opened: AtomicU64,
-    pub runs_completed: AtomicU64,
-    pub runs_failed: AtomicU64,
-    pub events_ingested: AtomicU64,
-    pub batches_ingested: AtomicU64,
-    pub flushes: AtomicU64,
-    /// Freeze operations (hot → frozen transitions), cumulative.
-    pub freezes: AtomicU64,
-    /// Spill operations (frozen → persisted transitions), cumulative.
-    pub spills: AtomicU64,
-    /// Re-heat operations (persisted → frozen promotions), cumulative.
-    pub reheats: AtomicU64,
-    /// Compaction passes that wrote at least one pack, cumulative.
-    pub compactions: AtomicU64,
-    /// Frozen runs that were re-labeled with the static SKL baseline.
-    pub skl_relabeled: AtomicU64,
-    /// Total SKL label bits across re-labeled runs.
-    pub skl_bits_total: AtomicU64,
-    /// Total DRL label bits across the *same* re-labeled runs (the
-    /// apples-to-apples denominator for the bits-per-label comparison).
-    pub skl_drl_bits_total: AtomicU64,
-    /// Wall-clock spent building SKL labelings at freeze time.
-    pub skl_build_ns: AtomicU64,
-    /// Wall-clock for the sampled query pairs through SKL labels.
-    pub skl_query_ns: AtomicU64,
-    /// Wall-clock for the same pairs through frozen (decode + predicate)
-    /// DRL labels.
-    pub frozen_query_ns: AtomicU64,
-    /// Number of `(u, v)` pairs sampled for the latency comparison.
-    pub skl_pairs_sampled: AtomicU64,
-}
-
-impl Counters {
-    pub fn new() -> Self {
-        Self {
-            started: Instant::now(),
-            runs_opened: AtomicU64::new(0),
-            runs_completed: AtomicU64::new(0),
-            runs_failed: AtomicU64::new(0),
-            events_ingested: AtomicU64::new(0),
-            batches_ingested: AtomicU64::new(0),
-            flushes: AtomicU64::new(0),
-            freezes: AtomicU64::new(0),
-            spills: AtomicU64::new(0),
-            reheats: AtomicU64::new(0),
-            compactions: AtomicU64::new(0),
-            skl_relabeled: AtomicU64::new(0),
-            skl_bits_total: AtomicU64::new(0),
-            skl_drl_bits_total: AtomicU64::new(0),
-            skl_build_ns: AtomicU64::new(0),
-            skl_query_ns: AtomicU64::new(0),
-            frozen_query_ns: AtomicU64::new(0),
-            skl_pairs_sampled: AtomicU64::new(0),
-        }
-    }
-
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-}
+use serde::Serialize;
+use std::time::Duration;
 
 /// A point-in-time snapshot of engine activity across all three label
 /// tiers. Also exported as [`EngineStats`].
@@ -164,6 +105,11 @@ pub struct ServiceStats {
     pub frozen_query_ns: u64,
     /// Pairs sampled for the latency comparison.
     pub skl_pairs_sampled: u64,
+    /// Events applied since the previous `stats()` snapshot (since
+    /// engine start for the first snapshot).
+    pub window_events: u64,
+    /// Wall-clock covered by [`Self::window_events`].
+    pub window: Duration,
     /// Wall-clock since the engine started.
     pub uptime: Duration,
 }
@@ -171,12 +117,56 @@ pub struct ServiceStats {
 /// The engine-level name for [`ServiceStats`].
 pub type EngineStats = ServiceStats;
 
+/// The `tier_footprint` JSON line, serialized through the serde shim so
+/// the field list cannot drift from what is actually emitted.
+#[derive(Serialize)]
+struct TierFootprint {
+    metric: &'static str,
+    runs_hot: u64,
+    runs_frozen: u64,
+    runs_persisted: u64,
+    hot_bytes: u64,
+    hot_resident_bytes: u64,
+    frozen_bytes: u64,
+    persisted_bytes: u64,
+    persisted_resident_bytes: u64,
+    segment_files: u64,
+    segment_loads: u64,
+    segment_sheds: u64,
+    hot_label_bits: u64,
+    frozen_label_bits: u64,
+    freezes: u64,
+    spills: u64,
+    reheats: u64,
+    compactions: u64,
+    skl_relabeled: u64,
+    skl_bits: u64,
+    skl_drl_bits: u64,
+    skl_build_ns: u64,
+    skl_query_ns: u64,
+    frozen_query_ns: u64,
+    skl_pairs: u64,
+}
+
 impl ServiceStats {
-    /// Average ingest throughput since start, in events per second.
+    /// Average ingest throughput since the engine started, in events
+    /// per second. Misleading after idle periods — prefer
+    /// [`Self::events_per_sec_windowed`] for "what is happening now".
     pub fn events_per_sec(&self) -> f64 {
         let secs = self.uptime.as_secs_f64();
         if secs > 0.0 {
             self.events_ingested as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Ingest throughput over the window since the previous `stats()`
+    /// snapshot, in events per second. 0.0 when the window is empty.
+    pub fn events_per_sec_windowed(&self) -> f64 {
+        let secs = self.window.as_secs_f64();
+        if secs > 0.0 {
+            self.window_events as f64 / secs
         } else {
             0.0
         }
@@ -208,45 +198,34 @@ impl ServiceStats {
     /// One JSON line with the per-tier run counts and byte footprints —
     /// what CI uploads next to the bench artifact.
     pub fn tier_footprint_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"metric\":\"tier_footprint\",",
-                "\"runs_hot\":{},\"runs_frozen\":{},\"runs_persisted\":{},",
-                "\"hot_bytes\":{},\"hot_resident_bytes\":{},",
-                "\"frozen_bytes\":{},\"persisted_bytes\":{},",
-                "\"persisted_resident_bytes\":{},\"segment_files\":{},",
-                "\"segment_loads\":{},\"segment_sheds\":{},",
-                "\"hot_label_bits\":{},\"frozen_label_bits\":{},",
-                "\"freezes\":{},\"spills\":{},\"reheats\":{},\"compactions\":{},",
-                "\"skl_relabeled\":{},\"skl_bits\":{},\"skl_drl_bits\":{},",
-                "\"skl_build_ns\":{},\"skl_query_ns\":{},\"frozen_query_ns\":{},",
-                "\"skl_pairs\":{}}}"
-            ),
-            self.runs_hot,
-            self.runs_frozen,
-            self.runs_persisted,
-            self.hot_bytes(),
-            self.hot_resident_bytes,
-            self.frozen_bytes,
-            self.persisted_bytes,
-            self.persisted_resident_bytes,
-            self.segment_files,
-            self.segment_loads,
-            self.segment_sheds,
-            self.label_bits_total,
-            self.frozen_label_bits,
-            self.freezes,
-            self.spills,
-            self.reheats,
-            self.compactions,
-            self.skl_relabeled,
-            self.skl_bits_total,
-            self.skl_drl_bits_total,
-            self.skl_build_ns,
-            self.skl_query_ns,
-            self.frozen_query_ns,
-            self.skl_pairs_sampled,
-        )
+        let line = TierFootprint {
+            metric: "tier_footprint",
+            runs_hot: self.runs_hot,
+            runs_frozen: self.runs_frozen,
+            runs_persisted: self.runs_persisted,
+            hot_bytes: self.hot_bytes(),
+            hot_resident_bytes: self.hot_resident_bytes,
+            frozen_bytes: self.frozen_bytes,
+            persisted_bytes: self.persisted_bytes,
+            persisted_resident_bytes: self.persisted_resident_bytes,
+            segment_files: self.segment_files,
+            segment_loads: self.segment_loads,
+            segment_sheds: self.segment_sheds,
+            hot_label_bits: self.label_bits_total,
+            frozen_label_bits: self.frozen_label_bits,
+            freezes: self.freezes,
+            spills: self.spills,
+            reheats: self.reheats,
+            compactions: self.compactions,
+            skl_relabeled: self.skl_relabeled,
+            skl_bits: self.skl_bits_total,
+            skl_drl_bits: self.skl_drl_bits_total,
+            skl_build_ns: self.skl_build_ns,
+            skl_query_ns: self.skl_query_ns,
+            frozen_query_ns: self.frozen_query_ns,
+            skl_pairs: self.skl_pairs_sampled,
+        };
+        serde_json::to_string(&line).expect("footprint serialization is infallible")
     }
 }
 
@@ -256,7 +235,8 @@ impl std::fmt::Display for ServiceStats {
             f,
             "runs: {} live / {} completed / {} failed (of {} opened); \
              tiers: {} hot ({} B) / {} frozen ({} B) / {} persisted ({} B); \
-             events: {} applied ({:.0}/s; pool: {} enqueued, backlog {}); \
+             events: {} applied ({:.0}/s lifetime, {:.0}/s windowed; \
+             pool: {} enqueued, backlog {}); \
              workers: {}; queries: {}; labels: {} ({:.1} bits avg)",
             self.runs_live,
             self.runs_completed,
@@ -270,6 +250,7 @@ impl std::fmt::Display for ServiceStats {
             self.persisted_bytes,
             self.events_ingested,
             self.events_per_sec(),
+            self.events_per_sec_windowed(),
             self.events_enqueued,
             self.ingest_backlog,
             self.ingest_workers,

@@ -20,7 +20,7 @@
 use crate::engine::{route_hash, RunSlot};
 use crate::freeze::FrozenRun;
 use crate::snapshot::PersistedRun;
-use crate::stats::Counters;
+use crate::telemetry::{bump, Telemetry};
 use crate::{RunId, RunStatus, SpecId};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,21 +46,19 @@ pub(crate) struct SegmentLru {
     clock: AtomicU64,
     resident: Mutex<HashMap<u64, Arc<PersistedRun>>>,
     resident_bytes: AtomicU64,
-    /// Cumulative segment fault-ins (cold or post-shed loads).
-    pub(crate) loads: AtomicU64,
-    /// Cumulative arenas shed by the budget.
-    pub(crate) sheds: AtomicU64,
+    /// Engine telemetry: fault-in/shed counters, the fault-in latency
+    /// histogram, and the trace ring shed events feed into.
+    pub(crate) obs: Arc<Telemetry>,
 }
 
 impl SegmentLru {
-    pub(crate) fn new(max_resident: Option<u64>) -> Self {
+    pub(crate) fn new(max_resident: Option<u64>, obs: Arc<Telemetry>) -> Self {
         Self {
             max_resident,
             clock: AtomicU64::new(0),
             resident: Mutex::new(HashMap::new()),
             resident_bytes: AtomicU64::new(0),
-            loads: AtomicU64::new(0),
-            sheds: AtomicU64::new(0),
+            obs,
         }
     }
 
@@ -88,7 +86,7 @@ impl SegmentLru {
     /// pinned (the admit/forget race), and a displaced same-id entry's
     /// bytes come off the books.
     pub(crate) fn admit(&self, run: Arc<PersistedRun>) {
-        self.loads.fetch_add(1, Ordering::Relaxed);
+        self.obs.segment_loads.inc();
         let id = run.run().0;
         {
             let mut map = self.resident.lock().expect("lru map poisoned");
@@ -152,7 +150,11 @@ impl SegmentLru {
             if let Some(freed) = victim.shed() {
                 map.remove(&victim.run().0);
                 self.sub_bytes(freed);
-                self.sheds.fetch_add(1, Ordering::Relaxed);
+                self.obs.segment_sheds.inc();
+                self.obs
+                    .event("shed", Some(victim.run().0), Some("persisted"), || {
+                        format!("bytes={freed}")
+                    });
             }
         }
     }
@@ -326,9 +328,9 @@ impl<S: SpecLabeling> RunView<S> {
     /// hot path never contends on an engine-wide cache line).
     pub(crate) fn note_query(&self) {
         match self {
-            RunView::Hot(s) => Counters::bump(&s.queries),
-            RunView::Frozen(f) => Counters::bump(&f.queries),
-            RunView::Persisted(p) => Counters::bump(&p.queries),
+            RunView::Hot(s) => bump(&s.queries),
+            RunView::Frozen(f) => bump(&f.queries),
+            RunView::Persisted(p) => bump(&p.queries),
         }
     }
 }

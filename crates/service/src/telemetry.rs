@@ -1,0 +1,302 @@
+//! Engine-wide telemetry: registry-backed counters, latency histograms,
+//! and the structured trace ring, shared by every subsystem through
+//! `EngineShared::obs`.
+//!
+//! Two cost tiers, so instrumentation stays off the critical path:
+//!
+//! - **Counters always run.** They are single relaxed atomic adds —
+//!   exactly what the old `Counters` struct cost — and `ServiceStats`
+//!   depends on them, so `EngineBuilder::telemetry(false)` does not turn
+//!   them off.
+//! - **Timers, histograms, and traces are gated** on the `enabled` flag.
+//!   Span timing uses the cycle counter ([`wf_obs::clock`]), histograms
+//!   are three relaxed atomics, and trace events are recorded only for
+//!   lifecycle transitions (freeze/spill/shed/re-heat/compaction) or
+//!   when a span exceeds the slow-op threshold. The two sub-µs hot
+//!   paths — the ~40ns reachability probe and the few-hundred-ns ingest
+//!   apply — are additionally *sampled* (1 in 64) because even two
+//!   cycle counter reads would be a measurable tax on them.
+
+use crate::store::Tier;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::Instant;
+use wf_obs::{clock, Counter, Gauge, Histogram, MetricsRegistry, TraceRing};
+
+/// Sample 1 operation in 64 for latency recording on the two sub-µs
+/// hot paths (reach probes and ingest applies).
+const SAMPLE_MASK: u32 = 63;
+
+thread_local! {
+    static REACH_SAMPLE: Cell<u32> = const { Cell::new(0) };
+    static APPLY_SAMPLE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Static label for a tier, for trace events and metric labels.
+pub(crate) fn tier_tag(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Hot => "hot",
+        Tier::Frozen => "frozen",
+        Tier::Persisted => "persisted",
+    }
+}
+
+/// Construction-time knobs, filled in by `EngineBuilder`.
+pub(crate) struct TelemetryConfig {
+    pub enabled: bool,
+    pub slow_op_ns: u64,
+    pub trace_capacity: usize,
+}
+
+/// All engine observability state: lifetime counters (the former
+/// `Counters` struct, now registry-backed), latency histograms, gauges
+/// refreshed at export time, and the trace ring.
+pub(crate) struct Telemetry {
+    pub enabled: bool,
+    pub slow_op_ns: u64,
+    pub started: Instant,
+    pub registry: MetricsRegistry,
+    pub trace: TraceRing,
+    /// `(instant, events_ingested)` at the previous `stats()` snapshot,
+    /// for the windowed ingest rate.
+    pub window: Mutex<(Instant, u64)>,
+
+    // Lifetime counters (always recorded; ServiceStats reads them).
+    pub runs_opened: Counter,
+    pub runs_completed: Counter,
+    pub runs_failed: Counter,
+    pub events_ingested: Counter,
+    pub batches_ingested: Counter,
+    pub flushes: Counter,
+    pub freezes: Counter,
+    pub spills: Counter,
+    pub reheats: Counter,
+    pub compactions: Counter,
+    pub segment_loads: Counter,
+    pub segment_sheds: Counter,
+    pub skl_relabeled: Counter,
+    pub skl_bits_total: Counter,
+    pub skl_drl_bits_total: Counter,
+    pub skl_build_ns_total: Counter,
+    pub skl_query_ns_total: Counter,
+    pub frozen_query_ns_total: Counter,
+    pub skl_pairs_sampled: Counter,
+
+    // Gauges, refreshed from a stats snapshot at export time.
+    pub g_runs_hot: Gauge,
+    pub g_runs_frozen: Gauge,
+    pub g_runs_persisted: Gauge,
+    pub g_ingest_backlog: Gauge,
+    pub g_hot_bytes: Gauge,
+    pub g_persisted_resident_bytes: Gauge,
+    pub g_segment_files: Gauge,
+
+    // Latency histograms (recorded only when `enabled`).
+    pub h_ingest_apply: Arc<Histogram>,
+    pub h_flush_wait: Arc<Histogram>,
+    pub h_freeze: Arc<Histogram>,
+    pub h_freeze_encode: Arc<Histogram>,
+    pub h_skl_build: Arc<Histogram>,
+    pub h_spill: Arc<Histogram>,
+    pub h_fault_in: Arc<Histogram>,
+    pub h_reheat: Arc<Histogram>,
+    pub h_compaction: Arc<Histogram>,
+    pub h_reach: Arc<Histogram>,
+    pub h_cross_run_scan: Arc<Histogram>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled)
+            .field("slow_op_ns", &self.slow_op_ns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    pub fn new(config: TelemetryConfig) -> Self {
+        let registry = MetricsRegistry::new();
+        let counter = |name: &str, help: &str| registry.counter(name, help);
+        let gauge = |name: &str, help: &str| registry.gauge(name, help);
+        let hist = |name: &str, help: &str| registry.histogram(name, help);
+        Self {
+            enabled: config.enabled,
+            slow_op_ns: config.slow_op_ns,
+            started: Instant::now(),
+            trace: TraceRing::new(config.trace_capacity),
+            window: Mutex::new((Instant::now(), 0)),
+
+            runs_opened: counter("wf_runs_opened_total", "runs opened"),
+            runs_completed: counter("wf_runs_completed_total", "runs completed"),
+            runs_failed: counter("wf_runs_failed_total", "run operations rejected"),
+            events_ingested: counter("wf_events_ingested_total", "events applied to hot runs"),
+            batches_ingested: counter("wf_batches_ingested_total", "ingest batches submitted"),
+            flushes: counter("wf_flushes_total", "flush barriers completed"),
+            freezes: counter("wf_freezes_total", "hot runs frozen"),
+            spills: counter("wf_spills_total", "frozen runs spilled to disk"),
+            reheats: counter("wf_reheats_total", "persisted runs re-heated to frozen"),
+            compactions: counter("wf_compactions_total", "segment compaction passes"),
+            segment_loads: counter("wf_segment_loads_total", "persisted segment fault-ins"),
+            segment_sheds: counter(
+                "wf_segment_sheds_total",
+                "resident segments shed by the LRU",
+            ),
+            skl_relabeled: counter("wf_skl_relabeled_total", "frozen runs relabeled with SKL"),
+            skl_bits_total: counter("wf_skl_bits_total", "total SKL label bits"),
+            skl_drl_bits_total: counter("wf_skl_drl_bits_total", "DRL bits of SKL-relabeled runs"),
+            skl_build_ns_total: counter("wf_skl_build_ns_total", "cumulative SKL build time"),
+            skl_query_ns_total: counter(
+                "wf_skl_query_ns_total",
+                "cumulative sampled SKL query time",
+            ),
+            frozen_query_ns_total: counter(
+                "wf_frozen_query_ns_total",
+                "cumulative sampled frozen-arena query time",
+            ),
+            skl_pairs_sampled: counter(
+                "wf_skl_pairs_sampled_total",
+                "vertex pairs sampled per SKL build",
+            ),
+
+            g_runs_hot: gauge("wf_runs_hot", "runs in the hot tier"),
+            g_runs_frozen: gauge("wf_runs_frozen", "runs in the frozen tier"),
+            g_runs_persisted: gauge("wf_runs_persisted", "runs in the persisted tier"),
+            g_ingest_backlog: gauge("wf_ingest_backlog", "enqueued-but-unapplied envelopes"),
+            g_hot_bytes: gauge("wf_hot_bytes", "estimated hot-tier label bytes"),
+            g_persisted_resident_bytes: gauge(
+                "wf_persisted_resident_bytes",
+                "persisted-tier bytes faulted in and resident",
+            ),
+            g_segment_files: gauge("wf_segment_files", "segment files on disk"),
+
+            h_ingest_apply: hist("wf_ingest_apply_ns", "one event applied to a hot run"),
+            h_flush_wait: hist("wf_flush_wait_ns", "flush barrier wait"),
+            h_freeze: hist(
+                "wf_freeze_ns",
+                "freeze of one hot run (encode + SKL + promote)",
+            ),
+            h_freeze_encode: hist("wf_freeze_encode_ns", "label arena encode during freeze"),
+            h_skl_build: hist("wf_skl_build_ns", "SKL relabel build during freeze"),
+            h_spill: hist("wf_spill_ns", "segment write of one frozen run"),
+            h_fault_in: hist("wf_fault_in_ns", "persisted segment fault-in from disk"),
+            h_reheat: hist("wf_reheat_ns", "persisted run promoted back to frozen"),
+            h_compaction: hist("wf_compaction_ns", "one segment compaction pass"),
+            h_reach: hist("wf_reach_ns", "reachability probe (sampled 1 in 64)"),
+            h_cross_run_scan: hist("wf_cross_run_scan_ns", "cross-run query scan"),
+
+            registry,
+        }
+    }
+
+    /// Start a span timer; `None` when telemetry is disabled (the span
+    /// then costs one branch).
+    #[inline]
+    pub fn timer(&self) -> Option<clock::Ticks> {
+        if self.enabled {
+            Some(clock::now())
+        } else {
+            None
+        }
+    }
+
+    /// Close a span: record its duration into `hist` and into the trace
+    /// ring when `always` is set (lifecycle events) or the duration
+    /// reaches the slow-op threshold. `detail` is only rendered when the
+    /// event is actually traced. Returns the duration in ns (0 when
+    /// disabled).
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        hist: &Histogram,
+        kind: &'static str,
+        run_id: Option<u64>,
+        tier: Option<&'static str>,
+        start: Option<clock::Ticks>,
+        always: bool,
+        detail: impl FnOnce() -> String,
+    ) -> u64 {
+        let Some(start) = start else { return 0 };
+        let dur_ns = clock::elapsed_ns(start);
+        hist.record(dur_ns);
+        if always || dur_ns >= self.slow_op_ns {
+            self.trace.record(kind, run_id, tier, dur_ns, detail());
+        }
+        dur_ns
+    }
+
+    /// Record an instantaneous lifecycle event (no duration).
+    pub fn event(
+        &self,
+        kind: &'static str,
+        run_id: Option<u64>,
+        tier: Option<&'static str>,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.trace.record(kind, run_id, tier, 0, detail());
+        }
+    }
+
+    /// Whether this reach probe should be timed (1 in 64 per thread,
+    /// and only when telemetry is enabled).
+    #[inline]
+    pub fn reach_sampled(&self) -> bool {
+        self.enabled
+            && REACH_SAMPLE.with(|c| {
+                let n = c.get().wrapping_add(1);
+                c.set(n);
+                n & SAMPLE_MASK == 0
+            })
+    }
+
+    /// Whether this ingest apply should be timed (1 in 64 per thread,
+    /// and only when telemetry is enabled). Sampled for the same reason
+    /// as reach: the apply itself is a few hundred ns, so even two
+    /// cycle-counter reads per event would be a double-digit tax.
+    #[inline]
+    pub fn apply_sampled(&self) -> bool {
+        self.enabled
+            && APPLY_SAMPLE.with(|c| {
+                let n = c.get().wrapping_add(1);
+                c.set(n);
+                n & SAMPLE_MASK == 0
+            })
+    }
+
+    /// Advance the windowed-rate snapshot: returns `(events since the
+    /// previous call, wall time since the previous call)`.
+    pub fn advance_window(&self) -> (u64, std::time::Duration) {
+        let now = Instant::now();
+        let events = self.events_ingested.get();
+        let mut window = self.window.lock().expect("telemetry window poisoned");
+        let (prev_at, prev_events) = *window;
+        *window = (now, events);
+        (
+            events.saturating_sub(prev_events),
+            now.duration_since(prev_at),
+        )
+    }
+
+    /// Read the windowed-rate snapshot without advancing it.
+    pub fn peek_window(&self) -> (u64, std::time::Duration) {
+        let now = Instant::now();
+        let events = self.events_ingested.get();
+        let window = self.window.lock().expect("telemetry window poisoned");
+        let (prev_at, prev_events) = *window;
+        (
+            events.saturating_sub(prev_events),
+            now.duration_since(prev_at),
+        )
+    }
+}
+
+/// Raw per-run query-counter bump, kept per-slot (not in the registry)
+/// so concurrent readers touching different runs do not contend on one
+/// cache line.
+#[inline]
+pub(crate) fn bump(cell: &AtomicU64) {
+    cell.fetch_add(1, Ordering::Relaxed);
+}

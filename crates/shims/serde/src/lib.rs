@@ -87,6 +87,18 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Types that can render themselves into the [`Value`] data model.
 pub trait Serialize {
     /// Produce the value-tree representation.

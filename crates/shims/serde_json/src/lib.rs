@@ -5,7 +5,8 @@
 //! [`to_string_pretty`], and [`from_str`].
 
 pub use serde::Error;
-use serde::{Deserialize, Serialize, Value};
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// Serialize `value` as a compact JSON string.

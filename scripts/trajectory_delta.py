@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_*.json perf-trajectory artifacts and emit a delta table.
+"""Compare BENCH_*.json perf-trajectory artifacts and emit a delta table.
 
-Usage: trajectory_delta.py CURRENT.json [PREVIOUS.json]
+Usage: trajectory_delta.py CURRENT.json [PREVIOUS.json ...]
 
 Each artifact is JSON-lines: bench lines ({"bench": ..., "mean_ns": ...,
-"elements_per_sec": ...}), the tier_footprint line and the compaction
-line, as printed by `cargo bench -p wf-bench --bench service`.
+"elements_per_sec": ...}), latency-percentile lines ({"metric":
+"latency", "name": ..., "p50_ns": ..., "p99_ns": ...}), the
+tier_footprint line, the compaction line, and the obs_overhead line, as
+printed by `cargo bench -p wf-bench --bench service`.
 
-Writes a markdown table (events/s, ns/query, bytes/tier, file counts) to
-$GITHUB_STEP_SUMMARY (stdout otherwise). Soft regression gate: exits 1
-only when an ingest or reach throughput metric drops more than
-GATE_DROP_PCT (default 25%) versus the previous artifact — noise warns,
-cliffs fail. No previous artifact means nothing to gate against.
+The newest PREVIOUS (last argument) anchors the delta columns and the
+regression gate; when several PREVIOUS artifacts are given (oldest
+first), a history section tracks the 1/16/256-run service_ingest /
+service_query points across all of them.
+
+Writes a markdown table (events/s, ns/query, latency percentiles,
+bytes/tier, file counts) to $GITHUB_STEP_SUMMARY (stdout otherwise).
+Soft regression gate: exits 1 only when an ingest or reach throughput
+metric drops — or a gated p99 latency rises — more than GATE_DROP_PCT
+(default 25%) versus the previous artifact — noise warns, cliffs fail.
+No previous artifact means nothing to gate against.
 """
 
 import json
@@ -24,6 +32,23 @@ WARN_DROP_PCT = float(os.environ.get("WARN_DROP_PCT", "5"))
 # Metrics whose *throughput* regression fails the job (substring match on
 # the bench id). Everything else is informational.
 GATED = ("service_tiering/ingest_freeze", "service_tiering/reach_across_tiers")
+
+# Latency families whose *p99 rise* fails the job (exact key match).
+LATENCY_GATED = ("latency/wf_reach_ns", "latency/wf_ingest_apply_ns")
+
+# Bench ids tracked across every provided artifact (the 1/16/256-run
+# trajectory dashboard).
+HISTORY_FLEETS = (1, 16, 256)
+HISTORY_BENCHES = tuple(
+    f"{group}/{point}/{n}"
+    for group, point in (
+        ("service_ingest", "runs"),
+        ("service_ingest", "pipelined_runs"),
+        ("service_query", "runs"),
+        ("service_query", "cross_run_source_scan"),
+    )
+    for n in HISTORY_FLEETS
+)
 
 
 def load(path):
@@ -39,6 +64,9 @@ def load(path):
             except json.JSONDecodeError:
                 continue
             key = rec.get("bench") or rec.get("metric")
+            if key == "latency" and rec.get("name"):
+                # One line per histogram family; key them apart.
+                key = f"latency/{rec['name']}"
             if key:
                 out[key] = rec
     return out
@@ -58,12 +86,39 @@ def delta_pct(prev, cur):
     return (cur - prev) / prev * 100.0
 
 
+def stamp_of(path, artifact):
+    """Short column label for one artifact: its date stamp or basename."""
+    for rec in artifact.values():
+        if rec.get("date"):
+            return rec["date"]
+        if rec.get("commit"):
+            return rec["commit"][:9]
+    return os.path.basename(path)
+
+
+def history_section(paths, artifacts):
+    """events/s for the 1/16/256-run points across every artifact."""
+    lines = ["### 1/16/256-run history (events/s)", ""]
+    labels = [stamp_of(p, a) for p, a in zip(paths, artifacts)]
+    lines.append("| bench | " + " | ".join(labels) + " |")
+    lines.append("|---|" + "---:|" * len(labels))
+    for bench in HISTORY_BENCHES:
+        cells = [fmt(a.get(bench, {}).get("elements_per_sec")) for a in artifacts]
+        if all(c == "—" for c in cells):
+            continue
+        lines.append(f"| `{bench}` | " + " | ".join(cells) + " |")
+    lines.append("")
+    return lines
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
-    current = load(sys.argv[1])
-    previous = load(sys.argv[2]) if len(sys.argv) > 2 and os.path.exists(sys.argv[2]) else {}
+    cur_path = sys.argv[1]
+    prev_paths = [p for p in sys.argv[2:] if os.path.exists(p)]
+    current = load(cur_path)
+    previous = load(prev_paths[-1]) if prev_paths else {}
 
     rows = []
     failures = []
@@ -90,12 +145,34 @@ def main():
             elif drop > WARN_DROP_PCT:
                 warnings.append(label)
 
-    # Footprint + compaction lines: bytes/tier and file counts.
+    # Latency lines: per-operation percentiles out of the engine's own
+    # histograms. A gated family's p99 rising past the gate fails.
+    for key in sorted(k for k in current if k.startswith("latency/")):
+        cur, prev = current[key], previous.get(key, {})
+        for metric in ("p50_ns", "p99_ns"):
+            c, p = cur.get(metric), prev.get(metric)
+            if c is None:
+                continue
+            d = delta_pct(p, c)
+            rows.append((f"{key} ({metric})", p, c, d))
+            if d is None or metric != "p99_ns":
+                continue
+            label = f"{key} {metric}: {d:+.1f}%"
+            if key in LATENCY_GATED:
+                if d > GATE_DROP_PCT:
+                    failures.append(label)
+                elif d > WARN_DROP_PCT:
+                    warnings.append(label)
+            elif d > WARN_DROP_PCT:
+                warnings.append(label)
+
+    # Footprint + compaction + overhead lines: informational.
     for key, fields in (
         ("tier_footprint", ("hot_bytes", "frozen_bytes", "persisted_bytes",
                             "persisted_resident_bytes", "segment_files",
                             "skl_bits", "skl_drl_bits")),
         ("compaction", ("files_before", "files_after", "bytes_after", "runs_packed")),
+        ("obs_overhead", ("ingest_ratio", "reach_ratio")),
     ):
         cur, prev = current.get(key, {}), previous.get(key, {})
         for f in fields:
@@ -111,8 +188,11 @@ def main():
     for name, p, c, d in rows:
         lines.append(f"| `{name}` | {fmt(p)} | {fmt(c)} | {'—' if d is None else f'{d:+.1f}%'} |")
     lines.append("")
+    if len(prev_paths) >= 1:
+        all_paths = prev_paths + [cur_path]
+        lines += history_section(all_paths, [load(p) for p in all_paths])
     if failures:
-        lines.append(f"**GATE FAILED** (>{GATE_DROP_PCT:.0f}% throughput drop): " + "; ".join(failures))
+        lines.append(f"**GATE FAILED** (>{GATE_DROP_PCT:.0f}% throughput drop / p99 rise): " + "; ".join(failures))
     elif warnings:
         lines.append("Soft warnings: " + "; ".join(warnings))
     else:

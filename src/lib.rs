@@ -95,6 +95,7 @@
 
 pub use wf_drl as drl;
 pub use wf_graph as graph;
+pub use wf_obs as obs;
 pub use wf_run as run;
 pub use wf_service as service;
 pub use wf_skeleton as skeleton;
@@ -111,9 +112,9 @@ pub mod prelude {
     pub use wf_graph::{Graph, NameId, VertexId};
     pub use wf_run::{CanonicalParseTree, Derivation, ExecEvent, Execution, RunGenerator};
     pub use wf_service::{
-        CompactionReport, CrossRunQuery, EngineBuilder, EngineStats, FrozenRun, RunHandle, RunId,
-        RunOp, RunStatus, ServiceError, ServiceEvent, ServiceStats, SklReport, SourceReach,
-        SpecContext, SpecId, Tier, WfEngine,
+        CompactionReport, CrossRunQuery, EngineBuilder, EngineMetrics, EngineStats, FrozenRun,
+        HistogramSnapshot, RunHandle, RunId, RunOp, RunStatus, ServiceError, ServiceEvent,
+        ServiceStats, SklReport, SourceReach, SpecContext, SpecId, Tier, TraceEvent, WfEngine,
     };
     pub use wf_skeleton::{BfsSpecLabels, SpecLabeling, TclSpecLabels};
     pub use wf_skl::{SklBfs, SklLabeling};
