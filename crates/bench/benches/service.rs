@@ -542,11 +542,116 @@ fn service_obs_overhead(_c: &mut Criterion) {
     );
 }
 
+/// One durable-ingest trial: pipelined pool ingest of the whole fleet
+/// plus the closing `flush()` barrier (the durability watermark), on an
+/// engine with the given WAL configuration. Returns events/s.
+fn durable_trial(
+    catalog: &[Arc<SpecContext>],
+    streams: &[Vec<ExecEvent>],
+    wal: Option<(&std::path::Path, wf_service::WalSync)>,
+) -> f64 {
+    let mut b = WfEngine::builder().shards(32).queue_capacity(1024);
+    if let Some((dir, sync)) = wal {
+        b = b.wal_dir(dir).wal_sync(sync);
+    }
+    for ctx in catalog {
+        b = b.context(Arc::clone(ctx));
+    }
+    let engine = b.build();
+    let runs: Vec<_> = (0..streams.len())
+        .map(|i| engine.open_run(SpecId(i % catalog.len())).expect("spec"))
+        .collect();
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let t = Instant::now();
+    for (i, stream) in streams.iter().enumerate() {
+        for ev in stream {
+            engine
+                .ingest(ServiceEvent {
+                    run: runs[i],
+                    op: RunOp::Insert(ev.clone()),
+                })
+                .expect("live run");
+        }
+    }
+    engine.flush();
+    let eps = total as f64 / t.elapsed().as_secs_f64();
+    assert!(engine.take_ingest_errors().is_empty());
+    assert_eq!(engine.stats().events_ingested as usize, total);
+    eps
+}
+
+/// The durability tax, measured head-to-head at 16 runs: the same
+/// pipelined workload with the WAL off, group-committed, and fsynced
+/// per append — interleaved best-of-3 — plus a timed crash recovery of
+/// the group-commit log. Group commit must keep **≥ 0.5×** the WAL-off
+/// throughput (the ratio lands in the JSON artifact; recovery time is
+/// its own `wal_recovery_ms` line).
+fn service_durable_ingest(_c: &mut Criterion) {
+    let catalog = catalog();
+    let streams = streams(&catalog, 16, 8000, 45);
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let base = std::env::temp_dir().join(format!("wf-bench-wal-{}", std::process::id()));
+    let group_dir = base.join("group");
+    let always_dir = base.join("always");
+    let group_sync = wf_service::WalSync::GroupCommit {
+        window: std::time::Duration::from_millis(2),
+    };
+    let (mut off, mut group, mut always) = (0.0f64, 0.0f64, 0.0f64);
+    for _ in 0..3 {
+        // Fresh WAL directories per trial: recovery replay is measured
+        // separately, not smeared into ingest time.
+        let _ = std::fs::remove_dir_all(&base);
+        off = off.max(durable_trial(&catalog, &streams, None));
+        group = group.max(durable_trial(
+            &catalog,
+            &streams,
+            Some((&group_dir, group_sync)),
+        ));
+        always = always.max(durable_trial(
+            &catalog,
+            &streams,
+            Some((&always_dir, wf_service::WalSync::Always)),
+        ));
+    }
+    let group_ratio = group / off;
+    let always_ratio = always / off;
+    println!(
+        "{{\"metric\":\"durable_ingest\",\"runs\":16,\"events\":{total},\
+         \"eps_off\":{off:.1},\"eps_group\":{group:.1},\"eps_always\":{always:.1},\
+         \"group_ratio\":{group_ratio:.4},\"always_ratio\":{always_ratio:.4}}}"
+    );
+    // Crash recovery over the last group-commit log: rebuild resurrects
+    // the whole fleet, timed end-to-end (scan + replay + log rewrite).
+    let t = Instant::now();
+    let mut b = WfEngine::builder().wal_dir(&group_dir);
+    for ctx in &catalog {
+        b = b.context(Arc::clone(ctx));
+    }
+    let recovered = b.build();
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let s = recovered.stats();
+    assert_eq!(s.wal_recovered_runs, 16, "the whole fleet recovers");
+    assert_eq!(s.wal_recovered_records as usize, total + 16);
+    println!(
+        "{{\"metric\":\"wal_recovery_ms\",\"runs\":16,\"events\":{total},\
+         \"records\":{},\"ms\":{ms:.2}}}",
+        s.wal_recovered_records
+    );
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&base);
+    assert!(
+        group_ratio >= 0.5,
+        "group commit keeps {:.2}x of WAL-off throughput (floor: 0.5x)",
+        group_ratio
+    );
+}
+
 criterion_group!(
     benches,
     service_ingest,
     service_query,
     service_tiering,
+    service_durable_ingest,
     service_obs_overhead
 );
 criterion_main!(benches);

@@ -126,6 +126,49 @@ impl<'a> BitReader<'a> {
     }
 }
 
+/// **Event wire framing**: the fixed little-endian byte form of one
+/// [`ExecEvent`](wf_run::ExecEvent), used by the write-ahead log to
+/// journal ingest before it is applied. Layout:
+/// `vertex u32 · name u32 · origin.0 u32 · origin.1 u32 · preds.len u32
+/// · preds[i] u32…`. All-fixed-width (unlike the gamma-coded labels)
+/// because WAL records are written once per event on the ingest hot
+/// path and framing speed matters more than density there.
+pub fn write_event(out: &mut Vec<u8>, ev: &wf_run::ExecEvent) {
+    out.reserve(20 + 4 * ev.preds.len());
+    out.extend_from_slice(&ev.vertex.0.to_le_bytes());
+    out.extend_from_slice(&ev.name.0.to_le_bytes());
+    out.extend_from_slice(&ev.origin.0 .0.to_le_bytes());
+    out.extend_from_slice(&ev.origin.1 .0.to_le_bytes());
+    out.extend_from_slice(&(ev.preds.len() as u32).to_le_bytes());
+    for p in &ev.preds {
+        out.extend_from_slice(&p.0.to_le_bytes());
+    }
+}
+
+/// Parse one event written by [`write_event`]. Returns `None` on a
+/// short or oversized buffer (the caller treats that as corruption).
+pub fn read_event(bytes: &[u8]) -> Option<wf_run::ExecEvent> {
+    let word = |i: usize| -> Option<u32> {
+        bytes
+            .get(4 * i..4 * i + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    };
+    let n = word(4)? as usize;
+    if bytes.len() != 20 + 4 * n {
+        return None;
+    }
+    let mut preds = Vec::with_capacity(n);
+    for i in 0..n {
+        preds.push(VertexId(word(5 + i)?));
+    }
+    Some(wf_run::ExecEvent {
+        vertex: VertexId(word(0)?),
+        name: NameId(word(1)?),
+        preds,
+        origin: (GraphId(word(2)?), VertexId(word(3)?)),
+    })
+}
+
 fn kind_code(kind: NodeKind) -> u64 {
     match kind {
         NodeKind::N => 0,
@@ -445,6 +488,36 @@ mod tests {
         // The wire format stays within ~2.5× of the accounting size
         // (gamma overhead + graph ids + byte padding).
         assert!(total_encoded < total_accounted * 5 / 2);
+    }
+
+    #[test]
+    fn event_wire_roundtrip() {
+        let ev = wf_run::ExecEvent {
+            vertex: VertexId(42),
+            name: NameId(3),
+            preds: vec![VertexId(0), VertexId(7), VertexId(41)],
+            origin: (GraphId(2), VertexId(5)),
+        };
+        let mut bytes = Vec::new();
+        write_event(&mut bytes, &ev);
+        assert_eq!(bytes.len(), 20 + 4 * 3);
+        assert_eq!(read_event(&bytes).unwrap(), ev);
+        // No-preds event.
+        let ev0 = wf_run::ExecEvent {
+            vertex: VertexId(0),
+            name: NameId(0),
+            preds: vec![],
+            origin: (GraphId(0), VertexId(0)),
+        };
+        let mut b0 = Vec::new();
+        write_event(&mut b0, &ev0);
+        assert_eq!(read_event(&b0).unwrap(), ev0);
+        // Truncated and over-long buffers are rejected.
+        assert!(read_event(&bytes[..bytes.len() - 1]).is_none());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(read_event(&long).is_none());
+        assert!(read_event(&[]).is_none());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::query::CrossRunQuery;
 use crate::snapshot::{self, PersistedRun};
 use crate::stats::ServiceStats;
 use crate::store::{LabelStore, RunView, SegmentLru, Tier};
-use crate::telemetry::{tier_tag, Telemetry, TelemetryConfig};
+use crate::telemetry::{tier_tag, Telemetry, TelemetryConfig, WalTelemetry};
 use crate::{
     BatchOutcome, RunId, RunOp, RunStatus, ServiceError, ServiceEvent, SpecContext, SpecId,
 };
@@ -31,6 +31,7 @@ use wf_graph::VertexId;
 use wf_run::{Derivation, ExecEvent};
 use wf_skeleton::{SpecLabeling, TclSpecLabels};
 use wf_spec::Specification;
+use wf_wal::{Record, RecordKind, WalSync, WalWriter};
 
 /// Default per-run vertex-id ceiling: 2²⁴ ≈ 16M vertices, far beyond the
 /// paper's 32K-vertex runs yet small enough that a garbage id from a
@@ -101,6 +102,11 @@ pub(crate) struct RunSlot<S: SpecLabeling + 'static> {
     /// ([`WfEngine::provide_derivation`]) — what unlocks the SKL
     /// re-label at freeze time.
     pub(crate) derivation: Mutex<Option<Derivation>>,
+    /// Next WAL sequence number for this run (0 is the `RunOpen`
+    /// record). Monotone per run; recovery replays in this order, so
+    /// the numbers align with the flush watermark: everything appended
+    /// before a barrier is durably replayable after it.
+    pub(crate) wal_seq: AtomicU64,
 }
 
 impl<S: SpecLabeling> RunSlot<S> {
@@ -160,6 +166,72 @@ impl<S: SpecLabeling> RunSlot<S> {
             .map(|_| ())
             .map_err(|s| ServiceError::RunNotLive(run, RunStatus::from_u8(s)))
     }
+}
+
+/// Build a fresh [`RunSlot`]. `next_wal_seq` is 1 for newly opened runs
+/// (the `RunOpen` record takes seq 0) and `max_seq + 1` when rebuilding a
+/// run from WAL replay.
+fn new_slot<S: SpecLabeling + 'static>(
+    ctx: Arc<SpecContext<S>>,
+    spec: SpecId,
+    resolution: ResolutionMode,
+    max_vertex_id: u32,
+    next_wal_seq: u64,
+) -> Result<Arc<RunSlot<S>>, ExecError> {
+    let mut writer = OwnedLabeler::new(ctx, resolution)?;
+    let skl_bits = writer.get().skl_bits();
+    Ok(Arc::new(RunSlot {
+        spec,
+        skl_bits,
+        max_vertex_id,
+        writer: Mutex::new(writer),
+        indexed: LabelIndex::new(),
+        source: OnceLock::new(),
+        status: AtomicU8::new(RunStatus::Live.as_u8()),
+        events: AtomicU64::new(0),
+        queries: AtomicU64::new(0),
+        derivation: Mutex::new(None),
+        wal_seq: AtomicU64::new(next_wal_seq),
+    }))
+}
+
+/// `RunOpen` payload: the spec id (u32 LE) plus the resolution mode tag —
+/// everything recovery needs to rebuild the slot.
+fn run_open_payload(spec: SpecId, resolution: ResolutionMode) -> Vec<u8> {
+    let mut p = Vec::with_capacity(5);
+    p.extend_from_slice(&(spec.0 as u32).to_le_bytes());
+    p.push(match resolution {
+        ResolutionMode::NameBased => 0,
+        ResolutionMode::LogBased => 1,
+    });
+    p
+}
+
+/// Inverse of [`run_open_payload`]; `None` on malformed or unknown bytes
+/// (the run is then skipped at recovery rather than misinterpreted).
+fn parse_run_open(payload: &[u8]) -> Option<(SpecId, ResolutionMode)> {
+    if payload.len() != 5 {
+        return None;
+    }
+    let spec = SpecId(u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize);
+    let resolution = match payload[4] {
+        0 => ResolutionMode::NameBased,
+        1 => ResolutionMode::LogBased,
+        _ => return None,
+    };
+    Some((spec, resolution))
+}
+
+/// One run the WAL scan deemed replayable: decoded and validated before
+/// the engine's shared state exists, applied right after it does.
+struct ReplayRun {
+    run: RunId,
+    spec: SpecId,
+    resolution: ResolutionMode,
+    events: Vec<ExecEvent>,
+    completed: bool,
+    /// Highest WAL seq the run had; its slot resumes numbering above it.
+    max_seq: u64,
 }
 
 /// The automatic hot→frozen(→persisted) policy the background tiering
@@ -273,6 +345,11 @@ pub(crate) struct EngineShared<S: SpecLabeling + 'static> {
     pub(crate) policy: TierPolicy,
     /// Spill directory, when persistence is configured.
     pub(crate) spill: Option<SpillState>,
+    /// The durable ingest log, when [`EngineBuilder::wal_dir`] is set:
+    /// every open/insert/complete is appended *before* it is applied, so
+    /// a crash loses at most the un-synced batch tail, never applied
+    /// state the log cannot replay.
+    pub(crate) wal: Option<WalWriter>,
     /// Completed runs in completion order — the tiering worker's freeze
     /// queue (stale entries are skipped when popped).
     completed_order: Mutex<VecDeque<RunId>>,
@@ -330,6 +407,65 @@ impl<S: SpecLabeling> EngineShared<S> {
                 self.wake_tiering();
             }
         }
+    }
+
+    /// The WAL shard a run's records land on: the same run→worker
+    /// pinning as the ingest pool, so a run's appends happen on one
+    /// worker thread and the shard file sees them in apply order.
+    pub(crate) fn wal_shard(&self, run: RunId) -> usize {
+        (route_hash(run) % self.ingest_workers.max(1) as u64) as usize
+    }
+
+    /// **Write-ahead apply** for one insertion: journal the event, then
+    /// apply it. The cheap bounds precheck runs first so garbage ids are
+    /// rejected without a log write (the rejection is deterministic, so
+    /// nothing about it needs replaying); a failed append rejects the op
+    /// without applying it — the in-memory state never runs ahead of
+    /// the log.
+    pub(crate) fn logged_apply_insert(
+        &self,
+        run: RunId,
+        slot: &RunSlot<S>,
+        ev: &ExecEvent,
+    ) -> Result<(), ServiceError> {
+        if let Some(wal) = &self.wal {
+            if ev.vertex.0 > slot.max_vertex_id {
+                return Err(ServiceError::VertexOutOfBounds(run, ev.vertex));
+            }
+            let seq = slot.wal_seq.fetch_add(1, Ordering::Relaxed);
+            let mut payload = Vec::new();
+            wf_drl::encode::write_event(&mut payload, ev);
+            let rec = Record {
+                kind: RecordKind::Event,
+                run: run.0,
+                seq,
+                payload,
+            };
+            wal.append(self.wal_shard(run), &rec)
+                .map_err(|e| ServiceError::Wal(e.to_string()))?;
+        }
+        slot.apply_insert(run, ev)
+    }
+
+    /// **Write-ahead completion**: journal the completion, then apply
+    /// it. Same ordering contract as [`Self::logged_apply_insert`].
+    pub(crate) fn logged_complete(
+        &self,
+        run: RunId,
+        slot: &RunSlot<S>,
+    ) -> Result<(), ServiceError> {
+        if let Some(wal) = &self.wal {
+            let seq = slot.wal_seq.fetch_add(1, Ordering::Relaxed);
+            let rec = Record {
+                kind: RecordKind::Complete,
+                run: run.0,
+                seq,
+                payload: Vec::new(),
+            };
+            wal.append(self.wal_shard(run), &rec)
+                .map_err(|e| ServiceError::Wal(e.to_string()))?;
+        }
+        slot.complete(run)
     }
 
     fn wake_tiering(&self) {
@@ -440,6 +576,17 @@ impl<S: SpecLabeling> EngineShared<S> {
         }
         snapshot::write_manifest(&spill.dir, &self.manifest_entries())
             .map_err(|e| ServiceError::Snapshot(run, e.to_string()))?;
+        // The run is durable in its segment + manifest: stamp a WAL
+        // checkpoint and compact the shard, so the log keeps only the
+        // non-persisted suffix (recovery time ∝ hot state, not
+        // history). A checkpoint failure is non-fatal — the spill
+        // succeeded; recovery would simply skip the run's stale records
+        // because the manifest already lists it.
+        if let Some(wal) = &self.wal {
+            if let Err(e) = wal.checkpoint(self.wal_shard(run), run.0) {
+                self.push_ingest_error(run, ServiceError::Wal(e.to_string()));
+            }
+        }
         self.obs.spills.inc();
         self.obs.span(
             &self.obs.h_spill,
@@ -1038,21 +1185,21 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             .get(spec.0)
             .ok_or(ServiceError::UnknownSpec(spec))?;
         let run = RunId(self.shared.next_run.fetch_add(1, Ordering::AcqRel));
-        let mut writer = OwnedLabeler::new(Arc::clone(ctx), resolution)
+        let slot = new_slot(Arc::clone(ctx), spec, resolution, self.max_vertex_id(), 1)
             .map_err(|e| ServiceError::Labeler(run, e))?;
-        let skl_bits = writer.get().skl_bits();
-        let slot = Arc::new(RunSlot {
-            spec,
-            skl_bits,
-            max_vertex_id: self.max_vertex_id(),
-            writer: Mutex::new(writer),
-            indexed: LabelIndex::new(),
-            source: OnceLock::new(),
-            status: AtomicU8::new(RunStatus::Live.as_u8()),
-            events: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            derivation: Mutex::new(None),
-        });
+        // Journal the open before the run becomes visible: the `RunOpen`
+        // record (seq 0) happens-before any event enqueue, so recovery
+        // always finds it ahead of the run's events.
+        if let Some(wal) = &self.shared.wal {
+            let rec = Record {
+                kind: RecordKind::RunOpen,
+                run: run.0,
+                seq: 0,
+                payload: run_open_payload(spec, resolution),
+            };
+            wal.append(self.shared.wal_shard(run), &rec)
+                .map_err(|e| ServiceError::Wal(e.to_string()))?;
+        }
         self.shared.store.insert_hot(run, slot);
         self.shared.obs.runs_opened.inc();
         Ok(run)
@@ -1197,6 +1344,15 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
         let span = obs.timer();
         let target = self.shared.enqueued.load(Ordering::Acquire);
         let watermark = self.shared.wait_processed(target);
+        // Durability barrier: every event applied below the watermark was
+        // appended to the WAL *before* it was applied (write-ahead order),
+        // so one group-commit fsync here makes the whole prefix durable.
+        if let Some(wal) = &self.shared.wal {
+            if let Err(e) = wal.barrier() {
+                self.shared
+                    .push_ingest_error(RunId(u64::MAX), ServiceError::Wal(e.to_string()));
+            }
+        }
         obs.span(
             &obs.h_flush_wait,
             "flush_barrier",
@@ -1218,6 +1374,14 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
     pub fn drain(&mut self) {
         self.shared.draining.store(true, Ordering::Release);
         self.pool.shutdown();
+        // The workers are gone, so the WAL has seen its last event
+        // append: force the tail to disk before reporting drained.
+        if let Some(wal) = &self.shared.wal {
+            if let Err(e) = wal.barrier() {
+                self.shared
+                    .push_ingest_error(RunId(u64::MAX), ServiceError::Wal(e.to_string()));
+            }
+        }
         self.stop_tiering();
         // One final policy pass on this thread, after the ingest pool
         // and the worker have both stopped: runs completed by the
@@ -1339,6 +1503,13 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
     /// The configured spill directory, if any.
     pub fn spill_dir(&self) -> Option<&Path> {
         self.shared.spill.as_ref().map(|s| s.dir.as_path())
+    }
+
+    /// The configured write-ahead log directory, if any. `None` also
+    /// when a [`EngineBuilder::wal_dir`] was set but the log could not
+    /// be opened at build time (the engine degrades to non-durable).
+    pub fn wal_dir(&self) -> Option<&Path> {
+        self.shared.wal.as_ref().map(wf_wal::WalWriter::dir)
     }
 
     /// Constant-time reachability `u ; v` within `run`, lock-free
@@ -1494,6 +1665,11 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             skl_query_ns: obs.skl_query_ns_total.get(),
             frozen_query_ns: obs.frozen_query_ns_total.get(),
             skl_pairs_sampled: obs.skl_pairs_sampled.get(),
+            wal_records: obs.wal_records.get(),
+            wal_bytes: obs.wal_bytes.get(),
+            wal_truncations: obs.wal_truncations.get(),
+            wal_recovered_runs: obs.wal_recovered_runs.get(),
+            wal_recovered_records: obs.wal_recovered_records.get(),
             window_events,
             window,
             uptime: obs.started.elapsed(),
@@ -1582,6 +1758,8 @@ pub struct EngineBuilder<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels
     freeze_after: Option<usize>,
     max_hot_runs: Option<usize>,
     spill_dir: Option<PathBuf>,
+    wal_dir: Option<PathBuf>,
+    wal_sync: WalSync,
     max_resident_bytes: Option<u64>,
     reheat_after: Option<u64>,
     compact_after: Option<usize>,
@@ -1618,6 +1796,8 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             freeze_after: None,
             max_hot_runs: None,
             spill_dir: None,
+            wal_dir: None,
+            wal_sync: WalSync::default(),
             max_resident_bytes: None,
             reheat_after: None,
             compact_after: None,
@@ -1699,6 +1879,32 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
         self
     }
 
+    /// **Write-ahead log directory**: every ingest operation — run open,
+    /// event, completion — is journaled here *before* it is applied, in
+    /// one append-only shard file per ingest worker. At build time the
+    /// directory is scanned and surviving runs are replayed back into
+    /// the hot tier (crash recovery); a torn tail — the partial record
+    /// of an append that was cut mid-write — is truncated away, keeping
+    /// the valid prefix. Runs already persisted to the
+    /// [spill directory](Self::spill_dir) are not replayed (their WAL
+    /// history was checkpoint-truncated). Unset = no durability for hot
+    /// runs (pre-WAL behavior).
+    pub fn wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// **WAL sync policy** (default [`WalSync::GroupCommit`] with a 2ms
+    /// window): when appends reach stable storage. `Always` fsyncs every
+    /// append (strongest, slowest); `GroupCommit` batches fsyncs on a
+    /// dedicated committer thread — [`WfEngine::flush`] doubles as the
+    /// durability barrier; `Never` leaves durability to the OS page
+    /// cache. No effect without [`Self::wal_dir`].
+    pub fn wal_sync(mut self, policy: WalSync) -> Self {
+        self.wal_sync = policy;
+        self
+    }
+
     /// **Resident-byte budget of the persisted tier**: loaded segment
     /// arenas are tracked by a size/age LRU, and once their total
     /// exceeds `n` bytes the least-recently-queried arenas are shed back
@@ -1777,7 +1983,119 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
                 }
             }
         }
-        let first_run = persisted.iter().map(|p| p.run().0 + 1).max().unwrap_or(0);
+        let mut first_run = persisted.iter().map(|p| p.run().0 + 1).max().unwrap_or(0);
+        // Scan the WAL directory: decode surviving runs for replay, then
+        // rewrite the log so it holds exactly what the rebuilt engine
+        // holds hot (checkpointed history dropped, records re-homed if
+        // the worker count changed). Failures degrade — the engine comes
+        // up without a WAL rather than not at all — and are traced.
+        let mut wal: Option<WalWriter> = None;
+        let mut replay: Vec<ReplayRun> = Vec::new();
+        if let Some(dir) = &self.wal_dir {
+            let recovered = match wf_wal::recover(dir) {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    obs.event("wal_recover_failed", None, None, || e.to_string());
+                    None
+                }
+            };
+            if let Some(rec) = recovered {
+                for t in &rec.torn {
+                    obs.event("wal_torn_tail", None, None, || {
+                        format!("file={} valid_bytes={} {}", t.file, t.valid_bytes, t.detail)
+                    });
+                }
+                // Never reuse a run id the log has seen, even for runs
+                // the scan skips below.
+                for r in &rec.runs {
+                    first_run = first_run.max(r.run + 1);
+                }
+                let persisted_ids: std::collections::HashSet<u64> =
+                    persisted.iter().map(|p| p.run().0).collect();
+                let mut survivors: Vec<Record> = Vec::new();
+                for r in &rec.runs {
+                    // Checkpointed runs are durable in their segment;
+                    // runs in the manifest likewise (belt and braces —
+                    // a crash between segment write and checkpoint
+                    // stamp leaves the manifest authoritative).
+                    if r.checkpointed || persisted_ids.contains(&r.run) {
+                        continue;
+                    }
+                    // A replayable run starts with a parseable RunOpen
+                    // naming a spec this catalog has; anything else is
+                    // an orphaned tail (e.g. its RunOpen sat in a torn
+                    // region) and is dropped, not guessed at.
+                    let Some((first, rest)) = r.records.split_first() else {
+                        continue;
+                    };
+                    if first.kind != RecordKind::RunOpen || first.seq != 0 {
+                        continue;
+                    }
+                    let Some((spec, resolution)) = parse_run_open(&first.payload) else {
+                        continue;
+                    };
+                    if spec.0 >= self.contexts.len() {
+                        continue;
+                    }
+                    let mut events = Vec::new();
+                    let mut completed = false;
+                    let mut ok = true;
+                    for rr in rest {
+                        match rr.kind {
+                            RecordKind::Event => match wf_drl::encode::read_event(&rr.payload) {
+                                Some(ev) => events.push(ev),
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            },
+                            RecordKind::Complete => completed = true,
+                            RecordKind::RunOpen | RecordKind::Checkpoint => {}
+                        }
+                    }
+                    if !ok {
+                        obs.event("wal_skip_run", Some(r.run), None, || {
+                            "undecodable event payload".into()
+                        });
+                        continue;
+                    }
+                    survivors.extend(r.records.iter().cloned());
+                    replay.push(ReplayRun {
+                        run: RunId(r.run),
+                        spec,
+                        resolution,
+                        events,
+                        completed,
+                        max_seq: r.max_seq,
+                    });
+                }
+                let workers = self.ingest_workers.max(1) as u64;
+                match WalWriter::reset(
+                    dir,
+                    self.ingest_workers,
+                    self.wal_sync,
+                    Box::new(WalTelemetry(Arc::clone(&obs))),
+                    &survivors,
+                    |run| (route_hash(RunId(run)) % workers) as usize,
+                ) {
+                    Ok(w) => wal = Some(w),
+                    Err(e) => {
+                        obs.event("wal_reset_failed", None, None, || e.to_string());
+                        replay.clear();
+                    }
+                }
+                obs.event("wal_recover", None, None, || {
+                    format!(
+                        "files={} bytes={} records={} runs_replayed={} torn={}",
+                        rec.files,
+                        rec.bytes,
+                        rec.records,
+                        replay.len(),
+                        rec.torn.len()
+                    )
+                });
+            }
+        }
         let policy = TierPolicy {
             freeze_after: self.freeze_after,
             max_hot_runs: self.max_hot_runs,
@@ -1836,12 +2154,59 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
                     pack_seq: AtomicU64::new(next_pack),
                 }
             }),
+            wal,
             completed_order: Mutex::new(VecDeque::new()),
             tiering_stop: AtomicBool::new(false),
             tiering_lock: Mutex::new(()),
             tiering_cv: Condvar::new(),
             segment_policy_stamp: AtomicU64::new(u64::MAX),
         });
+        // Replay recovered runs into the hot tier before the ingest pool
+        // opens: applied directly (not via the logged_* write-ahead
+        // path) — their records are already in the rewritten log, and
+        // replaying must not re-append them.
+        for r in replay {
+            let ctx = &shared.catalog[r.spec.0];
+            let slot = match new_slot(
+                Arc::clone(ctx),
+                r.spec,
+                r.resolution,
+                self.max_vertex_id,
+                r.max_seq + 1,
+            ) {
+                Ok(slot) => slot,
+                Err(e) => {
+                    shared
+                        .obs
+                        .event("wal_skip_run", Some(r.run.0), None, || e.to_string());
+                    continue;
+                }
+            };
+            let records = 1 + r.events.len() as u64 + u64::from(r.completed);
+            for ev in &r.events {
+                let res = slot.apply_insert(r.run, ev);
+                shared.record_insert_outcome(&res);
+                if let Err(e) = res {
+                    // The log held a prefix this lifetime cannot apply
+                    // (e.g. a lowered vertex ceiling): keep what did
+                    // apply, mark the run failed, and say why.
+                    shared
+                        .obs
+                        .event("wal_replay_error", Some(r.run.0), None, || e.to_string());
+                    slot.status
+                        .store(RunStatus::Failed.as_u8(), Ordering::Release);
+                    break;
+                }
+            }
+            if r.completed && slot.status() == RunStatus::Live {
+                let res = slot.complete(r.run);
+                shared.record_complete_outcome(r.run, &res);
+            }
+            shared.store.insert_hot(r.run, slot);
+            shared.obs.runs_opened.inc();
+            shared.obs.wal_recovered_runs.inc();
+            shared.obs.wal_recovered_records.add(records);
+        }
         let pool = IngestPool::start(
             Arc::clone(&shared),
             self.ingest_workers,

@@ -135,7 +135,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
         let obs = &self.shared.obs;
         let res = if obs.apply_sampled() {
             let span = obs.timer();
-            let res = slot.apply_insert(self.run, ev);
+            let res = self.shared.logged_apply_insert(self.run, slot, ev);
             obs.span(
                 &obs.h_ingest_apply,
                 "ingest_apply",
@@ -147,7 +147,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
             );
             res
         } else {
-            slot.apply_insert(self.run, ev)
+            self.shared.logged_apply_insert(self.run, slot, ev)
         };
         self.shared.record_insert_outcome(&res);
         res
@@ -162,7 +162,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
         let RunView::Hot(slot) = &self.view else {
             return Err(ServiceError::RunNotLive(self.run, self.view.status()));
         };
-        let res = slot.complete(self.run);
+        let res = self.shared.logged_complete(self.run, slot);
         self.shared.record_complete_outcome(self.run, &res);
         res
     }

@@ -283,7 +283,7 @@ fn process<S: SpecLabeling + Send + Sync>(shared: &EngineShared<S>, env: Envelop
             let obs = &shared.obs;
             let res = if obs.apply_sampled() {
                 let span = obs.timer();
-                let res = slot.apply_insert(run, ev);
+                let res = shared.logged_apply_insert(run, &slot, ev);
                 obs.span(
                     &obs.h_ingest_apply,
                     "ingest_apply",
@@ -295,13 +295,13 @@ fn process<S: SpecLabeling + Send + Sync>(shared: &EngineShared<S>, env: Envelop
                 );
                 res
             } else {
-                slot.apply_insert(run, ev)
+                shared.logged_apply_insert(run, &slot, ev)
             };
             shared.record_insert_outcome(&res);
             res.map(|()| true)
         }
         RunOp::Complete => {
-            let res = slot.complete(run);
+            let res = shared.logged_complete(run, &slot);
             shared.record_complete_outcome(run, &res);
             res.map(|()| false)
         }

@@ -107,6 +107,8 @@ pub use snapshot::SnapshotError;
 pub use stats::{EngineStats, ServiceStats};
 pub use store::Tier;
 pub use wf_obs::{HistogramSnapshot, TraceEvent};
+pub use wf_wal as wal;
+pub use wf_wal::{WalError, WalSync};
 
 use std::fmt;
 use wf_drl::{ExecError, ResolutionMode};
@@ -265,6 +267,11 @@ pub enum ServiceError {
     /// IO/format/sync error). The persisted tier is untouched: until the
     /// new manifest renames into place the old files stay live.
     Compaction(String),
+    /// A write-ahead-log append or barrier failed (message carries the
+    /// underlying [`WalError`]). The op was **not** applied: the WAL is
+    /// written before the in-memory state, so a run never holds events
+    /// the log cannot replay.
+    Wal(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -297,6 +304,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Snapshot(r, e) => write!(f, "{r}: snapshot failed: {e}"),
             ServiceError::Compaction(e) => write!(f, "compaction failed: {e}"),
+            ServiceError::Wal(e) => write!(f, "write-ahead log failed: {e}"),
         }
     }
 }

@@ -105,6 +105,20 @@ pub struct ServiceStats {
     pub frozen_query_ns: u64,
     /// Pairs sampled for the latency comparison.
     pub skl_pairs_sampled: u64,
+    /// WAL records appended this lifetime (run opens, events,
+    /// completions, checkpoint stamps). 0 without a
+    /// [`crate::EngineBuilder::wal_dir`].
+    pub wal_records: u64,
+    /// Bytes appended to the WAL this lifetime (frame headers
+    /// included).
+    pub wal_bytes: u64,
+    /// Checkpoint truncation passes — shard-file compactions after a
+    /// run's spill made its WAL history redundant.
+    pub wal_truncations: u64,
+    /// Runs resurrected from the WAL at build time (crash recovery).
+    pub wal_recovered_runs: u64,
+    /// WAL records replayed while resurrecting those runs.
+    pub wal_recovered_records: u64,
     /// Events applied since the previous `stats()` snapshot (since
     /// engine start for the first snapshot).
     pub window_events: u64,

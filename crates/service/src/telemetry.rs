@@ -83,6 +83,11 @@ pub(crate) struct Telemetry {
     pub skl_query_ns_total: Counter,
     pub frozen_query_ns_total: Counter,
     pub skl_pairs_sampled: Counter,
+    pub wal_records: Counter,
+    pub wal_bytes: Counter,
+    pub wal_truncations: Counter,
+    pub wal_recovered_runs: Counter,
+    pub wal_recovered_records: Counter,
 
     // Gauges, refreshed from a stats snapshot at export time.
     pub g_runs_hot: Gauge,
@@ -105,6 +110,8 @@ pub(crate) struct Telemetry {
     pub h_compaction: Arc<Histogram>,
     pub h_reach: Arc<Histogram>,
     pub h_cross_run_scan: Arc<Histogram>,
+    pub h_wal_append: Arc<Histogram>,
+    pub h_wal_fsync: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -160,6 +167,20 @@ impl Telemetry {
                 "wf_skl_pairs_sampled_total",
                 "vertex pairs sampled per SKL build",
             ),
+            wal_records: counter("wf_wal_records_total", "records appended to the WAL"),
+            wal_bytes: counter("wf_wal_bytes_total", "bytes appended to the WAL"),
+            wal_truncations: counter(
+                "wf_wal_truncations_total",
+                "WAL shard compactions after checkpoints",
+            ),
+            wal_recovered_runs: counter(
+                "wf_wal_recovered_runs_total",
+                "hot runs resurrected from the WAL at build time",
+            ),
+            wal_recovered_records: counter(
+                "wf_wal_recovered_records_total",
+                "WAL records replayed at build time",
+            ),
 
             g_runs_hot: gauge("wf_runs_hot", "runs in the hot tier"),
             g_runs_frozen: gauge("wf_runs_frozen", "runs in the frozen tier"),
@@ -186,6 +207,8 @@ impl Telemetry {
             h_compaction: hist("wf_compaction_ns", "one segment compaction pass"),
             h_reach: hist("wf_reach_ns", "reachability probe (sampled 1 in 64)"),
             h_cross_run_scan: hist("wf_cross_run_scan_ns", "cross-run query scan"),
+            h_wal_append: hist("wf_wal_append_ns", "one WAL record framed and written"),
+            h_wal_fsync: hist("wf_wal_fsync_ns", "one WAL fsync (inline or group commit)"),
 
             registry,
         }
@@ -290,6 +313,59 @@ impl Telemetry {
             events.saturating_sub(prev_events),
             now.duration_since(prev_at),
         )
+    }
+}
+
+/// Bridges [`wf_wal::WalObserver`] into the engine's telemetry, so the
+/// dependency-free WAL crate feeds the same registry, histograms, and
+/// trace ring as every other subsystem. Counters always run (the same
+/// contract as the rest of the engine); histogram records and trace
+/// events are gated on `enabled`.
+pub(crate) struct WalTelemetry(pub(crate) Arc<Telemetry>);
+
+impl wf_wal::WalObserver for WalTelemetry {
+    fn append(&self, bytes: u64, dur_ns: u64) {
+        let t = &self.0;
+        t.wal_records.inc();
+        t.wal_bytes.add(bytes);
+        if t.enabled {
+            t.h_wal_append.record(dur_ns);
+            if dur_ns >= t.slow_op_ns {
+                t.trace
+                    .record("wal_append", None, None, dur_ns, format!("bytes={bytes}"));
+            }
+        }
+    }
+
+    fn fsync(&self, dur_ns: u64) {
+        let t = &self.0;
+        if t.enabled {
+            t.h_wal_fsync.record(dur_ns);
+            if dur_ns >= t.slow_op_ns {
+                t.trace
+                    .record("wal_fsync", None, None, dur_ns, String::new());
+            }
+        }
+    }
+
+    fn truncation(&self, shard: usize, bytes_before: u64, bytes_after: u64) {
+        let t = &self.0;
+        t.wal_truncations.inc();
+        if t.enabled {
+            t.trace.record(
+                "wal_truncate",
+                None,
+                None,
+                0,
+                format!("shard={shard} bytes={bytes_before}->{bytes_after}"),
+            );
+        }
+    }
+
+    fn lifecycle(&self, kind: &'static str, detail: String) {
+        if self.0.enabled {
+            self.0.trace.record(kind, None, None, 0, detail);
+        }
     }
 }
 

@@ -1,0 +1,1046 @@
+//! `wf-wal` — a per-shard write-ahead event log for durable ingest.
+//!
+//! The engine's tiered label store (hot → frozen → persisted) only
+//! writes to disk when a run is frozen and spilled, so everything hot —
+//! potentially hours of in-flight events — dies with the process. This
+//! crate puts an append-only durable history *in front of* that mutable
+//! working set:
+//!
+//! - **Framing.** Each record is `[len: u32 LE][fnv1a: u64 LE][body]`
+//!   where the checksum covers the body and the body is
+//!   `[kind: u8][run: u64 LE][seq: u64 LE][payload…]`. The payload is
+//!   opaque to this crate; the service layer encodes run-open metadata
+//!   and execution events into it.
+//! - **Sharding.** One log file per ingest worker (`wal-NNNN.wflog`).
+//!   The service routes a run's records to the shard of the worker the
+//!   run is pinned to, so per-run record order on disk follows the
+//!   per-run apply order (sequence numbers make recovery robust to
+//!   cross-thread interleaving anyway).
+//! - **Group commit.** Under [`WalSync::GroupCommit`] appends land in a
+//!   per-shard user-space buffer; a dedicated committer thread flushes
+//!   and fsyncs every shard once per window, and [`WalWriter::barrier`]
+//!   forces an immediate batch for durability barriers (`flush()`).
+//!   [`WalSync::Always`] writes and fsyncs inline per append;
+//!   [`WalSync::Never`] writes through to the OS but never fsyncs.
+//! - **Recovery.** [`recover`] scans a WAL directory, truncates each
+//!   file's view at the first bad length/checksum (a torn tail is data
+//!   loss bounded by the last barrier, not corruption), groups records
+//!   by run and orders them by sequence number.
+//! - **Checkpoint truncation.** When the service has made a run durable
+//!   elsewhere (spilled a segment), it stamps a `Checkpoint` record and
+//!   compacts the shard in place, dropping every record of checkpointed
+//!   runs — the log retains only the non-checkpointed suffix, keeping
+//!   recovery time proportional to hot state, not history.
+//!
+//! The crate is dependency-free; telemetry flows out through the
+//! [`WalObserver`] trait so the service can bridge into its registry
+//! without `wf-wal` depending on `wf-obs`.
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Frame header: `u32` body length + `u64` FNV-1a checksum of the body.
+pub const FRAME_HEADER_BYTES: usize = 12;
+/// Fixed body prefix: kind byte + run id + sequence number.
+pub const BODY_PREFIX_BYTES: usize = 17;
+/// Upper bound on one record body; longer frames are treated as torn.
+pub const MAX_BODY_BYTES: usize = 1 << 26;
+/// Byte budget per shard buffer under group commit: once a shard's
+/// user-space buffer crosses this, the appender writes it through to the
+/// OS inline (the fsync still waits for the committer).
+pub const GROUP_COMMIT_BYTE_BUDGET: usize = 256 * 1024;
+
+/// The sequence number stamped on `Checkpoint` records: a checkpoint
+/// covers *every* record of its run (runs are only checkpointed once
+/// they are durable in a segment and can never re-ingest).
+pub const CHECKPOINT_SEQ: u64 = u64::MAX;
+
+/// FNV-1a over a byte slice — same polynomial as the segment format, so
+/// the two on-disk formats share corruption-detection behaviour.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// What a record means to the service layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A run was opened; payload carries its spec + resolution.
+    RunOpen,
+    /// One execution event; payload is the encoded event.
+    Event,
+    /// The run was marked complete.
+    Complete,
+    /// The run is durable elsewhere; all its records may be dropped.
+    Checkpoint,
+}
+
+impl RecordKind {
+    fn as_u8(self) -> u8 {
+        match self {
+            RecordKind::RunOpen => 0,
+            RecordKind::Event => 1,
+            RecordKind::Complete => 2,
+            RecordKind::Checkpoint => 3,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(RecordKind::RunOpen),
+            1 => Some(RecordKind::Event),
+            2 => Some(RecordKind::Complete),
+            3 => Some(RecordKind::Checkpoint),
+            _ => None,
+        }
+    }
+}
+
+/// One WAL record. `seq` is per-run and monotonically increasing in
+/// apply order; recovery sorts by it, so cross-thread write interleaving
+/// in a shard file is harmless.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    pub kind: RecordKind,
+    pub run: u64,
+    pub seq: u64,
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// A checkpoint marker for `run` (empty payload, [`CHECKPOINT_SEQ`]).
+    #[must_use]
+    pub fn checkpoint(run: u64) -> Self {
+        Self {
+            kind: RecordKind::Checkpoint,
+            run,
+            seq: CHECKPOINT_SEQ,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Bytes this record occupies on disk, header included.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        FRAME_HEADER_BYTES + BODY_PREFIX_BYTES + self.payload.len()
+    }
+
+    /// Append the framed record to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let body_len = BODY_PREFIX_BYTES + self.payload.len();
+        out.reserve(FRAME_HEADER_BYTES + body_len);
+        let frame_start = out.len();
+        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        out.extend_from_slice(&[0u8; 8]); // checksum patched below
+        let body_start = out.len();
+        out.push(self.kind.as_u8());
+        out.extend_from_slice(&self.run.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = fnv1a(&out[body_start..]);
+        out[frame_start + 4..frame_start + 12].copy_from_slice(&crc.to_le_bytes());
+    }
+}
+
+/// When appends become durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalSync {
+    /// Write + fsync inline on every append. Maximum durability,
+    /// minimum throughput.
+    Always,
+    /// Buffer appends; a committer thread writes + fsyncs all dirty
+    /// shards once per `window`, and `barrier()` forces a batch. One
+    /// fsync amortized over the whole batch.
+    GroupCommit { window: Duration },
+    /// Write through to the OS, never fsync. Survives process crashes
+    /// (the OS flushes eventually) but not power loss.
+    Never,
+}
+
+impl Default for WalSync {
+    fn default() -> Self {
+        WalSync::GroupCommit {
+            window: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Typed WAL failures.
+#[derive(Debug)]
+pub enum WalError {
+    /// An I/O error, with the operation that failed.
+    Io(String),
+    /// A frame failed validation mid-file (recovery reports where).
+    Corrupt {
+        file: String,
+        offset: u64,
+        detail: String,
+    },
+    /// The writer is shutting down and cannot accept appends.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "wal corrupt frame in {file} at offset {offset}: {detail}"
+            ),
+            WalError::ShuttingDown => write!(f, "wal writer is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn io_err(op: &str, path: &Path, e: &std::io::Error) -> WalError {
+    WalError::Io(format!("{op} {}: {e}", path.display()))
+}
+
+/// Telemetry hooks; every method has a no-op default so tests can pass
+/// a unit observer.
+pub trait WalObserver: Send + Sync {
+    /// One record appended (`bytes` on disk, wall time including any
+    /// inline write/fsync).
+    fn append(&self, _bytes: u64, _dur_ns: u64) {}
+    /// One fsync completed (inline or committer batch).
+    fn fsync(&self, _dur_ns: u64) {}
+    /// A shard was compacted after a checkpoint.
+    fn truncation(&self, _shard: usize, _bytes_before: u64, _bytes_after: u64) {}
+    /// A lifecycle transition (`"wal_reset"`, `"wal_open"`, …).
+    fn lifecycle(&self, _kind: &'static str, _detail: String) {}
+}
+
+/// The default observer: drops everything.
+pub struct NullObserver;
+
+impl WalObserver for NullObserver {}
+
+/// File name of shard `i` inside the WAL directory.
+#[must_use]
+pub fn shard_file_name(shard: usize) -> String {
+    format!("wal-{shard:04}.wflog")
+}
+
+fn is_shard_file(name: &str) -> bool {
+    name.starts_with("wal-") && name.ends_with(".wflog")
+}
+
+/// fsync a directory so renames inside it are durable.
+fn fsync_dir(dir: &Path) -> Result<(), WalError> {
+    let f = File::open(dir).map_err(|e| io_err("open dir", dir, &e))?;
+    f.sync_all().map_err(|e| io_err("fsync dir", dir, &e))
+}
+
+// ---------------------------------------------------------------------------
+// Reading + recovery
+// ---------------------------------------------------------------------------
+
+/// Where and why a file's valid prefix ends.
+#[derive(Debug, Clone)]
+pub struct TornTail {
+    pub file: String,
+    /// Bytes of the file that parsed cleanly; everything after is torn.
+    pub valid_bytes: u64,
+    pub detail: String,
+}
+
+/// Parse every valid frame of one WAL file. Corruption mid-file is not
+/// an error: the valid prefix is returned along with a [`TornTail`]
+/// describing the cut (a crash can tear the last frame; anything after
+/// the first bad frame is untrusted).
+pub fn read_records(path: &Path) -> Result<(Vec<Record>, Option<TornTail>), WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err("read", path, &e))?;
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let torn = loop {
+        if at == bytes.len() {
+            break None;
+        }
+        let tear = |detail: String| TornTail {
+            file: path.display().to_string(),
+            valid_bytes: at as u64,
+            detail,
+        };
+        let Some(header) = bytes.get(at..at + FRAME_HEADER_BYTES) else {
+            break Some(tear(format!("short header: {} bytes", bytes.len() - at)));
+        };
+        let body_len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let crc = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        if !(BODY_PREFIX_BYTES..=MAX_BODY_BYTES).contains(&body_len) {
+            break Some(tear(format!("implausible body length {body_len}")));
+        }
+        let body_at = at + FRAME_HEADER_BYTES;
+        let Some(body) = bytes.get(body_at..body_at + body_len) else {
+            break Some(tear(format!(
+                "short body: want {body_len}, have {}",
+                bytes.len() - body_at
+            )));
+        };
+        if fnv1a(body) != crc {
+            break Some(tear("checksum mismatch".to_string()));
+        }
+        let Some(kind) = RecordKind::from_u8(body[0]) else {
+            break Some(tear(format!("unknown record kind {}", body[0])));
+        };
+        records.push(Record {
+            kind,
+            run: u64::from_le_bytes(body[1..9].try_into().unwrap()),
+            seq: u64::from_le_bytes(body[9..17].try_into().unwrap()),
+            payload: body[BODY_PREFIX_BYTES..].to_vec(),
+        });
+        at = body_at + body_len;
+    };
+    Ok((records, torn))
+}
+
+/// One run's surviving records after a directory scan.
+#[derive(Debug)]
+pub struct RecoveredRun {
+    pub run: u64,
+    /// Seq-ordered, seq-deduplicated records; empty iff `checkpointed`.
+    pub records: Vec<Record>,
+    /// Highest sequence number seen (0 when empty).
+    pub max_seq: u64,
+    /// A `Checkpoint` record was found: the run is durable elsewhere
+    /// and its records have been dropped.
+    pub checkpointed: bool,
+}
+
+/// The result of scanning a WAL directory.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Runs in ascending run-id order.
+    pub runs: Vec<RecoveredRun>,
+    /// One entry per file whose tail failed validation.
+    pub torn: Vec<TornTail>,
+    /// Shard files scanned.
+    pub files: usize,
+    /// Valid bytes across all files.
+    pub bytes: u64,
+    /// Valid records across all files (checkpointed runs included).
+    pub records: u64,
+}
+
+/// Scan `dir` for shard files and reassemble per-run record streams.
+/// A missing directory is an empty recovery, not an error.
+pub fn recover(dir: &Path) -> Result<Recovery, WalError> {
+    let mut out = Recovery::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(io_err("read dir", dir, &e)),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(is_shard_file)
+        })
+        .collect();
+    paths.sort();
+    let mut by_run: BTreeMap<u64, RecoveredRun> = BTreeMap::new();
+    for path in &paths {
+        out.files += 1;
+        let (records, torn) = read_records(path)?;
+        if let Some(t) = torn {
+            out.bytes += t.valid_bytes;
+            out.torn.push(t);
+        } else {
+            out.bytes += records.iter().map(|r| r.encoded_len() as u64).sum::<u64>();
+        }
+        for rec in records {
+            out.records += 1;
+            let entry = by_run.entry(rec.run).or_insert_with(|| RecoveredRun {
+                run: rec.run,
+                records: Vec::new(),
+                max_seq: 0,
+                checkpointed: false,
+            });
+            if rec.kind == RecordKind::Checkpoint {
+                entry.checkpointed = true;
+            } else {
+                entry.records.push(rec);
+            }
+        }
+    }
+    for run in by_run.values_mut() {
+        if run.checkpointed {
+            run.records.clear();
+            continue;
+        }
+        run.records.sort_by_key(|r| r.seq);
+        run.records.dedup_by_key(|r| r.seq);
+        run.max_seq = run.records.last().map_or(0, |r| r.seq);
+    }
+    out.runs = by_run.into_values().collect();
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+struct ShardFile {
+    file: File,
+    /// Bytes written through to the OS (not counting `buf`).
+    len: u64,
+    /// Group-commit user-space buffer; empty under `Always`/`Never`.
+    buf: Vec<u8>,
+}
+
+impl ShardFile {
+    /// Write the buffer through to the OS (no fsync).
+    fn flush_buf(&mut self, path: &Path) -> Result<(), WalError> {
+        if !self.buf.is_empty() {
+            self.file
+                .write_all(&self.buf)
+                .map_err(|e| io_err("write", path, &e))?;
+            self.len += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+}
+
+struct Shard {
+    path: PathBuf,
+    state: Mutex<ShardFile>,
+}
+
+struct CommitState {
+    /// Barrier generations requested / completed.
+    requested: u64,
+    completed: u64,
+    stop: bool,
+}
+
+struct WalInner {
+    dir: PathBuf,
+    policy: WalSync,
+    shards: Box<[Shard]>,
+    obs: Box<dyn WalObserver>,
+    commit: Mutex<CommitState>,
+    commit_cv: Condvar,
+    /// Appends since the last committer pass. Outside [`Self::commit`]
+    /// so the append hot path never touches the global mutex — it is
+    /// the difference between one atomic store and a cross-core lock
+    /// handoff per event.
+    pending: AtomicBool,
+}
+
+impl WalInner {
+    fn open_append(path: &Path) -> Result<(File, u64), WalError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|e| io_err("open", path, &e))?;
+        let len = file.metadata().map_err(|e| io_err("stat", path, &e))?.len();
+        Ok((file, len))
+    }
+
+    /// Flush + fsync every shard with un-synced data. Returns the first
+    /// error but visits every shard regardless. The fsync happens on a
+    /// duplicated handle **outside** the shard lock — a millisecond-scale
+    /// sync must never stall concurrent appenders (that stall, not the
+    /// fsync itself, is what would sink group-commit throughput).
+    fn sync_all(&self) -> Result<(), WalError> {
+        let mut first_err = None;
+        for shard in &self.shards {
+            let res = (|| {
+                let file = {
+                    let mut f = shard.state.lock().expect("wal shard lock poisoned");
+                    f.flush_buf(&shard.path)?;
+                    if matches!(self.policy, WalSync::Never) {
+                        return Ok(());
+                    }
+                    f.file
+                        .try_clone()
+                        .map_err(|e| io_err("dup", &shard.path, &e))?
+                };
+                let start = Instant::now();
+                file.sync_data()
+                    .map_err(|e| io_err("fsync", &shard.path, &e))?;
+                self.obs.fsync(start.elapsed().as_nanos() as u64);
+                Ok(())
+            })();
+            if let Err(e) = res {
+                first_err.get_or_insert(e);
+            }
+        }
+        first_err.map_or(Ok(()), Err)
+    }
+}
+
+/// The shard-file writer: owns the append handles and (under group
+/// commit) the committer thread. Dropping the writer flushes and joins.
+pub struct WalWriter {
+    inner: Arc<WalInner>,
+    committer: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl WalWriter {
+    /// Open (or create) a WAL directory with `shards` shard files,
+    /// appending to whatever is already there.
+    pub fn open(
+        dir: &Path,
+        shards: usize,
+        policy: WalSync,
+        obs: Box<dyn WalObserver>,
+    ) -> Result<Self, WalError> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, &e))?;
+        let shards = (0..shards.max(1))
+            .map(|i| {
+                let path = dir.join(shard_file_name(i));
+                let (file, len) = WalInner::open_append(&path)?;
+                Ok(Shard {
+                    path,
+                    state: Mutex::new(ShardFile {
+                        file,
+                        len,
+                        buf: Vec::new(),
+                    }),
+                })
+            })
+            .collect::<Result<Vec<_>, WalError>>()?;
+        Self::start(dir, shards.into_boxed_slice(), policy, obs)
+    }
+
+    /// Rewrite the WAL directory from scratch: shard `records` across
+    /// `shards` files via `route` (run id → shard index), durably
+    /// replace the old files, delete any stale shard/temp files, then
+    /// open for appending. This is how recovery normalizes the log —
+    /// it drops checkpointed history and re-homes records when the
+    /// worker count changed across restarts.
+    pub fn reset(
+        dir: &Path,
+        shards: usize,
+        policy: WalSync,
+        obs: Box<dyn WalObserver>,
+        records: &[Record],
+        route: impl Fn(u64) -> usize,
+    ) -> Result<Self, WalError> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, &e))?;
+        let shards = shards.max(1);
+        let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); shards];
+        for rec in records {
+            rec.encode_into(&mut bufs[route(rec.run) % shards]);
+        }
+        // Durable-replace each shard file: tmp → fsync → rename.
+        for (i, buf) in bufs.iter().enumerate() {
+            let final_path = dir.join(shard_file_name(i));
+            let tmp_path = dir.join(format!("{}.tmp", shard_file_name(i)));
+            let mut f = File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, &e))?;
+            f.write_all(buf)
+                .map_err(|e| io_err("write", &tmp_path, &e))?;
+            f.sync_data().map_err(|e| io_err("fsync", &tmp_path, &e))?;
+            fs::rename(&tmp_path, &final_path).map_err(|e| io_err("rename", &tmp_path, &e))?;
+        }
+        // Drop shard files beyond the new count and orphaned temp files.
+        if let Ok(entries) = fs::read_dir(dir) {
+            for entry in entries.filter_map(Result::ok) {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let stale = name.ends_with(".tmp")
+                    || (is_shard_file(name) && !(0..shards).any(|i| shard_file_name(i) == name));
+                if stale {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        fsync_dir(dir)?;
+        obs.lifecycle(
+            "wal_reset",
+            format!("shards={shards} records={}", records.len()),
+        );
+        let shards = (0..shards)
+            .map(|i| {
+                let path = dir.join(shard_file_name(i));
+                let (file, len) = WalInner::open_append(&path)?;
+                Ok(Shard {
+                    path,
+                    state: Mutex::new(ShardFile {
+                        file,
+                        len,
+                        buf: Vec::new(),
+                    }),
+                })
+            })
+            .collect::<Result<Vec<_>, WalError>>()?;
+        Self::start(dir, shards.into_boxed_slice(), policy, obs)
+    }
+
+    fn start(
+        dir: &Path,
+        shards: Box<[Shard]>,
+        policy: WalSync,
+        obs: Box<dyn WalObserver>,
+    ) -> Result<Self, WalError> {
+        let inner = Arc::new(WalInner {
+            dir: dir.to_path_buf(),
+            policy,
+            shards,
+            obs,
+            commit: Mutex::new(CommitState {
+                requested: 0,
+                completed: 0,
+                stop: false,
+            }),
+            commit_cv: Condvar::new(),
+            pending: AtomicBool::new(false),
+        });
+        let committer = if let WalSync::GroupCommit { window } = policy {
+            let inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("wf-wal-commit".into())
+                    .spawn(move || committer_loop(&inner, window))
+                    .map_err(|e| WalError::Io(format!("spawn committer: {e}")))?,
+            )
+        } else {
+            None
+        };
+        Ok(Self {
+            inner,
+            committer: Mutex::new(committer),
+        })
+    }
+
+    /// Number of shard files.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The WAL directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Append one record to `shard`. Under `Always` the record is
+    /// durable on return; under `GroupCommit` it is durable after the
+    /// next committer pass or [`barrier`](Self::barrier); under `Never`
+    /// it is in the OS page cache.
+    pub fn append(&self, shard: usize, rec: &Record) -> Result<(), WalError> {
+        let inner = &self.inner;
+        let shard_ref = &inner.shards[shard % inner.shards.len()];
+        let start = Instant::now();
+        let frame_len = rec.encoded_len() as u64;
+        {
+            let mut f = shard_ref.state.lock().expect("wal shard lock poisoned");
+            match inner.policy {
+                WalSync::Always => {
+                    let mut frame = Vec::with_capacity(rec.encoded_len());
+                    rec.encode_into(&mut frame);
+                    f.file
+                        .write_all(&frame)
+                        .map_err(|e| io_err("write", &shard_ref.path, &e))?;
+                    f.len += frame.len() as u64;
+                    let fsync_start = Instant::now();
+                    f.file
+                        .sync_data()
+                        .map_err(|e| io_err("fsync", &shard_ref.path, &e))?;
+                    inner.obs.fsync(fsync_start.elapsed().as_nanos() as u64);
+                }
+                WalSync::GroupCommit { .. } => {
+                    // Encode straight into the shard buffer: the hot
+                    // path is one memcpy, no per-record allocation.
+                    rec.encode_into(&mut f.buf);
+                    if f.buf.len() >= GROUP_COMMIT_BYTE_BUDGET {
+                        f.flush_buf(&shard_ref.path)?;
+                    }
+                }
+                WalSync::Never => {
+                    let mut frame = Vec::with_capacity(rec.encoded_len());
+                    rec.encode_into(&mut frame);
+                    f.file
+                        .write_all(&frame)
+                        .map_err(|e| io_err("write", &shard_ref.path, &e))?;
+                    f.len += frame.len() as u64;
+                }
+            }
+        }
+        if matches!(inner.policy, WalSync::GroupCommit { .. }) {
+            inner.pending.store(true, Ordering::Release);
+        }
+        inner
+            .obs
+            .append(frame_len, start.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// Durability barrier: every append that happened-before this call
+    /// is on stable storage when it returns (under `Never`, only in the
+    /// OS page cache — that is the contract the caller opted into).
+    pub fn barrier(&self) -> Result<(), WalError> {
+        match self.inner.policy {
+            // `Always` appends fsync inline; `Never` never fsyncs. In
+            // both cases there is nothing buffered in user space.
+            WalSync::Always | WalSync::Never => Ok(()),
+            WalSync::GroupCommit { .. } => {
+                let inner = &self.inner;
+                let my_gen;
+                {
+                    let mut st = inner.commit.lock().expect("wal commit lock poisoned");
+                    if st.stop {
+                        // Committer gone: sync inline.
+                        drop(st);
+                        return inner.sync_all();
+                    }
+                    st.requested += 1;
+                    my_gen = st.requested;
+                    inner.commit_cv.notify_all();
+                    while st.completed < my_gen && !st.stop {
+                        st = inner.commit_cv.wait(st).expect("wal commit lock poisoned");
+                    }
+                    if st.completed >= my_gen {
+                        return Ok(());
+                    }
+                }
+                // Stopped before our generation completed: sync inline.
+                inner.sync_all()
+            }
+        }
+    }
+
+    /// Stamp a `Checkpoint` record for `run` on `shard`, then compact
+    /// the shard file in place so it retains no record of any
+    /// checkpointed run. Returns `(bytes_before, bytes_after)`.
+    pub fn checkpoint(&self, shard: usize, run: u64) -> Result<(u64, u64), WalError> {
+        self.append(shard, &Record::checkpoint(run))?;
+        self.truncate_shard(shard)
+    }
+
+    /// Compact one shard: drop every record of checkpointed runs and
+    /// the checkpoint markers themselves, durably replacing the file.
+    /// Appends to this shard block for the duration.
+    pub fn truncate_shard(&self, shard: usize) -> Result<(u64, u64), WalError> {
+        let inner = &self.inner;
+        let shard_idx = shard % inner.shards.len();
+        let shard_ref = &inner.shards[shard_idx];
+        let mut f = shard_ref.state.lock().expect("wal shard lock poisoned");
+        f.flush_buf(&shard_ref.path)?;
+        let (records, _torn) = read_records(&shard_ref.path)?;
+        let before = f.len;
+        let checkpointed: HashSet<u64> = records
+            .iter()
+            .filter(|r| r.kind == RecordKind::Checkpoint)
+            .map(|r| r.run)
+            .collect();
+        let mut buf = Vec::new();
+        for rec in &records {
+            if !checkpointed.contains(&rec.run) {
+                rec.encode_into(&mut buf);
+            }
+        }
+        let tmp_path = shard_ref.path.with_extension("wflog.tmp");
+        let mut tmp = File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, &e))?;
+        tmp.write_all(&buf)
+            .map_err(|e| io_err("write", &tmp_path, &e))?;
+        tmp.sync_data()
+            .map_err(|e| io_err("fsync", &tmp_path, &e))?;
+        fs::rename(&tmp_path, &shard_ref.path).map_err(|e| io_err("rename", &tmp_path, &e))?;
+        fsync_dir(&inner.dir)?;
+        let (file, len) = WalInner::open_append(&shard_ref.path)?;
+        f.file = file;
+        f.len = len;
+        inner.obs.truncation(shard_idx, before, len);
+        Ok((before, len))
+    }
+
+    /// Flush everything and stop the committer. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.commit.lock().expect("wal commit lock poisoned");
+            st.stop = true;
+            self.inner.commit_cv.notify_all();
+        }
+        let handle = self
+            .committer
+            .lock()
+            .expect("wal committer handle poisoned")
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        let _ = self.inner.sync_all();
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Committer body: once per window (or immediately on a barrier
+/// request), flush + fsync every dirty shard and publish the completed
+/// generation.
+fn committer_loop(inner: &WalInner, window: Duration) {
+    loop {
+        let (snapshot, stop, dirty) = {
+            let mut st = inner.commit.lock().expect("wal commit lock poisoned");
+            // Pace to the window: at most one fsync per `window` under a
+            // steady append stream — that is the whole point of group
+            // commit. Only a barrier request (or shutdown) cuts the wait
+            // short; mere pending appends wait out the window, otherwise
+            // a busy stream degenerates into fsync-per-pass and the
+            // committer starves the ingest workers for CPU and disk.
+            if !st.stop && st.requested == st.completed {
+                let (guard, _) = inner
+                    .commit_cv
+                    .wait_timeout(st, window)
+                    .expect("wal commit lock poisoned");
+                st = guard;
+            }
+            // Idle windows skip the sync pass entirely — no point
+            // cycling every shard lock when nothing was appended and
+            // nobody is waiting on a barrier.
+            let dirty = inner.pending.swap(false, Ordering::AcqRel)
+                || st.requested > st.completed
+                || st.stop;
+            (st.requested, st.stop, dirty)
+        };
+        if dirty {
+            let _ = inner.sync_all();
+        }
+        {
+            let mut st = inner.commit.lock().expect("wal commit lock poisoned");
+            st.completed = st.completed.max(snapshot);
+            inner.commit_cv.notify_all();
+        }
+        if stop {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!(
+                "wf-wal-test-{}-{}-{}",
+                std::process::id(),
+                tag,
+                seq
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn rec(kind: RecordKind, run: u64, seq: u64, payload: &[u8]) -> Record {
+        Record {
+            kind,
+            run,
+            seq,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_records_across_policies() {
+        for policy in [
+            WalSync::Always,
+            WalSync::GroupCommit {
+                window: Duration::from_millis(1),
+            },
+            WalSync::Never,
+        ] {
+            let dir = TempDir::new("roundtrip");
+            let w = WalWriter::open(dir.path(), 2, policy, Box::new(NullObserver)).unwrap();
+            w.append(0, &rec(RecordKind::RunOpen, 1, 0, &[7, 7]))
+                .unwrap();
+            w.append(0, &rec(RecordKind::Event, 1, 1, b"payload"))
+                .unwrap();
+            w.append(1, &rec(RecordKind::Event, 2, 1, &[])).unwrap();
+            w.barrier().unwrap();
+            w.shutdown();
+            let rec0 = recover(dir.path()).unwrap();
+            assert_eq!(rec0.files, 2);
+            assert_eq!(rec0.records, 3);
+            assert!(rec0.torn.is_empty());
+            assert_eq!(rec0.runs.len(), 2);
+            assert_eq!(rec0.runs[0].run, 1);
+            assert_eq!(rec0.runs[0].records.len(), 2);
+            assert_eq!(rec0.runs[0].records[1].payload, b"payload");
+            assert_eq!(rec0.runs[0].max_seq, 1);
+        }
+    }
+
+    #[test]
+    fn torn_tail_truncates_at_first_bad_frame() {
+        let dir = TempDir::new("torn");
+        let w = WalWriter::open(dir.path(), 1, WalSync::Always, Box::new(NullObserver)).unwrap();
+        for seq in 0..4 {
+            w.append(0, &rec(RecordKind::Event, 9, seq, &[seq as u8; 16]))
+                .unwrap();
+        }
+        w.shutdown();
+        drop(w);
+        let path = dir.path().join(shard_file_name(0));
+        let full = std::fs::read(&path).unwrap();
+        let frame_len = full.len() / 4;
+        // Cut at every byte boundary of the final frame: each cut keeps
+        // the first three records and reports a torn tail (except the
+        // clean full-length case).
+        for cut in (3 * frame_len)..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (records, torn) = read_records(&path).unwrap();
+            if cut == 3 * frame_len {
+                // Clean cut at a frame boundary: no tear to report.
+                assert!(torn.is_none());
+            } else {
+                let torn = torn.expect("mid-frame cut must report a tear");
+                assert_eq!(torn.valid_bytes, (3 * frame_len) as u64);
+            }
+            assert_eq!(records.len(), 3);
+        }
+        // Bit flips anywhere corrupt exactly one frame's suffix.
+        for byte in (0..full.len()).step_by(7) {
+            let mut flipped = full.clone();
+            flipped[byte] ^= 0x10;
+            std::fs::write(&path, &flipped).unwrap();
+            let (records, torn) = read_records(&path).unwrap();
+            assert!(torn.is_some(), "flip at {byte} must tear");
+            assert_eq!(records.len(), byte / frame_len);
+        }
+    }
+
+    #[test]
+    fn checkpoint_truncation_drops_run_history() {
+        let dir = TempDir::new("ckpt");
+        let w = WalWriter::open(dir.path(), 1, WalSync::Always, Box::new(NullObserver)).unwrap();
+        for seq in 0..8 {
+            w.append(0, &rec(RecordKind::Event, 1, seq, &[0xAA; 32]))
+                .unwrap();
+            w.append(0, &rec(RecordKind::Event, 2, seq, &[0xBB; 32]))
+                .unwrap();
+        }
+        let (before, after) = w.checkpoint(0, 1).unwrap();
+        assert!(before > after, "truncation must shrink the shard");
+        w.shutdown();
+        drop(w);
+        let recovery = recover(dir.path()).unwrap();
+        // Run 1 is gone entirely (checkpoint markers are dropped by the
+        // compaction too); run 2 keeps all 8 records.
+        assert_eq!(recovery.runs.len(), 1);
+        assert_eq!(recovery.runs[0].run, 2);
+        assert_eq!(recovery.runs[0].records.len(), 8);
+    }
+
+    #[test]
+    fn reset_rehomes_records_and_drops_stale_files() {
+        let dir = TempDir::new("reset");
+        // Seed a 4-shard layout plus an orphaned temp file.
+        let w = WalWriter::open(dir.path(), 4, WalSync::Always, Box::new(NullObserver)).unwrap();
+        for run in 0..8u64 {
+            w.append(run as usize % 4, &rec(RecordKind::RunOpen, run, 0, &[]))
+                .unwrap();
+        }
+        w.shutdown();
+        drop(w);
+        std::fs::write(dir.path().join("wal-0009.wflog.tmp"), b"junk").unwrap();
+        let survivors: Vec<Record> = recover(dir.path())
+            .unwrap()
+            .runs
+            .into_iter()
+            .filter(|r| r.run % 2 == 0)
+            .flat_map(|r| r.records)
+            .collect();
+        // Re-home into a 2-shard layout keeping only even runs.
+        let w = WalWriter::reset(
+            dir.path(),
+            2,
+            WalSync::Never,
+            Box::new(NullObserver),
+            &survivors,
+            |run| run as usize,
+        )
+        .unwrap();
+        w.append(0, &rec(RecordKind::Event, 0, 1, &[1])).unwrap();
+        w.shutdown();
+        drop(w);
+        let names: Vec<String> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.iter().all(|n| !n.ends_with(".tmp")));
+        assert!(!names.contains(&shard_file_name(2)));
+        let recovery = recover(dir.path()).unwrap();
+        assert_eq!(recovery.files, 2);
+        let runs: Vec<u64> = recovery.runs.iter().map(|r| r.run).collect();
+        assert_eq!(runs, vec![0, 2, 4, 6]);
+        assert_eq!(recovery.runs[0].records.len(), 2);
+    }
+
+    #[test]
+    fn group_commit_barrier_waits_for_fsync() {
+        let dir = TempDir::new("barrier");
+        let w = WalWriter::open(
+            dir.path(),
+            1,
+            WalSync::GroupCommit {
+                window: Duration::from_secs(3600), // never ticks on its own
+            },
+            Box::new(NullObserver),
+        )
+        .unwrap();
+        w.append(0, &rec(RecordKind::Event, 3, 0, &[1, 2, 3]))
+            .unwrap();
+        // Buffered: nothing on disk yet (file may exist but be empty).
+        let len_before = std::fs::metadata(dir.path().join(shard_file_name(0)))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        assert_eq!(len_before, 0);
+        w.barrier().unwrap();
+        let len_after = std::fs::metadata(dir.path().join(shard_file_name(0)))
+            .unwrap()
+            .len();
+        assert!(len_after > 0, "barrier must force the batch to disk");
+    }
+}

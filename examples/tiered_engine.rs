@@ -9,11 +9,15 @@
 //! cargo run --release --example tiered_engine
 //! ```
 //!
-//! Two machine-readable stdout lines feed CI artifacts: the
-//! `compaction` JSON (before/after file-count + byte stats) and, last,
-//! the engine's `tier_footprint` JSON (per-tier bytes plus the
-//! SKL-vs-DRL deltas recorded at freeze time — which format-v2 segments
-//! persist, so they survive engine restarts).
+//! Three machine-readable stdout lines feed CI artifacts: the
+//! `compaction` JSON (before/after file-count + byte stats), the
+//! engine's `tier_footprint` JSON (per-tier bytes plus the SKL-vs-DRL
+//! deltas recorded at freeze time — which format-v2 segments persist,
+//! so they survive engine restarts), and the `wal_recovery` JSON from
+//! the second act: a WAL-backed engine is killed mid-run
+//! (`std::mem::forget` — no drain, no Drop, exactly what SIGKILL
+//! leaves behind) and a fresh build over the same log resurrects the
+//! run and finishes it.
 
 use std::sync::Arc;
 use wf_provenance::prelude::*;
@@ -144,9 +148,84 @@ fn main() {
         stats.segment_sheds,
     );
 
-    // Machine-readable footprint line, last: CI uploads this.
+    // Machine-readable footprint line: CI uploads this.
     println!("{}", stats.tier_footprint_json());
 
     drop(engine);
     let _ = std::fs::remove_dir_all(&spill);
+
+    // ---- Act 2: durable ingest — kill the engine, recover the log. ----
+    //
+    // With a `wal_dir`, every event acknowledged by `flush()` (the
+    // group-commit durability barrier) survives a crash: the next build
+    // over the same directory replays the log and resurrects the run
+    // mid-stream. Simulate the kill with `std::mem::forget` — the
+    // engine is never drained and never dropped, exactly the state a
+    // SIGKILL leaves behind.
+    let wal = std::env::temp_dir().join(format!("wf-tiered-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal);
+    let window = std::time::Duration::from_millis(2);
+    let (run, exec, cut) = {
+        let engine: WfEngine = WfEngine::builder()
+            .spec(wf_spec::corpus::bioaid_nonrecursive())
+            .ingest_workers(2)
+            .wal_dir(&wal)
+            .wal_sync(WalSync::GroupCommit { window })
+            .build();
+        let ctx = Arc::clone(engine.context(SpecId(0)).unwrap());
+        let gen = RunGenerator::new(&ctx.spec)
+            .target_size(300)
+            .generate_run(&mut rng);
+        let exec = Execution::deterministic(&gen.graph, &gen.origin);
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let cut = exec.events().len() * 2 / 3;
+        for ev in &exec.events()[..cut] {
+            engine
+                .ingest(ServiceEvent {
+                    run,
+                    op: RunOp::Insert(ev.clone()),
+                })
+                .unwrap();
+        }
+        engine.flush(); // durability barrier: everything above is on disk
+        std::mem::forget(engine); // "SIGKILL" — no drain, no Drop
+        (run, exec, cut)
+    };
+
+    // A fresh engine over the same WAL dir resurrects the crashed run…
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::bioaid_nonrecursive())
+        .ingest_workers(2)
+        .wal_dir(&wal)
+        .wal_sync(WalSync::GroupCommit { window })
+        .build();
+    let stats = engine.stats();
+    let h = engine.handle(run).expect("crashed run recovered");
+    assert_eq!(h.published(), cut, "every acknowledged event survives");
+    // …and the stream continues right where the crash cut it off.
+    for ev in &exec.events()[cut..] {
+        engine
+            .ingest(ServiceEvent {
+                run,
+                op: RunOp::Insert(ev.clone()),
+            })
+            .unwrap();
+    }
+    engine.flush();
+    engine.complete_run(run).unwrap();
+    let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+    assert_eq!(h.reach(u, v), Some(true));
+    println!(
+        "{{\"metric\":\"wal_recovery\",\"recovered_runs\":{},\"recovered_records\":{},\"resumed_at\":{},\"events\":{}}}",
+        stats.wal_recovered_runs,
+        stats.wal_recovered_records,
+        cut,
+        exec.events().len()
+    );
+    println!(
+        "recovery: {run} resurrected with {cut}/{} acknowledged events, resumed and completed",
+        exec.events().len()
+    );
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&wal);
 }

@@ -6,8 +6,9 @@ Usage: trajectory_delta.py CURRENT.json [PREVIOUS.json ...]
 Each artifact is JSON-lines: bench lines ({"bench": ..., "mean_ns": ...,
 "elements_per_sec": ...}), latency-percentile lines ({"metric":
 "latency", "name": ..., "p50_ns": ..., "p99_ns": ...}), the
-tier_footprint line, the compaction line, and the obs_overhead line, as
-printed by `cargo bench -p wf-bench --bench service`.
+tier_footprint line, the compaction line, the obs_overhead line, and
+the WAL lines (durable_ingest, wal_recovery_ms), as printed by
+`cargo bench -p wf-bench --bench service`.
 
 The newest PREVIOUS (last argument) anchors the delta columns and the
 regression gate; when several PREVIOUS artifacts are given (oldest
@@ -166,13 +167,39 @@ def main():
             elif d > WARN_DROP_PCT:
                 warnings.append(label)
 
-    # Footprint + compaction + overhead lines: informational.
+    # WAL durable-ingest line: the eps_* fields are throughputs (higher
+    # is better). The group-commit point is the headline durable config,
+    # so it carries the same soft gate as the tiering benches; the
+    # fsync-per-event point is too noisy to gate and stays informational.
+    cur, prev = current.get("durable_ingest", {}), previous.get("durable_ingest", {})
+    for metric, gated in (
+        ("eps_off", False),
+        ("eps_group", True),
+        ("eps_always", False),
+        ("group_ratio", False),
+    ):
+        c, p = cur.get(metric), prev.get(metric)
+        if c is None:
+            continue
+        d = delta_pct(p, c)
+        rows.append((f"durable_ingest.{metric}", p, c, d))
+        if d is None:
+            continue
+        drop = -d  # throughput (and the off-vs-group ratio): a drop regresses
+        label = f"durable_ingest {metric}: {d:+.1f}%"
+        if gated and drop > GATE_DROP_PCT:
+            failures.append(label)
+        elif drop > WARN_DROP_PCT:
+            warnings.append(label)
+
+    # Footprint + compaction + overhead + recovery lines: informational.
     for key, fields in (
         ("tier_footprint", ("hot_bytes", "frozen_bytes", "persisted_bytes",
                             "persisted_resident_bytes", "segment_files",
                             "skl_bits", "skl_drl_bits")),
         ("compaction", ("files_before", "files_after", "bytes_after", "runs_packed")),
         ("obs_overhead", ("ingest_ratio", "reach_ratio")),
+        ("wal_recovery_ms", ("records", "ms")),
     ):
         cur, prev = current.get(key, {}), previous.get(key, {})
         for f in fields:

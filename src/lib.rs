@@ -114,7 +114,8 @@ pub mod prelude {
     pub use wf_service::{
         CompactionReport, CrossRunQuery, EngineBuilder, EngineMetrics, EngineStats, FrozenRun,
         HistogramSnapshot, RunHandle, RunId, RunOp, RunStatus, ServiceError, ServiceEvent,
-        ServiceStats, SklReport, SourceReach, SpecContext, SpecId, Tier, TraceEvent, WfEngine,
+        ServiceStats, SklReport, SourceReach, SpecContext, SpecId, Tier, TraceEvent, WalSync,
+        WfEngine,
     };
     pub use wf_skeleton::{BfsSpecLabels, SpecLabeling, TclSpecLabels};
     pub use wf_skl::{SklBfs, SklLabeling};

@@ -1,0 +1,430 @@
+//! Durable ingest: WAL crash recovery, torn tails, the group-commit
+//! flush barrier, and checkpoint truncation.
+//!
+//! The acceptance bar mirrors tiering's: a recovered engine must answer
+//! `reach()` for the durable prefix of every run *identically* to
+//! [`NaiveDynamicDag`] replaying that same prefix — no phantom events,
+//! no lost ones below the watermark. Crashes are injected two ways: an
+//! in-process rebuild over a live engine's WAL directory (nothing was
+//! drained or flushed, exactly the disk state a kill leaves), and a real
+//! child-process `abort()` mid-ingest. Torn tails and bit flips must
+//! degrade to a shorter valid prefix, never a panic; checkpoint
+//! truncation must leave the log holding only runs the persisted tier
+//! does not already own.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use wf_provenance::prelude::*;
+use wf_service::wal;
+
+/// A temp dir that cleans up after itself (no tempfile crate offline).
+/// Honors `WF_TIER_TEST_DIR` so CI can point the round-trip at a
+/// dedicated tempdir.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let base = std::env::var_os("WF_TIER_TEST_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = base.join(format!(
+            "wf-durability-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn spec_for(seed: u64) -> Specification {
+    if seed.is_multiple_of(2) {
+        wf_spec::corpus::running_example()
+    } else {
+        wf_spec::corpus::bioaid_nonrecursive()
+    }
+}
+
+/// Ground truth for the first `n` events: the paper's naive dynamic
+/// scheme replaying exactly that prefix.
+fn naive_prefix(events: &[ExecEvent], n: usize) -> NaiveDynamicDag {
+    let mut naive = NaiveDynamicDag::new();
+    for ev in &events[..n] {
+        naive.insert(ev.vertex, &ev.preds);
+    }
+    naive
+}
+
+/// Assert a recovered run answers every sampled pair exactly like naive
+/// replay of its first `n` events.
+fn assert_prefix_answers(h: &RunHandle, events: &[ExecEvent], n: usize) {
+    let naive = naive_prefix(events, n);
+    for a in events[..n].iter().step_by(3) {
+        for b in events[..n].iter().step_by(2) {
+            assert_eq!(
+                h.reach(a.vertex, b.vertex),
+                Some(naive.reaches(a.vertex, b.vertex)),
+                "{:?};{:?} after {n} events",
+                a.vertex,
+                b.vertex
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Kill-without-drain at an arbitrary point mid-run, recover,
+    /// **continue the same run**, kill again after completion, recover
+    /// again: both recovered engines answer exactly per naive replay of
+    /// the durable prefix, and the run finishes across three engine
+    /// lifetimes with three different worker counts (records are
+    /// re-homed across shard layouts at each recovery).
+    #[test]
+    fn recovered_answers_match_naive_prefix_replay(
+        seed in 0u64..10_000,
+        target in 30usize..120,
+    ) {
+        let dir = TempDir::new("prop");
+        let spec = spec_for(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = RunGenerator::new(&spec).target_size(target).generate_run(&mut rng);
+        let exec = Execution::deterministic(&gen.graph, &gen.origin);
+        let events = exec.events();
+        let cut = events.len() / 2 + 1;
+
+        // Lifetime 1: ingest half the run, then "crash" — the engine is
+        // never drained, flushed, or dropped before recovery reads its
+        // WAL directory. `Always` makes every applied event durable.
+        let engine: WfEngine = WfEngine::builder()
+            .spec(spec.clone())
+            .ingest_workers(2)
+            .wal_dir(&dir.0)
+            .wal_sync(WalSync::Always)
+            .build();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let h = engine.handle(run).unwrap();
+        for ev in &events[..cut] {
+            h.submit(ev).unwrap();
+        }
+
+        // Lifetime 2 recovers the prefix and finishes the run.
+        let recovered: WfEngine = WfEngine::builder()
+            .spec(spec.clone())
+            .ingest_workers(1)
+            .wal_dir(&dir.0)
+            .wal_sync(WalSync::Always)
+            .build();
+        let s = recovered.stats();
+        prop_assert_eq!(s.wal_recovered_runs, 1);
+        prop_assert!(s.wal_recovered_records > cut as u64);
+        prop_assert_eq!(recovered.run_status(run).unwrap(), RunStatus::Live);
+        let h2 = recovered.handle(run).unwrap();
+        prop_assert_eq!(h2.published(), cut);
+        assert_prefix_answers(&h2, events, cut);
+        for ev in &events[cut..] {
+            h2.submit(ev).unwrap();
+        }
+        recovered.complete_run(run).unwrap();
+        drop(engine); // the crashed lifetime's threads, reaped late
+
+        // Lifetime 3: the whole run survives, completion included.
+        let reloaded: WfEngine = WfEngine::builder()
+            .spec(spec)
+            .ingest_workers(3)
+            .wal_dir(&dir.0)
+            .build();
+        prop_assert_eq!(reloaded.run_status(run).unwrap(), RunStatus::Completed);
+        let h3 = reloaded.handle(run).unwrap();
+        prop_assert_eq!(h3.published(), events.len());
+        assert_prefix_answers(&h3, events, events.len());
+        // A recovered engine opens fresh runs above every replayed id.
+        let fresh = reloaded.open_run(SpecId(0)).unwrap();
+        prop_assert!(fresh.0 > run.0);
+    }
+}
+
+/// Under group commit the user-space buffer is *not* readable by a
+/// recovery scan until it is written through — and `flush()` is the
+/// durability barrier that writes and fsyncs it. A committer window of
+/// an hour removes the background fsync from the picture: everything
+/// the post-flush scan sees, the barrier put there.
+#[test]
+fn flush_is_the_group_commit_durability_barrier() {
+    let dir = TempDir::new("barrier");
+    let spec = wf_spec::corpus::running_example();
+    let mut rng = StdRng::seed_from_u64(99);
+    let gen = RunGenerator::new(&spec)
+        .target_size(80)
+        .generate_run(&mut rng);
+    let exec = Execution::deterministic(&gen.graph, &gen.origin);
+    let events = exec.events();
+
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .ingest_workers(2)
+        .wal_dir(&dir.0)
+        .wal_sync(WalSync::GroupCommit {
+            window: Duration::from_secs(3600),
+        })
+        .build();
+    let run = engine.open_run(SpecId(0)).unwrap();
+    for ev in events {
+        engine.submit(run, ev).unwrap();
+    }
+    let watermark = engine.flush();
+    assert!(watermark >= events.len() as u64);
+    let s = engine.stats();
+    assert!(s.wal_records > events.len() as u64);
+    assert!(s.wal_bytes > 0);
+
+    // Crash-sim: recover the directory while the first engine is live.
+    let recovered: WfEngine = WfEngine::builder().spec(spec).wal_dir(&dir.0).build();
+    let h = recovered.handle(run).unwrap();
+    assert_eq!(
+        h.published(),
+        events.len(),
+        "every event below the flush watermark is durable"
+    );
+    assert_prefix_answers(&h, events, events.len());
+    drop(engine);
+}
+
+/// A torn tail — the file cut mid-frame at *any* byte — or a flipped
+/// bit recovers the longest valid prefix: no panic, answers identical
+/// to naive replay of however many events survived, and the engine
+/// stays usable for fresh runs.
+#[test]
+fn torn_tails_and_bit_flips_recover_a_valid_prefix() {
+    let dir = TempDir::new("torn");
+    let spec = wf_spec::corpus::running_example();
+    let mut rng = StdRng::seed_from_u64(4321);
+    let gen = RunGenerator::new(&spec)
+        .target_size(40)
+        .generate_run(&mut rng);
+    let exec = Execution::deterministic(&gen.graph, &gen.origin);
+    let events = exec.events();
+
+    // Single worker + Always: one shard file, file order = seq order.
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .ingest_workers(1)
+        .wal_dir(&dir.0)
+        .wal_sync(WalSync::Always)
+        .build();
+    let run = engine.open_run(SpecId(0)).unwrap();
+    let h = engine.handle(run).unwrap();
+    for ev in events {
+        h.submit(ev).unwrap();
+    }
+    drop(engine);
+    let shard = dir.0.join(wal::shard_file_name(0));
+    let bytes = std::fs::read(&shard).unwrap();
+
+    let verify_prefix = |tag: &str| {
+        let engine: WfEngine = WfEngine::builder()
+            .spec(spec.clone())
+            .ingest_workers(1)
+            .wal_dir(&dir.0)
+            .wal_sync(WalSync::Always)
+            .build();
+        match engine.handle(run) {
+            Ok(h) => {
+                let n = h.published();
+                assert!(n <= events.len(), "{tag}: phantom events");
+                assert_prefix_answers(&h, events, n);
+                n
+            }
+            // The cut beheaded the RunOpen record: the run is gone,
+            // which is a valid (empty-prefix) crash state.
+            Err(ServiceError::UnknownRun(_)) => 0,
+            Err(e) => panic!("{tag}: unexpected error {e}"),
+        }
+    };
+
+    // Every 13th cut point, plus the last byte.
+    for cut in (0..bytes.len()).step_by(13).chain([bytes.len() - 1]) {
+        std::fs::write(&shard, &bytes[..cut]).unwrap();
+        verify_prefix(&format!("cut at {cut}"));
+    }
+    // Bit flips at sampled positions: the checksum cuts the prefix at
+    // the poisoned frame.
+    for pos in [4, 21, bytes.len() / 2, bytes.len() - 5] {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x10;
+        std::fs::write(&shard, &bad).unwrap();
+        let n = verify_prefix(&format!("bit flip at {pos}"));
+        assert!(n < events.len(), "flip at {pos} shortened nothing");
+    }
+    // Intact bytes restore the full run, and the engine still ingests.
+    std::fs::write(&shard, &bytes).unwrap();
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .ingest_workers(1)
+        .wal_dir(&dir.0)
+        .build();
+    assert_eq!(engine.handle(run).unwrap().published(), events.len());
+    let fresh = engine.open_run(SpecId(0)).unwrap();
+    for ev in events {
+        engine.submit(fresh, ev).unwrap();
+    }
+    engine.flush();
+    assert_eq!(engine.handle(fresh).unwrap().published(), events.len());
+}
+
+/// Checkpoint truncation provably bounds the log: once a run is spilled
+/// to its segment, the WAL retains **no** trace of it — only the runs
+/// the persisted tier does not own keep their records — and a rebuild
+/// serves persisted runs from segments, unfrozen ones from replay.
+#[test]
+fn checkpoint_truncation_bounds_log_to_unfrozen_runs() {
+    let dir = TempDir::new("ckpt");
+    let wal_dir = dir.0.join("wal");
+    let spill_dir = dir.0.join("spill");
+    let spec = wf_spec::corpus::bioaid_nonrecursive();
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .ingest_workers(2)
+        .wal_dir(&wal_dir)
+        .wal_sync(WalSync::Always)
+        .spill_dir(&spill_dir)
+        .build();
+    let mut fleet = Vec::new();
+    for _ in 0..4 {
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let gen = RunGenerator::new(&spec)
+            .target_size(50)
+            .generate_run(&mut rng);
+        let exec = Execution::deterministic(&gen.graph, &gen.origin);
+        for ev in exec.events() {
+            engine.submit(run, ev).unwrap();
+        }
+        engine.complete_run(run).unwrap();
+        fleet.push((run, exec));
+    }
+    engine.flush();
+    let (persisted, hot) = fleet.split_at(2);
+    for (run, _) in persisted {
+        engine.persist_run(*run).unwrap();
+    }
+    assert_eq!(engine.stats().wal_truncations, 2);
+
+    // The log now holds exactly the two unfrozen runs.
+    let scan = wal::recover(&wal_dir).unwrap();
+    for (run, exec) in hot {
+        let r = scan.runs.iter().find(|r| r.run == run.0).unwrap();
+        assert!(!r.checkpointed);
+        assert!(r.records.len() as u64 >= 2 + exec.len() as u64);
+    }
+    for (run, _) in persisted {
+        let gone = scan
+            .runs
+            .iter()
+            .find(|r| r.run == run.0)
+            .is_none_or(|r| r.checkpointed && r.records.is_empty());
+        assert!(gone, "{run} still journaled after its checkpoint");
+    }
+    // The bound in bytes: what is on disk is what the unfrozen runs
+    // need, not the whole history.
+    let hot_bytes: u64 = scan
+        .runs
+        .iter()
+        .filter(|r| hot.iter().any(|(run, _)| run.0 == r.run))
+        .flat_map(|r| &r.records)
+        .map(|rec| rec.encoded_len() as u64)
+        .sum();
+    assert!(scan.bytes <= hot_bytes + 2 * 64, "log retains dead weight");
+    drop(engine);
+
+    // Rebuild: persisted runs answer from their segments, unfrozen runs
+    // from WAL replay — every run, exactly per naive replay.
+    let reloaded: WfEngine = WfEngine::builder()
+        .spec(spec)
+        .ingest_workers(1)
+        .wal_dir(&wal_dir)
+        .spill_dir(&spill_dir)
+        .build();
+    let s = reloaded.stats();
+    assert_eq!(s.wal_recovered_runs, 2);
+    assert_eq!((s.runs_hot, s.runs_persisted), (2, 2));
+    for (run, exec) in &fleet {
+        assert_eq!(reloaded.run_status(*run).unwrap(), RunStatus::Completed);
+        let h = reloaded.handle(*run).unwrap();
+        assert_prefix_answers(&h, exec.events(), exec.len());
+    }
+}
+
+/// A real crash: a child process aborts mid-ingest (no drop, no drain,
+/// no atexit), and the parent recovers its WAL directory. Under
+/// `Always`, every `submit` that returned is durable — the child tells
+/// us how far it got via a watermark file written *before* the abort.
+#[test]
+fn child_process_abort_recovers_every_acknowledged_event() {
+    let spec = wf_spec::corpus::running_example();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let gen = RunGenerator::new(&spec)
+        .target_size(90)
+        .generate_run(&mut rng);
+    let exec = Execution::deterministic(&gen.graph, &gen.origin);
+    let events = exec.events();
+    let cut = 2 * events.len() / 3;
+
+    if let Some(dir) = std::env::var_os("WF_DURABILITY_CRASH_DIR") {
+        // Child: ingest `cut` events durably, record the watermark,
+        // then die as hard as safe abort allows.
+        let dir = PathBuf::from(dir);
+        let engine: WfEngine = WfEngine::builder()
+            .spec(spec)
+            .ingest_workers(2)
+            .wal_dir(dir.join("wal"))
+            .wal_sync(WalSync::Always)
+            .build();
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let h = engine.handle(run).unwrap();
+        for ev in &events[..cut] {
+            h.submit(ev).unwrap();
+        }
+        std::fs::write(dir.join("watermark"), format!("{} {cut}", run.0)).unwrap();
+        std::process::abort();
+    }
+
+    let dir = TempDir::new("abort");
+    let exe = std::env::current_exe().unwrap();
+    let status = std::process::Command::new(exe)
+        .args([
+            "child_process_abort_recovers_every_acknowledged_event",
+            "--exact",
+            "--nocapture",
+        ])
+        .env("WF_DURABILITY_CRASH_DIR", &dir.0)
+        .status()
+        .unwrap();
+    assert!(!status.success(), "the child is supposed to crash");
+    let watermark = std::fs::read_to_string(dir.0.join("watermark")).unwrap();
+    let (run, n) = watermark.trim().split_once(' ').unwrap();
+    let (run, n) = (RunId(run.parse().unwrap()), n.parse::<usize>().unwrap());
+    assert_eq!(n, cut);
+
+    let recovered: WfEngine = WfEngine::builder()
+        .spec(spec)
+        .wal_dir(dir.0.join("wal"))
+        .build();
+    assert_eq!(recovered.stats().wal_recovered_runs, 1);
+    let h = recovered.handle(run).unwrap();
+    assert_eq!(h.published(), n, "an acknowledged event went missing");
+    assert_prefix_answers(&h, events, n);
+}
