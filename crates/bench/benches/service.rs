@@ -646,11 +646,212 @@ fn service_durable_ingest(_c: &mut Criterion) {
     );
 }
 
+/// One cold-scan trial over a prebuilt packed spill directory: a fresh
+/// engine (nothing resident, nothing decoded) sweeps the whole
+/// persisted fleet under a tight resident-byte budget — one reach probe
+/// per run, in id order, so **every** probe resolves its blob cold (the
+/// budget evicts it again long before the sweep wraps around). This
+/// isolates the blob-resolution cost the buffer manager exists to cut:
+/// checksum-once over the mapping vs open + copy + verify per owned
+/// fault-in. The full cross-run label scan then runs untimed as the
+/// cross-path equality check. Returns (runs/s, peak resident bytes,
+/// mapped bytes, cross-run hit count).
+fn cold_scan_trial(
+    catalog: &[Arc<SpecContext>],
+    spill: &std::path::Path,
+    streams: &[Vec<ExecEvent>],
+    budget: u64,
+    mmap: bool,
+    probe: wf_graph::NameId,
+) -> (f64, u64, u64, usize) {
+    let mut b = WfEngine::builder()
+        .shards(32)
+        .spill_dir(spill)
+        .max_resident_bytes(budget)
+        .mmap_packs(mmap);
+    for ctx in catalog {
+        b = b.context(Arc::clone(ctx));
+    }
+    let engine = b.build();
+    assert_eq!(engine.stats().runs_persisted as usize, TIER_FLEET);
+    let mapped_bytes = engine.stats().mapped_bytes;
+    // Runs were opened in stream order, so sorted ids line up with
+    // `streams` indices.
+    let ids = engine.query().run_ids();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let peak = std::sync::atomic::AtomicU64::new(0);
+    let (eps, hits) = std::thread::scope(|s| {
+        s.spawn(|| {
+            // Peak-residency sampler: the budget must hold *during* the
+            // sweep, not just after it.
+            use std::sync::atomic::Ordering;
+            while !stop.load(Ordering::Relaxed) {
+                peak.fetch_max(engine.stats().persisted_resident_bytes, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        });
+        let t = Instant::now();
+        let mut yes = 0usize;
+        for (i, run) in ids.iter().enumerate() {
+            let ev = &streams[i];
+            let (u, v) = (ev[0].vertex, ev[ev.len() / 2].vertex);
+            if engine.reach(*run, u, v).expect("registered") == Some(true) {
+                yes += 1;
+            }
+        }
+        criterion::black_box(yes);
+        let eps = ids.len() as f64 / t.elapsed().as_secs_f64();
+        let hits = engine
+            .query()
+            .completed()
+            .runs_reaching_named_from_source(probe)
+            .len();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        (eps, hits)
+    });
+    let peak = peak
+        .into_inner()
+        .max(engine.stats().persisted_resident_bytes);
+    (eps, peak, mapped_bytes, hits)
+}
+
+/// The buffer-manager acceptance act: cold-scan `TIER_FLEET` persisted
+/// runs straight off packed segments, mapped (zero-copy `mmap` + verify
+/// at first pin) vs the owned-buffer fault-in fallback, under one tight
+/// resident budget. The mapped path must win on latency — **≥ 1.5×**
+/// scan throughput — while both stay inside the budget. Then the
+/// shed → re-heat → pack-GC act: promote enough of the fleet to strand
+/// dead blobs in the packs and demonstrate GC shrinking the on-disk
+/// footprint. JSON lines: `cold_scan` (keyed `cold_scan_eps` /
+/// `mapped_resident_bytes` in the trajectory gate) and the
+/// `pack_gc` report.
+fn service_cold_scan(_c: &mut Criterion) {
+    let catalog = catalog();
+    let spill = std::env::temp_dir().join(format!("wf-bench-coldscan-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill);
+    // Prebuild: TIER_FLEET small **uniform** runs, persisted and packed
+    // (no Zipf head here — one giant blob would dwarf the resident
+    // budget and drown the per-blob comparison). Small blobs make the
+    // per-blob fault overhead (open/seek/copy/decode vs
+    // checksum-over-mapping) the dominant term, which is exactly what
+    // the unified read path optimizes.
+    let streams: Vec<Vec<ExecEvent>> = {
+        let mut rng = StdRng::seed_from_u64(46);
+        (0..TIER_FLEET)
+            .map(|i| {
+                let spec = &catalog[i % catalog.len()].spec;
+                let gen = RunGenerator::new(spec)
+                    .target_size(14)
+                    .generate_run(&mut rng);
+                Execution::random(&gen.graph, &gen.origin, &mut rng)
+                    .events()
+                    .to_vec()
+            })
+            .collect()
+    };
+    let probe = streams[0][streams[0].len() / 2].name;
+    {
+        let mut b = WfEngine::builder().shards(32).spill_dir(&spill);
+        for ctx in &catalog {
+            b = b.context(Arc::clone(ctx));
+        }
+        let engine = b.build();
+        for (i, stream) in streams.iter().enumerate() {
+            let run = engine.open_run(SpecId(i % catalog.len())).expect("spec");
+            let h = engine.handle(run).expect("registered");
+            for ev in stream {
+                h.submit(ev).expect("healthy stream");
+            }
+            h.complete().expect("live");
+            engine.persist_run(run).expect("spill dir configured");
+        }
+        let report = engine.compact().expect("spill dir configured");
+        println!("{}", report.json());
+        assert!(report.packs_written >= 1);
+    }
+    // Budget: ~4% of the persisted tier — the owned path must shed
+    // constantly, the mapped path must stay useful under `madvise`.
+    let persisted_bytes: u64 = std::fs::read_dir(&spill)
+        .expect("spill dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "wfseg"))
+        .map(|e| e.metadata().expect("metadata").len())
+        .sum();
+    let budget = (persisted_bytes / 25).max(64 * 1024);
+    let slack = 256 * 1024; // transient overshoot: blobs admit before enforce
+    let (owned_eps, owned_peak, owned_mapped, owned_hits) =
+        cold_scan_trial(&catalog, &spill, &streams, budget, false, probe);
+    let (mapped_eps, mapped_peak, mapped_bytes, mapped_hits) =
+        cold_scan_trial(&catalog, &spill, &streams, budget, true, probe);
+    println!(
+        "{{\"bench\":\"service_cold_scan\",\"runs\":{TIER_FLEET},\
+         \"cold_scan_eps\":{mapped_eps:.1},\"owned_scan_eps\":{owned_eps:.1},\
+         \"speedup\":{:.3},\"budget_bytes\":{budget},\
+         \"mapped_resident_bytes\":{mapped_peak},\"owned_resident_bytes\":{owned_peak},\
+         \"mapped_bytes\":{mapped_bytes}}}",
+        mapped_eps / owned_eps,
+    );
+    assert_eq!(
+        mapped_hits, owned_hits,
+        "both read paths answer identically"
+    );
+    assert_eq!(owned_mapped, 0, "mmap disabled on the owned trial");
+    assert!(mapped_bytes > 0, "packs are mapped at registration");
+    assert!(
+        mapped_peak <= budget + slack && owned_peak <= budget + slack,
+        "resident budget violated: mapped {mapped_peak} / owned {owned_peak} vs {budget}+{slack}"
+    );
+    assert!(
+        mapped_eps >= 1.5 * owned_eps,
+        "mapped cold scan must beat owned fault-in ≥1.5x: {mapped_eps:.1} vs {owned_eps:.1} runs/s"
+    );
+
+    // The re-heat → pack-GC act: promote the first quarter of the fleet
+    // all the way back to hot (sustained-traffic re-heat), stranding
+    // their blobs as dead bytes in the packs, then GC.
+    let mut b = WfEngine::builder()
+        .shards(32)
+        .spill_dir(&spill)
+        .max_resident_bytes(budget);
+    for ctx in &catalog {
+        b = b.context(Arc::clone(ctx));
+    }
+    let engine = b.build();
+    let mut ids: Vec<_> = engine.query().run_ids();
+    ids.sort();
+    for run in &ids[..TIER_FLEET / 4 + TIER_FLEET / 8] {
+        engine
+            .reheat_run_hot(*run)
+            .expect("persisted run re-heats hot");
+    }
+    assert!(engine.stats().pack_dead_bytes > 0);
+    let gc = engine.gc_packs().expect("spill dir configured");
+    println!("{}", gc.json());
+    assert!(
+        gc.dead_bytes_reclaimed > 0,
+        "re-heated blobs crossed the dead ratio in at least one pack"
+    );
+    let after_bytes: u64 = std::fs::read_dir(&spill)
+        .expect("spill dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "wfseg"))
+        .map(|e| e.metadata().expect("metadata").len())
+        .sum();
+    assert!(
+        after_bytes < persisted_bytes,
+        "pack GC shrinks the on-disk footprint: {persisted_bytes} -> {after_bytes}"
+    );
+    println!("{}", engine.stats().tier_footprint_json());
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&spill);
+}
+
 criterion_group!(
     benches,
     service_ingest,
     service_query,
     service_tiering,
+    service_cold_scan,
     service_durable_ingest,
     service_obs_overhead
 );

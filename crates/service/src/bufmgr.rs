@@ -1,0 +1,606 @@
+//! **wf-bufmgr** — the mmap buffer manager under the persisted tier.
+//!
+//! PR 5's read path faulted every cold query through an owned
+//! `Vec<u8>`: seek, read, allocate, checksum, *decode every label* —
+//! per run, per fault. At 10⁵ persisted runs a cold cross-run scan is
+//! bounded by memcpys and allocator churn, not disk. This module turns
+//! packed segment files into a page-cache-speed storage engine:
+//!
+//! * [`PackMapping`] — each `pack-<seq>.wfseg` is `mmap`'d **once** at
+//!   registration (read-only, shared). Packs are immutable by
+//!   construction (temp file → fsync → rename; never modified in
+//!   place), so a mapping stays byte-identical for its whole life and
+//!   checksums need verifying only once, at first pin.
+//! * [`MappedRun`] — one run's blob resolved to a pinned byte range
+//!   *inside* the mapping: a parsed header plus absolute slot/arena
+//!   offsets. Queries binary-search the slot table and Elias-gamma
+//!   decode labels **straight off the mapping** — no copy, no
+//!   allocation, no eager whole-arena validation.
+//! * [`Replacer`] — the victim-selection policy behind the store's
+//!   `SegmentLru`, made pluggable and **pin-aware**: entries with live
+//!   [`crate::snapshot::SegmentPin`]s are never victims, owned arenas
+//!   are dropped, and mapped ranges are evicted with
+//!   `madvise(MADV_DONTNEED)` — the pages go back to the kernel, the
+//!   metadata stays, and the next pin re-faults at page-cache speed.
+//! * [`EpochRegistry`] — the version lifecycle for pack files. Pack GC
+//!   and compaction rewrite packs while scans are mid-flight; every
+//!   cross-run scan pins the current epoch, a rewrite retires the old
+//!   files under the *next* epoch, and a retired file is unlinked only
+//!   once no guard from an earlier epoch survives. In-flight readers
+//!   therefore always see the pre-rewrite pack set, whichever path
+//!   (mapped or owned fault-in) they resolve through.
+//!
+//! Loose `run-<id>.wfseg` files keep the owned-buffer fault-in path:
+//! they are transient (compaction packs them away), so mapping each one
+//! would cost a VMA per run for no steady-state win.
+
+use crate::snapshot::{verify_segment_bytes, PersistedRun, SegmentHeader, SnapshotError};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use wf_drl::{decode_label, ArenaSlot, DrlLabel, LabelArena};
+use wf_graph::{NameId, VertexId};
+
+/// Page granularity assumed for `madvise` range rounding. A constant
+/// (not `sysconf`) keeps the offline build free of libc: rounding to a
+/// too-small page merely shrinks the advisory range, which is safe.
+const PAGE: usize = 4096;
+
+#[cfg(unix)]
+mod ffi {
+    use std::ffi::c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
+    }
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_SHARED: i32 = 1;
+    pub const MADV_DONTNEED: i32 = 4;
+}
+
+/// How a pack file's bytes are held: a real `mmap` on unix, or the
+/// whole file read into an owned buffer where mapping is unavailable
+/// (non-unix targets, or an `mmap` that failed at registration). Both
+/// variants serve the identical zero-copy [`MappedRun`] read path; only
+/// eviction differs (`madvise` vs nothing — the owned fallback frees
+/// with the mapping itself).
+enum PackBytes {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut u8,
+        len: usize,
+    },
+    Owned(Box<[u8]>),
+}
+
+impl std::fmt::Debug for PackBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            #[cfg(unix)]
+            PackBytes::Mapped { len, .. } => write!(f, "Mapped({len}B)"),
+            PackBytes::Owned(b) => write!(f, "Owned({}B)", b.len()),
+        }
+    }
+}
+
+/// One pack file mapped for the life of its registration. Dropped when
+/// the last [`MappedRun`] (or retired-pack record) referencing it goes
+/// — unmapping then is safe even if GC already unlinked the file (the
+/// inode survives until the final `munmap`).
+#[derive(Debug)]
+pub struct PackMapping {
+    path: PathBuf,
+    bytes: PackBytes,
+    /// Shared gauge of live mapped bytes (the store's `mapped_bytes`):
+    /// incremented on map, decremented on drop.
+    gauge: Arc<AtomicU64>,
+}
+
+// SAFETY: the mapping is PROT_READ over an immutable file; the raw
+// pointer is owned exclusively by this struct and only ever read.
+unsafe impl Send for PackMapping {}
+unsafe impl Sync for PackMapping {}
+
+impl PackMapping {
+    /// Map `path` read-only. Falls back to reading the whole file into
+    /// an owned buffer when `mmap` is unavailable or refuses (empty
+    /// file, exotic filesystem) — registration never fails over the
+    /// mapping strategy, only over unreadable bytes.
+    pub fn open(path: &Path, gauge: Arc<AtomicU64>) -> io::Result<Arc<Self>> {
+        let file = fs::File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        let bytes = match Self::map(&file, len) {
+            Some(mapped) => {
+                gauge.fetch_add(len as u64, Ordering::Relaxed);
+                mapped
+            }
+            None => {
+                let mut buf = Vec::with_capacity(len);
+                use std::io::Read;
+                (&file).read_to_end(&mut buf)?;
+                PackBytes::Owned(buf.into_boxed_slice())
+            }
+        };
+        Ok(Arc::new(Self {
+            path: path.to_path_buf(),
+            bytes,
+            gauge,
+        }))
+    }
+
+    #[cfg(unix)]
+    fn map(file: &fs::File, len: usize) -> Option<PackBytes> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return None;
+        }
+        let ptr = unsafe {
+            ffi::mmap(
+                std::ptr::null_mut(),
+                len,
+                ffi::PROT_READ,
+                ffi::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr.is_null() || ptr as isize == -1 {
+            return None;
+        }
+        Some(PackBytes::Mapped {
+            ptr: ptr.cast(),
+            len,
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn map(_file: &fs::File, _len: usize) -> Option<PackBytes> {
+        None
+    }
+
+    /// The file this mapping covers.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// True when the bytes are a real `mmap` (vs the owned fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.bytes {
+            #[cfg(unix)]
+            PackBytes::Mapped { .. } => true,
+            PackBytes::Owned(_) => false,
+        }
+    }
+
+    /// The whole file as one immutable slice.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.bytes {
+            #[cfg(unix)]
+            // SAFETY: ptr/len came from a successful PROT_READ mmap that
+            // lives until Drop; the file is never truncated or rewritten
+            // in place (temp-file + rename discipline), so every byte
+            // stays readable.
+            PackBytes::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            PackBytes::Owned(b) => b,
+        }
+    }
+
+    /// A bounds-checked sub-range (one blob's bytes).
+    pub fn slice(&self, offset: u64, len: u64) -> Option<&[u8]> {
+        let start = usize::try_from(offset).ok()?;
+        let end = start.checked_add(usize::try_from(len).ok()?)?;
+        self.bytes().get(start..end)
+    }
+
+    /// Hint the kernel to drop the pages backing `[offset, offset+len)`
+    /// — the mapped tier's eviction. Page-rounded outward (dropping a
+    /// neighbour's shared page is harmless: the next touch re-faults
+    /// identical bytes). A no-op for the owned fallback.
+    pub fn advise_dont_need(&self, offset: u64, len: u64) {
+        #[cfg(unix)]
+        if let PackBytes::Mapped { ptr, len: map_len } = &self.bytes {
+            let start = (offset as usize).min(*map_len) & !(PAGE - 1);
+            let end = ((offset + len) as usize)
+                .min(*map_len)
+                .next_multiple_of(PAGE)
+                .min(*map_len);
+            if end > start {
+                // SAFETY: [start, end) lies inside the live mapping.
+                unsafe {
+                    ffi::madvise(ptr.add(start).cast(), end - start, ffi::MADV_DONTNEED);
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        let _ = (offset, len);
+    }
+}
+
+impl Drop for PackMapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let PackBytes::Mapped { ptr, len } = &self.bytes {
+            self.gauge.fetch_sub(*len as u64, Ordering::Relaxed);
+            // SAFETY: exclusive owner of a live mapping.
+            unsafe {
+                ffi::munmap(ptr.cast::<std::ffi::c_void>(), *len);
+            }
+        }
+    }
+}
+
+/// One persisted run resolved to a byte range inside a [`PackMapping`]:
+/// the zero-copy replacement for the owned `FrozenRun` fault-in.
+/// Constructed once per registration — the construction runs the full
+/// framing + checksum verification (§ "checksums verify once at first
+/// pin") — then reused across every later pin; eviction only drops the
+/// *pages*, never this metadata.
+#[derive(Debug)]
+pub struct MappedRun {
+    map: Arc<PackMapping>,
+    /// Blob range within the mapping.
+    offset: u64,
+    len: u64,
+    header: SegmentHeader,
+    /// Absolute offset of the slot table inside the mapping.
+    slots_off: usize,
+    /// Absolute offset / length of the encoded arena bytes.
+    bytes_off: usize,
+    bytes_len: usize,
+    /// Whether the range is currently accounted as resident in the
+    /// replacer (set on pin-in, cleared by `madvise` eviction).
+    pub(crate) resident: AtomicBool,
+}
+
+impl MappedRun {
+    /// Resolve (and fully verify — length, magic, version, checksum)
+    /// the blob at `[offset, offset+len)` of `map`. This is the one
+    /// integrity pass the mapped path ever runs: the labels themselves
+    /// decode lazily, per query, and a byte that rots *after* this
+    /// check degrades to `None` at decode, never to a panic.
+    pub(crate) fn resolve(
+        map: Arc<PackMapping>,
+        offset: u64,
+        len: u64,
+    ) -> Result<Self, SnapshotError> {
+        let blob = map
+            .slice(offset, len)
+            .ok_or_else(|| SnapshotError::Format("blob range outside mapped pack".into()))?;
+        let header = verify_segment_bytes(blob)?;
+        let slots_off = offset as usize + header.len();
+        let bytes_off = slots_off + header.count as usize * ArenaSlot::WIRE_BYTES;
+        Ok(Self {
+            map,
+            offset,
+            len,
+            header,
+            slots_off,
+            bytes_off,
+            bytes_len: header.arena_len as usize,
+            resident: AtomicBool::new(false),
+        })
+    }
+
+    /// The parsed segment header.
+    pub(crate) fn header(&self) -> &SegmentHeader {
+        &self.header
+    }
+
+    /// Skeleton-pointer width the labels were encoded with.
+    pub fn skl_bits(&self) -> usize {
+        self.header.skl_bits as usize
+    }
+
+    fn slot(&self, i: usize) -> Option<ArenaSlot> {
+        let start = self.slots_off + i * ArenaSlot::WIRE_BYTES;
+        ArenaSlot::read_le(self.map.bytes().get(start..start + ArenaSlot::WIRE_BYTES)?)
+    }
+
+    /// Binary search the on-disk slot table (sorted by vertex — the
+    /// invariant `verify_segment_bytes` leaves to the encoder and the
+    /// owned path re-checks in `LabelArena::from_parts`; a violation
+    /// here merely misses a lookup).
+    fn find(&self, v: VertexId) -> Option<usize> {
+        let count = self.header.count as usize;
+        let (mut lo, mut hi) = (0usize, count);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.slot(mid)?.vertex < v {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo < count && self.slot(lo)?.vertex == v).then_some(lo)
+    }
+
+    fn decode_at(&self, slot: &ArenaSlot) -> Option<DrlLabel> {
+        let arena = self
+            .map
+            .bytes()
+            .get(self.bytes_off..self.bytes_off + self.bytes_len)?;
+        decode_label(arena.get(slot.offset as usize..)?, self.skl_bits())
+    }
+
+    /// Decode the label of `v` straight off the mapping.
+    pub fn label(&self, v: VertexId) -> Option<DrlLabel> {
+        self.decode_at(&self.slot(self.find(v)?)?)
+    }
+
+    /// The module name `v` was published under.
+    pub fn name(&self, v: VertexId) -> Option<NameId> {
+        Some(self.slot(self.find(v)?)?.name)
+    }
+
+    /// Visit every published `(vertex, name, label)`, decoding each
+    /// label from the mapped arena. A slot whose label no longer
+    /// decodes is skipped (degraded, not fatal).
+    pub fn for_each_label(&self, mut f: impl FnMut(VertexId, NameId, &DrlLabel)) {
+        for i in 0..self.header.count as usize {
+            let Some(slot) = self.slot(i) else { continue };
+            let Some(label) = self.decode_at(&slot) else {
+                continue;
+            };
+            f(slot.vertex, slot.name, &label);
+        }
+    }
+
+    /// Materialize a fully validated owned [`LabelArena`] from the
+    /// mapped bytes — the re-heat path out of the mapped tier (frozen
+    /// re-heat keeps the arena; hot re-heat decodes it further into a
+    /// `LabelIndex`).
+    pub(crate) fn to_arena(&self) -> Option<LabelArena> {
+        let bytes = self.map.bytes();
+        let mut slots = Vec::with_capacity(self.header.count as usize);
+        for i in 0..self.header.count as usize {
+            slots.push(self.slot(i)?);
+        }
+        let arena = bytes.get(self.bytes_off..self.bytes_off + self.bytes_len)?;
+        LabelArena::from_parts(self.skl_bits(), slots, arena.to_vec())
+    }
+
+    /// Drop the kernel pages behind this blob (mapped-tier eviction).
+    pub(crate) fn advise_dont_need(&self) {
+        self.map.advise_dont_need(self.offset, self.len);
+    }
+}
+
+/// The victim-selection policy behind the segment replacer: given the
+/// *evictable* residents (unpinned — entries under a live
+/// [`crate::snapshot::SegmentPin`] are filtered out before this is
+/// called), order them cheapest-to-lose **first**. The enforcement loop
+/// sheds in rank order until the resident-byte budget holds.
+pub(crate) trait Replacer: Send + Sync + std::fmt::Debug {
+    fn rank(&self, victims: &mut Vec<Arc<PersistedRun>>);
+}
+
+/// The default policy (PR 5's `SegmentLru` ordering): least recently
+/// queried first, oldest freeze time breaking ties.
+#[derive(Debug, Default)]
+pub(crate) struct RecencyReplacer;
+
+impl Replacer for RecencyReplacer {
+    fn rank(&self, victims: &mut Vec<Arc<PersistedRun>>) {
+        victims.sort_by_key(|p| (p.last_access.load(Ordering::Relaxed), p.frozen_at));
+    }
+}
+
+/// The pack-set version lifecycle: readers pin the current epoch for
+/// the duration of a scan; a rewrite (compaction or pack GC) retires
+/// the files it replaced under a **new** epoch; retired files are
+/// unlinked only when no reader pinned at or before their retirement
+/// epoch survives. Readers therefore always finish against the pack
+/// set they started with — mapped readers trivially (the `mmap`
+/// outlives the unlink), owned-fallback readers because the *file*
+/// outlives their guard.
+#[derive(Debug, Default)]
+pub(crate) struct EpochRegistry {
+    inner: Mutex<EpochInner>,
+}
+
+#[derive(Debug, Default)]
+struct EpochInner {
+    /// The epoch new readers pin.
+    current: u64,
+    /// Live guard count per pinned epoch.
+    pins: BTreeMap<u64, usize>,
+    /// Files awaiting deletion, stamped with the epoch that retired
+    /// them. A held mapping rides along so `munmap` is deferred with
+    /// the unlink.
+    retired: Vec<(u64, PathBuf, Option<Arc<PackMapping>>)>,
+}
+
+impl EpochRegistry {
+    /// Seed the epoch counter (from the manifest at engine build, so
+    /// epochs stay monotone across restarts).
+    pub(crate) fn seed(&self, epoch: u64) {
+        let mut inner = self.inner.lock().expect("epoch registry poisoned");
+        inner.current = inner.current.max(epoch);
+    }
+
+    /// The epoch a reader pinning right now would observe.
+    pub(crate) fn current(&self) -> u64 {
+        self.inner.lock().expect("epoch registry poisoned").current
+    }
+
+    /// Pin the current epoch for the duration of the returned guard.
+    pub(crate) fn pin(self: &Arc<Self>) -> EpochGuard {
+        let epoch = {
+            let mut inner = self.inner.lock().expect("epoch registry poisoned");
+            let epoch = inner.current;
+            *inner.pins.entry(epoch).or_insert(0) += 1;
+            epoch
+        };
+        EpochGuard {
+            registry: Arc::clone(self),
+            epoch,
+        }
+    }
+
+    /// A rewrite replaced `files`: advance the epoch and queue the old
+    /// files for deletion once every guard pinned at the pre-advance
+    /// epoch (or earlier) has dropped. Returns the new current epoch.
+    pub(crate) fn retire(
+        &self,
+        files: impl IntoIterator<Item = (PathBuf, Option<Arc<PackMapping>>)>,
+    ) -> u64 {
+        let (next, collectable) = {
+            let mut inner = self.inner.lock().expect("epoch registry poisoned");
+            let stamp = inner.current;
+            inner.current += 1;
+            for (path, map) in files {
+                inner.retired.push((stamp, path, map));
+            }
+            (inner.current, Self::drain_collectable(&mut inner))
+        };
+        Self::delete(collectable);
+        next
+    }
+
+    /// Retired entries whose epoch precedes every live pin.
+    fn drain_collectable(inner: &mut EpochInner) -> Vec<(PathBuf, Option<Arc<PackMapping>>)> {
+        let min_pinned = inner.pins.keys().next().copied();
+        let mut out = Vec::new();
+        inner.retired.retain_mut(|(epoch, path, map)| {
+            let safe = min_pinned.is_none_or(|min| *epoch < min);
+            if safe {
+                out.push((std::mem::take(path), map.take()));
+            }
+            !safe
+        });
+        out
+    }
+
+    fn delete(files: Vec<(PathBuf, Option<Arc<PackMapping>>)>) {
+        for (path, map) in files {
+            // Unlink first, then drop the mapping: a mapped reader that
+            // still holds its own Arc keeps the inode alive regardless.
+            let _ = fs::remove_file(&path);
+            drop(map);
+        }
+    }
+
+    /// Paths awaiting a safe unlink — the orphan sweep must leave these
+    /// alone (an epoch-pinned reader may still fault from them).
+    pub(crate) fn deferred_paths(&self) -> Vec<PathBuf> {
+        self.inner
+            .lock()
+            .expect("epoch registry poisoned")
+            .retired
+            .iter()
+            .map(|(_, path, _)| path.clone())
+            .collect()
+    }
+}
+
+/// An epoch pinned by a reader; dropping it may unlink packs whose
+/// retirement it was blocking.
+#[derive(Debug)]
+pub(crate) struct EpochGuard {
+    registry: Arc<EpochRegistry>,
+    epoch: u64,
+}
+
+impl EpochGuard {
+    /// The pinned epoch (tests assert scan/GC interleavings with it).
+    #[allow(dead_code)]
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for EpochGuard {
+    fn drop(&mut self) {
+        let collectable = {
+            let mut inner = self.registry.inner.lock().expect("epoch registry poisoned");
+            match inner.pins.get_mut(&self.epoch) {
+                Some(n) if *n > 1 => *n -= 1,
+                _ => {
+                    inner.pins.remove(&self.epoch);
+                }
+            }
+            EpochRegistry::drain_collectable(&mut inner)
+        };
+        EpochRegistry::delete(collectable);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "wf-epoch-{tag}-{}-{}.wfseg",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&path, b"retired pack bytes").unwrap();
+        path
+    }
+
+    /// A file retired while a reader holds a pin stays on disk until
+    /// that pin drops; readers pinning *after* the retire never block
+    /// it.
+    #[test]
+    fn retired_files_wait_for_prior_pins() {
+        let reg = Arc::new(EpochRegistry::default());
+        let path = temp_file("wait");
+        let scan = reg.pin(); // pinned at epoch 0, before the rewrite
+        reg.retire([(path.clone(), None)]);
+        let late = reg.pin(); // epoch 1 — after the rewrite
+        assert_eq!((scan.epoch(), late.epoch()), (0, 1));
+        assert!(path.exists(), "pre-rewrite reader still needs the file");
+        assert_eq!(reg.deferred_paths(), vec![path.clone()]);
+        drop(late);
+        assert!(path.exists(), "a post-rewrite pin never blocks deletion");
+        drop(scan);
+        assert!(!path.exists(), "last pre-rewrite pin unlinks on drop");
+        assert!(reg.deferred_paths().is_empty());
+    }
+
+    /// With no pins outstanding, retirement unlinks immediately; the
+    /// epoch advances once per rewrite and seeding never regresses it.
+    #[test]
+    fn unpinned_retire_deletes_immediately() {
+        let reg = Arc::new(EpochRegistry::default());
+        reg.seed(5);
+        assert_eq!(reg.current(), 5);
+        reg.seed(3); // stale manifest cannot roll the clock back
+        assert_eq!(reg.current(), 5);
+        let path = temp_file("now");
+        assert_eq!(reg.retire([(path.clone(), None)]), 6);
+        assert!(!path.exists());
+        assert!(reg.deferred_paths().is_empty());
+    }
+
+    /// Two rewrites under one long scan: both retired sets wait for the
+    /// scan, then a single drop collects everything at once.
+    #[test]
+    fn stacked_rewrites_collect_together() {
+        let reg = Arc::new(EpochRegistry::default());
+        let scan = reg.pin();
+        let a = temp_file("a");
+        let b = temp_file("b");
+        reg.retire([(a.clone(), None)]);
+        reg.retire([(b.clone(), None)]);
+        assert_eq!(reg.deferred_paths().len(), 2);
+        assert!(a.exists() && b.exists());
+        drop(scan);
+        assert!(!a.exists() && !b.exists());
+    }
+}

@@ -9,6 +9,7 @@
 //! `Arc` allocation its slot co-owns — the single `unsafe` in the
 //! workspace, with the invariants documented at the site.
 
+use crate::bufmgr::{EpochRegistry, PackMapping};
 use crate::freeze::freeze_slot;
 use crate::handle::RunHandle;
 use crate::index::LabelIndex;
@@ -41,6 +42,25 @@ pub const DEFAULT_MAX_VERTEX_ID: u32 = (1 << 24) - 1;
 /// How many recent fire-and-forget ingest errors the engine retains for
 /// [`WfEngine::take_ingest_errors`].
 const INGEST_ERROR_RING: usize = 256;
+
+/// Default dead-blob ratio above which pack GC rewrites a pack file:
+/// once 30% of a pack's bytes belong to runs that left the persisted
+/// tier (re-heated or evicted), rewriting the live remainder wins back
+/// more disk than the copy costs.
+pub const DEFAULT_PACK_GC_DEAD_RATIO: f64 = 0.3;
+
+/// Whether `path` names a packed multi-run segment file.
+fn is_pack_file(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with("pack-") && n.ends_with(".wfseg"))
+}
+
+/// On-disk size of `path`, with a fallback when it cannot be stat'd
+/// (already retired under a newer epoch, exotic filesystem).
+fn file_size(path: &Path, fallback: u64) -> u64 {
+    std::fs::metadata(path).map_or(fallback, |m| m.len())
+}
 
 /// A labeler that co-owns the [`SpecContext`] it borrows from — the
 /// self-referential cell that lets per-run labeling state live inside an
@@ -247,9 +267,16 @@ pub(crate) struct TierPolicy {
     /// Re-heat a persisted run to the frozen (resident) tier once it has
     /// answered this many queries — the cold-run-turned-hot promotion.
     pub(crate) reheat_after: Option<u64>,
+    /// Re-heat a persisted run all the way to the **hot** tier (decoded
+    /// `LabelIndex`) once it has answered this many queries — sustained
+    /// traffic earns the full in-memory representation back.
+    pub(crate) hot_reheat_after: Option<u64>,
     /// Run a compaction pass once this many *loose* segment files (files
     /// below [`snapshot::MIN_PACK_RUNS`] runs) have accumulated.
     pub(crate) compact_after: Option<usize>,
+    /// Automatically GC packs whose dead-blob ratio exceeds the
+    /// configured threshold.
+    pub(crate) pack_gc: bool,
 }
 
 impl TierPolicy {
@@ -257,7 +284,9 @@ impl TierPolicy {
         self.freeze_after.is_some()
             || self.max_hot_runs.is_some()
             || self.reheat_after.is_some()
+            || self.hot_reheat_after.is_some()
             || self.compact_after.is_some()
+            || self.pack_gc
     }
 }
 
@@ -280,10 +309,19 @@ pub struct CompactionReport {
     pub files_before: usize,
     /// Distinct segment files referenced after the pass.
     pub files_after: usize,
-    /// Sum of persisted blob bytes before the pass.
+    /// Sum of **on-disk file bytes** referenced before the pass. (Earlier
+    /// versions summed per-run blob bytes instead, which double-counted a
+    /// re-compacted pack's live blobs against the loose segments packed
+    /// alongside it while hiding its dead bytes entirely.)
     pub bytes_before: u64,
-    /// Sum of persisted blob bytes after the pass.
+    /// Sum of on-disk file bytes referenced after the pass.
     pub bytes_after: u64,
+    /// Dead blob bytes reclaimed by deleting migrated files — bytes that
+    /// belonged to re-heated or evicted runs and were carried by a
+    /// repacked file without being referenced. Reported separately so
+    /// packing (which moves live bytes) and GC (which drops dead ones)
+    /// never mix in one number.
+    pub dead_bytes_reclaimed: u64,
     /// Runs rewritten into packs by this pass.
     pub runs_packed: usize,
     /// Pack files this pass wrote.
@@ -299,14 +337,53 @@ impl CompactionReport {
                 "{{\"metric\":\"compaction\",",
                 "\"files_before\":{},\"files_after\":{},",
                 "\"bytes_before\":{},\"bytes_after\":{},",
+                "\"dead_bytes_reclaimed\":{},",
                 "\"runs_packed\":{},\"packs_written\":{}}}"
             ),
             self.files_before,
             self.files_after,
             self.bytes_before,
             self.bytes_after,
+            self.dead_bytes_reclaimed,
             self.runs_packed,
             self.packs_written,
+        )
+    }
+}
+
+/// What one pack-GC pass did: packs rewritten because their dead-blob
+/// ratio crossed the threshold, live runs moved into the rewrites, and
+/// the byte accounting over **pack files only** (loose per-run files
+/// are compaction's business, not GC's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackGcReport {
+    /// Packs rewritten by this pass.
+    pub packs_rewritten: usize,
+    /// Live runs re-registered into the rewritten packs.
+    pub runs_moved: usize,
+    /// Sum of pack-file bytes on disk before the pass.
+    pub bytes_before: u64,
+    /// Sum of pack-file bytes on disk after the pass.
+    pub bytes_after: u64,
+    /// Dead blob bytes the rewrites dropped.
+    pub dead_bytes_reclaimed: u64,
+}
+
+impl PackGcReport {
+    /// One JSON line for the `pack-gc-<sha>` CI artifact.
+    pub fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"metric\":\"pack_gc\",",
+                "\"packs_rewritten\":{},\"runs_moved\":{},",
+                "\"bytes_before\":{},\"bytes_after\":{},",
+                "\"dead_bytes_reclaimed\":{}}}"
+            ),
+            self.packs_rewritten,
+            self.runs_moved,
+            self.bytes_before,
+            self.bytes_after,
+            self.dead_bytes_reclaimed,
         )
     }
 }
@@ -362,6 +439,19 @@ pub(crate) struct EngineShared<S: SpecLabeling + 'static> {
     /// the per-tick loose-file census. Starts at `u64::MAX` so the first
     /// pass always counts (reloaded history may already need packing).
     segment_policy_stamp: AtomicU64,
+    /// The pack-set epoch lifecycle: cross-run scans pin the current
+    /// epoch; compaction/GC rewrites retire replaced files under the
+    /// next one, deferring the unlink past every in-flight reader.
+    pub(crate) epochs: Arc<EpochRegistry>,
+    /// Whether pack files are `mmap`'d at registration (the zero-copy
+    /// read path); off = every fault-in is an owned buffer read.
+    pub(crate) mmap_packs: bool,
+    /// Dead-blob ratio above which pack GC rewrites a pack.
+    pub(crate) pack_gc_dead_ratio: f64,
+    /// One live mapping per pack file, shared by every run registered
+    /// in it. Entries leave when a rewrite retires the file (the
+    /// mapping then rides on the epoch registry until safe to drop).
+    pack_mappings: Mutex<HashMap<PathBuf, Arc<PackMapping>>>,
 }
 
 /// Fibonacci hash of a run id — the single routing function shared by
@@ -574,7 +664,7 @@ impl<S: SpecLabeling> EngineShared<S> {
                 _ => Err(ServiceError::UnknownRun(run)),
             };
         }
-        snapshot::write_manifest(&spill.dir, &self.manifest_entries())
+        snapshot::write_manifest(&spill.dir, &self.manifest_entries(), self.epochs.current())
             .map_err(|e| ServiceError::Snapshot(run, e.to_string()))?;
         // The run is durable in its segment + manifest: stamp a WAL
         // checkpoint and compact the shard, so the log keeps only the
@@ -598,6 +688,32 @@ impl<S: SpecLabeling> EngineShared<S> {
             || format!("bytes={bytes}"),
         );
         Ok(())
+    }
+
+    /// The open mapping for `path`, creating and caching one when the
+    /// engine maps packs. Loose per-run files and mmap-off engines get
+    /// `None` (the owned fault-in path).
+    fn pack_mapping_for(&self, path: &Path) -> Option<Arc<PackMapping>> {
+        if !self.mmap_packs || !is_pack_file(path) {
+            return None;
+        }
+        let mut maps = self.pack_mappings.lock().expect("pack mappings poisoned");
+        if let Some(m) = maps.get(path) {
+            return Some(Arc::clone(m));
+        }
+        let m = PackMapping::open(path, Arc::clone(&self.store.lru.mapped_bytes)).ok()?;
+        maps.insert(path.to_path_buf(), Arc::clone(&m));
+        Some(m)
+    }
+
+    /// Unregister `path`'s mapping (its file is being retired); the
+    /// returned `Arc` is handed to the epoch registry so the `munmap`
+    /// defers with the unlink.
+    fn drop_pack_mapping(&self, path: &Path) -> Option<Arc<PackMapping>> {
+        self.pack_mappings
+            .lock()
+            .expect("pack mappings poisoned")
+            .remove(path)
     }
 
     /// The manifest lines for the current persisted set (call with the
@@ -630,7 +746,7 @@ impl<S: SpecLabeling> EngineShared<S> {
             None => return Err(ServiceError::UnknownRun(run)),
         };
         let span = self.obs.timer();
-        let Some(frozen) = persisted.load() else {
+        let Some(frozen) = persisted.pin().and_then(|pin| pin.to_frozen()) else {
             return Err(ServiceError::Snapshot(
                 run,
                 "segment no longer reads back cleanly".into(),
@@ -661,6 +777,76 @@ impl<S: SpecLabeling> EngineShared<S> {
         Ok(())
     }
 
+    /// **Full re-heat to the hot tier**: rebuild a decoded
+    /// [`LabelIndex`] straight from the pinned segment bytes (zero-copy
+    /// off the mapping when the blob lives in a mapped pack) and
+    /// promote the run back to hot, where queries are two `Acquire`
+    /// loads. The run stays `Completed` — writes remain rejected — but
+    /// it leaves the persisted registry entirely, which is what turns
+    /// its pack bytes dead and feeds pack GC. Idempotent for hot/frozen
+    /// runs.
+    pub(crate) fn reheat_hot(&self, run: RunId) -> Result<(), ServiceError> {
+        let persisted = match self.store.view(run) {
+            Some(RunView::Persisted(p)) => p,
+            Some(_) => return Ok(()), // already resident
+            None => return Err(ServiceError::UnknownRun(run)),
+        };
+        let ctx = self
+            .catalog
+            .get(persisted.spec.0)
+            .ok_or(ServiceError::UnknownSpec(persisted.spec))?;
+        let span = self.obs.timer();
+        let Some(pin) = persisted.pin() else {
+            return Err(ServiceError::Snapshot(
+                run,
+                "segment no longer reads back cleanly".into(),
+            ));
+        };
+        let slot = new_slot(
+            Arc::clone(ctx),
+            persisted.spec,
+            ctx.default_resolution(),
+            *self.max_vertex_id.lock().expect("config lock poisoned"),
+            1,
+        )
+        .map_err(|e| ServiceError::Labeler(run, e))?;
+        let skl_bits = slot.skl_bits;
+        let mut published = 0u64;
+        pin.for_each_label(|v, name, label| {
+            slot.indexed.publish(v, name, label.clone(), skl_bits);
+            published += 1;
+        });
+        if let Some(source) = persisted.source {
+            let _ = slot.source.set(source);
+        }
+        slot.status
+            .store(RunStatus::Completed.as_u8(), Ordering::Release);
+        slot.events.store(published, Ordering::Relaxed);
+        // Carry the query count so `queries_answered` stays monotone
+        // across the promotion (mirrors the frozen re-heat).
+        slot.queries
+            .store(persisted.queries.load(Ordering::Relaxed), Ordering::Relaxed);
+        drop(pin);
+        if !self.store.promote_hot(run, slot) {
+            // Raced an eviction or another re-heat; report honestly.
+            return match self.store.view(run) {
+                Some(_) => Ok(()),
+                None => Err(ServiceError::UnknownRun(run)),
+            };
+        }
+        self.obs.reheats.inc();
+        self.obs.span(
+            &self.obs.h_reheat,
+            "reheat_hot",
+            Some(run.0),
+            Some(tier_tag(Tier::Hot)),
+            span,
+            true,
+            || format!("labels={published}"),
+        );
+        Ok(())
+    }
+
     /// **Compaction**: merge loose per-run segment files (and underfull
     /// packs) into packed multi-run files, rewrite the manifest
     /// atomically, swap the in-memory registrations, delete the migrated
@@ -686,12 +872,21 @@ impl<S: SpecLabeling> EngineShared<S> {
                 .or_default()
                 .push(Arc::clone(p));
         }
-        let bytes_before: u64 = persisted.iter().map(|p| p.disk_bytes()).sum();
+        // Byte accounting is over on-disk file sizes: a loose per-run
+        // file is exactly its blob, so the all-loose case is identical
+        // to summing blobs — but a repacked pack counts its dead bytes
+        // once (in the file size) instead of never, and its live blobs
+        // once instead of twice.
+        let bytes_before: u64 = by_file
+            .iter()
+            .map(|(path, runs)| file_size(path, runs.iter().map(|p| p.disk_bytes()).sum()))
+            .sum();
         let mut report = CompactionReport {
             files_before: by_file.len(),
             files_after: by_file.len(),
             bytes_before,
             bytes_after: bytes_before,
+            dead_bytes_reclaimed: 0,
             runs_packed: 0,
             packs_written: 0,
         };
@@ -798,28 +993,56 @@ impl<S: SpecLabeling> EngineShared<S> {
                 })
             })
             .collect();
-        snapshot::write_manifest(&spill.dir, &entries)
+        // The manifest carries the epoch the retire below will advance
+        // to, so restarts seed a counter no surviving guard outranks.
+        snapshot::write_manifest(&spill.dir, &entries, self.epochs.current() + 1)
             .map_err(|e| ServiceError::Compaction(e.to_string()))?;
-        // Swap the live registrations, then delete the migrated files.
+        // Swap the live registrations (new packs map immediately), then
+        // retire the migrated files: dead bytes are counted against the
+        // files before the epoch registry is allowed to unlink them.
         for (path, members) in &packed {
+            let mapping = self.pack_mapping_for(path);
             for (p, offset, len) in members {
-                let entry = Arc::new(PersistedRun::repacked(p, path.clone(), *offset, *len));
+                let entry = Arc::new(PersistedRun::repacked(
+                    p,
+                    path.clone(),
+                    *offset,
+                    *len,
+                    mapping.clone(),
+                ));
                 if self.store.replace_persisted(p.run(), entry) {
                     report.runs_packed += 1;
                 }
             }
         }
-        for path in &loose {
-            if !failed.contains(path) {
-                let _ = std::fs::remove_file(path);
-            }
+        let migrated: Vec<(PathBuf, Option<Arc<PackMapping>>)> = loose
+            .iter()
+            .filter(|p| !failed.contains(*p))
+            .map(|p| (p.clone(), self.drop_pack_mapping(p)))
+            .collect();
+        for (path, _) in &migrated {
+            let live: u64 = by_file
+                .get(path)
+                .map_or(0, |runs| runs.iter().map(|p| p.disk_bytes()).sum());
+            report.dead_bytes_reclaimed += file_size(path, live).saturating_sub(live);
         }
+        self.epochs.retire(migrated);
         self.sweep_orphans(spill, &entries);
         self.obs.compactions.inc();
         report.packs_written = packed.len();
         let after: HashSet<&str> = entries.iter().map(|e| e.file.as_str()).collect();
         report.files_after = after.len();
-        report.bytes_after = entries.iter().map(|e| e.bytes).sum();
+        report.bytes_after = after
+            .iter()
+            .map(|name| {
+                let live: u64 = entries
+                    .iter()
+                    .filter(|e| e.file == **name)
+                    .map(|e| e.bytes)
+                    .sum();
+                file_size(&spill.dir.join(name), live)
+            })
+            .sum();
         self.obs.span(
             &self.obs.h_compaction,
             "compaction",
@@ -850,6 +1073,14 @@ impl<S: SpecLabeling> EngineShared<S> {
                 referenced.insert(name.to_string());
             }
         }
+        // Files retired under an epoch some reader may still be pinned
+        // at are not orphans — the registry unlinks them itself once
+        // the last guard from before their retirement drops.
+        for path in self.epochs.deferred_paths() {
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                referenced.insert(name.to_string());
+            }
+        }
         let Ok(dir) = std::fs::read_dir(&spill.dir) else {
             return;
         };
@@ -864,6 +1095,149 @@ impl<S: SpecLabeling> EngineShared<S> {
         }
     }
 
+    /// **Pack garbage collection**: rewrite every pack whose dead-blob
+    /// ratio — bytes belonging to runs that re-heated or were evicted,
+    /// over the pack's file size — exceeds the configured threshold.
+    /// Live blobs stream verbatim into a fresh pack, the manifest is
+    /// rewritten under the next epoch, registrations swap to the new
+    /// locations, and the old pack (file + mapping) is retired through
+    /// the epoch registry: an in-flight scan pinned at the pre-rewrite
+    /// epoch keeps reading the old pack until its guard drops. A pack
+    /// whose live blob fails verification is kept untouched.
+    pub(crate) fn gc_packs_inner(&self) -> Result<PackGcReport, ServiceError> {
+        let spill = self.spill.as_ref().ok_or(ServiceError::NoSpillDir)?;
+        let _g = spill.manifest.lock().expect("manifest lock poisoned");
+        let span = self.obs.timer();
+        let persisted = self.store.persisted_runs();
+        let mut by_file: HashMap<PathBuf, Vec<Arc<PersistedRun>>> = HashMap::new();
+        for p in &persisted {
+            if is_pack_file(p.path()) {
+                by_file
+                    .entry(p.path().to_path_buf())
+                    .or_default()
+                    .push(Arc::clone(p));
+            }
+        }
+        let mut report = PackGcReport::default();
+        let mut victims: Vec<(PathBuf, Vec<Arc<PersistedRun>>, u64)> = Vec::new();
+        for (path, runs) in &by_file {
+            let live: u64 = runs.iter().map(|p| p.disk_bytes()).sum();
+            let size = file_size(path, live);
+            report.bytes_before += size;
+            let dead = size.saturating_sub(live);
+            if size > 0 && dead as f64 / size as f64 > self.pack_gc_dead_ratio {
+                let mut runs = runs.clone();
+                runs.sort_by_key(|p| p.run());
+                victims.push((path.clone(), runs, size));
+            } else {
+                report.bytes_after += size;
+            }
+        }
+        if victims.is_empty() {
+            report.bytes_after = report.bytes_before;
+            return Ok(report);
+        }
+        type PackMember = (Arc<PersistedRun>, u64, u64);
+        let mut rewritten: Vec<(PathBuf, Vec<PackMember>)> = Vec::new();
+        let mut replaced: Vec<PathBuf> = Vec::new();
+        for (old_path, runs, size) in victims {
+            let mut pack_bytes: Vec<u8> = Vec::new();
+            let mut members: Vec<PackMember> = Vec::new();
+            let mut ok = true;
+            for p in &runs {
+                match snapshot::read_raw_range(p.path(), p.offset(), p.disk_bytes())
+                    .and_then(|bytes| snapshot::verify_segment_bytes(&bytes).map(|_| bytes))
+                {
+                    Ok(blob) => {
+                        members.push((Arc::clone(p), pack_bytes.len() as u64, blob.len() as u64));
+                        pack_bytes.extend_from_slice(&blob);
+                    }
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok || members.is_empty() {
+                report.bytes_after += size;
+                continue;
+            }
+            let seq = spill.pack_seq.fetch_add(1, Ordering::Relaxed);
+            let new_path = spill.dir.join(snapshot::pack_file_name(seq));
+            snapshot::write_blob_file(&spill.dir, &new_path, &pack_bytes)
+                .map_err(|e| ServiceError::PackGc(e.to_string()))?;
+            report.bytes_after += pack_bytes.len() as u64;
+            report.dead_bytes_reclaimed += size.saturating_sub(pack_bytes.len() as u64);
+            rewritten.push((new_path, members));
+            replaced.push(old_path);
+        }
+        if rewritten.is_empty() {
+            return Ok(report);
+        }
+        let mut relocated: HashMap<u64, (PathBuf, u64, u64)> = HashMap::new();
+        for (path, members) in &rewritten {
+            for (p, offset, len) in members {
+                relocated.insert(p.run().0, (path.clone(), *offset, *len));
+            }
+        }
+        let entries: Vec<snapshot::ManifestEntry> = persisted
+            .iter()
+            .filter_map(|p| {
+                let (path, offset, bytes) = match relocated.get(&p.run().0) {
+                    Some((path, offset, len)) => (path.clone(), *offset, *len),
+                    None => (p.path().to_path_buf(), p.offset(), p.disk_bytes()),
+                };
+                let file = path.file_name()?.to_str()?.to_string();
+                Some(snapshot::ManifestEntry {
+                    run: p.run(),
+                    file,
+                    offset,
+                    bytes,
+                })
+            })
+            .collect();
+        snapshot::write_manifest(&spill.dir, &entries, self.epochs.current() + 1)
+            .map_err(|e| ServiceError::PackGc(e.to_string()))?;
+        for (path, members) in &rewritten {
+            let mapping = self.pack_mapping_for(path);
+            for (p, offset, len) in members {
+                let entry = Arc::new(PersistedRun::repacked(
+                    p,
+                    path.clone(),
+                    *offset,
+                    *len,
+                    mapping.clone(),
+                ));
+                if self.store.replace_persisted(p.run(), entry) {
+                    report.runs_moved += 1;
+                }
+            }
+            report.packs_rewritten += 1;
+        }
+        let retired: Vec<(PathBuf, Option<Arc<PackMapping>>)> = replaced
+            .iter()
+            .map(|p| (p.clone(), self.drop_pack_mapping(p)))
+            .collect();
+        self.epochs.retire(retired);
+        self.sweep_orphans(spill, &entries);
+        self.obs.pack_gc_runs.add(report.runs_moved as u64);
+        self.obs.span(
+            &self.obs.h_pack_gc,
+            "pack_gc",
+            None,
+            Some(tier_tag(Tier::Persisted)),
+            span,
+            true,
+            || {
+                format!(
+                    "packs={} runs={} reclaimed={}",
+                    report.packs_rewritten, report.runs_moved, report.dead_bytes_reclaimed
+                )
+            },
+        );
+        Ok(report)
+    }
+
     /// One pass of the segment-level policy: promote query-hot persisted
     /// runs ([`TierPolicy::reheat_after`]) and compact once enough loose
     /// segment files pile up ([`TierPolicy::compact_after`]). One
@@ -872,12 +1246,14 @@ impl<S: SpecLabeling> EngineShared<S> {
     /// spill/compaction/re-heat changed the tier since the last pass.
     pub(crate) fn apply_segment_policy(&self) {
         let reheat_th = self.policy.reheat_after;
+        let hot_th = self.policy.hot_reheat_after;
         let compact_th = if self.spill.is_some() {
             self.policy.compact_after
         } else {
             None
         };
-        if reheat_th.is_none() && compact_th.is_none() {
+        let gc_active = self.policy.pack_gc && self.spill.is_some();
+        if reheat_th.is_none() && hot_th.is_none() && compact_th.is_none() && !gc_active {
             return;
         }
         let stamp = self
@@ -886,12 +1262,13 @@ impl<S: SpecLabeling> EngineShared<S> {
             .get()
             .wrapping_add(self.obs.compactions.get())
             .wrapping_add(self.obs.reheats.get());
-        let recount = compact_th.is_some()
+        let recount = (compact_th.is_some() || gc_active)
             && self.segment_policy_stamp.swap(stamp, Ordering::Relaxed) != stamp;
         let mut to_reheat: Vec<RunId> = Vec::new();
+        let mut to_reheat_hot: Vec<RunId> = Vec::new();
         let mut file_runs: HashMap<PathBuf, usize> = HashMap::new();
         self.store.for_each_persisted(|p| {
-            if let Some(th) = reheat_th {
+            if reheat_th.is_some() || hot_th.is_some() {
                 // Threshold on traffic *since persisting* (the lifetime
                 // counter carries over for stats monotonicity — a run
                 // popular while hot must not bounce right back). Skip
@@ -902,14 +1279,26 @@ impl<S: SpecLabeling> EngineShared<S> {
                     .queries
                     .load(Ordering::Relaxed)
                     .saturating_sub(p.queries_at_persist);
-                if since >= th && !p.is_load_failed() {
-                    to_reheat.push(p.run());
+                if !p.is_load_failed() {
+                    if hot_th.is_some_and(|th| since >= th) {
+                        // Sustained traffic earns the full hot-index
+                        // rebuild; the frozen threshold (if also
+                        // crossed) is subsumed.
+                        to_reheat_hot.push(p.run());
+                    } else if reheat_th.is_some_and(|th| since >= th) {
+                        to_reheat.push(p.run());
+                    }
                 }
             }
             if recount {
                 *file_runs.entry(p.path().to_path_buf()).or_default() += 1;
             }
         });
+        for run in to_reheat_hot {
+            if let Err(e) = self.reheat_hot(run) {
+                self.push_ingest_error(run, e);
+            }
+        }
         for run in to_reheat {
             if let Err(e) = self.reheat(run) {
                 self.push_ingest_error(run, e);
@@ -924,6 +1313,11 @@ impl<S: SpecLabeling> EngineShared<S> {
                 if let Err(e) = self.compact_segments() {
                     self.push_ingest_error(RunId(u64::MAX), e);
                 }
+            }
+        }
+        if gc_active && recount {
+            if let Err(e) = self.gc_packs_inner() {
+                self.push_ingest_error(RunId(u64::MAX), e);
             }
         }
     }
@@ -1476,6 +1870,30 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
         self.shared.compact_segments()
     }
 
+    /// **Garbage-collect packs** now: rewrite every pack whose
+    /// dead-blob ratio (bytes of re-heated/evicted runs over file size)
+    /// exceeds [`EngineBuilder::pack_gc_dead_ratio`] (or
+    /// [`DEFAULT_PACK_GC_DEAD_RATIO`]), shrinking the spill directory.
+    /// In-flight cross-run scans keep reading the pre-rewrite packs —
+    /// the epoch registry defers each unlink past every scan that
+    /// started before the rewrite. The tiering worker runs this
+    /// automatically when [`EngineBuilder::pack_gc_dead_ratio`] is set.
+    pub fn gc_packs(&self) -> Result<PackGcReport, ServiceError> {
+        self.shared.gc_packs_inner()
+    }
+
+    /// **Re-heat a persisted run all the way to the hot tier**: rebuild
+    /// its decoded [`LabelIndex`] straight from the segment bytes
+    /// (zero-copy off the pack mapping) and promote it to hot, where a
+    /// label lookup is two `Acquire` loads. The run stays `Completed` —
+    /// writes remain rejected — but its pack bytes turn dead, which is
+    /// what feeds [`Self::gc_packs`]. No-op for hot/frozen runs. The
+    /// tiering worker does this automatically for runs crossing
+    /// [`EngineBuilder::hot_reheat_after`].
+    pub fn reheat_run_hot(&self, run: RunId) -> Result<(), ServiceError> {
+        self.shared.reheat_hot(run)
+    }
+
     /// Which storage tier currently serves `run`.
     pub fn run_tier(&self, run: RunId) -> Result<Tier, ServiceError> {
         self.shared
@@ -1613,13 +2031,23 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
         let mut runs_persisted = 0u64;
         let mut persisted_bytes = 0u64;
         let mut segment_paths: HashSet<PathBuf> = HashSet::new();
+        let mut pack_live: HashMap<PathBuf, u64> = HashMap::new();
         for p in self.shared.store.persisted_runs() {
             runs_persisted += 1;
             labels_published += p.published as u64;
             persisted_bytes += p.disk_bytes();
             queries_answered += p.queries.load(Ordering::Relaxed);
+            if is_pack_file(p.path()) {
+                *pack_live.entry(p.path().to_path_buf()).or_default() += p.disk_bytes();
+            }
             segment_paths.insert(p.path().to_path_buf());
         }
+        // Dead bytes per pack: file size minus the live blobs registered
+        // in it (pack count is small — a stat per pack, not per run).
+        let pack_dead_bytes: u64 = pack_live
+            .iter()
+            .map(|(path, live)| file_size(path, *live).saturating_sub(*live))
+            .sum();
         let obs = &self.shared.obs;
         let enqueued = self.shared.enqueued.load(Ordering::Acquire);
         let processed = self.shared.processed.load(Ordering::Acquire);
@@ -1658,6 +2086,10 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             segment_files: segment_paths.len() as u64,
             segment_loads: obs.segment_loads.get(),
             segment_sheds: obs.segment_sheds.get(),
+            pack_pins: obs.pack_pins.get(),
+            pack_gc_runs: obs.pack_gc_runs.get(),
+            pack_dead_bytes,
+            mapped_bytes: self.shared.store.lru.mapped_bytes.load(Ordering::Relaxed),
             skl_relabeled: obs.skl_relabeled.get(),
             skl_bits_total: obs.skl_bits_total.get(),
             skl_drl_bits_total: obs.skl_drl_bits_total.get(),
@@ -1718,6 +2150,8 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineMetrics<'_, S> {
         obs.g_persisted_resident_bytes
             .set(stats.persisted_resident_bytes);
         obs.g_segment_files.set(stats.segment_files);
+        obs.g_pack_dead_bytes.set(stats.pack_dead_bytes);
+        obs.g_mapped_bytes.set(stats.mapped_bytes);
     }
 
     /// Render the registry in Prometheus text exposition format
@@ -1762,7 +2196,10 @@ pub struct EngineBuilder<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels
     wal_sync: WalSync,
     max_resident_bytes: Option<u64>,
     reheat_after: Option<u64>,
+    hot_reheat_after: Option<u64>,
     compact_after: Option<usize>,
+    mmap_packs: bool,
+    pack_gc_dead_ratio: Option<f64>,
     telemetry: bool,
     slow_op_threshold: std::time::Duration,
     trace_capacity: usize,
@@ -1800,7 +2237,10 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             wal_sync: WalSync::default(),
             max_resident_bytes: None,
             reheat_after: None,
+            hot_reheat_after: None,
             compact_after: None,
+            mmap_packs: true,
+            pack_gc_dead_ratio: None,
             telemetry: true,
             slow_op_threshold: DEFAULT_SLOW_OP_THRESHOLD,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
@@ -1933,6 +2373,38 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
         self
     }
 
+    /// **Hot re-heat threshold**: the tiering worker promotes a
+    /// persisted run **all the way to the hot tier** (decoded
+    /// `LabelIndex`, two-load queries) once it has answered `n` queries
+    /// since persisting — set it above [`Self::reheat_after`] so
+    /// sustained traffic escalates frozen → hot. Unset = manual
+    /// [`WfEngine::reheat_run_hot`] only.
+    pub fn hot_reheat_after(mut self, n: u64) -> Self {
+        self.hot_reheat_after = Some(n);
+        self
+    }
+
+    /// **Pack mapping toggle** (default on): each `pack-<seq>.wfseg` is
+    /// `mmap`'d once at registration, and persisted reads resolve to
+    /// pinned byte ranges inside the mapping — zero-copy, verify-once,
+    /// decode-per-query. Off = every fault-in reads an owned buffer and
+    /// eagerly decodes the whole arena (the PR 5 path; the cold-scan
+    /// bench measures the difference).
+    pub fn mmap_packs(mut self, enabled: bool) -> Self {
+        self.mmap_packs = enabled;
+        self
+    }
+
+    /// **Automatic pack-GC threshold**: the tiering worker rewrites any
+    /// pack whose dead-blob ratio (bytes of re-heated/evicted runs over
+    /// file size) exceeds `ratio` (clamped to `[0, 1]`). Unset = manual
+    /// [`WfEngine::gc_packs`] only, which then uses
+    /// [`DEFAULT_PACK_GC_DEAD_RATIO`].
+    pub fn pack_gc_dead_ratio(mut self, ratio: f64) -> Self {
+        self.pack_gc_dead_ratio = Some(ratio.clamp(0.0, 1.0));
+        self
+    }
+
     /// **Telemetry toggle** (default on): when off, span timing,
     /// histograms, and trace recording are skipped — only the plain
     /// lifetime counters behind [`WfEngine::stats`] keep running. The
@@ -1971,11 +2443,33 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
         // Reload persisted history from the spill directory's manifest:
         // header-only reads; arenas fault in lazily at first query.
         let lru = Arc::new(SegmentLru::new(self.max_resident_bytes, Arc::clone(&obs)));
+        let epochs = Arc::new(EpochRegistry::default());
+        let mut pack_mappings: HashMap<PathBuf, Arc<PackMapping>> = HashMap::new();
         let mut persisted: Vec<Arc<PersistedRun>> = Vec::new();
         if let Some(dir) = &self.spill_dir {
+            epochs.seed(snapshot::load_manifest_epoch(dir));
             let entries = snapshot::load_manifest(dir).unwrap_or_default();
             for entry in entries {
-                let Ok(run) = PersistedRun::open_entry(dir, &entry, Arc::clone(&lru)) else {
+                // Pack files are mapped once, at registration, and every
+                // run in the pack shares the mapping; loose files keep
+                // the owned fault-in path.
+                let path = dir.join(&entry.file);
+                let mapping = if self.mmap_packs && is_pack_file(&path) {
+                    match pack_mappings.get(&path) {
+                        Some(m) => Some(Arc::clone(m)),
+                        None => match PackMapping::open(&path, Arc::clone(&lru.mapped_bytes)) {
+                            Ok(m) => {
+                                pack_mappings.insert(path.clone(), Arc::clone(&m));
+                                Some(m)
+                            }
+                            Err(_) => None,
+                        },
+                    }
+                } else {
+                    None
+                };
+                let Ok(run) = PersistedRun::open_entry(dir, &entry, Arc::clone(&lru), mapping)
+                else {
                     continue; // unreadable/corrupt segment: skip
                 };
                 if run.spec.0 < self.contexts.len() {
@@ -2100,7 +2594,9 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             freeze_after: self.freeze_after,
             max_hot_runs: self.max_hot_runs,
             reheat_after: self.reheat_after,
+            hot_reheat_after: self.hot_reheat_after,
             compact_after: self.compact_after,
+            pack_gc: self.pack_gc_dead_ratio.is_some(),
         };
         // Replay the §7.4 aggregates out of the v2 headers so a reloaded
         // engine reports the same DRL-vs-SKL deltas its predecessor
@@ -2160,6 +2656,12 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             tiering_lock: Mutex::new(()),
             tiering_cv: Condvar::new(),
             segment_policy_stamp: AtomicU64::new(u64::MAX),
+            epochs,
+            mmap_packs: self.mmap_packs,
+            pack_gc_dead_ratio: self
+                .pack_gc_dead_ratio
+                .unwrap_or(DEFAULT_PACK_GC_DEAD_RATIO),
+            pack_mappings: Mutex::new(pack_mappings),
         });
         // Replay recovered runs into the hot tier before the ingest pool
         // opens: applied directly (not via the logged_* write-ahead

@@ -184,7 +184,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
         let skl_bits = match &self.view {
             RunView::Hot(slot) => slot.skl_bits,
             RunView::Frozen(f) => f.arena().skl_bits(),
-            RunView::Persisted(p) => p.load()?.arena().skl_bits(),
+            RunView::Persisted(p) => p.pin()?.skl_bits(),
         };
         self.label(v).map(|l| l.bit_len(skl_bits))
     }

@@ -84,6 +84,7 @@
 //! assert!(engine.stats().events_ingested > 0);
 //! ```
 
+pub mod bufmgr;
 mod engine;
 mod freeze;
 mod handle;
@@ -96,8 +97,8 @@ mod store;
 mod telemetry;
 
 pub use engine::{
-    CompactionReport, EngineBuilder, EngineMetrics, WfEngine, DEFAULT_MAX_VERTEX_ID,
-    DEFAULT_SLOW_OP_THRESHOLD, DEFAULT_TRACE_CAPACITY,
+    CompactionReport, EngineBuilder, EngineMetrics, PackGcReport, WfEngine, DEFAULT_MAX_VERTEX_ID,
+    DEFAULT_PACK_GC_DEAD_RATIO, DEFAULT_SLOW_OP_THRESHOLD, DEFAULT_TRACE_CAPACITY,
 };
 pub use freeze::{FrozenRun, SklReport};
 pub use handle::RunHandle;
@@ -267,6 +268,10 @@ pub enum ServiceError {
     /// IO/format/sync error). The persisted tier is untouched: until the
     /// new manifest renames into place the old files stay live.
     Compaction(String),
+    /// A pack garbage-collection pass failed (message carries the
+    /// underlying IO/format/sync error). Like compaction, the pass is
+    /// atomic: the old packs stay live until the new manifest lands.
+    PackGc(String),
     /// A write-ahead-log append or barrier failed (message carries the
     /// underlying [`WalError`]). The op was **not** applied: the WAL is
     /// written before the in-memory state, so a run never holds events
@@ -304,6 +309,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Snapshot(r, e) => write!(f, "{r}: snapshot failed: {e}"),
             ServiceError::Compaction(e) => write!(f, "compaction failed: {e}"),
+            ServiceError::PackGc(e) => write!(f, "pack gc failed: {e}"),
             ServiceError::Wal(e) => write!(f, "write-ahead log failed: {e}"),
         }
     }

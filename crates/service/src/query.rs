@@ -144,6 +144,13 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
     /// scans — e.g. ones that faulted cold segments in — are promoted
     /// into the trace ring).
     fn timed_scan<T>(&self, f: impl FnOnce() -> T) -> T {
+        // Pin the pack-set epoch for the whole scan: a compaction or
+        // pack-GC rewrite landing mid-scan retires the files it
+        // replaced under a *later* epoch, so every blob this scan
+        // resolves — mapped or owned fault-in — stays readable until
+        // the guard drops. The scan answers from the pre-rewrite pack
+        // set it started against.
+        let _epoch = self.shared.epochs.pin();
         let obs = &self.shared.obs;
         let span = obs.timer();
         let out = f();

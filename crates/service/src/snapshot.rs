@@ -44,6 +44,7 @@
 //! every label** before accepting; a truncated or corrupted snapshot is
 //! rejected with a typed error, never a panic.
 
+use crate::bufmgr::{MappedRun, PackMapping};
 use crate::freeze::{FrozenRun, SklReport};
 use crate::store::SegmentLru;
 use crate::{RunId, SpecId};
@@ -51,10 +52,10 @@ use std::fmt;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
-use wf_drl::{ArenaSlot, LabelArena};
-use wf_graph::VertexId;
+use wf_drl::{ArenaSlot, DrlLabel, LabelArena};
+use wf_graph::{NameId, VertexId};
 
 /// Segment file magic.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"WFTIERS1";
@@ -196,7 +197,7 @@ pub struct SegmentHeader {
 }
 
 impl SegmentHeader {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self.version {
             SEGMENT_VERSION_V1 => HEADER_LEN_V1,
             _ => HEADER_LEN_V2,
@@ -475,10 +476,22 @@ pub struct ManifestEntry {
 /// file, fsync, rename, directory fsync — after this returns, a crash
 /// cannot resurrect the previous manifest or leave the new one pointing
 /// at unsynced data.
-pub fn write_manifest(dir: &Path, entries: &[ManifestEntry]) -> Result<(), SnapshotError> {
+///
+/// The manifest is **epoch-versioned**: an `epoch <n>` line right after
+/// the header records which pack-set version the entries describe, so a
+/// restarted engine resumes the [`crate::bufmgr::EpochRegistry`] clock
+/// monotonically. The line is shaped so a pre-epoch loader skips it as
+/// malformed (its first token is not a run id) — old and new engines
+/// read each other's manifests.
+pub fn write_manifest(
+    dir: &Path,
+    entries: &[ManifestEntry],
+    epoch: u64,
+) -> Result<(), SnapshotError> {
     fs::create_dir_all(dir)?;
     let mut out = String::from(MANIFEST_HEADER);
     out.push('\n');
+    out.push_str(&format!("epoch {epoch}\n"));
     for e in entries {
         out.push_str(&format!(
             "{} {} {} {}\n",
@@ -486,6 +499,23 @@ pub fn write_manifest(dir: &Path, entries: &[ManifestEntry]) -> Result<(), Snaps
         ));
     }
     write_blob_file(dir, &dir.join(MANIFEST_FILE), out.as_bytes())
+}
+
+/// The pack-set epoch recorded in the manifest (0 when absent — every
+/// pre-epoch manifest, and a missing manifest, load as epoch 0).
+pub fn load_manifest_epoch(dir: &Path) -> u64 {
+    let Ok(text) = fs::read_to_string(dir.join(MANIFEST_FILE)) else {
+        return 0;
+    };
+    for line in text.lines().skip(1) {
+        let mut parts = line.split_whitespace();
+        if parts.next() == Some("epoch") {
+            if let Some(Ok(epoch)) = parts.next().map(str::parse::<u64>) {
+                return epoch;
+            }
+        }
+    }
+    0
 }
 
 /// Load the manifest (either header version); a missing file is an empty
@@ -553,9 +583,15 @@ pub fn load_manifest(dir: &Path) -> Result<Vec<ManifestEntry>, SnapshotError> {
 pub(crate) enum LoadState {
     /// Not in memory; the next query faults the blob in.
     Unloaded,
-    /// Resident — queries answer without touching disk until the LRU
-    /// sheds the arena again.
+    /// Resident as an owned decoded arena — the fallback path for loose
+    /// per-run files (and for packs when mapping is disabled). Queries
+    /// answer without touching disk until the LRU sheds the arena.
     Loaded(Arc<FrozenRun>),
+    /// Resolved to a byte range inside an `mmap`'d pack: verified once,
+    /// then served zero-copy forever. Eviction flips the range's
+    /// residency flag and `madvise`s the pages away, but this state —
+    /// the parsed metadata — never degrades back to `Unloaded`.
+    Mapped(Arc<MappedRun>),
     /// A load failed (the blob vanished or was corrupted after
     /// registration); cached so queries degrade to "no labels" instead
     /// of re-reading a broken file.
@@ -587,6 +623,14 @@ pub struct PersistedRun {
     /// §7.4 report without faulting a single arena in.
     pub(crate) skl: Option<SklReport>,
     state: RwLock<LoadState>,
+    /// The pack mapping this run's blob lives in, when the engine maps
+    /// packs (`mmap_packs`): the pin path resolves through it instead
+    /// of faulting an owned copy. `None` for loose per-run files.
+    mapping: Option<Arc<PackMapping>>,
+    /// Live [`SegmentPin`] count. A pinned blob is never a replacer
+    /// victim, so a scan iterating labels off the mapping cannot have
+    /// its pages `madvise`d away mid-visit.
+    pins: AtomicU32,
     /// LRU recency stamp (the store's logical clock at last query).
     pub(crate) last_access: AtomicU64,
     /// Set when this registration leaves the persisted tier (evicted,
@@ -605,11 +649,14 @@ pub struct PersistedRun {
 }
 
 impl PersistedRun {
-    /// Register a manifest entry by reading its blob header only.
+    /// Register a manifest entry by reading its blob header only. When
+    /// `mapping` is provided (the entry lives in a mapped pack), reads
+    /// resolve through the mapping instead of owned fault-ins.
     pub(crate) fn open_entry(
         dir: &Path,
         entry: &ManifestEntry,
         lru: Arc<SegmentLru>,
+        mapping: Option<Arc<PackMapping>>,
     ) -> Result<Self, SnapshotError> {
         let path = dir.join(&entry.file);
         let header = read_header_at(&path, entry.offset)?;
@@ -630,6 +677,8 @@ impl PersistedRun {
             frozen_at: header.frozen_at,
             skl: header.skl,
             state: RwLock::new(LoadState::Unloaded),
+            mapping,
+            pins: AtomicU32::new(0),
             last_access: AtomicU64::new(0),
             retired: AtomicBool::new(false),
             lru,
@@ -659,6 +708,10 @@ impl PersistedRun {
             frozen_at: frozen.frozen_at(),
             skl: frozen.skl_report().copied(),
             state: RwLock::new(LoadState::Unloaded),
+            // Spills write loose per-run files — the owned fault-in
+            // fallback; compaction later packs (and maps) them.
+            mapping: None,
+            pins: AtomicU32::new(0),
             last_access: AtomicU64::new(0),
             retired: AtomicBool::new(false),
             lru,
@@ -670,10 +723,18 @@ impl PersistedRun {
         }
     }
 
-    /// The compaction swap: the same run re-registered at its new blob
-    /// location, carrying the per-run counters forward. Residency starts
-    /// cold (the old entry's arena is forgotten with the old entry).
-    pub(crate) fn repacked(old: &PersistedRun, path: PathBuf, offset: u64, bytes: u64) -> Self {
+    /// The compaction/GC swap: the same run re-registered at its new
+    /// blob location, carrying the per-run counters forward. Residency
+    /// starts cold (the old entry's arena is forgotten with the old
+    /// entry); the new pack's mapping rides in so reads resolve through
+    /// it immediately.
+    pub(crate) fn repacked(
+        old: &PersistedRun,
+        path: PathBuf,
+        offset: u64,
+        bytes: u64,
+        mapping: Option<Arc<PackMapping>>,
+    ) -> Self {
         Self {
             run: old.run,
             spec: old.spec,
@@ -685,6 +746,8 @@ impl PersistedRun {
             frozen_at: old.frozen_at,
             skl: old.skl,
             state: RwLock::new(LoadState::Unloaded),
+            mapping,
+            pins: AtomicU32::new(0),
             last_access: AtomicU64::new(old.last_access.load(Ordering::Relaxed)),
             retired: AtomicBool::new(false),
             lru: Arc::clone(&old.lru),
@@ -718,33 +781,94 @@ impl PersistedRun {
         self.skl.as_ref()
     }
 
-    /// The arena, faulting the blob in (and registering with the LRU) on
-    /// first use after a cold start or a shed. `None` if the blob no
-    /// longer reads back cleanly.
-    pub fn load(self: &Arc<Self>) -> Option<Arc<FrozenRun>> {
+    /// Pin the run's bytes for reading, resolving them on first use:
+    /// through the pack mapping when one is registered (verify once,
+    /// then zero-copy forever), through an owned fault-in otherwise.
+    /// The pin makes the blob ineligible for eviction until dropped;
+    /// `None` if the blob no longer reads back cleanly.
+    ///
+    /// The pin count is taken while the state lock is held; the shed
+    /// path re-checks it under the (try-)write lock, so a blob can
+    /// never be evicted between resolve and pin.
+    pub(crate) fn pin(self: &Arc<Self>) -> Option<SegmentPin> {
         self.last_access.store(self.lru.tick(), Ordering::Relaxed);
-        {
-            let g = self.state.read().expect("segment state poisoned");
-            match &*g {
-                LoadState::Loaded(f) => return Some(Arc::clone(f)),
-                LoadState::Failed => return None,
-                LoadState::Unloaded => {}
+        let mut admit = false;
+        let view = 'resolve: {
+            {
+                let g = self.state.read().expect("segment state poisoned");
+                match &*g {
+                    LoadState::Loaded(f) => {
+                        self.pins.fetch_add(1, Ordering::AcqRel);
+                        break 'resolve PinView::Owned(Arc::clone(f));
+                    }
+                    LoadState::Mapped(m) => {
+                        self.pins.fetch_add(1, Ordering::AcqRel);
+                        // A range the replacer madvise'd away pins back
+                        // in (the pages re-fault lazily underneath).
+                        if !m.resident.swap(true, Ordering::AcqRel) {
+                            self.lru.obs.pack_pins.inc();
+                            admit = true;
+                        }
+                        break 'resolve PinView::Mapped(Arc::clone(m));
+                    }
+                    LoadState::Failed => return None,
+                    LoadState::Unloaded => {}
+                }
             }
-        }
-        let loaded = {
             let mut g = self.state.write().expect("segment state poisoned");
             match &*g {
-                LoadState::Loaded(f) => return Some(Arc::clone(f)),
+                LoadState::Loaded(f) => {
+                    self.pins.fetch_add(1, Ordering::AcqRel);
+                    break 'resolve PinView::Owned(Arc::clone(f));
+                }
+                LoadState::Mapped(m) => {
+                    self.pins.fetch_add(1, Ordering::AcqRel);
+                    if !m.resident.swap(true, Ordering::AcqRel) {
+                        self.lru.obs.pack_pins.inc();
+                        admit = true;
+                    }
+                    break 'resolve PinView::Mapped(Arc::clone(m));
+                }
                 LoadState::Failed => return None,
                 LoadState::Unloaded => {}
             }
-            // This branch is the actual disk fault — the only load()
-            // caller that pays for I/O — so it alone feeds the fault-in
-            // histogram (slow faults are promoted into the trace ring).
             let obs = &self.lru.obs;
+            if let Some(map) = &self.mapping {
+                // First pin of a mapped blob: the one verification pass
+                // (framing + checksum — labels decode lazily later).
+                let span = obs.timer();
+                match MappedRun::resolve(Arc::clone(map), self.offset, self.disk_bytes) {
+                    Ok(m) => {
+                        obs.span(
+                            &obs.h_pack_pin,
+                            "pack_pin",
+                            Some(self.run.0),
+                            Some("persisted"),
+                            span,
+                            false,
+                            || format!("bytes={}", self.disk_bytes),
+                        );
+                        let m = Arc::new(m);
+                        m.resident.store(true, Ordering::Release);
+                        obs.pack_pins.inc();
+                        *g = LoadState::Mapped(Arc::clone(&m));
+                        self.pins.fetch_add(1, Ordering::AcqRel);
+                        admit = true;
+                        break 'resolve PinView::Mapped(m);
+                    }
+                    Err(_) => {
+                        *g = LoadState::Failed;
+                        return None;
+                    }
+                }
+            }
+            // The owned fault-in fallback — the only pin path that pays
+            // for a copy + full decode — so it alone feeds the fault-in
+            // histogram (slow faults are promoted into the trace ring).
             let span = obs.timer();
             match read_segment_range(&self.path, self.offset, self.disk_bytes) {
                 Ok(f) => {
+                    obs.segment_loads.inc();
                     obs.span(
                         &obs.h_fault_in,
                         "fault_in",
@@ -756,28 +880,46 @@ impl PersistedRun {
                     );
                     let f = Arc::new(f);
                     *g = LoadState::Loaded(Arc::clone(&f));
-                    Some(f)
+                    self.pins.fetch_add(1, Ordering::AcqRel);
+                    admit = true;
+                    PinView::Owned(f)
                 }
                 Err(_) => {
                     *g = LoadState::Failed;
-                    None
+                    return None;
                 }
             }
         };
         // Register outside the state lock: the LRU's shed path takes
         // state locks under its own mutex, so nesting the other way
         // around here would risk an ordering inversion.
-        let f = loaded?;
-        self.lru.admit(Arc::clone(self));
-        Some(f)
+        if admit {
+            self.lru.admit(Arc::clone(self));
+        }
+        Some(SegmentPin {
+            run: Arc::clone(self),
+            view,
+        })
     }
 
-    /// True while the arena is resident in memory.
+    /// True while the blob is resident in memory — an owned arena, or a
+    /// mapped range whose pages have not been `madvise`d away.
     pub fn is_loaded(&self) -> bool {
-        matches!(
-            &*self.state.read().expect("segment state poisoned"),
-            LoadState::Loaded(_)
-        )
+        match &*self.state.read().expect("segment state poisoned") {
+            LoadState::Loaded(_) => true,
+            LoadState::Mapped(m) => m.resident.load(Ordering::Acquire),
+            _ => false,
+        }
+    }
+
+    /// Live pin count (replacer victim filtering).
+    pub(crate) fn pinned(&self) -> bool {
+        self.pins.load(Ordering::Acquire) > 0
+    }
+
+    /// Whether reads resolve through a pack mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.mapping.is_some()
     }
 
     /// True once a load has failed (sticky): the blob no longer reads
@@ -790,25 +932,134 @@ impl PersistedRun {
         )
     }
 
-    /// Resident bytes of the loaded arena (0 when cold or failed).
+    /// Resident bytes of the loaded blob (0 when cold or failed): the
+    /// decoded arena footprint for the owned path, the on-disk blob
+    /// length — the pages the mapping can fault — for the mapped path.
     pub(crate) fn resident_bytes(&self) -> u64 {
         match &*self.state.read().expect("segment state poisoned") {
             LoadState::Loaded(f) => f.footprint_bytes() as u64,
+            LoadState::Mapped(m) if m.resident.load(Ordering::Acquire) => self.disk_bytes,
             _ => 0,
         }
     }
 
-    /// Drop the resident arena (LRU eviction). Non-blocking: returns
-    /// `None` if the state lock is contended (a fault-in or query is
-    /// mid-flight) or nothing is loaded; the bytes freed otherwise.
+    /// Drop the resident blob (replacer eviction): the owned arena is
+    /// released to the allocator; a mapped range keeps its metadata but
+    /// hands its pages back to the kernel with `madvise(DONTNEED)`.
+    /// Non-blocking and pin-aware: returns `None` if the state lock is
+    /// contended (a fault-in or query is mid-flight), a pin is live, or
+    /// nothing is resident; the bytes freed otherwise.
     pub(crate) fn shed(&self) -> Option<u64> {
         let mut g = self.state.try_write().ok()?;
-        match std::mem::replace(&mut *g, LoadState::Unloaded) {
-            LoadState::Loaded(f) => Some(f.footprint_bytes() as u64),
-            other => {
-                *g = other;
-                None
+        // Re-checked under the write lock: a pin taken under the read
+        // lock has either completed (visible here) or is blocked on us.
+        if self.pins.load(Ordering::Acquire) > 0 {
+            return None;
+        }
+        match &*g {
+            LoadState::Mapped(m) => {
+                if m.resident.swap(false, Ordering::AcqRel) {
+                    m.advise_dont_need();
+                    Some(self.disk_bytes)
+                } else {
+                    None
+                }
+            }
+            LoadState::Loaded(_) => match std::mem::replace(&mut *g, LoadState::Unloaded) {
+                LoadState::Loaded(f) => Some(f.footprint_bytes() as u64),
+                _ => unreachable!("state changed under the write lock"),
+            },
+            _ => None,
+        }
+    }
+}
+
+/// How a pinned blob's bytes are served.
+enum PinView {
+    /// Owned decoded arena (loose files / mapping disabled).
+    Owned(Arc<FrozenRun>),
+    /// Zero-copy range inside an `mmap`'d pack.
+    Mapped(Arc<MappedRun>),
+}
+
+/// A pinned view of one persisted run's labels — the unified read
+/// surface over both resolve paths. While the pin lives, the replacer
+/// will not evict the blob (owned arena or mapped pages); dropping it
+/// unpins. All label reads decode on demand, identically in both
+/// variants, so callers never know which path answered.
+pub struct SegmentPin {
+    run: Arc<PersistedRun>,
+    view: PinView,
+}
+
+impl SegmentPin {
+    /// Decode the label of `v`.
+    pub fn label(&self, v: VertexId) -> Option<DrlLabel> {
+        match &self.view {
+            PinView::Owned(f) => f.arena.get(v),
+            PinView::Mapped(m) => m.label(v),
+        }
+    }
+
+    /// The module name `v` was published under.
+    pub fn name(&self, v: VertexId) -> Option<NameId> {
+        match &self.view {
+            PinView::Owned(f) => f.arena.name(v),
+            PinView::Mapped(m) => m.name(v),
+        }
+    }
+
+    /// Skeleton-pointer width the labels were encoded with.
+    pub fn skl_bits(&self) -> usize {
+        match &self.view {
+            PinView::Owned(f) => f.arena.skl_bits(),
+            PinView::Mapped(m) => m.skl_bits(),
+        }
+    }
+
+    /// True when this pin serves straight off a pack mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.view, PinView::Mapped(_))
+    }
+
+    /// Visit every published `(vertex, name, label)` of the run.
+    pub fn for_each_label(&self, mut f: impl FnMut(VertexId, NameId, &DrlLabel)) {
+        match &self.view {
+            PinView::Owned(fr) => {
+                for (v, name, label) in fr.arena.iter() {
+                    f(v, name, &label);
+                }
+            }
+            PinView::Mapped(m) => m.for_each_label(f),
+        }
+    }
+
+    /// Materialize an owned, fully re-validated [`FrozenRun`] — the
+    /// re-heat path. The owned variant shares its resident arena; the
+    /// mapped variant decodes one out of the mapping. `None` if the
+    /// mapped bytes no longer validate.
+    pub(crate) fn to_frozen(&self) -> Option<Arc<FrozenRun>> {
+        match &self.view {
+            PinView::Owned(f) => Some(Arc::clone(f)),
+            PinView::Mapped(m) => {
+                let h = m.header();
+                Some(Arc::new(FrozenRun {
+                    run: self.run.run,
+                    spec: self.run.spec,
+                    source: h.source,
+                    arena: m.to_arena()?,
+                    drl_bits: h.drl_bits,
+                    frozen_at: h.frozen_at,
+                    skl: h.skl,
+                    queries: AtomicU64::new(0),
+                }))
             }
         }
+    }
+}
+
+impl Drop for SegmentPin {
+    fn drop(&mut self) {
+        self.run.pins.fetch_sub(1, Ordering::AcqRel);
     }
 }

@@ -90,6 +90,20 @@ pub struct ServiceStats {
     pub segment_loads: u64,
     /// Cumulative arenas shed by the resident-byte LRU.
     pub segment_sheds: u64,
+    /// Cumulative mapped pack blobs pinned in (first resolve against the
+    /// mapping, or re-residency after a `madvise` shed). The mmap
+    /// counterpart of [`Self::segment_loads`], which counts only owned
+    /// fault-ins.
+    pub pack_pins: u64,
+    /// Live runs moved by pack garbage collection (rewrites of packs
+    /// whose dead-blob ratio crossed the GC threshold).
+    pub pack_gc_runs: u64,
+    /// Bytes inside current pack files owned by dropped (dead) blobs —
+    /// what pack GC exists to reclaim.
+    pub pack_dead_bytes: u64,
+    /// Pack bytes currently mmap'd by the buffer manager (virtual
+    /// reservation; resident pages are governed by the LRU).
+    pub mapped_bytes: u64,
     /// Frozen runs re-labeled with the static SKL baseline.
     pub skl_relabeled: u64,
     /// Total SKL bits across re-labeled runs (§7.4: slope ≈ 3·log n).
@@ -147,6 +161,10 @@ struct TierFootprint {
     segment_files: u64,
     segment_loads: u64,
     segment_sheds: u64,
+    pack_pins: u64,
+    pack_gc_runs: u64,
+    pack_dead_bytes: u64,
+    mapped_bytes: u64,
     hot_label_bits: u64,
     frozen_label_bits: u64,
     freezes: u64,
@@ -225,6 +243,10 @@ impl ServiceStats {
             segment_files: self.segment_files,
             segment_loads: self.segment_loads,
             segment_sheds: self.segment_sheds,
+            pack_pins: self.pack_pins,
+            pack_gc_runs: self.pack_gc_runs,
+            pack_dead_bytes: self.pack_dead_bytes,
+            mapped_bytes: self.mapped_bytes,
             hot_label_bits: self.label_bits_total,
             frozen_label_bits: self.frozen_label_bits,
             freezes: self.freezes,

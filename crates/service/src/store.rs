@@ -17,6 +17,7 @@
 //! tier answered. Lookup checks hot first, so a live run costs exactly
 //! what it cost before tiering existed.
 
+use crate::bufmgr::{RecencyReplacer, Replacer};
 use crate::engine::{route_hash, RunSlot};
 use crate::freeze::FrozenRun;
 use crate::snapshot::PersistedRun;
@@ -46,6 +47,12 @@ pub(crate) struct SegmentLru {
     clock: AtomicU64,
     resident: Mutex<HashMap<u64, Arc<PersistedRun>>>,
     resident_bytes: AtomicU64,
+    /// Victim-selection policy: pinned entries are filtered here in
+    /// `enforce`, the policy only orders the evictable remainder.
+    policy: Box<dyn Replacer>,
+    /// Bytes currently `mmap`'d across pack files (shared with every
+    /// [`crate::bufmgr::PackMapping`], which keeps it on map/unmap).
+    pub(crate) mapped_bytes: Arc<AtomicU64>,
     /// Engine telemetry: fault-in/shed counters, the fault-in latency
     /// histogram, and the trace ring shed events feed into.
     pub(crate) obs: Arc<Telemetry>,
@@ -58,6 +65,8 @@ impl SegmentLru {
             clock: AtomicU64::new(0),
             resident: Mutex::new(HashMap::new()),
             resident_bytes: AtomicU64::new(0),
+            policy: Box::new(RecencyReplacer),
+            mapped_bytes: Arc::new(AtomicU64::new(0)),
             obs,
         }
     }
@@ -86,7 +95,6 @@ impl SegmentLru {
     /// pinned (the admit/forget race), and a displaced same-id entry's
     /// bytes come off the books.
     pub(crate) fn admit(&self, run: Arc<PersistedRun>) {
-        self.obs.segment_loads.inc();
         let id = run.run().0;
         {
             let mut map = self.resident.lock().expect("lru map poisoned");
@@ -126,9 +134,12 @@ impl SegmentLru {
         }
     }
 
-    /// Shed least-recently-used arenas until the budget holds. Each
-    /// candidate is tried once per pass (a contended victim — one being
-    /// queried or faulted right now — is skipped, not waited on).
+    /// Shed replacer-ranked victims until the budget holds. Pinned
+    /// entries (a scan mid-iteration) are never candidates; each
+    /// remaining candidate is tried once per pass (a contended victim —
+    /// one being queried or faulted right now — is skipped, not waited
+    /// on). Owned arenas free to the allocator; mapped ranges free by
+    /// `madvise(DONTNEED)`.
     fn enforce(&self, protect: Option<u64>) {
         let Some(budget) = self.max_resident else {
             return;
@@ -139,10 +150,10 @@ impl SegmentLru {
         }
         let mut victims: Vec<Arc<PersistedRun>> = map
             .values()
-            .filter(|p| Some(p.run().0) != protect)
+            .filter(|p| Some(p.run().0) != protect && !p.pinned())
             .cloned()
             .collect();
-        victims.sort_by_key(|p| (p.last_access.load(Ordering::Relaxed), p.frozen_at));
+        self.policy.rank(&mut victims);
         for victim in victims {
             if self.resident_bytes.load(Ordering::Relaxed) <= budget {
                 break;
@@ -256,12 +267,12 @@ impl<S: SpecLabeling> RunView<S> {
     }
 
     /// The label of `v` — borrowed-then-cloned from the hot index,
-    /// decoded from an arena otherwise.
+    /// decoded from an arena (owned or mapped) otherwise.
     pub(crate) fn label(&self, v: VertexId) -> Option<DrlLabel> {
         match self {
             RunView::Hot(s) => s.indexed.get(v).cloned(),
             RunView::Frozen(f) => f.arena.get(v),
-            RunView::Persisted(p) => p.load()?.arena.get(v),
+            RunView::Persisted(p) => p.pin()?.label(v),
         }
     }
 
@@ -270,7 +281,7 @@ impl<S: SpecLabeling> RunView<S> {
         match self {
             RunView::Hot(s) => s.indexed.get_published(v).map(|p| p.name),
             RunView::Frozen(f) => f.arena.name(v),
-            RunView::Persisted(p) => p.load()?.arena.name(v),
+            RunView::Persisted(p) => p.pin()?.name(v),
         }
     }
 
@@ -291,8 +302,8 @@ impl<S: SpecLabeling> RunView<S> {
             }
             RunView::Frozen(f) => predicate.reaches(&f.arena.get(u)?, &f.arena.get(v)?),
             RunView::Persisted(p) => {
-                let f = p.load()?;
-                predicate.reaches(&f.arena.get(u)?, &f.arena.get(v)?)
+                let pin = p.pin()?;
+                predicate.reaches(&pin.label(u)?, &pin.label(v)?)
             }
         };
         self.note_query();
@@ -315,10 +326,11 @@ impl<S: SpecLabeling> RunView<S> {
                 }
             }
             RunView::Persisted(p) => {
-                if let Some(fr) = p.load() {
-                    for (v, name, label) in fr.arena.iter() {
-                        f(v, name, &label);
-                    }
+                // The pin holds for the whole visit: a cross-run scan
+                // iterates labels straight off the mapping without the
+                // replacer madvise'ing its pages away mid-run.
+                if let Some(pin) = p.pin() {
+                    pin.for_each_label(|v, name, label| f(v, name, label));
                 }
             }
         }
@@ -452,6 +464,27 @@ impl<S: SpecLabeling> LabelStore<S> {
                 return false;
             };
             cold.insert(run.0, frozen);
+            old
+        };
+        self.lru.forget_entry(&old);
+        true
+    }
+
+    /// Promote a persisted run **all the way to the hot tier** — the
+    /// sustained-traffic re-heat: a fully decoded `LabelIndex` rebuilt
+    /// from the arena, restored under the run's shard. Conditional on
+    /// the run still being persisted; both locks are held across the
+    /// move (shard → persisted, consistent with hot shadowing cold in
+    /// `view`), so a concurrent lookup never sees a gap.
+    #[must_use]
+    pub(crate) fn promote_hot(&self, run: RunId, slot: Arc<RunSlot<S>>) -> bool {
+        let old = {
+            let mut shard = self.shard(run).write().expect("shard lock poisoned");
+            let mut disk = self.persisted.write().expect("persisted lock poisoned");
+            let Some(old) = disk.remove(&run.0) else {
+                return false;
+            };
+            shard.insert(run.0, slot);
             old
         };
         self.lru.forget_entry(&old);

@@ -76,6 +76,8 @@ pub(crate) struct Telemetry {
     pub compactions: Counter,
     pub segment_loads: Counter,
     pub segment_sheds: Counter,
+    pub pack_pins: Counter,
+    pub pack_gc_runs: Counter,
     pub skl_relabeled: Counter,
     pub skl_bits_total: Counter,
     pub skl_drl_bits_total: Counter,
@@ -97,6 +99,8 @@ pub(crate) struct Telemetry {
     pub g_hot_bytes: Gauge,
     pub g_persisted_resident_bytes: Gauge,
     pub g_segment_files: Gauge,
+    pub g_pack_dead_bytes: Gauge,
+    pub g_mapped_bytes: Gauge,
 
     // Latency histograms (recorded only when `enabled`).
     pub h_ingest_apply: Arc<Histogram>,
@@ -106,6 +110,8 @@ pub(crate) struct Telemetry {
     pub h_skl_build: Arc<Histogram>,
     pub h_spill: Arc<Histogram>,
     pub h_fault_in: Arc<Histogram>,
+    pub h_pack_pin: Arc<Histogram>,
+    pub h_pack_gc: Arc<Histogram>,
     pub h_reheat: Arc<Histogram>,
     pub h_compaction: Arc<Histogram>,
     pub h_reach: Arc<Histogram>,
@@ -151,6 +157,14 @@ impl Telemetry {
                 "wf_segment_sheds_total",
                 "resident segments shed by the LRU",
             ),
+            pack_pins: counter(
+                "wf_pack_pins_total",
+                "mapped pack blobs pinned in (first resolve or re-residency)",
+            ),
+            pack_gc_runs: counter(
+                "wf_pack_gc_runs_total",
+                "live runs moved by pack garbage collection",
+            ),
             skl_relabeled: counter("wf_skl_relabeled_total", "frozen runs relabeled with SKL"),
             skl_bits_total: counter("wf_skl_bits_total", "total SKL label bits"),
             skl_drl_bits_total: counter("wf_skl_drl_bits_total", "DRL bits of SKL-relabeled runs"),
@@ -192,6 +206,11 @@ impl Telemetry {
                 "persisted-tier bytes faulted in and resident",
             ),
             g_segment_files: gauge("wf_segment_files", "segment files on disk"),
+            g_pack_dead_bytes: gauge(
+                "wf_pack_dead_bytes",
+                "dead blob bytes in packs awaiting garbage collection",
+            ),
+            g_mapped_bytes: gauge("wf_mapped_bytes", "pack bytes currently mmap'd"),
 
             h_ingest_apply: hist("wf_ingest_apply_ns", "one event applied to a hot run"),
             h_flush_wait: hist("wf_flush_wait_ns", "flush barrier wait"),
@@ -203,6 +222,11 @@ impl Telemetry {
             h_skl_build: hist("wf_skl_build_ns", "SKL relabel build during freeze"),
             h_spill: hist("wf_spill_ns", "segment write of one frozen run"),
             h_fault_in: hist("wf_fault_in_ns", "persisted segment fault-in from disk"),
+            h_pack_pin: hist(
+                "wf_pack_pin_ns",
+                "first pin of a mapped pack blob (verify + resolve)",
+            ),
+            h_pack_gc: hist("wf_pack_gc_ns", "one pack garbage-collection pass"),
             h_reheat: hist("wf_reheat_ns", "persisted run promoted back to frozen"),
             h_compaction: hist("wf_compaction_ns", "one segment compaction pass"),
             h_reach: hist("wf_reach_ns", "reachability probe (sampled 1 in 64)"),

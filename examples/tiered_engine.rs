@@ -228,4 +228,100 @@ fn main() {
     );
     drop(engine);
     let _ = std::fs::remove_dir_all(&wal);
+
+    // ---- Act 3: shed → cold scan → pack GC (the buffer manager). ----
+    //
+    // A fleet is persisted and packed, then the engine is dropped — the
+    // next build starts fully cold, with the packs `mmap`'d at
+    // registration. The cross-run scan resolves every blob to a pinned
+    // byte range inside the mapping (verify once, zero copies), the
+    // replacer sheds pages by `madvise` under the resident budget, and
+    // re-heating half the fleet to the **hot** tier strands enough dead
+    // blobs for pack GC to rewrite the pack and shrink the directory.
+    // The `pack_gc` JSON line is the CI artifact.
+    let spill = std::env::temp_dir().join(format!("wf-tiered-bufmgr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill);
+    let spec = wf_spec::corpus::bioaid_nonrecursive();
+    {
+        let engine: WfEngine = WfEngine::builder()
+            .spec(spec.clone())
+            .ingest_workers(2)
+            .spill_dir(&spill)
+            .build();
+        for _ in 0..48 {
+            let run = engine.open_run(SpecId(0)).unwrap();
+            let gen = RunGenerator::new(&engine.context(SpecId(0)).unwrap().spec)
+                .target_size(120)
+                .generate_run(&mut rng);
+            let exec = Execution::deterministic(&gen.graph, &gen.origin);
+            for ev in exec.events() {
+                engine.submit(run, ev).unwrap();
+            }
+            engine.complete_run(run).unwrap();
+            engine.persist_run(run).unwrap();
+        }
+        engine.compact().expect("spill dir configured");
+    } // dropped: nothing resident, nothing decoded — a true cold start
+
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec)
+        .spill_dir(&spill)
+        .max_resident_bytes(64 * 1024)
+        .build();
+    let cold = std::time::Instant::now();
+    let ids = engine.query().completed().run_ids();
+    let hits = engine
+        .query()
+        .completed()
+        .runs_reaching_named_from_source(probe);
+    let cold_ms = cold.elapsed().as_secs_f64() * 1e3;
+    let stats = engine.stats();
+    println!(
+        "cold scan: {} persisted runs in {cold_ms:.1} ms ({} hits) — \
+         {} pack pins, {} owned fault-ins, {} B mapped",
+        ids.len(),
+        hits.len(),
+        stats.pack_pins,
+        stats.segment_loads,
+        stats.mapped_bytes,
+    );
+
+    // Sustained traffic on half the fleet: promote those runs all the
+    // way back to hot, stranding their pack blobs as dead bytes…
+    for run in &ids[..ids.len() / 2] {
+        engine
+            .reheat_run_hot(*run)
+            .expect("persisted run re-heats hot");
+    }
+    let dead = engine.stats().pack_dead_bytes;
+    // …then let pack GC rewrite the pack without them.
+    let disk_before: u64 = std::fs::read_dir(&spill)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "wfseg"))
+        .map(|e| e.metadata().unwrap().len())
+        .sum();
+    let gc = engine.gc_packs().expect("spill dir configured");
+    println!("{}", gc.json());
+    let disk_after: u64 = std::fs::read_dir(&spill)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "wfseg"))
+        .map(|e| e.metadata().unwrap().len())
+        .sum();
+    assert!(gc.dead_bytes_reclaimed > 0, "half the pack was dead");
+    assert!(disk_after < disk_before, "GC shrinks the spill dir");
+    println!(
+        "pack GC: {dead} dead B across packs → rewrote {} pack(s), \
+         moved {} runs, disk {disk_before} B → {disk_after} B",
+        gc.packs_rewritten, gc.runs_moved,
+    );
+    // Survivors still answer after the rewrite, hot returnees from
+    // their rebuilt indexes.
+    for run in &ids {
+        assert!(engine.run_tier(*run).is_ok());
+    }
+    println!("{}", engine.stats().tier_footprint_json());
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&spill);
 }

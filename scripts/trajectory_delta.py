@@ -6,8 +6,9 @@ Usage: trajectory_delta.py CURRENT.json [PREVIOUS.json ...]
 Each artifact is JSON-lines: bench lines ({"bench": ..., "mean_ns": ...,
 "elements_per_sec": ...}), latency-percentile lines ({"metric":
 "latency", "name": ..., "p50_ns": ..., "p99_ns": ...}), the
-tier_footprint line, the compaction line, the obs_overhead line, and
-the WAL lines (durable_ingest, wal_recovery_ms), as printed by
+tier_footprint line, the compaction line, the obs_overhead line, the
+buffer-manager lines (service_cold_scan, pack_gc), and the WAL lines
+(durable_ingest, wal_recovery_ms), as printed by
 `cargo bench -p wf-bench --bench service`.
 
 The newest PREVIOUS (last argument) anchors the delta columns and the
@@ -192,12 +193,43 @@ def main():
         elif drop > WARN_DROP_PCT:
             warnings.append(label)
 
+    # Cold-scan line: the buffer-manager sweep over the packed persisted
+    # tier. `cold_scan_eps` (the mapped read path) carries the soft gate
+    # like the tiering benches; the owned baseline, the mapped/owned
+    # speedup, and the residency numbers ride along informationally.
+    cur, prev = current.get("service_cold_scan", {}), previous.get("service_cold_scan", {})
+    for metric, gated in (
+        ("cold_scan_eps", True),
+        ("owned_scan_eps", False),
+        ("speedup", False),
+    ):
+        c, p = cur.get(metric), prev.get(metric)
+        if c is None:
+            continue
+        d = delta_pct(p, c)
+        rows.append((f"service_cold_scan.{metric}", p, c, d))
+        if d is None:
+            continue
+        drop = -d  # throughput / ratio: a drop regresses
+        label = f"service_cold_scan {metric}: {d:+.1f}%"
+        if gated and drop > GATE_DROP_PCT:
+            failures.append(label)
+        elif drop > WARN_DROP_PCT:
+            warnings.append(label)
+    for f in ("mapped_resident_bytes", "owned_resident_bytes", "budget_bytes", "mapped_bytes"):
+        if f in cur:
+            rows.append((f"service_cold_scan.{f}", prev.get(f), cur.get(f), delta_pct(prev.get(f), cur.get(f))))
+
     # Footprint + compaction + overhead + recovery lines: informational.
     for key, fields in (
         ("tier_footprint", ("hot_bytes", "frozen_bytes", "persisted_bytes",
                             "persisted_resident_bytes", "segment_files",
+                            "pack_pins", "pack_dead_bytes", "mapped_bytes",
                             "skl_bits", "skl_drl_bits")),
-        ("compaction", ("files_before", "files_after", "bytes_after", "runs_packed")),
+        ("compaction", ("files_before", "files_after", "bytes_after",
+                        "dead_bytes_reclaimed", "runs_packed")),
+        ("pack_gc", ("packs_rewritten", "runs_moved", "bytes_before",
+                     "bytes_after", "dead_bytes_reclaimed")),
         ("obs_overhead", ("ingest_ratio", "reach_ratio")),
         ("wal_recovery_ms", ("records", "ms")),
     ):

@@ -1,0 +1,474 @@
+//! Buffer-manager read path: mmap'd packs vs owned fault-ins, pack
+//! garbage collection under concurrent scans, hot re-heating, and the
+//! compaction byte-accounting regression.
+//!
+//! The acceptance bar mirrors tiering.rs: whatever the storage path —
+//! owned copy, zero-copy mapping, mid-GC epoch-pinned scan — a run must
+//! answer `reach()` exactly per [`NaiveDynamicDag`] replay, and a
+//! corrupted blob must degrade to "no labels" with a typed rejection,
+//! never a SIGBUS or panic.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wf_provenance::prelude::*;
+use wf_service::Tier;
+
+/// A temp dir that cleans up after itself (no tempfile crate offline).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let base = std::env::var_os("WF_TIER_TEST_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = base.join(format!(
+            "wf-bufmgr-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+type FleetRun = (RunId, Execution, NaiveDynamicDag);
+
+/// Ingest, complete and persist `n` runs; returns each with its naive
+/// ground truth.
+fn persist_fleet(
+    engine: &WfEngine,
+    spec: &Specification,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<FleetRun> {
+    let mut fleet = Vec::new();
+    for _ in 0..n {
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let gen = RunGenerator::new(spec).target_size(40).generate_run(rng);
+        let exec = Execution::deterministic(&gen.graph, &gen.origin);
+        let mut naive = NaiveDynamicDag::new();
+        for ev in exec.events() {
+            engine.submit(run, ev).unwrap();
+            naive.insert(ev.vertex, &ev.preds);
+        }
+        engine.complete_run(run).unwrap();
+        engine.persist_run(run).unwrap();
+        fleet.push((run, exec, naive));
+    }
+    fleet
+}
+
+/// Every sampled pair answers exactly per replay.
+fn assert_answers(engine: &WfEngine, fleet: &[FleetRun]) {
+    for (run, exec, naive) in fleet {
+        let h = engine.handle(*run).unwrap();
+        for a in exec.events().iter().step_by(3) {
+            for b in exec.events().iter().step_by(2) {
+                assert_eq!(
+                    h.reach(a.vertex, b.vertex),
+                    Some(naive.reaches(a.vertex, b.vertex)),
+                    "{run:?} {:?};{:?} ({:?} tier)",
+                    a.vertex,
+                    b.vertex,
+                    h.tier()
+                );
+            }
+        }
+    }
+}
+
+/// Sum of `.wfseg` file sizes in the spill dir (the on-disk footprint
+/// pack GC exists to shrink).
+fn wfseg_bytes(dir: &PathBuf) -> u64 {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "wfseg"))
+        .map(|e| e.metadata().unwrap().len())
+        .sum()
+}
+
+/// Per-run loose segment file sizes, before compaction erases them.
+fn loose_sizes(dir: &std::path::Path, fleet: &[FleetRun]) -> Vec<(RunId, u64)> {
+    fleet
+        .iter()
+        .map(|(run, ..)| {
+            let path = dir.join(wf_service::snapshot::segment_file_name(*run));
+            (*run, std::fs::metadata(path).unwrap().len())
+        })
+        .collect()
+}
+
+/// The mapped (zero-copy) read path and the owned fault-in fallback
+/// answer bit-identically, and each feeds its own counter family:
+/// `pack_pins`/`mapped_bytes` for the mapping, `segment_loads` for the
+/// owned copies.
+#[test]
+fn mapped_and_owned_pack_reads_agree() {
+    let dir = TempDir::new("mapped");
+    let spec = wf_spec::corpus::running_example();
+    let mut rng = StdRng::seed_from_u64(4096);
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .spill_dir(&dir.0)
+        .build();
+    let fleet = persist_fleet(&engine, &spec, 6, &mut rng);
+    let report = engine.compact().unwrap();
+    assert_eq!(report.packs_written, 1);
+    drop(engine);
+
+    let mapped: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .spill_dir(&dir.0)
+        .build();
+    let owned: WfEngine = WfEngine::builder()
+        .spec(spec)
+        .spill_dir(&dir.0)
+        .mmap_packs(false)
+        .build();
+
+    // The mapping is established at registration, before any query.
+    assert!(mapped.stats().mapped_bytes > 0, "pack mmap'd at build");
+    assert_eq!(owned.stats().mapped_bytes, 0, "mmap disabled");
+
+    assert_answers(&mapped, &fleet);
+    assert_answers(&owned, &fleet);
+
+    // Counter split: mapped pins never count as owned fault-ins.
+    let (ms, os) = (mapped.stats(), owned.stats());
+    assert!(ms.pack_pins >= 1, "first resolve pinned the mapping in");
+    assert_eq!(ms.segment_loads, 0, "no owned copies on the mapped path");
+    assert!(os.segment_loads >= 1, "owned path faulted blobs in");
+    assert_eq!(os.pack_pins, 0, "no mapping to pin");
+
+    // The cross-run surface agrees between the two engines.
+    let name = fleet[0].1.events()[1].name;
+    assert_eq!(
+        mapped
+            .query()
+            .completed()
+            .runs_reaching_named_from_source(name),
+        owned
+            .query()
+            .completed()
+            .runs_reaching_named_from_source(name),
+    );
+}
+
+/// A bit flip inside a pack is caught by the per-blob checksum at first
+/// pin: the damaged run degrades to "no labels" (typed, no SIGBUS, no
+/// panic), while every other blob in the same pack keeps answering.
+#[test]
+fn corrupt_mapped_pack_degrades_cleanly() {
+    let dir = TempDir::new("corrupt");
+    let spec = wf_spec::corpus::running_example();
+    let mut rng = StdRng::seed_from_u64(99);
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .spill_dir(&dir.0)
+        .build();
+    let fleet = persist_fleet(&engine, &spec, 6, &mut rng);
+    engine.compact().unwrap();
+    drop(engine);
+
+    let pack = std::fs::read_dir(&dir.0)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("pack-") && n.ends_with(".wfseg"))
+        })
+        .expect("compaction wrote a pack");
+    let mut bytes = std::fs::read(&pack).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&pack, &bytes).unwrap();
+
+    let reloaded: WfEngine = WfEngine::builder().spec(spec).spill_dir(&dir.0).build();
+    let mut degraded = 0usize;
+    for (run, exec, naive) in &fleet {
+        // A registration may have been dropped outright if the flip hit
+        // framing the loader checks early — also a clean rejection.
+        let Ok(h) = reloaded.handle(*run) else {
+            degraded += 1;
+            continue;
+        };
+        let mut this_degraded = false;
+        for a in exec.events().iter().step_by(3) {
+            for b in exec.events().iter().step_by(2) {
+                match h.reach(a.vertex, b.vertex) {
+                    Some(got) => assert_eq!(
+                        got,
+                        naive.reaches(a.vertex, b.vertex),
+                        "a damaged blob must degrade, never lie"
+                    ),
+                    None => this_degraded = true,
+                }
+            }
+        }
+        degraded += this_degraded as usize;
+    }
+    assert!(degraded >= 1, "the flipped blob was rejected at pin");
+    assert!(degraded < fleet.len(), "intact blobs keep answering");
+}
+
+/// Full hot re-heat: the rebuilt in-memory [`LabelIndex`] answers
+/// bit-identically to a never-persisted control run of the same
+/// execution, at hot-tier latency (the run really is `Tier::Hot`).
+#[test]
+fn hot_reheat_rebuilds_equivalent_index() {
+    let dir = TempDir::new("reheat-hot");
+    let spec = wf_spec::corpus::running_example();
+    let mut rng = StdRng::seed_from_u64(7);
+    let gen = RunGenerator::new(&spec)
+        .target_size(60)
+        .generate_run(&mut rng);
+    let exec = Execution::deterministic(&gen.graph, &gen.origin);
+    let mut naive = NaiveDynamicDag::new();
+    for ev in exec.events() {
+        naive.insert(ev.vertex, &ev.preds);
+    }
+
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .spill_dir(&dir.0)
+        .build();
+    // Control: same execution, never leaves the hot tier.
+    let control = engine.open_run(SpecId(0)).unwrap();
+    for ev in exec.events() {
+        engine.submit(control, ev).unwrap();
+    }
+    engine.complete_run(control).unwrap();
+    // Subject: persisted, then promoted straight back to hot.
+    let run = engine.open_run(SpecId(0)).unwrap();
+    for ev in exec.events() {
+        engine.submit(run, ev).unwrap();
+    }
+    engine.complete_run(run).unwrap();
+    engine.persist_run(run).unwrap();
+    assert_eq!(engine.run_tier(run).unwrap(), Tier::Persisted);
+
+    engine.reheat_run_hot(run).unwrap();
+    assert_eq!(engine.run_tier(run).unwrap(), Tier::Hot);
+    assert_eq!(engine.stats().reheats, 1);
+
+    let (h, c) = (engine.handle(run).unwrap(), engine.handle(control).unwrap());
+    assert_eq!(h.published(), c.published());
+    assert_eq!(h.source(), c.source());
+    for ev in exec.events() {
+        assert_eq!(h.label(ev.vertex), c.label(ev.vertex), "{:?}", ev.vertex);
+        assert_eq!(h.name(ev.vertex), c.name(ev.vertex));
+        assert_eq!(h.label_bits(ev.vertex), c.label_bits(ev.vertex));
+    }
+    for a in exec.events().iter().step_by(2) {
+        for b in exec.events() {
+            assert_eq!(
+                h.reach(a.vertex, b.vertex),
+                Some(naive.reaches(a.vertex, b.vertex))
+            );
+        }
+    }
+    // Completed stays completed: the re-heated slot rejects writes.
+    assert!(matches!(
+        h.submit(&exec.events()[0]),
+        Err(wf_service::ServiceError::RunNotLive(..))
+    ));
+    // Both runs visible to the cross-run surface, both hot.
+    assert_eq!(
+        engine.query().completed().tier(Tier::Hot).run_ids(),
+        vec![control, run]
+    );
+}
+
+/// Regression: when a pack is re-compacted alongside loose segments,
+/// `CompactionReport` byte accounting is over on-disk **file sizes** —
+/// the pack counts once, not once per member blob — and the bytes the
+/// dead blobs occupied surface in `dead_bytes_reclaimed` instead of
+/// silently inflating `bytes_before`.
+#[test]
+fn recompaction_reports_dead_bytes_separately() {
+    let dir = TempDir::new("deadbytes");
+    let spec = wf_spec::corpus::running_example();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .spill_dir(&dir.0)
+        .build();
+    let fleet = persist_fleet(&engine, &spec, 6, &mut rng);
+    let first = engine.compact().unwrap();
+    assert_eq!(first.packs_written, 1);
+    assert_eq!(
+        first.bytes_after, first.bytes_before,
+        "all-loose compaction moves every byte"
+    );
+    assert_eq!(first.dead_bytes_reclaimed, 0);
+
+    // Kill two members: their blobs stay in the pack as dead bytes.
+    engine.evict_run(fleet[0].0).unwrap();
+    engine.evict_run(fleet[1].0).unwrap();
+    // Two fresh loose segments so the next pass packs pack + loose.
+    let fresh = persist_fleet(&engine, &spec, 2, &mut rng);
+
+    let disk_before = wfseg_bytes(&dir.0);
+    let report = engine.compact().unwrap();
+    assert_eq!(
+        report.bytes_before, disk_before,
+        "bytes_before is the on-disk footprint, counted once per file"
+    );
+    assert!(
+        report.dead_bytes_reclaimed > 0,
+        "the evicted blobs' bytes are reported, not double-counted"
+    );
+    assert_eq!(
+        report.bytes_after,
+        report.bytes_before - report.dead_bytes_reclaimed
+    );
+    assert_eq!(report.bytes_after, wfseg_bytes(&dir.0));
+    assert!(report.json().contains("\"dead_bytes_reclaimed\":"));
+
+    let survivors: Vec<FleetRun> = fleet.into_iter().skip(2).chain(fresh).collect();
+    assert_answers(&engine, &survivors);
+}
+
+/// Pack GC honors the dead-ratio threshold, shrinks the on-disk
+/// footprint when it fires, and survivors answer exactly — including
+/// through a fresh engine over the rewritten manifest.
+#[test]
+fn pack_gc_shrinks_disk_above_threshold() {
+    let dir = TempDir::new("gc");
+    let spec = wf_spec::corpus::running_example();
+    let mut rng = StdRng::seed_from_u64(31);
+    let engine: WfEngine = WfEngine::builder()
+        .spec(spec.clone())
+        .spill_dir(&dir.0)
+        .build();
+    let fleet = persist_fleet(&engine, &spec, 6, &mut rng);
+    let mut sizes = loose_sizes(&dir.0, &fleet);
+    engine.compact().unwrap();
+
+    // Evict the smallest member: dead ratio ≤ 1/6, below the 0.3
+    // default — GC must leave the pack alone.
+    sizes.sort_by_key(|(_, size)| *size);
+    let (smallest, _) = sizes[0];
+    engine.evict_run(smallest).unwrap();
+    let quiet = engine.gc_packs().unwrap();
+    assert_eq!(quiet.packs_rewritten, 0);
+    assert_eq!(quiet.bytes_after, quiet.bytes_before);
+    assert_eq!(quiet.dead_bytes_reclaimed, 0);
+
+    // Evict the two largest as well: dead ratio ≥ 3/6 — GC fires.
+    for (run, _) in sizes.iter().rev().take(2) {
+        engine.evict_run(*run).unwrap();
+    }
+    let disk_before = wfseg_bytes(&dir.0);
+    assert!(engine.stats().pack_dead_bytes > 0);
+    let report = engine.gc_packs().unwrap();
+    assert_eq!(report.packs_rewritten, 1);
+    assert_eq!(report.runs_moved, 3);
+    assert!(report.dead_bytes_reclaimed > 0);
+    assert_eq!(
+        report.bytes_after,
+        report.bytes_before - report.dead_bytes_reclaimed
+    );
+    assert!(wfseg_bytes(&dir.0) < disk_before, "the rewrite shrank disk");
+    assert_eq!(engine.stats().pack_gc_runs, 3);
+    assert_eq!(
+        engine.stats().pack_dead_bytes,
+        0,
+        "no dead bytes survive GC"
+    );
+    assert!(report.json().contains("\"metric\":\"pack_gc\""));
+
+    let survivors: Vec<FleetRun> = fleet
+        .into_iter()
+        .filter(|(run, ..)| *run != smallest && !sizes.iter().rev().take(2).any(|(r, _)| r == run))
+        .collect();
+    assert_eq!(survivors.len(), 3);
+    assert_answers(&engine, &survivors);
+    drop(engine);
+
+    // The epoch-stamped manifest reloads into a consistent engine.
+    let reloaded: WfEngine = WfEngine::builder().spec(spec).spill_dir(&dir.0).build();
+    assert_eq!(reloaded.stats().runs_persisted, 3);
+    assert_answers(&reloaded, &survivors);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Pack GC racing scans, re-heats and queries: epoch-pinned readers
+    /// finish against the pack set they started with, so mid-GC answers
+    /// match naive replay exactly (never a miss, never a lie), and the
+    /// settled engine + a reload both stay consistent.
+    #[test]
+    fn scans_during_pack_gc_match_replay(seed in 0u64..1_000) {
+        let dir = TempDir::new("gc-race");
+        let spec = wf_spec::corpus::running_example();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(17).wrapping_add(3));
+        let engine: WfEngine = WfEngine::builder()
+            .spec(spec.clone())
+            .spill_dir(&dir.0)
+            // Low threshold so 3 dead blobs of 8 fire GC regardless of
+            // how the per-run blob sizes came out.
+            .pack_gc_dead_ratio(0.15)
+            .build();
+        let fleet = persist_fleet(&engine, &spec, 8, &mut rng);
+        engine.compact().unwrap();
+        // Three dead members out of eight: ratio ≈ 3/8 → GC fires.
+        for (run, ..) in &fleet[..3] {
+            engine.evict_run(*run).unwrap();
+        }
+        let survivors = &fleet[3..];
+        let survivor_ids: Vec<RunId> = survivors.iter().map(|(r, ..)| *r).collect();
+        let disk_before = wfseg_bytes(&dir.0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..3 {
+                    engine.gc_packs().unwrap();
+                }
+            });
+            s.spawn(|| {
+                // A re-heat mid-GC strands fresh dead bytes in whichever
+                // pack holds the run — GC must cope either way.
+                let _ = engine.reheat_run(survivor_ids[0]);
+            });
+            s.spawn(|| {
+                for _ in 0..4 {
+                    // The cross-run scan pins an epoch: it sees exactly
+                    // the surviving runs and answers per replay.
+                    let ids = engine.query().completed().run_ids();
+                    assert_eq!(ids, survivor_ids);
+                    for (run, exec, naive) in survivors {
+                        let (u, v) = (exec.events()[0].vertex, exec.events()[2].vertex);
+                        let got = engine.reach(*run, u, v).unwrap();
+                        assert_eq!(got, Some(naive.reaches(u, v)), "{run:?} mid-GC");
+                    }
+                }
+            });
+        });
+        // Settled: every survivor answers exactly, and the GC pass (the
+        // first one to win the manifest lock) shrank the footprint.
+        assert_answers(&engine, survivors);
+        prop_assert!(wfseg_bytes(&dir.0) < disk_before);
+        prop_assert!(engine.stats().pack_gc_runs > 0);
+        // The re-heated run may have left the persisted set before a GC
+        // manifest rewrite; spill it again so the reload sees the whole
+        // surviving fleet (a no-op if it is still persisted).
+        engine.persist_run(survivor_ids[0]).unwrap();
+        drop(engine);
+        let reloaded: WfEngine = WfEngine::builder().spec(spec).spill_dir(&dir.0).build();
+        assert_answers(&reloaded, survivors);
+    }
+}
