@@ -27,7 +27,7 @@ pub mod trace;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS,
 };
-pub use trace::{TraceEvent, TraceRing};
+pub use trace::{chrome_trace_json, next_span_id, TraceEvent, TraceRing};
 
 /// Append a JSON-escaped string literal (with quotes) to `out`.
 ///

@@ -7,7 +7,17 @@
 
 use crate::{clock, json_escape_into};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Process-global span id allocator. Ids start at 1 so `0` can mean
+/// "no span" in [`TraceEvent`] and in propagated contexts.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh process-unique span id (never 0).
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One structured trace event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +32,12 @@ pub struct TraceEvent {
     pub tier: Option<&'static str>,
     /// Duration of the traced span; 0 for instantaneous events.
     pub dur_ns: u64,
+    /// Trace the event belongs to (the root span's id); 0 when untraced.
+    pub trace_id: u64,
+    /// This event's span id; 0 when untraced.
+    pub span_id: u64,
+    /// Parent span id; 0 for roots and untraced events.
+    pub parent_id: u64,
     /// Free-form context (bytes moved, file counts, …).
     pub detail: String,
 }
@@ -46,11 +62,60 @@ impl TraceEvent {
             }
             None => out.push_str(",\"tier\":null"),
         }
-        let _ = write!(out, ",\"dur_ns\":{},\"detail\":", self.dur_ns);
+        let _ = write!(
+            out,
+            ",\"dur_ns\":{},\"trace\":{},\"span\":{},\"parent\":{},\"detail\":",
+            self.dur_ns, self.trace_id, self.span_id, self.parent_id
+        );
         json_escape_into(&mut out, &self.detail);
         out.push('}');
         out
     }
+}
+
+/// Render events as Chrome `trace_event` JSON (the format `chrome://
+/// tracing` and Perfetto load): complete (`"X"`) events for spans with a
+/// duration, instants (`"i"`) otherwise. Timestamps are microseconds;
+/// each trace becomes one "thread" row (`tid` = trace id) so causally
+/// linked spans nest visually.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json_escape_into(&mut out, e.kind);
+        let ts_us = e.ts_ns / 1_000;
+        if e.dur_ns > 0 {
+            let _ = write!(
+                out,
+                ",\"ph\":\"X\",\"ts\":{ts_us},\"dur\":{}",
+                (e.dur_ns / 1_000).max(1)
+            );
+        } else {
+            let _ = write!(out, ",\"ph\":\"i\",\"ts\":{ts_us},\"s\":\"t\"");
+        }
+        let _ = write!(out, ",\"pid\":1,\"tid\":{}", e.trace_id);
+        out.push_str(",\"cat\":");
+        json_escape_into(&mut out, e.tier.unwrap_or("engine"));
+        let _ = write!(
+            out,
+            ",\"args\":{{\"span\":{},\"parent\":{}",
+            e.span_id, e.parent_id
+        );
+        if let Some(run) = e.run_id {
+            let _ = write!(out, ",\"run\":{run}");
+        }
+        if !e.detail.is_empty() {
+            out.push_str(",\"detail\":");
+            json_escape_into(&mut out, &e.detail);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
 }
 
 struct RingInner {
@@ -94,8 +159,9 @@ impl TraceRing {
         self.capacity
     }
 
-    /// Record an event, stamping `ts_ns` from the ring's creation time.
-    /// The oldest event is dropped when the ring is full.
+    /// Record an event with no span identity (`trace`/`span`/`parent`
+    /// all 0), stamping `ts_ns` from the ring's creation time. The
+    /// oldest event is dropped when the ring is full.
     pub fn record(
         &self,
         kind: &'static str,
@@ -104,12 +170,33 @@ impl TraceRing {
         dur_ns: u64,
         detail: String,
     ) {
+        self.record_span(kind, run_id, tier, dur_ns, 0, 0, 0, detail);
+    }
+
+    /// Record an event carrying causal span identity. Ids of 0 mean
+    /// "none"; `trace_id` is the root span's id shared by every event in
+    /// the causal tree.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span(
+        &self,
+        kind: &'static str,
+        run_id: Option<u64>,
+        tier: Option<&'static str>,
+        dur_ns: u64,
+        trace_id: u64,
+        span_id: u64,
+        parent_id: u64,
+        detail: String,
+    ) {
         let event = TraceEvent {
             ts_ns: clock::elapsed_ns(self.start),
             kind,
             run_id,
             tier,
             dur_ns,
+            trace_id,
+            span_id,
+            parent_id,
             detail,
         };
         let mut inner = self.inner.lock().expect("trace ring poisoned");
@@ -184,12 +271,15 @@ mod tests {
             run_id: Some(7),
             tier: Some("persisted"),
             dur_ns: 3400,
+            trace_id: 9,
+            span_id: 11,
+            parent_id: 9,
             detail: "bytes=128".to_string(),
         };
         assert_eq!(
             e.json(),
             "{\"ts_ns\":12,\"kind\":\"fault_in\",\"run\":7,\"tier\":\"persisted\",\
-             \"dur_ns\":3400,\"detail\":\"bytes=128\"}"
+             \"dur_ns\":3400,\"trace\":9,\"span\":11,\"parent\":9,\"detail\":\"bytes=128\"}"
         );
         let bare = TraceEvent {
             ts_ns: 0,
@@ -197,9 +287,72 @@ mod tests {
             run_id: None,
             tier: None,
             dur_ns: 0,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             detail: String::new(),
         };
         assert!(bare.json().contains("\"run\":null"));
         assert!(bare.json().contains("\"tier\":null"));
+        assert!(bare.json().contains("\"trace\":0,\"span\":0,\"parent\":0"));
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn chrome_export_shapes_complete_and_instant() {
+        let span = TraceEvent {
+            ts_ns: 2_000,
+            kind: "reach",
+            run_id: Some(3),
+            tier: Some("hot"),
+            dur_ns: 5_000,
+            trace_id: 1,
+            span_id: 1,
+            parent_id: 0,
+            detail: "u=1 v=2".to_string(),
+        };
+        let instant = TraceEvent {
+            ts_ns: 9_000,
+            kind: "stall",
+            run_id: None,
+            tier: None,
+            dur_ns: 0,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
+            detail: String::new(),
+        };
+        let json = chrome_trace_json(&[span, instant]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\",\"ts\":2,\"dur\":5"));
+        assert!(json.contains("\"ph\":\"i\",\"ts\":9,\"s\":\"t\""));
+        assert!(json.contains("\"cat\":\"hot\""));
+        assert!(json.contains("\"cat\":\"engine\""));
+        assert!(json.contains("\"run\":3"));
+        // Sub-microsecond spans still render with a visible width.
+        let tiny = TraceEvent {
+            dur_ns: 500,
+            ..TraceEvent {
+                ts_ns: 0,
+                kind: "pin",
+                run_id: None,
+                tier: None,
+                dur_ns: 0,
+                trace_id: 2,
+                span_id: 4,
+                parent_id: 2,
+                detail: String::new(),
+            }
+        };
+        assert!(chrome_trace_json(&[tiny]).contains("\"dur\":1"));
     }
 }

@@ -18,7 +18,10 @@ use crate::query::CrossRunQuery;
 use crate::snapshot::{self, PersistedRun};
 use crate::stats::ServiceStats;
 use crate::store::{LabelStore, RunView, SegmentLru, Tier};
-use crate::telemetry::{tier_tag, Telemetry, TelemetryConfig, WalTelemetry};
+use crate::telemetry::{
+    tier_tag, SpanCtx, SpanHandle, Telemetry, TelemetryConfig, WalTelemetry,
+    DEFAULT_REACH_SAMPLE_SHIFT,
+};
 use crate::{
     BatchOutcome, RunId, RunOp, RunStatus, ServiceError, ServiceEvent, SpecContext, SpecId,
 };
@@ -388,6 +391,66 @@ impl PackGcReport {
     }
 }
 
+/// One cause of a pipeline stall, as diagnosed by the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// An ingest worker has queued envelopes but its applied watermark
+    /// did not advance across a whole watchdog interval.
+    IngestWorker,
+    /// The WAL group-commit committer is not draining: the oldest
+    /// buffered append has waited longer than half the watchdog
+    /// interval for an fsync pass.
+    WalCommitLag,
+    /// The tiering worker's completion backlog keeps growing.
+    TieringBacklog,
+    /// The segment LRU is shedding at thrash rate (re-faulting what it
+    /// just evicted).
+    ShedThrash,
+}
+
+impl StallCause {
+    /// Stable lowercase tag, used in `stall` trace events.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            StallCause::IngestWorker => "ingest_worker",
+            StallCause::WalCommitLag => "wal_commit_lag",
+            StallCause::TieringBacklog => "tiering_backlog",
+            StallCause::ShedThrash => "shed_thrash",
+        }
+    }
+}
+
+/// Engine liveness verdict, refreshed by the stall watchdog every
+/// interval ([`EngineBuilder::watchdog`]). A cause appears in
+/// `Degraded` after one violating interval and escalates to `Stalled`
+/// after two consecutive ones; it clears as soon as an interval passes
+/// clean. Without a watchdog the engine always reports `Healthy`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// Every watermark is advancing.
+    Healthy,
+    /// At least one violation observed in the last interval.
+    Degraded {
+        /// The violated watermarks.
+        causes: Vec<StallCause>,
+    },
+    /// At least one violation persisted across two consecutive
+    /// intervals — the pipeline is not making progress.
+    Stalled {
+        /// The persistently violated watermarks.
+        causes: Vec<StallCause>,
+    },
+}
+
+/// Per-worker ingest progress watermarks, fed by the enqueue path and
+/// the worker loop, read by the watchdog. Two relaxed counters: the
+/// watchdog tolerates torn reads (it only compares successive samples).
+pub(crate) struct WorkerMark {
+    pub(crate) enqueued: AtomicU64,
+    pub(crate) applied: AtomicU64,
+}
+
 /// Everything the engine, its worker pool, and every outstanding
 /// [`RunHandle`] share by reference count. This is the `'static` heart
 /// of the v2 API: nothing in here borrows from a caller.
@@ -434,6 +497,15 @@ pub(crate) struct EngineShared<S: SpecLabeling + 'static> {
     tiering_stop: AtomicBool,
     tiering_lock: Mutex<()>,
     tiering_cv: Condvar,
+    /// Per-worker ingest watermarks for the stall watchdog (one slot per
+    /// pool worker, indexed like the pool's senders).
+    pub(crate) worker_marks: Box<[WorkerMark]>,
+    /// Latest watchdog verdict; `Healthy` until a watchdog ever runs.
+    health: Mutex<Health>,
+    /// Watchdog shutdown flag + wakeup.
+    watchdog_stop: AtomicBool,
+    watchdog_lock: Mutex<()>,
+    watchdog_cv: Condvar,
     /// Last spills+compactions+reheats sum the segment policy observed —
     /// the cheap "did the persisted tier change shape" stamp that gates
     /// the per-tick loose-file census. Starts at `u64::MAX` so the first
@@ -1444,6 +1516,120 @@ fn tiering_loop<S: SpecLabeling + Send + Sync + 'static>(shared: &EngineShared<S
     }
 }
 
+/// How many consecutive violating intervals escalate a cause from
+/// `Degraded` to `Stalled`.
+const STALL_ESCALATION_TICKS: u32 = 2;
+/// Completion-queue length below which the tiering backlog is never a
+/// violation (bursts of completions are normal).
+const TIERING_BACKLOG_FLOOR: usize = 16;
+/// LRU sheds per watchdog tick that count as thrash.
+const SHED_THRASH_PER_TICK: u64 = 64;
+
+/// Every cause the watchdog can diagnose, in streak-array order.
+const WATCHDOG_CAUSES: [StallCause; 4] = [
+    StallCause::IngestWorker,
+    StallCause::WalCommitLag,
+    StallCause::TieringBacklog,
+    StallCause::ShedThrash,
+];
+
+/// Body of the stall watchdog: every `interval`, sample each subsystem's
+/// progress watermark, promote violations into the trace ring as `stall`
+/// events, and publish the escalated verdict to `EngineShared::health`.
+fn watchdog_loop<S: SpecLabeling + Send + Sync + 'static>(
+    shared: &EngineShared<S>,
+    interval: std::time::Duration,
+) {
+    let interval_ns = interval.as_nanos() as u64;
+    let mut last_applied: Vec<u64> = shared
+        .worker_marks
+        .iter()
+        .map(|m| m.applied.load(Ordering::Relaxed))
+        .collect();
+    let mut last_backlog = 0usize;
+    let mut last_sheds = shared.obs.segment_sheds.get();
+    let mut streaks = [0u32; WATCHDOG_CAUSES.len()];
+    loop {
+        {
+            let g = shared.watchdog_lock.lock().expect("watchdog lock poisoned");
+            if shared.watchdog_stop.load(Ordering::Acquire) {
+                return;
+            }
+            let _ = shared
+                .watchdog_cv
+                .wait_timeout(g, interval)
+                .expect("watchdog lock poisoned");
+        }
+        if shared.watchdog_stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut violated: Vec<StallCause> = Vec::new();
+        // Ingest: a worker with queued envelopes whose applied watermark
+        // did not move across the whole interval is wedged.
+        let mut ingest_wedged = false;
+        for (i, m) in shared.worker_marks.iter().enumerate() {
+            let applied = m.applied.load(Ordering::Relaxed);
+            let enqueued = m.enqueued.load(Ordering::Relaxed);
+            if enqueued > applied && applied == last_applied[i] {
+                ingest_wedged = true;
+            }
+            last_applied[i] = applied;
+        }
+        if ingest_wedged {
+            violated.push(StallCause::IngestWorker);
+        }
+        // WAL: buffered appends should reach disk within one group-commit
+        // window; half a watchdog interval of lag means the committer is
+        // not draining.
+        if let Some(wal) = &shared.wal {
+            if wal.sync_lag_ns() > interval_ns / 2 {
+                violated.push(StallCause::WalCommitLag);
+            }
+        }
+        // Tiering: a completion backlog that keeps (or grows) past the
+        // floor while the policy is active means the worker fell behind.
+        let backlog = shared
+            .completed_order
+            .lock()
+            .expect("completed queue poisoned")
+            .len();
+        if shared.policy.is_active() && backlog > TIERING_BACKLOG_FLOOR && backlog >= last_backlog {
+            violated.push(StallCause::TieringBacklog);
+        }
+        last_backlog = backlog;
+        // Bufmgr: shedding dozens of segments per tick means the LRU
+        // budget is too small for the working set (evict/re-fault churn).
+        let sheds = shared.obs.segment_sheds.get();
+        if sheds.saturating_sub(last_sheds) >= SHED_THRASH_PER_TICK {
+            violated.push(StallCause::ShedThrash);
+        }
+        last_sheds = sheds;
+
+        let mut stalled: Vec<StallCause> = Vec::new();
+        for (i, cause) in WATCHDOG_CAUSES.iter().enumerate() {
+            if violated.contains(cause) {
+                streaks[i] = streaks[i].saturating_add(1);
+                shared.obs.event("stall", None, None, || {
+                    format!("cause={} streak={}", cause.tag(), streaks[i])
+                });
+                if streaks[i] >= STALL_ESCALATION_TICKS {
+                    stalled.push(*cause);
+                }
+            } else {
+                streaks[i] = 0;
+            }
+        }
+        let verdict = if !stalled.is_empty() {
+            Health::Stalled { causes: stalled }
+        } else if !violated.is_empty() {
+            Health::Degraded { causes: violated }
+        } else {
+            Health::Healthy
+        };
+        *shared.health.lock().expect("health lock poisoned") = verdict;
+    }
+}
+
 /// The owned, concurrent multi-run labeling engine. `Send + Sync +
 /// 'static`: hold it in a struct, share it across threads, move handles
 /// into spawned tasks — no catalog lifetime to thread through. See the
@@ -1453,6 +1639,8 @@ pub struct WfEngine<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels> {
     pool: IngestPool<S>,
     /// The background tiering worker, when a policy is configured.
     tiering: Option<JoinHandle<()>>,
+    /// The stall watchdog, when an interval is configured.
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
@@ -1471,6 +1659,22 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             let _ = worker.join();
         }
     }
+
+    /// Stop and join the stall watchdog (idempotent).
+    fn stop_watchdog(&mut self) {
+        self.shared.watchdog_stop.store(true, Ordering::Release);
+        {
+            let _g = self
+                .shared
+                .watchdog_lock
+                .lock()
+                .expect("watchdog lock poisoned");
+            self.shared.watchdog_cv.notify_all();
+        }
+        if let Some(worker) = self.watchdog.take() {
+            let _ = worker.join();
+        }
+    }
 }
 
 impl<S: SpecLabeling + Send + Sync + 'static> Drop for WfEngine<S> {
@@ -1480,6 +1684,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> Drop for WfEngine<S> {
         // surviving `RunHandle` clones reject writes (queries keep
         // working off the reference-counted slots).
         self.shared.draining.store(true, Ordering::Release);
+        self.stop_watchdog();
         self.stop_tiering();
     }
 }
@@ -1618,18 +1823,47 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             slot,
             op: event.op,
             tracker: None,
+            span: SpanCtx::NONE,
         })
     }
 
-    fn enqueue(&self, env: Envelope<S>) -> Result<(), ServiceError> {
+    fn enqueue(&self, mut env: Envelope<S>) -> Result<(), ServiceError> {
+        let obs = &self.shared.obs;
+        // Sampling decision happens here, on the producer side: a
+        // sampled ingest opens the trace's root span, and its context
+        // rides the envelope so the worker's apply span (and the WAL
+        // append under it) parent correctly across the thread hop.
+        let root = if obs.apply_sampled() {
+            obs.begin()
+        } else {
+            SpanHandle::inert()
+        };
+        env.span = root.ctx;
+        let run = env.run;
+        let worker = (route_hash(run) % self.shared.worker_marks.len().max(1) as u64) as usize;
         self.shared.enqueued.fetch_add(1, Ordering::AcqRel);
-        match self.pool.send(env) {
-            Ok(()) => Ok(()),
+        let res = match self.pool.send(env) {
+            Ok(()) => {
+                self.shared.worker_marks[worker]
+                    .enqueued
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
             Err(e) => {
                 self.shared.enqueued.fetch_sub(1, Ordering::AcqRel);
                 Err(e)
             }
-        }
+        };
+        obs.finish(
+            root,
+            &obs.h_ingest_enqueue,
+            "ingest",
+            Some(run.0),
+            None,
+            true,
+            String::new,
+        );
+        res
     }
 
     /// Apply one insertion event to one run, **blocking** until the
@@ -1657,6 +1891,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
             slot,
             op,
             tracker: Some(Arc::clone(&tracker)),
+            span: SpanCtx::NONE,
         })?;
         let outcome = tracker.wait();
         match outcome.failures.into_iter().next() {
@@ -1710,6 +1945,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
                 slot,
                 op: ev.op.clone(),
                 tracker: None,
+                span: SpanCtx::NONE,
             });
         }
         let tracker = Arc::new(BatchTracker::new(resolved.len()));
@@ -2126,6 +2362,45 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
     pub fn trace_dropped(&self) -> u64 {
         self.shared.obs.trace.dropped()
     }
+
+    /// The trace ring rendered as Chrome `trace_event` JSON — load the
+    /// string in `chrome://tracing` or Perfetto to see causally linked
+    /// spans (one row per trace) on a shared timeline.
+    pub fn trace_chrome(&self) -> String {
+        wf_obs::chrome_trace_json(&self.shared.obs.trace.dump())
+    }
+
+    /// The stall watchdog's latest verdict (see
+    /// [`EngineBuilder::watchdog`]); always [`Health::Healthy`] when no
+    /// watchdog is configured. Suitable for a readiness probe: `Stalled`
+    /// means some pipeline watermark has not advanced for two
+    /// consecutive intervals.
+    pub fn health(&self) -> Health {
+        self.shared
+            .health
+            .lock()
+            .expect("health lock poisoned")
+            .clone()
+    }
+
+    /// Fault injection for stall testing: pause (or resume) the WAL
+    /// group-commit committer's sync passes. While paused, appends
+    /// buffer without reaching disk, `flush()` blocks on its durability
+    /// barrier, and the watchdog diagnoses `WalCommitLag`. No effect
+    /// without a WAL or under a non-group-commit sync policy. Engine
+    /// shutdown overrides the pause (drop still drains durably).
+    pub fn pause_wal_committer(&self, paused: bool) {
+        if let Some(wal) = &self.shared.wal {
+            wal.set_committer_paused(paused);
+        }
+    }
+
+    /// Nanoseconds the oldest buffered WAL append has waited for an
+    /// fsync pass (0 when fully synced or without a WAL) — the flush
+    /// lag the watchdog samples.
+    pub fn wal_sync_lag_ns(&self) -> u64 {
+        self.shared.wal.as_ref().map_or(0, WalWriter::sync_lag_ns)
+    }
 }
 
 /// Borrowed export surface over the engine's metrics registry, obtained
@@ -2203,6 +2478,8 @@ pub struct EngineBuilder<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels
     telemetry: bool,
     slow_op_threshold: std::time::Duration,
     trace_capacity: usize,
+    reach_sample_shift: u32,
+    watchdog: Option<std::time::Duration>,
 }
 
 /// Default slow-op threshold: spans at or above this are promoted into
@@ -2244,6 +2521,8 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             telemetry: true,
             slow_op_threshold: DEFAULT_SLOW_OP_THRESHOLD,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            reach_sample_shift: DEFAULT_REACH_SAMPLE_SHIFT,
+            watchdog: None,
         }
     }
 
@@ -2432,6 +2711,28 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
         self
     }
 
+    /// **Reach-latency sampling rate** (default shift 6 = 1 in 64): a
+    /// reach probe is timed when a per-thread counter hits `0 mod
+    /// 2^shift`. Lower shifts trade probe throughput for histogram
+    /// fidelity; the effective 1-in-N interval is exported as the
+    /// `wf_reach_sample_interval` gauge so dashboards can rescale p99s.
+    pub fn reach_sample_shift(mut self, shift: u32) -> Self {
+        self.reach_sample_shift = shift;
+        self
+    }
+
+    /// **Stall watchdog** (default off): spawn a monitor thread that
+    /// samples every subsystem's progress watermark each `interval` —
+    /// per-worker queue depth vs applied count, WAL committer flush lag,
+    /// tiering backlog, LRU shed-thrash rate. Violations are promoted
+    /// into the trace ring as `stall` events and escalate
+    /// [`WfEngine::health`] to `Degraded` after one violating interval
+    /// and `Stalled` after two consecutive ones.
+    pub fn watchdog(mut self, interval: std::time::Duration) -> Self {
+        self.watchdog = Some(interval.max(std::time::Duration::from_millis(1)));
+        self
+    }
+
     /// Build the engine and start its ingest worker pool (and the
     /// background tiering worker, when a tiering policy is configured).
     pub fn build(self) -> WfEngine<S> {
@@ -2439,6 +2740,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             enabled: self.telemetry,
             slow_op_ns: u64::try_from(self.slow_op_threshold.as_nanos()).unwrap_or(u64::MAX),
             trace_capacity: self.trace_capacity,
+            reach_sample_shift: self.reach_sample_shift,
         }));
         // Reload persisted history from the spill directory's manifest:
         // header-only reads; arenas fault in lazily at first query.
@@ -2655,6 +2957,16 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             tiering_stop: AtomicBool::new(false),
             tiering_lock: Mutex::new(()),
             tiering_cv: Condvar::new(),
+            worker_marks: (0..self.ingest_workers.max(1))
+                .map(|_| WorkerMark {
+                    enqueued: AtomicU64::new(0),
+                    applied: AtomicU64::new(0),
+                })
+                .collect(),
+            health: Mutex::new(Health::Healthy),
+            watchdog_stop: AtomicBool::new(false),
+            watchdog_lock: Mutex::new(()),
+            watchdog_cv: Condvar::new(),
             segment_policy_stamp: AtomicU64::new(u64::MAX),
             epochs,
             mmap_packs: self.mmap_packs,
@@ -2721,10 +3033,18 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
                 .spawn(move || tiering_loop(&shared))
                 .expect("spawn tiering worker")
         });
+        let watchdog = self.watchdog.map(|interval| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wf-watchdog".into())
+                .spawn(move || watchdog_loop(&shared, interval))
+                .expect("spawn stall watchdog")
+        });
         WfEngine {
             shared,
             pool,
             tiering,
+            watchdog,
         }
     }
 }

@@ -92,14 +92,19 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
     /// allocation-free; colder tiers decode the two labels first.
     pub fn reach(&self, u: VertexId, v: VertexId) -> Option<bool> {
         let obs = &self.shared.obs;
-        if obs.reach_sampled() {
-            // Sampled probe: time it and feed the latency histogram. The
-            // unsampled path (63 of 64) costs one branch and a
-            // thread-local increment.
-            let span = obs.timer();
-            let answer = self
-                .view
-                .reach(&DrlPredicate::new(&self.ctx.skeleton), u, v);
+        // Sampled probe: time it and feed the latency histogram. The
+        // unsampled path (the other 2^shift - 1 of 2^shift) costs one
+        // branch and a thread-local increment; a single `view.reach`
+        // call site keeps the hot path's code layout tight.
+        let span = if obs.reach_sampled() {
+            obs.timer()
+        } else {
+            None
+        };
+        let answer = self
+            .view
+            .reach(&DrlPredicate::new(&self.ctx.skeleton), u, v);
+        if span.is_some() {
             obs.span(
                 &obs.h_reach,
                 "reach",
@@ -109,11 +114,8 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
                 false,
                 String::new,
             );
-            answer
-        } else {
-            self.view
-                .reach(&DrlPredicate::new(&self.ctx.skeleton), u, v)
         }
+        answer
     }
 
     /// Apply one insertion event **synchronously**, bypassing the worker
@@ -133,22 +135,23 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
             return Err(ServiceError::RunNotLive(self.run, self.view.status()));
         };
         let obs = &self.shared.obs;
-        let res = if obs.apply_sampled() {
-            let span = obs.timer();
-            let res = self.shared.logged_apply_insert(self.run, slot, ev);
-            obs.span(
-                &obs.h_ingest_apply,
-                "ingest_apply",
-                Some(self.run.0),
-                Some("hot"),
-                span,
-                false,
-                String::new,
-            );
-            res
+        // Sampled applies open a root span (this path has no enqueue
+        // parent) so the WAL append inside traces as their child.
+        let apply = if obs.apply_sampled() {
+            obs.begin()
         } else {
-            self.shared.logged_apply_insert(self.run, slot, ev)
+            crate::telemetry::SpanHandle::inert()
         };
+        let res = self.shared.logged_apply_insert(self.run, slot, ev);
+        obs.finish(
+            apply,
+            &obs.h_ingest_apply,
+            "ingest_apply",
+            Some(self.run.0),
+            Some("hot"),
+            true,
+            String::new,
+        );
         self.shared.record_insert_outcome(&res);
         res
     }

@@ -22,6 +22,7 @@
 //! which is what [`crate::WfEngine::flush`] waits on.
 
 use crate::engine::{EngineShared, RunSlot};
+use crate::telemetry::SpanCtx;
 use crate::{BatchOutcome, RunId, RunOp, ServiceError};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -37,6 +38,10 @@ pub(crate) struct Envelope<S: SpecLabeling + 'static> {
     pub(crate) slot: Arc<RunSlot<S>>,
     pub(crate) op: RunOp,
     pub(crate) tracker: Option<Arc<BatchTracker>>,
+    /// Causal context of the enqueue-side span for a sampled ingest
+    /// ([`SpanCtx::NONE`] otherwise): the worker's apply span parents
+    /// under it, stitching the trace across the thread boundary.
+    pub(crate) span: SpanCtx,
 }
 
 /// Completion tracking for a blocking submission: counts outstanding
@@ -156,7 +161,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> IngestPool<S> {
             let shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("wf-ingest-{i}"))
-                .spawn(move || worker_loop(&shared, &rx))
+                .spawn(move || worker_loop(&shared, &rx, i))
                 .expect("spawn ingest worker");
             senders.push(tx);
             handles.push(handle);
@@ -209,12 +214,18 @@ impl<S: SpecLabeling + Send + Sync + 'static> Drop for IngestPool<S> {
 fn worker_loop<S: SpecLabeling + Send + Sync>(
     shared: &EngineShared<S>,
     rx: &Receiver<Envelope<S>>,
+    index: usize,
 ) {
     while let Ok(env) = rx.recv() {
         // AssertUnwindSafe: all state `process` touches is behind
         // poisoning mutexes or atomics; a half-applied op marks itself
         // via lock poisoning, which later ops surface as errors.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process(shared, env)));
+        // Progress watermark for the stall watchdog: one relaxed add per
+        // envelope, panic or not (the Settle guard already ran).
+        shared.worker_marks[index]
+            .applied
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -262,6 +273,7 @@ fn process<S: SpecLabeling + Send + Sync>(shared: &EngineShared<S>, env: Envelop
         slot,
         op,
         tracker,
+        span: enqueue_span,
     } = env;
     let mut settle = Settle {
         shared,
@@ -281,22 +293,22 @@ fn process<S: SpecLabeling + Send + Sync>(shared: &EngineShared<S>, env: Envelop
     settle.outcome = Some(match &op {
         RunOp::Insert(ev) => {
             let obs = &shared.obs;
-            let res = if obs.apply_sampled() {
-                let span = obs.timer();
-                let res = shared.logged_apply_insert(run, &slot, ev);
-                obs.span(
-                    &obs.h_ingest_apply,
-                    "ingest_apply",
-                    Some(run.0),
-                    Some("hot"),
-                    span,
-                    false,
-                    String::new,
-                );
-                res
-            } else {
-                shared.logged_apply_insert(run, &slot, ev)
-            };
+            // The sampling decision was made on the producer side: the
+            // envelope carries a context only for the 1-in-64 sampled
+            // ingests, and `begin_under` is inert for the rest. While
+            // the apply span is open, the WAL append inside
+            // `logged_apply_insert` traces as its child.
+            let apply = obs.begin_under(enqueue_span);
+            let res = shared.logged_apply_insert(run, &slot, ev);
+            obs.finish(
+                apply,
+                &obs.h_ingest_apply,
+                "ingest_apply",
+                Some(run.0),
+                Some("hot"),
+                true,
+                String::new,
+            );
             shared.record_insert_outcome(&res);
             res.map(|()| true)
         }

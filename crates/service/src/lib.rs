@@ -97,16 +97,18 @@ mod store;
 mod telemetry;
 
 pub use engine::{
-    CompactionReport, EngineBuilder, EngineMetrics, PackGcReport, WfEngine, DEFAULT_MAX_VERTEX_ID,
-    DEFAULT_PACK_GC_DEAD_RATIO, DEFAULT_SLOW_OP_THRESHOLD, DEFAULT_TRACE_CAPACITY,
+    CompactionReport, EngineBuilder, EngineMetrics, Health, PackGcReport, StallCause, WfEngine,
+    DEFAULT_MAX_VERTEX_ID, DEFAULT_PACK_GC_DEAD_RATIO, DEFAULT_SLOW_OP_THRESHOLD,
+    DEFAULT_TRACE_CAPACITY,
 };
 pub use freeze::{FrozenRun, SklReport};
 pub use handle::RunHandle;
 pub use index::PublishedLabel;
-pub use query::{CrossRunQuery, SourceReach};
+pub use query::{CrossRunQuery, ExplainQuery, Explained, SourceReach};
 pub use snapshot::SnapshotError;
 pub use stats::{EngineStats, ServiceStats};
 pub use store::Tier;
+pub use telemetry::QueryProfile;
 pub use wf_obs::{HistogramSnapshot, TraceEvent};
 pub use wf_wal as wal;
 pub use wf_wal::{WalError, WalSync};

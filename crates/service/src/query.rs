@@ -38,9 +38,11 @@
 
 use crate::engine::EngineShared;
 use crate::store::RunView;
+use crate::telemetry::{self, QueryProfile};
 use crate::{RunId, RunStatus, SpecId, Tier};
 use wf_drl::{DrlLabel, DrlPredicate};
 use wf_graph::{NameId, VertexId};
+use wf_obs::clock;
 use wf_skeleton::{SpecLabeling, TclSpecLabels};
 
 /// One run's answer to a "reachable from source" question: the source
@@ -140,10 +142,13 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
         self.views().into_iter().map(|(run, _)| run).collect()
     }
 
-    /// Time one whole fleet scan into the cross-run histogram (slow
-    /// scans — e.g. ones that faulted cold segments in — are promoted
-    /// into the trace ring).
-    fn timed_scan<T>(&self, f: impl FnOnce() -> T) -> T {
+    /// Drive one whole fleet scan: pin the pack-set epoch, open the
+    /// query's root span, visit every in-scope view through `per_view`,
+    /// and record per-tier aggregates (into the trace ring as `tier_scan`
+    /// children when they clear the slow-op threshold, and into the
+    /// active EXPLAIN profile, if any). The root span parents every
+    /// bufmgr `pack_pin`/`fault_in` leaf the scan triggers.
+    fn scan<T>(&self, mut per_view: impl FnMut(RunId, &RunView<S>) -> Option<T>) -> Vec<T> {
         // Pin the pack-set epoch for the whole scan: a compaction or
         // pack-GC rewrite landing mid-scan retires the files it
         // replaced under a *later* epoch, so every blob this scan
@@ -152,36 +157,86 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
         // set it started against.
         let _epoch = self.shared.epochs.pin();
         let obs = &self.shared.obs;
-        let span = obs.timer();
-        let out = f();
-        obs.span(
+        let root = obs.begin();
+        let trace_id = root.ctx.trace;
+        let snap_start = obs.timer();
+        let views = self.views();
+        let snapshot_ns = snap_start.map_or(0, clock::elapsed_ns);
+        // [hot, frozen, persisted]
+        let mut runs = [0u64; 3];
+        let mut tier_ns = [0u64; 3];
+        let mut labels_scanned = 0u64;
+        let mut chunks_touched = 0u64;
+        let mut out = Vec::with_capacity(views.len());
+        for (run, view) in &views {
+            let tier = view.tier();
+            let ti = tier as usize;
+            let t0 = obs.timer();
+            let res = per_view(*run, view);
+            if let Some(t0) = t0 {
+                tier_ns[ti] += clock::elapsed_ns(t0);
+            }
+            runs[ti] += 1;
+            let labels = view.published() as u64;
+            labels_scanned += labels;
+            if tier == Tier::Hot && labels > 0 {
+                // The hot index is a doubling chunk array: a scan of n
+                // labels walks every populated chunk, floor(log2(n))+1.
+                chunks_touched += u64::from(u64::BITS - labels.leading_zeros());
+            }
+            if let Some(v) = res {
+                out.push(v);
+            }
+        }
+        if obs.enabled {
+            for (i, tag) in ["hot", "frozen", "persisted"].iter().enumerate() {
+                if tier_ns[i] > 0 && tier_ns[i] >= obs.slow_op_ns {
+                    obs.record_leaf(
+                        "tier_scan",
+                        None,
+                        Some(tag),
+                        tier_ns[i],
+                        format!("runs={}", runs[i]),
+                    );
+                }
+            }
+        }
+        let wall_ns = obs.finish(
+            root,
             &obs.h_cross_run_scan,
             "cross_run_scan",
             None,
             None,
-            span,
             false,
             String::new,
         );
+        telemetry::with_profile(|p| {
+            p.trace_id = trace_id;
+            p.runs_hot += runs[0];
+            p.runs_frozen += runs[1];
+            p.runs_persisted += runs[2];
+            p.labels_scanned += labels_scanned;
+            p.chunks_touched += chunks_touched;
+            p.snapshot_ns += snapshot_ns;
+            p.scan_hot_ns += tier_ns[0];
+            p.scan_frozen_ns += tier_ns[1];
+            p.scan_persisted_ns += tier_ns[2];
+            p.wall_ns += wall_ns;
+        });
         out
     }
 
     /// Every published vertex named `name`, per in-scope run (runs with
     /// no match are omitted).
     pub fn vertices_named(&self, name: NameId) -> Vec<(RunId, Vec<VertexId>)> {
-        self.timed_scan(|| {
-            self.views()
-                .into_iter()
-                .filter_map(|(run, view)| {
-                    let mut vs: Vec<VertexId> = Vec::new();
-                    view.for_each_label(|v, n, _| {
-                        if n == name {
-                            vs.push(v);
-                        }
-                    });
-                    (!vs.is_empty()).then_some((run, vs))
-                })
-                .collect()
+        self.scan(|run, view| {
+            let mut vs: Vec<VertexId> = Vec::new();
+            view.for_each_label(|v, n, _| {
+                if n == name {
+                    vs.push(v);
+                }
+            });
+            (!vs.is_empty()).then_some((run, vs))
         })
     }
 
@@ -190,30 +245,25 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
     /// constant-time predicate decides each pair, so a run costs
     /// O(published) label visits plus O(matches) predicate calls.
     pub fn reaching_named_from_source(&self, name: NameId) -> Vec<SourceReach> {
-        self.timed_scan(|| {
-            self.views()
-                .into_iter()
-                .filter_map(|(run, view)| {
-                    let source = view.source()?;
-                    let src_label = view.label(source)?;
-                    let ctx = &self.shared.catalog[view.spec().0];
-                    let predicate = DrlPredicate::new(&ctx.skeleton);
-                    let mut witnesses: Vec<VertexId> = Vec::new();
-                    view.for_each_label(|v, n, label| {
-                        if n == name {
-                            view.note_query();
-                            if predicate.reaches(&src_label, label) {
-                                witnesses.push(v);
-                            }
-                        }
-                    });
-                    (!witnesses.is_empty()).then_some(SourceReach {
-                        run,
-                        source,
-                        witnesses,
-                    })
-                })
-                .collect()
+        self.scan(|run, view| {
+            let source = view.source()?;
+            let src_label = view.label(source)?;
+            let ctx = &self.shared.catalog[view.spec().0];
+            let predicate = DrlPredicate::new(&ctx.skeleton);
+            let mut witnesses: Vec<VertexId> = Vec::new();
+            view.for_each_label(|v, n, label| {
+                if n == name {
+                    view.note_query();
+                    if predicate.reaches(&src_label, label) {
+                        witnesses.push(v);
+                    }
+                }
+            });
+            (!witnesses.is_empty()).then_some(SourceReach {
+                run,
+                source,
+                witnesses,
+            })
         })
     }
 
@@ -232,34 +282,93 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
     /// `to` — a name-level lineage join within each in-scope run. Costs
     /// O(|from| · |to|) constant-time predicate calls per run.
     pub fn runs_linking(&self, from: NameId, to: NameId) -> Vec<RunId> {
-        self.timed_scan(|| {
-            self.views()
-                .into_iter()
-                .filter_map(|(run, view)| {
-                    let ctx = &self.shared.catalog[view.spec().0];
-                    let predicate = DrlPredicate::new(&ctx.skeleton);
-                    let mut froms: Vec<(VertexId, DrlLabel)> = Vec::new();
-                    let mut tos: Vec<(VertexId, DrlLabel)> = Vec::new();
-                    view.for_each_label(|v, n, label| {
-                        if n == from {
-                            froms.push((v, label.clone()));
-                        }
-                        if n == to {
-                            tos.push((v, label.clone()));
-                        }
-                    });
-                    let hit = froms.iter().any(|(u, pu)| {
-                        tos.iter().any(|(v, pv)| {
-                            if u == v {
-                                return false;
-                            }
-                            view.note_query();
-                            predicate.reaches(pu, pv)
-                        })
-                    });
-                    hit.then_some(run)
+        self.scan(|run, view| {
+            let ctx = &self.shared.catalog[view.spec().0];
+            let predicate = DrlPredicate::new(&ctx.skeleton);
+            let mut froms: Vec<(VertexId, DrlLabel)> = Vec::new();
+            let mut tos: Vec<(VertexId, DrlLabel)> = Vec::new();
+            view.for_each_label(|v, n, label| {
+                if n == from {
+                    froms.push((v, label.clone()));
+                }
+                if n == to {
+                    tos.push((v, label.clone()));
+                }
+            });
+            let hit = froms.iter().any(|(u, pu)| {
+                tos.iter().any(|(v, pv)| {
+                    if u == v {
+                        return false;
+                    }
+                    view.note_query();
+                    predicate.reaches(pu, pv)
                 })
-                .collect()
+            });
+            hit.then_some(run)
         })
+    }
+
+    /// Switch this query into **EXPLAIN mode**: the same scope and
+    /// methods, but every answer comes back wrapped in [`Explained`]
+    /// with a [`QueryProfile`] of what the scan actually paid for —
+    /// runs per tier, bufmgr pins and fault-ins, bytes read, the WAL
+    /// barrier wait, and wall time per stage.
+    pub fn explain(self) -> ExplainQuery<'e, S> {
+        ExplainQuery(self)
+    }
+}
+
+/// A query result paired with the [`QueryProfile`] measured while
+/// producing it.
+#[derive(Debug, Clone)]
+pub struct Explained<T> {
+    /// The query's answer, identical to the unprofiled method's.
+    pub value: T,
+    /// What the scan cost.
+    pub profile: QueryProfile,
+}
+
+/// A [`CrossRunQuery`] in EXPLAIN mode (see
+/// [`CrossRunQuery::explain`]). Each method first takes a WAL
+/// durability barrier — the profile's `wal_barrier_wait_ns` — so the
+/// profiled scan covers every event already enqueued, then runs the
+/// scan with a thread-local profile installed that the bufmgr's
+/// pin/fault hooks feed.
+pub struct ExplainQuery<'e, S: SpecLabeling + Send + Sync + 'static = TclSpecLabels>(
+    CrossRunQuery<'e, S>,
+);
+
+impl<'e, S: SpecLabeling + Send + Sync + 'static> ExplainQuery<'e, S> {
+    fn profiled<T>(&self, f: impl FnOnce(&CrossRunQuery<'e, S>) -> T) -> Explained<T> {
+        telemetry::install_profile();
+        let barrier = std::time::Instant::now();
+        if let Some(wal) = &self.0.shared.wal {
+            let _ = wal.barrier();
+        }
+        let barrier_ns = u64::try_from(barrier.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        telemetry::with_profile(|p| p.wal_barrier_wait_ns += barrier_ns);
+        let value = f(&self.0);
+        let profile = telemetry::take_profile().unwrap_or_default();
+        Explained { value, profile }
+    }
+
+    /// Profiled [`CrossRunQuery::vertices_named`].
+    pub fn vertices_named(&self, name: NameId) -> Explained<Vec<(RunId, Vec<VertexId>)>> {
+        self.profiled(|q| q.vertices_named(name))
+    }
+
+    /// Profiled [`CrossRunQuery::reaching_named_from_source`].
+    pub fn reaching_named_from_source(&self, name: NameId) -> Explained<Vec<SourceReach>> {
+        self.profiled(|q| q.reaching_named_from_source(name))
+    }
+
+    /// Profiled [`CrossRunQuery::runs_reaching_named_from_source`].
+    pub fn runs_reaching_named_from_source(&self, name: NameId) -> Explained<Vec<RunId>> {
+        self.profiled(|q| q.runs_reaching_named_from_source(name))
+    }
+
+    /// Profiled [`CrossRunQuery::runs_linking`].
+    pub fn runs_linking(&self, from: NameId, to: NameId) -> Explained<Vec<RunId>> {
+        self.profiled(|q| q.runs_linking(from, to))
     }
 }

@@ -47,6 +47,7 @@
 use crate::bufmgr::{MappedRun, PackMapping};
 use crate::freeze::{FrozenRun, SklReport};
 use crate::store::SegmentLru;
+use crate::telemetry::with_profile;
 use crate::{RunId, SpecId};
 use std::fmt;
 use std::fs;
@@ -799,6 +800,7 @@ impl PersistedRun {
                 match &*g {
                     LoadState::Loaded(f) => {
                         self.pins.fetch_add(1, Ordering::AcqRel);
+                        with_profile(|p| p.verifies_skipped += 1);
                         break 'resolve PinView::Owned(Arc::clone(f));
                     }
                     LoadState::Mapped(m) => {
@@ -807,7 +809,10 @@ impl PersistedRun {
                         // in (the pages re-fault lazily underneath).
                         if !m.resident.swap(true, Ordering::AcqRel) {
                             self.lru.obs.pack_pins.inc();
+                            with_profile(|p| p.pack_pins += 1);
                             admit = true;
+                        } else {
+                            with_profile(|p| p.verifies_skipped += 1);
                         }
                         break 'resolve PinView::Mapped(Arc::clone(m));
                     }
@@ -819,13 +824,17 @@ impl PersistedRun {
             match &*g {
                 LoadState::Loaded(f) => {
                     self.pins.fetch_add(1, Ordering::AcqRel);
+                    with_profile(|p| p.verifies_skipped += 1);
                     break 'resolve PinView::Owned(Arc::clone(f));
                 }
                 LoadState::Mapped(m) => {
                     self.pins.fetch_add(1, Ordering::AcqRel);
                     if !m.resident.swap(true, Ordering::AcqRel) {
                         self.lru.obs.pack_pins.inc();
+                        with_profile(|p| p.pack_pins += 1);
                         admit = true;
+                    } else {
+                        with_profile(|p| p.verifies_skipped += 1);
                     }
                     break 'resolve PinView::Mapped(Arc::clone(m));
                 }
@@ -851,6 +860,7 @@ impl PersistedRun {
                         let m = Arc::new(m);
                         m.resident.store(true, Ordering::Release);
                         obs.pack_pins.inc();
+                        with_profile(|p| p.pack_pins += 1);
                         *g = LoadState::Mapped(Arc::clone(&m));
                         self.pins.fetch_add(1, Ordering::AcqRel);
                         admit = true;
@@ -869,6 +879,10 @@ impl PersistedRun {
             match read_segment_range(&self.path, self.offset, self.disk_bytes) {
                 Ok(f) => {
                     obs.segment_loads.inc();
+                    with_profile(|p| {
+                        p.fault_ins += 1;
+                        p.bytes_faulted += self.disk_bytes;
+                    });
                     obs.span(
                         &obs.h_fault_in,
                         "fault_in",

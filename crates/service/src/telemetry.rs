@@ -18,20 +18,83 @@
 //!   cycle counter reads would be a measurable tax on them.
 
 use crate::store::Tier;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::Instant;
-use wf_obs::{clock, Counter, Gauge, Histogram, MetricsRegistry, TraceRing};
+use wf_obs::{clock, next_span_id, Counter, Gauge, Histogram, MetricsRegistry, TraceRing};
 
-/// Sample 1 operation in 64 for latency recording on the two sub-µs
-/// hot paths (reach probes and ingest applies).
+/// Sample 1 operation in 64 for latency recording on the sub-µs ingest
+/// apply hot path. The reach probe's rate is a builder knob
+/// (`reach_sample_shift`); this one stays fixed.
 const SAMPLE_MASK: u32 = 63;
+
+/// Default `reach_sample_shift`: sample 1 reach probe in 2^6 = 64.
+pub(crate) const DEFAULT_REACH_SAMPLE_SHIFT: u32 = 6;
 
 thread_local! {
     static REACH_SAMPLE: Cell<u32> = const { Cell::new(0) };
     static APPLY_SAMPLE: Cell<u32> = const { Cell::new(0) };
+    /// The span the current thread is executing under; [`SpanCtx::NONE`]
+    /// outside any span. Child spans and leaf trace events read this for
+    /// parentage; [`Telemetry::begin_under`] seeds it across thread
+    /// boundaries (e.g. an enqueue's context riding the ingest envelope
+    /// into the worker).
+    static CURRENT_SPAN: Cell<SpanCtx> = const { Cell::new(SpanCtx::NONE) };
+    /// The query profile being filled in by an EXPLAIN run on this
+    /// thread, if any. Pin/fault/barrier hooks accumulate into it.
+    static PROFILE: RefCell<Option<QueryProfile>> = const { RefCell::new(None) };
+}
+
+/// A propagable causal context: the trace (root span) id plus the id of
+/// the span currently in scope. `Copy` and two words, so it rides
+/// channel envelopes across threads for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SpanCtx {
+    /// Root span id shared by every event in the causal tree; 0 = none.
+    pub trace: u64,
+    /// Innermost open span id; 0 = none.
+    pub span: u64,
+}
+
+impl SpanCtx {
+    pub const NONE: SpanCtx = SpanCtx { trace: 0, span: 0 };
+
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.span == 0
+    }
+}
+
+/// The span context the calling thread is currently under.
+#[inline]
+pub(crate) fn current_span() -> SpanCtx {
+    CURRENT_SPAN.with(Cell::get)
+}
+
+/// An open span: carries its identity, the context it replaced (restored
+/// on [`Telemetry::finish`]), and the start tick. An *inert* handle
+/// (telemetry disabled, or an unsampled operation) carries nothing and
+/// makes `finish` a no-op.
+#[must_use = "finish the span with Telemetry::finish"]
+pub(crate) struct SpanHandle {
+    pub ctx: SpanCtx,
+    prev: SpanCtx,
+    start: Option<clock::Ticks>,
+    parent: u64,
+}
+
+impl SpanHandle {
+    /// A handle that records nothing and restores nothing.
+    pub const fn inert() -> Self {
+        SpanHandle {
+            ctx: SpanCtx::NONE,
+            prev: SpanCtx::NONE,
+            start: None,
+            parent: 0,
+        }
+    }
 }
 
 /// Static label for a tier, for trace events and metric labels.
@@ -48,6 +111,8 @@ pub(crate) struct TelemetryConfig {
     pub enabled: bool,
     pub slow_op_ns: u64,
     pub trace_capacity: usize,
+    /// Reach probes are latency-sampled 1 in `2^shift` per thread.
+    pub reach_sample_shift: u32,
 }
 
 /// All engine observability state: lifetime counters (the former
@@ -56,6 +121,9 @@ pub(crate) struct TelemetryConfig {
 pub(crate) struct Telemetry {
     pub enabled: bool,
     pub slow_op_ns: u64,
+    /// Per-thread reach sampling mask: probe is timed when
+    /// `counter & reach_mask == 0`, i.e. 1 in `reach_mask + 1`.
+    pub reach_mask: u32,
     pub started: Instant,
     pub registry: MetricsRegistry,
     pub trace: TraceRing,
@@ -103,6 +171,7 @@ pub(crate) struct Telemetry {
     pub g_mapped_bytes: Gauge,
 
     // Latency histograms (recorded only when `enabled`).
+    pub h_ingest_enqueue: Arc<Histogram>,
     pub h_ingest_apply: Arc<Histogram>,
     pub h_flush_wait: Arc<Histogram>,
     pub h_freeze: Arc<Histogram>,
@@ -135,9 +204,18 @@ impl Telemetry {
         let counter = |name: &str, help: &str| registry.counter(name, help);
         let gauge = |name: &str, help: &str| registry.gauge(name, help);
         let hist = |name: &str, help: &str| registry.histogram(name, help);
+        // Shift ≥ 32 would overflow the u32 counter mask; clamp to "every
+        // 2^31st probe", which is already effectively off.
+        let reach_mask = (1u32 << config.reach_sample_shift.min(31)) - 1;
+        let g_reach_sample_interval = gauge(
+            "wf_reach_sample_interval",
+            "reach probes per latency sample (1-in-N); dashboards rescale p99s by this",
+        );
+        g_reach_sample_interval.set(u64::from(reach_mask) + 1);
         Self {
             enabled: config.enabled,
             slow_op_ns: config.slow_op_ns,
+            reach_mask,
             started: Instant::now(),
             trace: TraceRing::new(config.trace_capacity),
             window: Mutex::new((Instant::now(), 0)),
@@ -212,6 +290,10 @@ impl Telemetry {
             ),
             g_mapped_bytes: gauge("wf_mapped_bytes", "pack bytes currently mmap'd"),
 
+            h_ingest_enqueue: hist(
+                "wf_ingest_enqueue_ns",
+                "one event routed and enqueued to an ingest worker (sampled 1 in 64)",
+            ),
             h_ingest_apply: hist("wf_ingest_apply_ns", "one event applied to a hot run"),
             h_flush_wait: hist("wf_flush_wait_ns", "flush barrier wait"),
             h_freeze: hist(
@@ -249,11 +331,115 @@ impl Telemetry {
         }
     }
 
+    /// Open a root span on this thread: allocates ids, installs the
+    /// context as [`CURRENT_SPAN`], and starts the timer. Inert when
+    /// telemetry is disabled. Close with [`finish`](Self::finish).
+    #[inline]
+    pub fn begin(&self) -> SpanHandle {
+        if !self.enabled {
+            return SpanHandle::inert();
+        }
+        let id = next_span_id();
+        let ctx = SpanCtx {
+            trace: id,
+            span: id,
+        };
+        let prev = CURRENT_SPAN.with(|c| c.replace(ctx));
+        SpanHandle {
+            ctx,
+            prev,
+            start: Some(clock::now()),
+            parent: 0,
+        }
+    }
+
+    /// Open a child span under an explicit parent context — the
+    /// cross-thread edge (the parent context rode a channel envelope to
+    /// this thread). Inert when telemetry is disabled or `parent` is
+    /// none (the producer did not sample this operation).
+    #[inline]
+    pub fn begin_under(&self, parent: SpanCtx) -> SpanHandle {
+        if !self.enabled || parent.is_none() {
+            return SpanHandle::inert();
+        }
+        let ctx = SpanCtx {
+            trace: parent.trace,
+            span: next_span_id(),
+        };
+        let prev = CURRENT_SPAN.with(|c| c.replace(ctx));
+        SpanHandle {
+            ctx,
+            prev,
+            start: Some(clock::now()),
+            parent: parent.span,
+        }
+    }
+
+    /// Close a span opened by [`begin`](Self::begin) /
+    /// [`begin_under`](Self::begin_under): restores the previous thread
+    /// context, records the duration into `hist`, and traces the span
+    /// (with its causal ids) when `always` is set or the duration
+    /// reaches the slow-op threshold. Returns the duration in ns (0 for
+    /// inert handles).
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish(
+        &self,
+        handle: SpanHandle,
+        hist: &Histogram,
+        kind: &'static str,
+        run_id: Option<u64>,
+        tier: Option<&'static str>,
+        always: bool,
+        detail: impl FnOnce() -> String,
+    ) -> u64 {
+        let Some(start) = handle.start else { return 0 };
+        CURRENT_SPAN.with(|c| c.set(handle.prev));
+        let dur_ns = clock::elapsed_ns(start);
+        hist.record(dur_ns);
+        if always || dur_ns >= self.slow_op_ns {
+            self.trace.record_span(
+                kind,
+                run_id,
+                tier,
+                dur_ns,
+                handle.ctx.trace,
+                handle.ctx.span,
+                handle.parent,
+                detail(),
+            );
+        }
+        dur_ns
+    }
+
+    /// Record a leaf event with causal identity derived from the calling
+    /// thread's current span (a fresh root when there is none). Only
+    /// runs when the caller already decided to trace, so the id
+    /// allocation is off every untraced path.
+    pub(crate) fn record_leaf(
+        &self,
+        kind: &'static str,
+        run_id: Option<u64>,
+        tier: Option<&'static str>,
+        dur_ns: u64,
+        detail: String,
+    ) {
+        let cur = current_span();
+        let id = next_span_id();
+        let (trace, parent) = if cur.is_none() {
+            (id, 0)
+        } else {
+            (cur.trace, cur.span)
+        };
+        self.trace
+            .record_span(kind, run_id, tier, dur_ns, trace, id, parent, detail);
+    }
+
     /// Close a span: record its duration into `hist` and into the trace
     /// ring when `always` is set (lifecycle events) or the duration
-    /// reaches the slow-op threshold. `detail` is only rendered when the
-    /// event is actually traced. Returns the duration in ns (0 when
-    /// disabled).
+    /// reaches the slow-op threshold. The traced event is a *leaf*: it
+    /// parents under the calling thread's current span, if any. `detail`
+    /// is only rendered when the event is actually traced. Returns the
+    /// duration in ns (0 when disabled).
     #[allow(clippy::too_many_arguments)]
     pub fn span(
         &self,
@@ -269,12 +455,13 @@ impl Telemetry {
         let dur_ns = clock::elapsed_ns(start);
         hist.record(dur_ns);
         if always || dur_ns >= self.slow_op_ns {
-            self.trace.record(kind, run_id, tier, dur_ns, detail());
+            self.record_leaf(kind, run_id, tier, dur_ns, detail());
         }
         dur_ns
     }
 
-    /// Record an instantaneous lifecycle event (no duration).
+    /// Record an instantaneous lifecycle event (no duration), parented
+    /// under the calling thread's current span, if any.
     pub fn event(
         &self,
         kind: &'static str,
@@ -283,19 +470,19 @@ impl Telemetry {
         detail: impl FnOnce() -> String,
     ) {
         if self.enabled {
-            self.trace.record(kind, run_id, tier, 0, detail());
+            self.record_leaf(kind, run_id, tier, 0, detail());
         }
     }
 
-    /// Whether this reach probe should be timed (1 in 64 per thread,
-    /// and only when telemetry is enabled).
+    /// Whether this reach probe should be timed (1 in `2^reach_sample_shift`
+    /// per thread, and only when telemetry is enabled).
     #[inline]
     pub fn reach_sampled(&self) -> bool {
         self.enabled
             && REACH_SAMPLE.with(|c| {
                 let n = c.get().wrapping_add(1);
                 c.set(n);
-                n & SAMPLE_MASK == 0
+                n & self.reach_mask == 0
             })
     }
 
@@ -354,9 +541,12 @@ impl wf_wal::WalObserver for WalTelemetry {
         t.wal_bytes.add(bytes);
         if t.enabled {
             t.h_wal_append.record(dur_ns);
-            if dur_ns >= t.slow_op_ns {
-                t.trace
-                    .record("wal_append", None, None, dur_ns, format!("bytes={bytes}"));
+            // The append runs synchronously inside the worker's apply
+            // span, so tracing whenever a span is open (the sampled
+            // 1-in-64 applies) keeps the causal tree complete without
+            // changing the `WalObserver` trait.
+            if dur_ns >= t.slow_op_ns || !current_span().is_none() {
+                t.record_leaf("wal_append", None, None, dur_ns, format!("bytes={bytes}"));
             }
         }
     }
@@ -365,9 +555,8 @@ impl wf_wal::WalObserver for WalTelemetry {
         let t = &self.0;
         if t.enabled {
             t.h_wal_fsync.record(dur_ns);
-            if dur_ns >= t.slow_op_ns {
-                t.trace
-                    .record("wal_fsync", None, None, dur_ns, String::new());
+            if dur_ns >= t.slow_op_ns || !current_span().is_none() {
+                t.record_leaf("wal_fsync", None, None, dur_ns, String::new());
             }
         }
     }
@@ -391,6 +580,157 @@ impl wf_wal::WalObserver for WalTelemetry {
             self.0.trace.record(kind, None, None, 0, detail);
         }
     }
+}
+
+/// Structured cost profile of one EXPLAIN'd query: what the scan
+/// actually paid for, per tier and per stage. Returned by
+/// [`crate::ExplainQuery`]'s query methods; render with
+/// [`json`](Self::json) or [`table`](Self::table).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Trace id of the query's root span (join against `trace_dump()` /
+    /// the Chrome export); 0 when telemetry is disabled.
+    pub trace_id: u64,
+    /// Runs scanned in the hot tier.
+    pub runs_hot: u64,
+    /// Runs scanned in the frozen tier.
+    pub runs_frozen: u64,
+    /// Runs scanned in the persisted tier.
+    pub runs_persisted: u64,
+    /// Labels visited across all scanned runs.
+    pub labels_scanned: u64,
+    /// Hot-tier index chunks spanned by the scanned labels (the index is
+    /// a doubling chunk array; a scan of n labels walks ~log2(n) chunks).
+    pub chunks_touched: u64,
+    /// Mapped pack blobs pinned in (checksum verify + pointer resolve).
+    pub pack_pins: u64,
+    /// Persisted segments faulted in from disk into the heap.
+    pub fault_ins: u64,
+    /// Bytes read from disk by those fault-ins.
+    pub bytes_faulted: u64,
+    /// Pins satisfied by an already-verified resident segment (checksum
+    /// verify skipped).
+    pub verifies_skipped: u64,
+    /// Wait on the WAL durability barrier taken before the scan, ns.
+    pub wal_barrier_wait_ns: u64,
+    /// View collection (tier snapshot + filter + sort), ns.
+    pub snapshot_ns: u64,
+    /// Time scanning hot-tier runs, ns.
+    pub scan_hot_ns: u64,
+    /// Time scanning frozen-tier runs, ns.
+    pub scan_frozen_ns: u64,
+    /// Time scanning persisted-tier runs, ns.
+    pub scan_persisted_ns: u64,
+    /// End-to-end wall time of the query, ns.
+    pub wall_ns: u64,
+}
+
+impl QueryProfile {
+    /// Total runs scanned across tiers.
+    #[must_use]
+    pub fn runs_scanned(&self) -> u64 {
+        self.runs_hot + self.runs_frozen + self.runs_persisted
+    }
+
+    /// CPU time attributed to query stages (snapshot + per-tier scans),
+    /// ns. The query runs single-threaded, so `wall_ns - cpu_ns()` is
+    /// time spent off-CPU: disk fault-ins and the WAL barrier.
+    #[must_use]
+    pub fn cpu_ns(&self) -> u64 {
+        self.snapshot_ns + self.scan_hot_ns + self.scan_frozen_ns + self.scan_persisted_ns
+    }
+
+    /// Render as one compact JSON object.
+    #[must_use]
+    pub fn json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"trace_id\":{},\"runs\":{{\"hot\":{},\"frozen\":{},\"persisted\":{}}},\
+             \"labels_scanned\":{},\"chunks_touched\":{},\"pack_pins\":{},\"fault_ins\":{},\
+             \"bytes_faulted\":{},\"verifies_skipped\":{},\"wal_barrier_wait_ns\":{},\
+             \"stages_ns\":{{\"snapshot\":{},\"scan_hot\":{},\"scan_frozen\":{},\
+             \"scan_persisted\":{}}},\"cpu_ns\":{},\"wall_ns\":{}}}",
+            self.trace_id,
+            self.runs_hot,
+            self.runs_frozen,
+            self.runs_persisted,
+            self.labels_scanned,
+            self.chunks_touched,
+            self.pack_pins,
+            self.fault_ins,
+            self.bytes_faulted,
+            self.verifies_skipped,
+            self.wal_barrier_wait_ns,
+            self.snapshot_ns,
+            self.scan_hot_ns,
+            self.scan_frozen_ns,
+            self.scan_persisted_ns,
+            self.cpu_ns(),
+            self.wall_ns,
+        );
+        out
+    }
+
+    /// Render as a human-readable table.
+    #[must_use]
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "query profile (trace {})", self.trace_id);
+        let _ = writeln!(
+            out,
+            "  runs scanned      hot={} frozen={} persisted={}",
+            self.runs_hot, self.runs_frozen, self.runs_persisted
+        );
+        let _ = writeln!(
+            out,
+            "  labels scanned    {} ({} index chunks)",
+            self.labels_scanned, self.chunks_touched
+        );
+        let _ = writeln!(
+            out,
+            "  bufmgr            pins={} fault_ins={} bytes_faulted={} verifies_skipped={}",
+            self.pack_pins, self.fault_ins, self.bytes_faulted, self.verifies_skipped
+        );
+        let _ = writeln!(out, "  wal barrier wait  {} ns", self.wal_barrier_wait_ns);
+        let _ = writeln!(
+            out,
+            "  stages (ns)       snapshot={} hot={} frozen={} persisted={}",
+            self.snapshot_ns, self.scan_hot_ns, self.scan_frozen_ns, self.scan_persisted_ns
+        );
+        let _ = writeln!(
+            out,
+            "  total             cpu={} ns, wall={} ns",
+            self.cpu_ns(),
+            self.wall_ns
+        );
+        out
+    }
+}
+
+/// Install a fresh profile on this thread; subsequent pin/fault/barrier
+/// hooks accumulate into it until [`take_profile`] removes it.
+pub(crate) fn install_profile() {
+    PROFILE.with(|p| *p.borrow_mut() = Some(QueryProfile::default()));
+}
+
+/// Remove and return this thread's active profile, if any.
+pub(crate) fn take_profile() -> Option<QueryProfile> {
+    PROFILE.with(|p| p.borrow_mut().take())
+}
+
+/// Mutate this thread's active profile; no-op (one thread-local read)
+/// when no EXPLAIN is running — which is every non-EXPLAIN query, so
+/// hooks in pin/fault paths stay off the hot path.
+#[inline]
+pub(crate) fn with_profile(f: impl FnOnce(&mut QueryProfile)) {
+    PROFILE.with(|p| {
+        if let Some(prof) = p.borrow_mut().as_mut() {
+            f(prof);
+        }
+    });
 }
 
 /// Raw per-run query-counter bump, kept per-slot (not in the registry)

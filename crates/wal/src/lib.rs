@@ -41,7 +41,7 @@ use std::collections::HashSet;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -450,6 +450,15 @@ struct WalInner {
     /// the difference between one atomic store and a cross-core lock
     /// handoff per event.
     pending: AtomicBool,
+    /// While set, the committer skips its sync pass (fault injection for
+    /// the stall watchdog). Shutdown overrides the pause so drop still
+    /// drains durably.
+    paused: AtomicBool,
+    /// Nanoseconds since `start` of the oldest buffered append not yet
+    /// covered by a successful sync pass; 0 when fully synced.
+    pending_since: AtomicU64,
+    /// Anchor for `pending_since` stamps.
+    start: Instant,
 }
 
 impl WalInner {
@@ -491,6 +500,9 @@ impl WalInner {
             if let Err(e) = res {
                 first_err.get_or_insert(e);
             }
+        }
+        if first_err.is_none() {
+            self.pending_since.store(0, Ordering::Release);
         }
         first_err.map_or(Ok(()), Err)
     }
@@ -612,6 +624,9 @@ impl WalWriter {
             }),
             commit_cv: Condvar::new(),
             pending: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
+            pending_since: AtomicU64::new(0),
+            start: Instant::now(),
         });
         let committer = if let WalSync::GroupCommit { window } = policy {
             let inner = Arc::clone(&inner);
@@ -687,6 +702,14 @@ impl WalWriter {
         }
         if matches!(inner.policy, WalSync::GroupCommit { .. }) {
             inner.pending.store(true, Ordering::Release);
+            // Stamp the oldest-unsynced mark only if no older append
+            // already holds it (max(1) keeps a zero elapsed distinct
+            // from "fully synced").
+            let now = (inner.start.elapsed().as_nanos() as u64).max(1);
+            let _ =
+                inner
+                    .pending_since
+                    .compare_exchange(0, now, Ordering::AcqRel, Ordering::Relaxed);
         }
         inner
             .obs
@@ -725,6 +748,33 @@ impl WalWriter {
                 // Stopped before our generation completed: sync inline.
                 inner.sync_all()
             }
+        }
+    }
+
+    /// Pause or resume the group-commit committer's sync passes (fault
+    /// injection for stall testing). While paused, buffered appends
+    /// accumulate, [`barrier`](Self::barrier) blocks, and
+    /// [`sync_lag_ns`](Self::sync_lag_ns) grows; shutdown overrides the
+    /// pause so drop still drains durably. No effect under `Always` or
+    /// `Never` (those policies have no committer).
+    pub fn set_committer_paused(&self, paused: bool) {
+        self.inner.paused.store(paused, Ordering::Release);
+        if !paused {
+            // Kick the committer so resume drains promptly instead of
+            // waiting out the current window.
+            self.inner.commit_cv.notify_all();
+        }
+    }
+
+    /// Nanoseconds the oldest buffered, un-synced append has waited for
+    /// a sync pass; 0 when everything appended is flushed+synced.
+    #[must_use]
+    pub fn sync_lag_ns(&self) -> u64 {
+        let since = self.inner.pending_since.load(Ordering::Acquire);
+        if since == 0 {
+            0
+        } else {
+            (self.inner.start.elapsed().as_nanos() as u64).saturating_sub(since)
         }
     }
 
@@ -804,7 +854,7 @@ impl Drop for WalWriter {
 /// generation.
 fn committer_loop(inner: &WalInner, window: Duration) {
     loop {
-        let (snapshot, stop, dirty) = {
+        let (snapshot, stop, dirty, paused) = {
             let mut st = inner.commit.lock().expect("wal commit lock poisoned");
             // Pace to the window: at most one fsync per `window` under a
             // steady append stream — that is the whole point of group
@@ -812,27 +862,39 @@ fn committer_loop(inner: &WalInner, window: Duration) {
             // short; mere pending appends wait out the window, otherwise
             // a busy stream degenerates into fsync-per-pass and the
             // committer starves the ingest workers for CPU and disk.
-            if !st.stop && st.requested == st.completed {
+            // While paused we also wait out the window even with barrier
+            // requests outstanding — a paused committer sleeps, it does
+            // not spin.
+            let paused = inner.paused.load(Ordering::Acquire);
+            if !st.stop && (paused || st.requested == st.completed) {
                 let (guard, _) = inner
                     .commit_cv
                     .wait_timeout(st, window)
                     .expect("wal commit lock poisoned");
                 st = guard;
             }
+            // Shutdown overrides the pause: drop must still drain.
+            let paused = inner.paused.load(Ordering::Acquire) && !st.stop;
             // Idle windows skip the sync pass entirely — no point
             // cycling every shard lock when nothing was appended and
-            // nobody is waiting on a barrier.
-            let dirty = inner.pending.swap(false, Ordering::AcqRel)
-                || st.requested > st.completed
-                || st.stop;
-            (st.requested, st.stop, dirty)
+            // nobody is waiting on a barrier. While paused, leave the
+            // pending flag set so the first pass after resume syncs.
+            let dirty = !paused
+                && (inner.pending.swap(false, Ordering::AcqRel)
+                    || st.requested > st.completed
+                    || st.stop);
+            (st.requested, st.stop, dirty, paused)
         };
         if dirty {
             let _ = inner.sync_all();
         }
         {
             let mut st = inner.commit.lock().expect("wal commit lock poisoned");
-            st.completed = st.completed.max(snapshot);
+            // A paused committer must not publish barrier completions it
+            // never earned with an fsync pass.
+            if !paused {
+                st.completed = st.completed.max(snapshot);
+            }
             inner.commit_cv.notify_all();
         }
         if stop {

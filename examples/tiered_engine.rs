@@ -324,4 +324,87 @@ fn main() {
     println!("{}", engine.stats().tier_footprint_json());
     drop(engine);
     let _ = std::fs::remove_dir_all(&spill);
+
+    // ---- Act 4: causal tracing, EXPLAIN, and the stall watchdog. ----
+    //
+    // A fully instrumented engine: a zero slow-op threshold so every
+    // span lands in the ring, a 25ms watchdog refreshing `health()`,
+    // and a WAL so the EXPLAIN barrier is real. One run is persisted
+    // cold, then a profiled fleet query pays the fault-in on stage —
+    // the `QueryProfile` table shows where the time went, and the whole
+    // causal forest exports as Chrome `trace_event` JSON
+    // (`chrome://tracing` / Perfetto loads it) into `WF_OBS_DUMP_DIR`.
+    let spill = std::env::temp_dir().join(format!("wf-tiered-trace-{}", std::process::id()));
+    let wal = spill.join("wal");
+    let _ = std::fs::remove_dir_all(&spill);
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::bioaid_nonrecursive())
+        .ingest_workers(2)
+        .spill_dir(&spill)
+        .wal_dir(&wal)
+        .slow_op_threshold(std::time::Duration::ZERO)
+        .trace_capacity(4096)
+        .watchdog(std::time::Duration::from_millis(25))
+        .build();
+    let ctx = Arc::clone(engine.context(SpecId(0)).unwrap());
+    let mut probe = None;
+    let mut cold_run = None;
+    for i in 0..4 {
+        let run = engine.open_run(SpecId(0)).unwrap();
+        let gen = RunGenerator::new(&ctx.spec)
+            .target_size(200)
+            .generate_run(&mut rng);
+        let exec = Execution::deterministic(&gen.graph, &gen.origin);
+        for ev in exec.events() {
+            engine
+                .ingest(ServiceEvent {
+                    run,
+                    op: RunOp::Insert(ev.clone()),
+                })
+                .unwrap();
+        }
+        engine.flush();
+        engine.complete_run(run).unwrap();
+        probe.get_or_insert(exec.events()[1].name);
+        if i == 0 {
+            engine.persist_run(run).unwrap();
+            cold_run = Some(run);
+        }
+    }
+    let explained = engine
+        .query()
+        .completed()
+        .explain()
+        .runs_reaching_named_from_source(probe.unwrap());
+    assert!(
+        explained.value.contains(&cold_run.unwrap()),
+        "the persisted run answers under EXPLAIN"
+    );
+    print!("{}", explained.profile.table());
+    println!("{}", explained.profile.json());
+    println!("health: {:?}", engine.health());
+
+    let chrome = engine.trace_chrome();
+    if let Some(dir) = std::env::var_os("WF_OBS_DUMP_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create WF_OBS_DUMP_DIR");
+        let path = dir.join("chrome-trace.json");
+        std::fs::write(&path, &chrome).expect("write chrome-trace.json");
+        // The raw ring too, so `scripts/obsdump --tree` (and --chrome)
+        // can re-render the same forest offline.
+        let trace: String = engine
+            .trace_dump()
+            .iter()
+            .map(|e| e.json() + "\n")
+            .collect();
+        std::fs::write(dir.join("trace.jsonl"), trace).expect("write trace.jsonl");
+        println!("chrome trace: {} bytes → {}", chrome.len(), path.display());
+    } else {
+        println!(
+            "chrome trace: {} bytes (set WF_OBS_DUMP_DIR to write chrome-trace.json)",
+            chrome.len()
+        );
+    }
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&spill);
 }

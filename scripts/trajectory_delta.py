@@ -6,9 +6,10 @@ Usage: trajectory_delta.py CURRENT.json [PREVIOUS.json ...]
 Each artifact is JSON-lines: bench lines ({"bench": ..., "mean_ns": ...,
 "elements_per_sec": ...}), latency-percentile lines ({"metric":
 "latency", "name": ..., "p50_ns": ..., "p99_ns": ...}), the
-tier_footprint line, the compaction line, the obs_overhead line, the
-buffer-manager lines (service_cold_scan, pack_gc), and the WAL lines
-(durable_ingest, wal_recovery_ms), as printed by
+tier_footprint line, the compaction line, the observability lines
+(obs_overhead, explain_overhead, watchdog), the buffer-manager lines
+(service_cold_scan, pack_gc), and the WAL lines (durable_ingest,
+wal_recovery_ms), as printed by
 `cargo bench -p wf-bench --bench service`.
 
 The newest PREVIOUS (last argument) anchors the delta columns and the
@@ -220,7 +221,37 @@ def main():
         if f in cur:
             rows.append((f"service_cold_scan.{f}", prev.get(f), cur.get(f), delta_pct(prev.get(f), cur.get(f))))
 
-    # Footprint + compaction + overhead + recovery lines: informational.
+    # Observability lines: the instrumented-vs-bare throughput ratios
+    # (obs_overhead's ON side carries telemetry spans *and* the stall
+    # watchdog) and the EXPLAIN wrapper's tax on a warm fleet query.
+    # Ratios are higher-is-better; the on/off ratios carry the soft gate
+    # (the bench hard-asserts >= 0.95 in-run, so a trip here means the
+    # instrumented build got relatively slower since the last artifact).
+    for key, metrics in (
+        ("obs_overhead", (("ingest_ratio", True), ("reach_ratio", True),
+                          ("ingest_eps_on", False), ("reach_eps_on", False))),
+        ("explain_overhead", (("explain_ratio", True), ("plain_qps", False),
+                              ("explain_qps", False))),
+        ("watchdog", (("ingest_ratio", False), ("reach_ratio", False),
+                      ("interval_ms", False))),
+    ):
+        cur, prev = current.get(key, {}), previous.get(key, {})
+        for metric, gated in metrics:
+            c, p = cur.get(metric), prev.get(metric)
+            if c is None:
+                continue
+            d = delta_pct(p, c)
+            rows.append((f"{key}.{metric}", p, c, d))
+            if d is None or metric == "interval_ms":
+                continue
+            drop = -d  # throughput or ratio: a drop regresses
+            label = f"{key} {metric}: {d:+.1f}%"
+            if gated and drop > GATE_DROP_PCT:
+                failures.append(label)
+            elif drop > WARN_DROP_PCT:
+                warnings.append(label)
+
+    # Footprint + compaction + recovery lines: informational.
     for key, fields in (
         ("tier_footprint", ("hot_bytes", "frozen_bytes", "persisted_bytes",
                             "persisted_resident_bytes", "segment_files",
@@ -230,7 +261,6 @@ def main():
                         "dead_bytes_reclaimed", "runs_packed")),
         ("pack_gc", ("packs_rewritten", "runs_moved", "bytes_before",
                      "bytes_after", "dead_bytes_reclaimed")),
-        ("obs_overhead", ("ingest_ratio", "reach_ratio")),
         ("wal_recovery_ms", ("records", "ms")),
     ):
         cur, prev = current.get(key, {}), previous.get(key, {})

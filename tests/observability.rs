@@ -318,6 +318,327 @@ fn tier_footprint_line_is_parseable_json() {
 }
 
 #[test]
+fn chrome_trace_export_is_loadable_trace_event_json() {
+    let dir = TempDir::new("chrome");
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::running_example())
+        .spill_dir(&dir.0)
+        .slow_op_threshold(Duration::ZERO)
+        .build();
+    let (run, exec) = run_one(&engine, 71);
+    engine.persist_run(run).unwrap();
+    let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+    assert!(engine.reach(run, u, v).unwrap().is_some());
+
+    let chrome = engine.trace_chrome();
+    let v: serde_json::Value = serde_json::from_str(&chrome)
+        .unwrap_or_else(|e| panic!("trace_chrome is not valid JSON: {e:?}"));
+    let events = v
+        .get("traceEvents")
+        .expect("top-level traceEvents key")
+        .as_seq()
+        .expect("traceEvents is an array");
+    assert!(!events.is_empty(), "traced work must export events");
+    let mut complete = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(serde_json::Value::as_str).unwrap();
+        assert!(matches!(ph, "X" | "i"), "unknown phase {ph:?}");
+        assert!(ev.get("name").and_then(serde_json::Value::as_str).is_some());
+        assert!(ev.get("ts").is_some() && ev.get("pid").is_some() && ev.get("tid").is_some());
+        match ph {
+            "X" => {
+                complete += 1;
+                let dur = match ev.get("dur").unwrap() {
+                    serde_json::Value::U64(d) => *d,
+                    other => panic!("dur is not an integer: {other:?}"),
+                };
+                assert!(dur >= 1, "complete events have a nonzero viewer width");
+            }
+            _ => {
+                // Instant events carry thread scope so viewers draw them.
+                assert_eq!(
+                    ev.get("s").and_then(serde_json::Value::as_str),
+                    Some("t"),
+                    "instant events are thread-scoped"
+                );
+            }
+        }
+    }
+    assert!(
+        complete > 0,
+        "the fault-in span exports as a complete event"
+    );
+}
+
+#[test]
+fn sampled_ingest_spans_stitch_across_worker_and_wal_threads() {
+    let dir = TempDir::new("stitch");
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::running_example())
+        .wal_dir(&dir.0)
+        .ingest_workers(1)
+        .slow_op_threshold(Duration::ZERO)
+        .trace_capacity(4096)
+        .build();
+    let spec = &engine.context(SpecId(0)).unwrap().spec;
+    let mut rng = StdRng::seed_from_u64(73);
+    let gen = RunGenerator::new(spec)
+        .target_size(300)
+        .generate_run(&mut rng);
+    let exec = Execution::deterministic(&gen.graph, &gen.origin);
+    let run = engine.open_run(SpecId(0)).unwrap();
+    // The pipelined path: the producer-side sampler (1 in 64) opens the
+    // root span here, and its context rides the envelope to the worker.
+    for ev in exec.events() {
+        engine
+            .ingest(ServiceEvent {
+                run,
+                op: RunOp::Insert(ev.clone()),
+            })
+            .unwrap();
+    }
+    engine.flush();
+
+    let trace = engine.trace_dump();
+    let roots: Vec<_> = trace
+        .iter()
+        .filter(|e| e.kind == "ingest" && e.parent_id == 0)
+        .collect();
+    assert!(
+        !roots.is_empty(),
+        "300 events through one producer thread must sample at least one root"
+    );
+    let mut stitched = 0usize;
+    for root in &roots {
+        assert_ne!(root.span_id, 0, "traced roots carry a span id");
+        assert_eq!(root.trace_id, root.span_id, "a root starts its own trace");
+        let Some(apply) = trace
+            .iter()
+            .find(|e| e.kind == "ingest_apply" && e.parent_id == root.span_id)
+        else {
+            continue; // evicted by the ring before the dump
+        };
+        assert_eq!(
+            apply.trace_id, root.trace_id,
+            "the worker's apply span joins the producer's trace"
+        );
+        let wal = trace
+            .iter()
+            .find(|e| e.kind == "wal_append" && e.parent_id == apply.span_id)
+            .expect("the WAL append inside a sampled apply traces as its child");
+        assert_eq!(wal.trace_id, root.trace_id);
+        stitched += 1;
+    }
+    assert!(
+        stitched > 0,
+        "at least one full ingest -> apply -> wal_append chain in {} events",
+        trace.len()
+    );
+}
+
+#[test]
+fn query_root_span_parents_bufmgr_pin_leaves() {
+    let dir = TempDir::new("qspan");
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::running_example())
+        .spill_dir(&dir.0)
+        .slow_op_threshold(Duration::ZERO)
+        .trace_capacity(4096)
+        .build();
+    let (run, exec) = run_one(&engine, 79);
+    engine.persist_run(run).unwrap();
+    let name = exec.events()[1].name;
+    let hits = engine
+        .query()
+        .completed()
+        .runs_reaching_named_from_source(name);
+    assert_eq!(hits, vec![run]);
+
+    let trace = engine.trace_dump();
+    let scan = trace
+        .iter()
+        .find(|e| e.kind == "cross_run_scan")
+        .expect("the query root span is traced");
+    assert_eq!(scan.parent_id, 0, "the query span is a root");
+    let fault = trace
+        .iter()
+        .find(|e| e.kind == "fault_in")
+        .expect("the cold segment faults in under the scan");
+    assert_eq!(
+        fault.trace_id, scan.trace_id,
+        "the bufmgr leaf joins the query's trace"
+    );
+    assert_eq!(
+        fault.parent_id, scan.span_id,
+        "the bufmgr leaf parents under the query root"
+    );
+}
+
+#[test]
+fn explain_profile_reports_cold_costs_then_a_warm_second_run() {
+    let dir = TempDir::new("explain");
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::running_example())
+        .spill_dir(&dir.0)
+        .build();
+    let (run, exec) = run_one(&engine, 83);
+    engine.persist_run(run).unwrap();
+    let name = exec.events()[1].name;
+
+    let cold = engine
+        .query()
+        .completed()
+        .explain()
+        .runs_reaching_named_from_source(name);
+    assert_eq!(
+        cold.value,
+        vec![run],
+        "EXPLAIN answers like the plain query"
+    );
+    assert_eq!(cold.profile.runs_persisted, 1);
+    assert_eq!(cold.profile.runs_scanned(), 1);
+    assert!(cold.profile.fault_ins >= 1, "a cold scan pays the fault-in");
+    assert!(cold.profile.bytes_faulted > 0);
+    assert!(cold.profile.labels_scanned > 0);
+    assert_ne!(cold.profile.trace_id, 0, "the profile names its trace");
+
+    let warm = engine
+        .query()
+        .completed()
+        .explain()
+        .runs_reaching_named_from_source(name);
+    assert_eq!(warm.value, cold.value, "EXPLAIN is deterministic");
+    assert_eq!(warm.profile.pack_pins, 0, "second run is warm: no pins");
+    assert_eq!(warm.profile.fault_ins, 0, "second run is warm: no faults");
+    assert_eq!(warm.profile.bytes_faulted, 0);
+    assert!(
+        warm.profile.verifies_skipped > 0,
+        "warm pins skip the verify pass"
+    );
+    assert_eq!(warm.profile.labels_scanned, cold.profile.labels_scanned);
+
+    // Both renderings hold together: JSON parses, the table mentions
+    // every tier, and the two agree on the headline counts.
+    let v: serde_json::Value = serde_json::from_str(&cold.profile.json()).unwrap();
+    assert_eq!(
+        v.get("runs").unwrap().get("persisted").unwrap(),
+        &serde_json::Value::U64(1)
+    );
+    assert!(v.get("stages_ns").unwrap().get("scan_persisted").is_some());
+    assert!(v.get("wall_ns").is_some() && v.get("fault_ins").is_some());
+    let table = cold.profile.table();
+    for needle in ["runs scanned", "fault_ins", "wall"] {
+        assert!(table.contains(needle), "table misses {needle:?}:\n{table}");
+    }
+}
+
+#[test]
+fn watchdog_escalates_a_paused_wal_committer_to_stalled() {
+    let dir = TempDir::new("stall");
+    let interval = Duration::from_millis(20);
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::running_example())
+        .wal_dir(&dir.0)
+        .watchdog(interval)
+        .build();
+    assert_eq!(engine.health(), Health::Healthy);
+
+    let spec = &engine.context(SpecId(0)).unwrap().spec;
+    let mut rng = StdRng::seed_from_u64(89);
+    let gen = RunGenerator::new(spec)
+        .target_size(100)
+        .generate_run(&mut rng);
+    let exec = Execution::deterministic(&gen.graph, &gen.origin);
+    let run = engine.open_run(SpecId(0)).unwrap();
+
+    // Freeze the committer, then append: the oldest unsynced record's
+    // age now grows without bound and the watchdog must notice.
+    engine.pause_wal_committer(true);
+    for ev in exec.events() {
+        engine.submit(run, ev).unwrap();
+    }
+    assert!(engine.wal_sync_lag_ns() > 0, "unsynced appends are pending");
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut verdict = engine.health();
+    loop {
+        if let Health::Stalled { causes } = &verdict {
+            assert!(
+                causes.contains(&StallCause::WalCommitLag),
+                "stall blames the committer: {causes:?}"
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watchdog never escalated; last verdict {verdict:?}"
+        );
+        std::thread::sleep(interval / 4);
+        verdict = engine.health();
+    }
+    // The violations were promoted into the trace ring as stall events.
+    assert!(
+        engine
+            .trace_dump()
+            .iter()
+            .any(|e| e.kind == "stall" && e.detail.contains("cause=wal_commit_lag")),
+        "stall events carry the diagnosed cause"
+    );
+
+    // Resuming drains the backlog and the verdict heals.
+    engine.pause_wal_committer(false);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while engine.health() != Health::Healthy {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "health never recovered after resume"
+        );
+        std::thread::sleep(interval / 4);
+    }
+    assert_eq!(engine.wal_sync_lag_ns(), 0, "resume drained the backlog");
+}
+
+#[test]
+fn reach_sample_shift_knob_controls_sampling_and_exports_the_rate() {
+    // Shift 0: every probe is sampled, so the histogram count equals the
+    // probe count exactly (no 1-in-64 dice).
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::running_example())
+        .reach_sample_shift(0)
+        .build();
+    let (run, exec) = run_one(&engine, 97);
+    let (u, v) = (exec.events()[0].vertex, exec.events()[1].vertex);
+    for _ in 0..37 {
+        let _ = engine.reach(run, u, v).unwrap();
+    }
+    let h = engine.metrics().histogram("wf_reach_ns").unwrap();
+    assert_eq!(h.count(), 37, "shift 0 samples every probe");
+
+    // The effective rate is exported so dashboards can rescale.
+    let json: serde_json::Value = serde_json::from_str(&engine.metrics().render_json()).unwrap();
+    assert_eq!(
+        json.get("gauges")
+            .unwrap()
+            .get("wf_reach_sample_interval")
+            .unwrap(),
+        &serde_json::Value::U64(1)
+    );
+
+    // The default stays 1-in-64 and says so.
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::running_example())
+        .build();
+    let json: serde_json::Value = serde_json::from_str(&engine.metrics().render_json()).unwrap();
+    assert_eq!(
+        json.get("gauges")
+            .unwrap()
+            .get("wf_reach_sample_interval")
+            .unwrap(),
+        &serde_json::Value::U64(64)
+    );
+}
+
+#[test]
 fn disabling_telemetry_keeps_stats_but_stops_histograms_and_traces() {
     let engine: WfEngine = WfEngine::builder()
         .spec(wf_spec::corpus::running_example())
