@@ -18,6 +18,7 @@ use crate::query::CrossRunQuery;
 use crate::snapshot::{self, PersistedRun};
 use crate::stats::ServiceStats;
 use crate::store::{LabelStore, RunView, SegmentLru, Tier};
+use crate::sub::{SubHub, SubPredicate, Subscription, DEFAULT_SUB_QUEUE_CAPACITY};
 use crate::telemetry::{
     tier_tag, SpanCtx, SpanHandle, Telemetry, TelemetryConfig, WalTelemetry,
     DEFAULT_REACH_SAMPLE_SHIFT,
@@ -406,6 +407,10 @@ pub enum StallCause {
     /// The segment LRU is shedding at thrash rate (re-faulting what it
     /// just evicted).
     ShedThrash,
+    /// Standing-query subscribers are lagging: their bounded notify
+    /// queues dropped deltas faster than [`SUB_LAG_PER_TICK`] per
+    /// watchdog interval.
+    SubLag,
 }
 
 impl StallCause {
@@ -417,6 +422,7 @@ impl StallCause {
             StallCause::WalCommitLag => "wal_commit_lag",
             StallCause::TieringBacklog => "tiering_backlog",
             StallCause::ShedThrash => "shed_thrash",
+            StallCause::SubLag => "sub_lag",
         }
     }
 }
@@ -555,9 +561,17 @@ impl<S: SpecLabeling> EngineShared<S> {
         }
     }
 
-    pub(crate) fn record_complete_outcome(&self, run: RunId, res: &Result<(), ServiceError>) {
+    pub(crate) fn record_complete_outcome(
+        &self,
+        run: RunId,
+        spec: SpecId,
+        res: &Result<(), ServiceError>,
+    ) {
         if res.is_ok() {
             self.obs.runs_completed.inc();
+            // The status CAS fired exactly once, so this fan-out is
+            // edge-triggered: subscribers see one RunCompleted per run.
+            self.store.subs.notify_complete(run, spec);
             // The completion queue feeds the tiering worker; without a
             // policy nothing ever drains it, so don't grow it (and skip
             // the pointless lock + notify on every completion).
@@ -1524,13 +1538,16 @@ const STALL_ESCALATION_TICKS: u32 = 2;
 const TIERING_BACKLOG_FLOOR: usize = 16;
 /// LRU sheds per watchdog tick that count as thrash.
 const SHED_THRASH_PER_TICK: u64 = 64;
+/// Subscription deltas dropped per watchdog tick that count as lag.
+const SUB_LAG_PER_TICK: u64 = 64;
 
 /// Every cause the watchdog can diagnose, in streak-array order.
-const WATCHDOG_CAUSES: [StallCause; 4] = [
+const WATCHDOG_CAUSES: [StallCause; 5] = [
     StallCause::IngestWorker,
     StallCause::WalCommitLag,
     StallCause::TieringBacklog,
     StallCause::ShedThrash,
+    StallCause::SubLag,
 ];
 
 /// Body of the stall watchdog: every `interval`, sample each subsystem's
@@ -1548,6 +1565,7 @@ fn watchdog_loop<S: SpecLabeling + Send + Sync + 'static>(
         .collect();
     let mut last_backlog = 0usize;
     let mut last_sheds = shared.obs.segment_sheds.get();
+    let mut last_sub_lagged = shared.obs.sub_lagged.get();
     let mut streaks = [0u32; WATCHDOG_CAUSES.len()];
     loop {
         {
@@ -1604,6 +1622,13 @@ fn watchdog_loop<S: SpecLabeling + Send + Sync + 'static>(
             violated.push(StallCause::ShedThrash);
         }
         last_sheds = sheds;
+        // Subscriptions: sustained drop-oldest overflow means consumers
+        // (or their queues) cannot keep up with the delta rate.
+        let sub_lagged = shared.obs.sub_lagged.get();
+        if sub_lagged.saturating_sub(last_sub_lagged) >= SUB_LAG_PER_TICK {
+            violated.push(StallCause::SubLag);
+        }
+        last_sub_lagged = sub_lagged;
 
         let mut stalled: Vec<StallCause> = Vec::new();
         for (i, cause) in WATCHDOG_CAUSES.iter().enumerate() {
@@ -2210,6 +2235,17 @@ impl<S: SpecLabeling + Send + Sync + 'static> WfEngine<S> {
         CrossRunQuery::new(&self.shared)
     }
 
+    /// Register a **standing query**: the same lineage predicates as
+    /// [`Self::query`], maintained incrementally instead of rescanned.
+    /// The returned [`Subscription`] first receives `Added` deltas for
+    /// every existing match (the catch-up scan), then live deltas as
+    /// ingest publishes labels, runs complete, and the tiering worker
+    /// moves runs between tiers. See [`crate::SubPredicate`] for scoping
+    /// and [`crate::Delta`] for the event vocabulary.
+    pub fn subscribe(&self, predicate: SubPredicate) -> Subscription {
+        self.shared.store.subscribe(predicate)
+    }
+
     /// Status of a run (tier-transparent: frozen and persisted runs are
     /// `Completed`).
     pub fn run_status(&self, run: RunId) -> Result<RunStatus, ServiceError> {
@@ -2427,6 +2463,8 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineMetrics<'_, S> {
         obs.g_segment_files.set(stats.segment_files);
         obs.g_pack_dead_bytes.set(stats.pack_dead_bytes);
         obs.g_mapped_bytes.set(stats.mapped_bytes);
+        obs.g_subscriptions
+            .set(self.engine.shared.store.subs.active() as u64);
     }
 
     /// Render the registry in Prometheus text exposition format
@@ -2480,6 +2518,7 @@ pub struct EngineBuilder<S: SpecLabeling + Send + Sync + 'static = TclSpecLabels
     trace_capacity: usize,
     reach_sample_shift: u32,
     watchdog: Option<std::time::Duration>,
+    sub_queue_capacity: usize,
 }
 
 /// Default slow-op threshold: spans at or above this are promoted into
@@ -2523,6 +2562,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             reach_sample_shift: DEFAULT_REACH_SAMPLE_SHIFT,
             watchdog: None,
+            sub_queue_capacity: DEFAULT_SUB_QUEUE_CAPACITY,
         }
     }
 
@@ -2733,6 +2773,15 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
         self
     }
 
+    /// **Subscription queue bound** (default
+    /// [`DEFAULT_SUB_QUEUE_CAPACITY`]): how many deltas each standing
+    /// query buffers before overflowing drop-oldest (the consumer then
+    /// receives a [`crate::Delta::Lagged`] with the exact drop count).
+    pub fn sub_queue_capacity(mut self, n: usize) -> Self {
+        self.sub_queue_capacity = n.max(1);
+        self
+    }
+
     /// Build the engine and start its ingest worker pool (and the
     /// background tiering worker, when a tiering policy is configured).
     pub fn build(self) -> WfEngine<S> {
@@ -2914,9 +2963,11 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
                 obs.skl_pairs_sampled.add(r.pairs_sampled);
             }
         }
+        let catalog: Box<[Arc<SpecContext<S>>]> = self.contexts.into_boxed_slice();
+        let subs = SubHub::new(catalog.clone(), Arc::clone(&obs), self.sub_queue_capacity);
         let shared = Arc::new(EngineShared {
-            catalog: self.contexts.into_boxed_slice(),
-            store: LabelStore::new(self.shards, persisted, lru),
+            catalog,
+            store: LabelStore::new(self.shards, persisted, lru, subs),
             max_vertex_id: Mutex::new(self.max_vertex_id),
             next_run: AtomicU64::new(first_run),
             first_run,
@@ -3014,7 +3065,7 @@ impl<S: SpecLabeling + Send + Sync + 'static> EngineBuilder<S> {
             }
             if r.completed && slot.status() == RunStatus::Live {
                 let res = slot.complete(r.run);
-                shared.record_complete_outcome(r.run, &res);
+                shared.record_complete_outcome(r.run, r.spec, &res);
             }
             shared.store.insert_hot(r.run, slot);
             shared.obs.runs_opened.inc();

@@ -143,6 +143,18 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
             crate::telemetry::SpanHandle::inert()
         };
         let res = self.shared.logged_apply_insert(self.run, slot, ev);
+        if res.is_ok() {
+            // Fan out to standing queries inside the apply span, so
+            // sampled notifies trace as its children.
+            self.shared.store.subs.notify_insert(
+                self.run,
+                slot.spec,
+                slot.source.get().copied(),
+                ev.vertex,
+                ev.name,
+                &slot.indexed,
+            );
+        }
         obs.finish(
             apply,
             &obs.h_ingest_apply,
@@ -166,7 +178,8 @@ impl<S: SpecLabeling + Send + Sync + 'static> RunHandle<S> {
             return Err(ServiceError::RunNotLive(self.run, self.view.status()));
         };
         let res = self.shared.logged_complete(self.run, slot);
-        self.shared.record_complete_outcome(self.run, &res);
+        self.shared
+            .record_complete_outcome(self.run, slot.spec, &res);
         res
     }
 

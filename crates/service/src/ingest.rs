@@ -300,6 +300,18 @@ fn process<S: SpecLabeling + Send + Sync>(shared: &EngineShared<S>, env: Envelop
             // `logged_apply_insert` traces as its child.
             let apply = obs.begin_under(enqueue_span);
             let res = shared.logged_apply_insert(run, &slot, ev);
+            if res.is_ok() {
+                // Fan out to standing queries while the apply span is
+                // open, so sampled notifies trace as its children.
+                shared.store.subs.notify_insert(
+                    run,
+                    slot.spec,
+                    slot.source.get().copied(),
+                    ev.vertex,
+                    ev.name,
+                    &slot.indexed,
+                );
+            }
             obs.finish(
                 apply,
                 &obs.h_ingest_apply,
@@ -314,7 +326,7 @@ fn process<S: SpecLabeling + Send + Sync>(shared: &EngineShared<S>, env: Envelop
         }
         RunOp::Complete => {
             let res = shared.logged_complete(run, &slot);
-            shared.record_complete_outcome(run, &res);
+            shared.record_complete_outcome(run, slot.spec, &res);
             res.map(|()| false)
         }
     });

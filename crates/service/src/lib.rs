@@ -94,6 +94,7 @@ mod query;
 pub mod snapshot;
 mod stats;
 mod store;
+mod sub;
 mod telemetry;
 
 pub use engine::{
@@ -108,6 +109,7 @@ pub use query::{CrossRunQuery, ExplainQuery, Explained, SourceReach};
 pub use snapshot::SnapshotError;
 pub use stats::{EngineStats, ServiceStats};
 pub use store::Tier;
+pub use sub::{Delta, SubPredicate, Subscription, Witness, DEFAULT_SUB_QUEUE_CAPACITY};
 pub use telemetry::QueryProfile;
 pub use wf_obs::{HistogramSnapshot, TraceEvent};
 pub use wf_wal as wal;

@@ -38,9 +38,9 @@
 
 use crate::engine::EngineShared;
 use crate::store::RunView;
+use crate::sub::{scan_view, PredKind, Witness};
 use crate::telemetry::{self, QueryProfile};
 use crate::{RunId, RunStatus, SpecId, Tier};
-use wf_drl::{DrlLabel, DrlPredicate};
 use wf_graph::{NameId, VertexId};
 use wf_obs::clock;
 use wf_skeleton::{SpecLabeling, TclSpecLabels};
@@ -227,12 +227,16 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
     }
 
     /// Every published vertex named `name`, per in-scope run (runs with
-    /// no match are omitted).
+    /// no match are omitted). Evaluated by the same per-run matcher the
+    /// standing-query subsystem maintains incrementally
+    /// ([`crate::WfEngine::subscribe`]), so pull and push answers agree
+    /// by construction.
     pub fn vertices_named(&self, name: NameId) -> Vec<(RunId, Vec<VertexId>)> {
         self.scan(|run, view| {
+            let ctx = &self.shared.catalog[view.spec().0];
             let mut vs: Vec<VertexId> = Vec::new();
-            view.for_each_label(|v, n, _| {
-                if n == name {
+            scan_view(view, ctx, PredKind::Vertices(name), |w| {
+                if let Witness::Vertex(v) = w {
                     vs.push(v);
                 }
             });
@@ -247,16 +251,11 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
     pub fn reaching_named_from_source(&self, name: NameId) -> Vec<SourceReach> {
         self.scan(|run, view| {
             let source = view.source()?;
-            let src_label = view.label(source)?;
             let ctx = &self.shared.catalog[view.spec().0];
-            let predicate = DrlPredicate::new(&ctx.skeleton);
             let mut witnesses: Vec<VertexId> = Vec::new();
-            view.for_each_label(|v, n, label| {
-                if n == name {
-                    view.note_query();
-                    if predicate.reaches(&src_label, label) {
-                        witnesses.push(v);
-                    }
+            scan_view(view, ctx, PredKind::Reaching(name), |w| {
+                if let Witness::Reach { target } = w {
+                    witnesses.push(target);
                 }
             });
             (!witnesses.is_empty()).then_some(SourceReach {
@@ -284,26 +283,8 @@ impl<'e, S: SpecLabeling + Send + Sync + 'static> CrossRunQuery<'e, S> {
     pub fn runs_linking(&self, from: NameId, to: NameId) -> Vec<RunId> {
         self.scan(|run, view| {
             let ctx = &self.shared.catalog[view.spec().0];
-            let predicate = DrlPredicate::new(&ctx.skeleton);
-            let mut froms: Vec<(VertexId, DrlLabel)> = Vec::new();
-            let mut tos: Vec<(VertexId, DrlLabel)> = Vec::new();
-            view.for_each_label(|v, n, label| {
-                if n == from {
-                    froms.push((v, label.clone()));
-                }
-                if n == to {
-                    tos.push((v, label.clone()));
-                }
-            });
-            let hit = froms.iter().any(|(u, pu)| {
-                tos.iter().any(|(v, pv)| {
-                    if u == v {
-                        return false;
-                    }
-                    view.note_query();
-                    predicate.reaches(pu, pv)
-                })
-            });
+            let mut hit = false;
+            scan_view(view, ctx, PredKind::Linking(from, to), |_| hit = true);
             hit.then_some(run)
         })
     }

@@ -21,6 +21,7 @@ use crate::bufmgr::{RecencyReplacer, Replacer};
 use crate::engine::{route_hash, RunSlot};
 use crate::freeze::FrozenRun;
 use crate::snapshot::PersistedRun;
+use crate::sub::{SubHub, SubPredicate, Subscription};
 use crate::telemetry::{bump, Telemetry};
 use crate::{RunId, RunStatus, SpecId};
 use std::collections::{HashMap, HashSet};
@@ -358,6 +359,10 @@ pub(crate) struct LabelStore<S: SpecLabeling + 'static> {
     persisted: RwLock<HashMap<u64, Arc<PersistedRun>>>,
     /// Residency governor shared by every persisted run in this store.
     pub(crate) lru: Arc<SegmentLru>,
+    /// Standing-query fan-out. Lives on the store so tier transitions
+    /// can notify from inside their lock regions (tier deltas inherit
+    /// the per-run transition order).
+    pub(crate) subs: SubHub<S>,
 }
 
 impl<S: SpecLabeling> LabelStore<S> {
@@ -367,6 +372,7 @@ impl<S: SpecLabeling> LabelStore<S> {
         shards: usize,
         persisted: Vec<Arc<PersistedRun>>,
         lru: Arc<SegmentLru>,
+        subs: SubHub<S>,
     ) -> Self {
         let n = shards.max(1).next_power_of_two();
         Self {
@@ -375,7 +381,34 @@ impl<S: SpecLabeling> LabelStore<S> {
             frozen: RwLock::new(HashMap::new()),
             persisted: RwLock::new(persisted.into_iter().map(|p| (p.run.0, p)).collect()),
             lru,
+            subs,
         }
+    }
+
+    /// Register a standing query: the new subscription is inserted into
+    /// the fan-out registry first, then caught up on every existing run
+    /// — any event racing the scan also fans out to the fresh core, and
+    /// the matcher's per-vertex dedup collapses the overlap.
+    pub(crate) fn subscribe(&self, predicate: SubPredicate) -> Subscription {
+        let core = self.subs.register(predicate);
+        let obs = &self.subs.obs;
+        let start = obs.timer();
+        let views = self.snapshot_views();
+        let runs = views.len();
+        let mut labels = 0u64;
+        for (run, view) in &views {
+            labels += self.subs.catch_up(&core, *run, view);
+        }
+        obs.span(
+            &obs.h_sub_match,
+            "sub_match",
+            None,
+            None,
+            start,
+            true,
+            || format!("runs={runs} labels={labels}"),
+        );
+        SubHub::<S>::handle(core)
     }
 
     fn shard(&self, run: RunId) -> &Shard<S> {
@@ -432,6 +465,7 @@ impl<S: SpecLabeling> LabelStore<S> {
             return false;
         }
         cold.insert(run.0, frozen);
+        self.subs.tier_moved(run, Tier::Frozen);
         true
     }
 
@@ -446,6 +480,7 @@ impl<S: SpecLabeling> LabelStore<S> {
             return false;
         }
         disk.insert(run.0, persisted);
+        self.subs.tier_moved(run, Tier::Persisted);
         true
     }
 
@@ -464,6 +499,7 @@ impl<S: SpecLabeling> LabelStore<S> {
                 return false;
             };
             cold.insert(run.0, frozen);
+            self.subs.tier_moved(run, Tier::Frozen);
             old
         };
         self.lru.forget_entry(&old);
@@ -485,6 +521,7 @@ impl<S: SpecLabeling> LabelStore<S> {
                 return false;
             };
             shard.insert(run.0, slot);
+            self.subs.tier_moved(run, Tier::Hot);
             old
         };
         self.lru.forget_entry(&old);
@@ -512,20 +549,22 @@ impl<S: SpecLabeling> LabelStore<S> {
     /// the run was hot (the caller marks it evicted under its writer
     /// lock).
     pub(crate) fn remove(&self, run: RunId) -> Option<RunView<S>> {
-        if let Some(slot) = self
+        let hot = self
             .shard(run)
             .write()
             .expect("shard lock poisoned")
-            .remove(&run.0)
-        {
+            .remove(&run.0);
+        if let Some(slot) = hot {
+            self.subs.evicted(run);
             return Some(RunView::Hot(slot));
         }
-        if let Some(f) = self
+        let frozen = self
             .frozen
             .write()
             .expect("frozen lock poisoned")
-            .remove(&run.0)
-        {
+            .remove(&run.0);
+        if let Some(f) = frozen {
+            self.subs.evicted(run);
             return Some(RunView::Frozen(f));
         }
         let removed = self
@@ -535,6 +574,7 @@ impl<S: SpecLabeling> LabelStore<S> {
             .remove(&run.0);
         if let Some(p) = removed {
             self.lru.forget_entry(&p);
+            self.subs.evicted(run);
             return Some(RunView::Persisted(p));
         }
         None

@@ -1,0 +1,1013 @@
+//! **wf-sub** — standing queries with incremental delta maintenance.
+//!
+//! The cross-run query surface ([`crate::CrossRunQuery`]) is pull-only:
+//! a dashboard asking "which runs link N₁ to N₂?" rescans every tier on
+//! every refresh. This module turns the same three lineage predicates
+//! into *standing* queries: [`crate::WfEngine::subscribe`] registers a
+//! [`SubPredicate`] and returns a cloneable [`Subscription`] that yields
+//! typed [`Delta`] events as the fleet evolves — no rescans.
+//!
+//! ## Why incremental maintenance is cheap here
+//!
+//! Published labels are **write-once** ([`crate::index::LabelIndex`]) and
+//! reachability answers are permanent, so every predicate match is
+//! *monotone* while a run lives: a witness, once found, never un-matches.
+//! Maintenance therefore reduces to a per-run [`RunMatcher`] state
+//! machine fed exactly one `(vertex, name, label)` triple per applied
+//! event — the same state machine the pull API now drives with a full
+//! scan ([`scan_view`]), so the incremental and rescan answers cannot
+//! drift. `Removed` deltas exist only for *scope* exits: a tier-scoped
+//! subscription sees `Removed` when a run leaves its tier, and every
+//! subscription sees `Removed` when a run is evicted.
+//!
+//! ## Delivery, backpressure, and the no-dup/no-drop argument
+//!
+//! Each subscription owns one bounded queue (drop-**oldest** on
+//! overflow); dropped deltas surface as a typed [`Delta::Lagged`] at the
+//! next receive, with exact accounting (`delivered + dropped ==
+//! produced`). Registration races are closed by lock ordering: the
+//! registry `RwLock` totally orders an ingest worker's fan-out against
+//! `subscribe`'s insert, so a notify that misses a new subscriber
+//! happens-before that subscriber's catch-up scan — which then reads the
+//! already-published label. Both firing is harmless: the matcher's
+//! per-vertex `seen` set makes every feed idempotent. Tier transitions
+//! fan out from *inside* the store's tier-lock regions, inheriting the
+//! per-run total order of transitions; eviction is tombstoned so a
+//! delayed notify cannot resurrect a removed run's deltas.
+
+use crate::store::{RunView, Tier};
+use crate::telemetry::Telemetry;
+use crate::{RunId, RunStatus, SpecContext, SpecId};
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+use wf_drl::{DrlLabel, DrlPredicate};
+use wf_graph::{NameId, VertexId};
+use wf_skeleton::SpecLabeling;
+
+/// Default bound of each subscription's notify queue
+/// ([`crate::EngineBuilder::sub_queue_capacity`]).
+pub const DEFAULT_SUB_QUEUE_CAPACITY: usize = 1024;
+
+/// Fan-out latency is sampled 1 in 64 per thread, like the ingest apply
+/// it rides behind — the notify itself is tens of ns when nothing
+/// matches.
+const SUB_SAMPLE_MASK: u32 = 63;
+
+thread_local! {
+    static SUB_SAMPLE: Cell<u32> = const { Cell::new(0) };
+}
+
+fn sub_sampled() -> bool {
+    SUB_SAMPLE.with(|c| {
+        let n = c.get().wrapping_add(1);
+        c.set(n);
+        n & SUB_SAMPLE_MASK == 0
+    })
+}
+
+/// The predicate forms shared by the pull queries and subscriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PredKind {
+    /// Vertices published under one name
+    /// ([`crate::CrossRunQuery::vertices_named`]).
+    Vertices(NameId),
+    /// Vertices named N reachable from the run's source
+    /// ([`crate::CrossRunQuery::runs_reaching_named_from_source`]).
+    Reaching(NameId),
+    /// Some vertex named `from` reaches some vertex named `to`
+    /// ([`crate::CrossRunQuery::runs_linking`]).
+    Linking(NameId, NameId),
+}
+
+impl PredKind {
+    /// Cheap pre-filter for the notify hot path: can this event possibly
+    /// advance the matcher? Must be implied by [`RunMatcher::feed`]'s
+    /// early returns, so skipping irrelevant events never loses a match.
+    #[inline]
+    fn relevant(self, name: NameId) -> bool {
+        match self {
+            PredKind::Vertices(n) => name == n,
+            // The source label a `Reaching` matcher needs is *not*
+            // waited for here: it is resolved lazily from the write-once
+            // index when a name-matching candidate arrives (the source
+            // is always the run's first applied event, so its label is
+            // published by then). Idle reaching-subscriptions therefore
+            // cost nothing per run.
+            PredKind::Reaching(n) => name == n,
+            PredKind::Linking(a, b) => name == a || name == b,
+        }
+    }
+
+    /// This predicate's contribution to the hub's name-interest filter:
+    /// a bitmap over `name.0 % 64`.
+    #[inline]
+    fn interest_bits(self) -> u64 {
+        match self {
+            PredKind::Vertices(n) | PredKind::Reaching(n) => 1u64 << (n.0 & 63),
+            PredKind::Linking(a, b) => (1u64 << (a.0 & 63)) | (1u64 << (b.0 & 63)),
+        }
+    }
+}
+
+/// A standing lineage predicate: one of the three cross-run query forms,
+/// optionally scoped by specification, completion status, and storage
+/// tier — the same axes as [`crate::CrossRunQuery`].
+///
+/// ```
+/// # use wf_service::{SubPredicate, SpecId, Tier};
+/// # use wf_graph::NameId;
+/// let pred = SubPredicate::runs_linking(NameId(3), NameId(7))
+///     .spec(SpecId(0))
+///     .completed();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubPredicate {
+    pub(crate) kind: PredKind,
+    pub(crate) spec: Option<SpecId>,
+    pub(crate) completed_only: bool,
+    pub(crate) tier: Option<Tier>,
+}
+
+impl SubPredicate {
+    fn new(kind: PredKind) -> Self {
+        Self {
+            kind,
+            spec: None,
+            completed_only: false,
+            tier: None,
+        }
+    }
+
+    /// Match every published vertex named `name`; each match is one
+    /// `Added` with a [`Witness::Vertex`].
+    pub fn vertices_named(name: NameId) -> Self {
+        Self::new(PredKind::Vertices(name))
+    }
+
+    /// Match runs whose source reaches a vertex named `name`; each
+    /// reachable vertex is one `Added` with a [`Witness::Reach`].
+    pub fn runs_reaching_named_from_source(name: NameId) -> Self {
+        Self::new(PredKind::Reaching(name))
+    }
+
+    /// Match runs where some vertex named `from` reaches some vertex
+    /// named `to`; one `Added` per matching run, carrying the first
+    /// witnessing pair as a [`Witness::Link`].
+    pub fn runs_linking(from: NameId, to: NameId) -> Self {
+        Self::new(PredKind::Linking(from, to))
+    }
+
+    /// Restrict to runs of one specification.
+    #[must_use]
+    pub fn spec(mut self, spec: SpecId) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Defer deltas until the run completes: matches accumulate silently
+    /// while the run is live and flush as `Added` on completion (still
+    /// incremental — completion is an edge, not a rescan).
+    #[must_use]
+    pub fn completed(mut self) -> Self {
+        self.completed_only = true;
+        self
+    }
+
+    /// Restrict to one storage tier: matches emit `Added` when the run
+    /// enters the tier and `Removed` when it leaves, from match state
+    /// retained at publish time (tier transitions never rescan).
+    #[must_use]
+    pub fn tier(mut self, tier: Tier) -> Self {
+        self.tier = Some(tier);
+        self
+    }
+}
+
+/// Evidence carried by `Added`/`Removed` deltas — the same witnesses the
+/// pull API returns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Witness {
+    /// A vertex published under the subscribed name.
+    Vertex(VertexId),
+    /// The run's source reaches `target`.
+    Reach {
+        /// The reachable vertex named as subscribed.
+        target: VertexId,
+    },
+    /// `from` reaches `to` (first witnessing pair found).
+    Link {
+        /// The reaching vertex (named as the predicate's `from`).
+        from: VertexId,
+        /// The reached vertex (named as the predicate's `to`).
+        to: VertexId,
+    },
+}
+
+/// One subscription event. At quiescence the accumulated set of
+/// `(run, witness)` pairs from `Added` minus `Removed` equals the
+/// corresponding pull query's answer — the invariant
+/// `tests/subscriptions.rs` proves against a full-rescan oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delta {
+    /// A new match entered the subscription's scope.
+    Added {
+        /// The matching run.
+        run: RunId,
+        /// The evidence.
+        witness: Witness,
+    },
+    /// A previously-`Added` match left the scope (tier exit or
+    /// eviction) — never emitted for a witness that was not delivered.
+    Removed {
+        /// The run.
+        run: RunId,
+        /// The witness being retracted.
+        witness: Witness,
+    },
+    /// A run in the subscription's spec scope completed.
+    RunCompleted {
+        /// The completed run.
+        run: RunId,
+    },
+    /// The bounded queue overflowed since the last receive: `dropped`
+    /// deltas were discarded (oldest first). Delivered first, before any
+    /// queued delta, so a lagging consumer learns it lagged immediately.
+    Lagged {
+        /// Exact number of deltas dropped since the last receive.
+        dropped: u64,
+    },
+}
+
+/// Incremental match state for one `(subscription, run)` pair — also
+/// driven to completion in one pass by the pull queries via
+/// [`scan_view`], which is what keeps the two answer paths equal by
+/// construction.
+///
+/// Feeding is idempotent per vertex (`seen`), so the subscribe-time
+/// catch-up scan and a concurrently racing per-event notify can overlap
+/// without duplicating a witness.
+pub(crate) struct RunMatcher {
+    kind: PredKind,
+    /// Relevant vertices already fed (set-based dedup: the hot index
+    /// iterates in vertex order, not publish order, so a count cursor
+    /// would be unsound).
+    seen: HashSet<u32>,
+    /// The source label, once the source vertex has been fed (Reaching).
+    source: Option<DrlLabel>,
+    /// Name-matching vertices fed before the source was known (Reaching).
+    pending: Vec<(VertexId, DrlLabel)>,
+    /// Accumulated `from`-named labels (Linking, until linked).
+    froms: Vec<(VertexId, DrlLabel)>,
+    /// Accumulated `to`-named labels (Linking, until linked).
+    tos: Vec<(VertexId, DrlLabel)>,
+    linked: bool,
+}
+
+impl RunMatcher {
+    pub(crate) fn new(kind: PredKind) -> Self {
+        Self {
+            kind,
+            seen: HashSet::new(),
+            source: None,
+            pending: Vec::new(),
+            froms: Vec::new(),
+            tos: Vec::new(),
+            linked: false,
+        }
+    }
+
+    /// Lazily install the run's source label (`Reaching` only). The push
+    /// path calls this instead of feeding the source *event*: by the
+    /// time a name-matching candidate is notified, the source — always
+    /// the run's first applied event — is already published in the
+    /// write-once index, so its label is fetched on demand rather than
+    /// fanned out to every reaching-subscription once per run. Drains
+    /// `pending` exactly like [`feed`](Self::feed)'s source arm.
+    pub(crate) fn feed_source<S: SpecLabeling>(
+        &mut self,
+        predicate: &DrlPredicate<'_, S>,
+        v: VertexId,
+        label: &DrlLabel,
+        note: &mut dyn FnMut(),
+        emit: &mut dyn FnMut(Witness),
+    ) {
+        if !matches!(self.kind, PredKind::Reaching(_)) || self.source.is_some() {
+            return;
+        }
+        self.seen.insert(v.0);
+        self.source = Some(label.clone());
+        let src = self.source.as_ref().expect("just set");
+        for (t, tl) in std::mem::take(&mut self.pending) {
+            note();
+            if predicate.reaches(src, &tl) {
+                emit(Witness::Reach { target: t });
+            }
+        }
+    }
+
+    /// Advance the matcher with one published `(vertex, name, label)`.
+    /// `note` fires once per constant-time predicate evaluation (the
+    /// pull path bumps the run's query counter with it); `emit` receives
+    /// each fresh witness, in discovery order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn feed<S: SpecLabeling>(
+        &mut self,
+        predicate: &DrlPredicate<'_, S>,
+        source_hint: Option<VertexId>,
+        v: VertexId,
+        name: NameId,
+        label: &DrlLabel,
+        note: &mut dyn FnMut(),
+        emit: &mut dyn FnMut(Witness),
+    ) {
+        match self.kind {
+            PredKind::Vertices(n) => {
+                if name == n && self.seen.insert(v.0) {
+                    emit(Witness::Vertex(v));
+                }
+            }
+            PredKind::Reaching(n) => {
+                let is_source = source_hint == Some(v) && self.source.is_none();
+                let is_candidate = name == n;
+                if (!is_source && !is_candidate) || !self.seen.insert(v.0) {
+                    return;
+                }
+                if is_source {
+                    self.source = Some(label.clone());
+                    let src = self.source.as_ref().expect("just set");
+                    for (t, tl) in std::mem::take(&mut self.pending) {
+                        note();
+                        if predicate.reaches(src, &tl) {
+                            emit(Witness::Reach { target: t });
+                        }
+                    }
+                }
+                if is_candidate {
+                    if let Some(src) = &self.source {
+                        note();
+                        if predicate.reaches(src, label) {
+                            emit(Witness::Reach { target: v });
+                        }
+                    } else {
+                        self.pending.push((v, label.clone()));
+                    }
+                }
+            }
+            PredKind::Linking(a, b) => {
+                if self.linked {
+                    return;
+                }
+                let is_from = name == a;
+                let is_to = name == b;
+                if (!is_from && !is_to) || !self.seen.insert(v.0) {
+                    return;
+                }
+                if is_from {
+                    for (u, ul) in &self.tos {
+                        if *u == v {
+                            continue;
+                        }
+                        note();
+                        if predicate.reaches(label, ul) {
+                            self.linked = true;
+                            emit(Witness::Link { from: v, to: *u });
+                            break;
+                        }
+                    }
+                }
+                if !self.linked && is_to {
+                    for (u, ul) in &self.froms {
+                        if *u == v {
+                            continue;
+                        }
+                        note();
+                        if predicate.reaches(ul, label) {
+                            self.linked = true;
+                            emit(Witness::Link { from: *u, to: v });
+                            break;
+                        }
+                    }
+                }
+                if self.linked {
+                    // A run links at most once; free the scratch labels.
+                    self.froms = Vec::new();
+                    self.tos = Vec::new();
+                } else {
+                    if is_from {
+                        self.froms.push((v, label.clone()));
+                    }
+                    if is_to {
+                        self.tos.push((v, label.clone()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Drive a fresh [`RunMatcher`] over every published label of `view` —
+/// the full-rescan evaluation the pull queries use, and the oracle the
+/// incremental path is tested against.
+pub(crate) fn scan_view<S: SpecLabeling>(
+    view: &RunView<S>,
+    ctx: &SpecContext<S>,
+    kind: PredKind,
+    mut emit: impl FnMut(Witness),
+) {
+    let predicate = DrlPredicate::new(&ctx.skeleton);
+    let source = view.source();
+    let mut matcher = RunMatcher::new(kind);
+    view.for_each_label(|v, n, label| {
+        matcher.feed(
+            &predicate,
+            source,
+            v,
+            n,
+            label,
+            &mut || view.note_query(),
+            &mut |w| emit(w),
+        );
+    });
+}
+
+/// Per-run delta state of one subscription: the matcher, every witness
+/// found so far (monotone while the run lives), and how much of that
+/// list is currently delivered as `Added`.
+struct RunSubState {
+    matcher: RunMatcher,
+    /// All witnesses discovered, in discovery order (append-only).
+    matches: Vec<Witness>,
+    /// `matches[..emitted]` have an outstanding `Added`; scope exits
+    /// retract exactly this prefix.
+    emitted: usize,
+    /// Last tier reported for this run (updated by tier fan-outs, which
+    /// inherit the store's per-run transition order).
+    tier: Tier,
+    completed: bool,
+}
+
+impl RunSubState {
+    fn new(kind: PredKind, tier: Tier, completed: bool) -> Self {
+        Self {
+            matcher: RunMatcher::new(kind),
+            matches: Vec::new(),
+            emitted: 0,
+            tier,
+            completed,
+        }
+    }
+}
+
+/// The bounded notify queue. Overflow drops the *oldest* delta
+/// (tokio-broadcast style): a lagging consumer keeps the freshest view
+/// and learns exactly how much it missed.
+struct SubQueue {
+    deque: VecDeque<Delta>,
+    /// Deltas dropped since the last receive (surfaced as one `Lagged`).
+    dropped: u64,
+    capacity: usize,
+}
+
+/// Shared core of one subscription: predicate, per-run delta state, and
+/// the bounded queue. Cloned [`Subscription`] handles share one core —
+/// and therefore one delta stream.
+pub(crate) struct SubCore {
+    pred: SubPredicate,
+    /// Per-run state, keyed by run id. Leaf lock: never held while
+    /// taking a store or registry lock.
+    state: Mutex<HashMap<u64, RunSubState>>,
+    queue: Mutex<SubQueue>,
+    cv: Condvar,
+    /// Outstanding `Subscription` handles; the last drop closes the core.
+    handles: AtomicUsize,
+    closed: AtomicBool,
+    /// The hub's open-subscription count, decremented exactly once on
+    /// close (the `wf_subscriptions` gauge and the notify fast path).
+    active: Arc<AtomicUsize>,
+}
+
+impl SubCore {
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    fn close(&self) {
+        if !self.closed.swap(true, Ordering::AcqRel) {
+            self.active.fetch_sub(1, Ordering::AcqRel);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Enqueue one delta, dropping the oldest on overflow.
+    fn push(&self, delta: Delta, obs: &Telemetry) {
+        {
+            let mut q = self.queue.lock().expect("sub queue poisoned");
+            if q.deque.len() >= q.capacity {
+                q.deque.pop_front();
+                q.dropped += 1;
+                obs.sub_lagged.inc();
+            }
+            q.deque.push_back(delta);
+            obs.sub_deltas.inc();
+        }
+        self.cv.notify_one();
+    }
+
+    /// Reconcile delivery with the subscription's scope: in scope, every
+    /// undelivered match becomes `Added`; out of scope, the delivered
+    /// prefix is retracted as `Removed`. Idempotent, so racing callers
+    /// (notify vs. tier fan-out vs. catch-up) converge on set semantics.
+    fn sync_emission(&self, run: RunId, st: &mut RunSubState, obs: &Telemetry) {
+        let p = &self.pred;
+        let in_scope = p.tier.is_none_or(|t| t == st.tier) && (!p.completed_only || st.completed);
+        if in_scope {
+            while st.emitted < st.matches.len() {
+                let w = st.matches[st.emitted].clone();
+                st.emitted += 1;
+                self.push(Delta::Added { run, witness: w }, obs);
+            }
+        } else if st.emitted > 0 {
+            let retract: Vec<Witness> = st.matches[..st.emitted].to_vec();
+            st.emitted = 0;
+            for w in retract {
+                self.push(Delta::Removed { run, witness: w }, obs);
+            }
+        }
+    }
+}
+
+/// A cloneable handle to one standing query. Clones share the delta
+/// stream (competing consumers); the stream closes when the last handle
+/// drops or the engine is dropped.
+pub struct Subscription {
+    core: Arc<SubCore>,
+}
+
+impl Clone for Subscription {
+    fn clone(&self) -> Self {
+        self.core.handles.fetch_add(1, Ordering::AcqRel);
+        Self {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        if self.core.handles.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.core.close();
+        }
+    }
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("predicate", &self.core.pred)
+            .field("pending", &self.pending())
+            .field("closed", &self.core.is_closed())
+            .finish()
+    }
+}
+
+impl Subscription {
+    fn pop_locked(q: &mut SubQueue) -> Option<Delta> {
+        if q.dropped > 0 {
+            let dropped = std::mem::take(&mut q.dropped);
+            return Some(Delta::Lagged { dropped });
+        }
+        q.deque.pop_front()
+    }
+
+    /// The next delta without blocking; `None` when the queue is empty.
+    pub fn try_recv(&self) -> Option<Delta> {
+        let mut q = self.core.queue.lock().expect("sub queue poisoned");
+        Self::pop_locked(&mut q)
+    }
+
+    /// Block until a delta arrives; `None` once the stream is closed
+    /// (engine dropped) *and* fully drained.
+    pub fn recv(&self) -> Option<Delta> {
+        let mut q = self.core.queue.lock().expect("sub queue poisoned");
+        loop {
+            if let Some(d) = Self::pop_locked(&mut q) {
+                return Some(d);
+            }
+            if self.core.is_closed() {
+                return None;
+            }
+            q = self.core.cv.wait(q).expect("sub queue poisoned");
+        }
+    }
+
+    /// [`recv`](Self::recv) with a deadline; `None` on timeout or on a
+    /// closed-and-drained stream (disambiguate with
+    /// [`is_closed`](Self::is_closed)).
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delta> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.core.queue.lock().expect("sub queue poisoned");
+        loop {
+            if let Some(d) = Self::pop_locked(&mut q) {
+                return Some(d);
+            }
+            if self.core.is_closed() {
+                return None;
+            }
+            let now = Instant::now();
+            let left = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())?;
+            let (guard, _timeout) = self
+                .core
+                .cv
+                .wait_timeout(q, left)
+                .expect("sub queue poisoned");
+            q = guard;
+        }
+    }
+
+    /// Deltas currently buffered (not counting a pending `Lagged`).
+    pub fn pending(&self) -> usize {
+        self.core
+            .queue
+            .lock()
+            .expect("sub queue poisoned")
+            .deque
+            .len()
+    }
+
+    /// The queue bound this subscription was created with.
+    pub fn capacity(&self) -> usize {
+        self.core.queue.lock().expect("sub queue poisoned").capacity
+    }
+
+    /// True once the engine is gone (no further deltas will arrive).
+    pub fn is_closed(&self) -> bool {
+        self.core.is_closed()
+    }
+}
+
+/// One registry row: the notify fast path's precheck data (predicate
+/// kind, spec filter, tier interest) inlined next to the core pointer,
+/// so fanning an irrelevant event across N subscriptions walks one
+/// contiguous vector of `Copy` data and never dereferences a per-
+/// subscription `Arc` — N pointer chases per ingested event is exactly
+/// the overhead the idle-subscription budget forbids.
+struct SubEntry {
+    kind: PredKind,
+    spec: Option<SpecId>,
+    tier: Option<Tier>,
+    core: Arc<SubCore>,
+}
+
+/// The subscription registry and fan-out engine, owned by the label
+/// store so tier transitions can notify from inside their lock regions.
+///
+/// Lock hierarchy (outermost first): store tier locks → `registry` →
+/// per-sub `state` → {`queue`, `tombstones`}. Subscription code never
+/// takes a store lock while holding any of its own.
+pub(crate) struct SubHub<S: SpecLabeling + 'static> {
+    catalog: Box<[Arc<SpecContext<S>>]>,
+    pub(crate) obs: Arc<Telemetry>,
+    queue_capacity: usize,
+    /// Open (not-yet-closed) subscriptions: the notify fast path is one
+    /// relaxed load of this when nobody subscribes.
+    active: Arc<AtomicUsize>,
+    /// Union of every registered predicate's name bits
+    /// ([`PredKind::interest_bits`]). Ingest workers test one read-only
+    /// relaxed load against this before touching `registry` — unlike the
+    /// RwLock's state word, a load that never writes stays Shared in
+    /// every core's cache, so idle subscriptions cost no coherence
+    /// traffic on the per-event path. False positives (hash collision,
+    /// lingering bits from closed subs) just take the locked slow path;
+    /// a false negative is only possible in the registration race, which
+    /// the catch-up scan already covers: the mask is published inside
+    /// `register`'s write-lock region, and any insert that loaded the
+    /// old mask had already published its label, so the new
+    /// subscription's catch-up snapshot sees it.
+    interest: AtomicU64,
+    registry: RwLock<Vec<SubEntry>>,
+    /// Evicted run ids. A delayed per-event notify (the apply → notify
+    /// window is outside the writer lock) checks this inside the per-sub
+    /// state lock, which totally orders it against [`Self::evicted`]'s
+    /// fan-out — so an eviction can never leak a dangling `Added`.
+    tombstones: Mutex<HashSet<u64>>,
+}
+
+impl<S: SpecLabeling> SubHub<S> {
+    pub(crate) fn new(
+        catalog: Box<[Arc<SpecContext<S>>]>,
+        obs: Arc<Telemetry>,
+        queue_capacity: usize,
+    ) -> Self {
+        Self {
+            catalog,
+            obs,
+            queue_capacity: queue_capacity.max(1),
+            active: Arc::new(AtomicUsize::new(0)),
+            interest: AtomicU64::new(0),
+            registry: RwLock::new(Vec::new()),
+            tombstones: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Open subscriptions right now (the `wf_subscriptions` gauge).
+    pub(crate) fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Register a new subscription core (catch-up is the store's job —
+    /// it needs the tier snapshot, which this hub must not take itself).
+    pub(crate) fn register(&self, pred: SubPredicate) -> Arc<SubCore> {
+        let (kind, spec, tier) = (pred.kind, pred.spec, pred.tier);
+        let core = Arc::new(SubCore {
+            pred,
+            state: Mutex::new(HashMap::new()),
+            queue: Mutex::new(SubQueue {
+                deque: VecDeque::new(),
+                dropped: 0,
+                capacity: self.queue_capacity,
+            }),
+            cv: Condvar::new(),
+            handles: AtomicUsize::new(1),
+            closed: AtomicBool::new(false),
+            active: Arc::clone(&self.active),
+        });
+        let mut reg = self.registry.write().expect("sub registry poisoned");
+        reg.retain(|e| !e.core.is_closed());
+        reg.push(SubEntry {
+            kind,
+            spec,
+            tier,
+            core: Arc::clone(&core),
+        });
+        // Recompute the interest filter from scratch while we hold the
+        // write lock: the retain above is the only place closed subs'
+        // bits get pruned.
+        let mask = reg.iter().fold(0u64, |m, e| m | e.kind.interest_bits());
+        self.interest.store(mask, Ordering::Release);
+        self.active.fetch_add(1, Ordering::AcqRel);
+        core
+    }
+
+    /// Wrap a registered core into its public handle.
+    pub(crate) fn handle(core: Arc<SubCore>) -> Subscription {
+        Subscription { core }
+    }
+
+    fn is_tombstoned(&self, run: RunId) -> bool {
+        self.tombstones
+            .lock()
+            .expect("sub tombstones poisoned")
+            .contains(&run.0)
+    }
+
+    /// Fan out one applied insertion. Called by the ingest paths right
+    /// after a successful apply, inside the apply span (so sampled
+    /// notifies trace as children of the ingest trace) but outside the
+    /// run's writer lock — out-of-order arrival is harmless under the
+    /// matcher's set semantics.
+    pub(crate) fn notify_insert(
+        &self,
+        run: RunId,
+        spec: SpecId,
+        source: Option<VertexId>,
+        v: VertexId,
+        name: NameId,
+        index: &crate::index::LabelIndex,
+    ) {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        // Name-interest filter: one read-only relaxed load decides, for
+        // the overwhelmingly common event nobody subscribed to, that the
+        // registry lock (a shared atomic RMW, hence cross-core coherence
+        // traffic) need not be touched at all.
+        if self.interest.load(Ordering::Relaxed) & (1u64 << (name.0 & 63)) == 0 {
+            return;
+        }
+        let start = if self.obs.enabled && sub_sampled() {
+            self.obs.timer()
+        } else {
+            None
+        };
+        let subs = self.registry.read().expect("sub registry poisoned");
+        let mut label: Option<&DrlLabel> = None;
+        for e in subs.iter() {
+            // Precheck on the inlined row first: the common case (no
+            // subscription cares about this event) touches no `Arc`.
+            if e.spec.is_some_and(|s| s != spec) || !e.kind.relevant(name) {
+                continue;
+            }
+            if e.core.is_closed() {
+                continue;
+            }
+            if label.is_none() {
+                label = index.get(v);
+            }
+            let Some(label) = label else { break };
+            // A reaching-matcher that has not yet installed its source
+            // label resolves it from the index now (see `feed_source`);
+            // skip when this event *is* the source — `feed` handles the
+            // source-doubles-as-candidate case itself.
+            let src = match (e.kind, source) {
+                (PredKind::Reaching(_), Some(sv)) if sv != v => index.get(sv).map(|l| (sv, l)),
+                _ => None,
+            };
+            self.offer(&e.core, run, spec, source, v, name, label, src);
+        }
+        drop(subs);
+        if start.is_some() {
+            self.obs.span(
+                &self.obs.h_sub_notify,
+                "sub_notify",
+                Some(run.0),
+                Some("hot"),
+                start,
+                false,
+                String::new,
+            );
+        }
+    }
+
+    /// Feed one label into one subscription's per-run matcher and
+    /// reconcile delivery. The tombstone check sits *inside* the state
+    /// lock: if it misses a concurrent eviction, the eviction's fan-out
+    /// is ordered after this critical section and cleans up the entry.
+    #[allow(clippy::too_many_arguments)]
+    fn offer(
+        &self,
+        core: &SubCore,
+        run: RunId,
+        spec: SpecId,
+        source: Option<VertexId>,
+        v: VertexId,
+        name: NameId,
+        label: &DrlLabel,
+        src: Option<(VertexId, &DrlLabel)>,
+    ) {
+        let ctx = &self.catalog[spec.0];
+        let predicate = DrlPredicate::new(&ctx.skeleton);
+        let mut map = core.state.lock().expect("sub state poisoned");
+        if self.is_tombstoned(run) {
+            return;
+        }
+        let st = map
+            .entry(run.0)
+            .or_insert_with(|| RunSubState::new(core.pred.kind, Tier::Hot, false));
+        let RunSubState {
+            matcher, matches, ..
+        } = st;
+        if let Some((sv, sl)) = src {
+            matcher.feed_source(&predicate, sv, sl, &mut || (), &mut |w| matches.push(w));
+        }
+        matcher.feed(&predicate, source, v, name, label, &mut || (), &mut |w| {
+            matches.push(w)
+        });
+        core.sync_emission(run, st, &self.obs);
+    }
+
+    /// Fan out a run completion (edge-triggered: the status CAS fires
+    /// exactly once, and per-run FIFO ordering puts this after every
+    /// insert notify of the run).
+    pub(crate) fn notify_complete(&self, run: RunId, spec: SpecId) {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let subs = self.registry.read().expect("sub registry poisoned");
+        for e in subs.iter() {
+            if e.spec.is_some_and(|s| s != spec) || e.core.is_closed() {
+                continue;
+            }
+            let core = &e.core;
+            {
+                let mut map = core.state.lock().expect("sub state poisoned");
+                if let Some(st) = map.get_mut(&run.0) {
+                    st.completed = true;
+                    core.sync_emission(run, st, &self.obs);
+                }
+            }
+            core.push(Delta::RunCompleted { run }, &self.obs);
+        }
+    }
+
+    /// Fan out a tier transition, called from **inside** the store's
+    /// tier-lock region so per-run transitions arrive in order. Only
+    /// tier-scoped subscriptions track tiers; for them the entry is
+    /// created on demand (tier transitions only happen to completed
+    /// runs, so a missing entry just means "no matches yet recorded" —
+    /// the catch-up or delayed notifies fill it in under this tier).
+    pub(crate) fn tier_moved(&self, run: RunId, to: Tier) {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let subs = self.registry.read().expect("sub registry poisoned");
+        for e in subs.iter() {
+            if e.tier.is_none() || e.core.is_closed() {
+                continue;
+            }
+            let core = &e.core;
+            let mut map = core.state.lock().expect("sub state poisoned");
+            let st = map
+                .entry(run.0)
+                .or_insert_with(|| RunSubState::new(e.kind, to, true));
+            st.tier = to;
+            core.sync_emission(run, st, &self.obs);
+        }
+    }
+
+    /// Fan out an eviction: tombstone the run (so delayed notifies and
+    /// in-flight catch-ups cannot resurrect it), then retract every
+    /// delivered witness.
+    pub(crate) fn evicted(&self, run: RunId) {
+        self.tombstones
+            .lock()
+            .expect("sub tombstones poisoned")
+            .insert(run.0);
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let subs = self.registry.read().expect("sub registry poisoned");
+        for e in subs.iter() {
+            let core = &e.core;
+            if core.is_closed() {
+                continue;
+            }
+            let mut map = core.state.lock().expect("sub state poisoned");
+            if let Some(st) = map.remove(&run.0) {
+                for w in st.matches[..st.emitted].iter().cloned() {
+                    core.push(Delta::Removed { run, witness: w }, &self.obs);
+                }
+            }
+        }
+    }
+
+    /// Catch one subscription up on one existing run (the subscribe-time
+    /// scan). Returns the number of labels visited. Runs *after* the
+    /// core is registered, so any event this scan races is also fanned
+    /// out to the core — the matcher's `seen` set collapses the overlap.
+    pub(crate) fn catch_up(&self, core: &SubCore, run: RunId, view: &RunView<S>) -> u64 {
+        let spec = view.spec();
+        if core.pred.spec.is_some_and(|s| s != spec) {
+            return 0;
+        }
+        let ctx = &self.catalog[spec.0];
+        let predicate = DrlPredicate::new(&ctx.skeleton);
+        let source = view.source();
+        let mut map = core.state.lock().expect("sub state poisoned");
+        if self.is_tombstoned(run) {
+            return 0;
+        }
+        let st = map
+            .entry(run.0)
+            .or_insert_with(|| RunSubState::new(core.pred.kind, view.tier(), false));
+        // Status reads through a hot view are *live* (the slot's atomic),
+        // so a completion between the snapshot and now is not missed; a
+        // completion after this read updates the entry via its fan-out.
+        st.completed = st.completed || view.status() == RunStatus::Completed;
+        let mut fed = 0u64;
+        {
+            let RunSubState {
+                matcher, matches, ..
+            } = st;
+            view.for_each_label(|v, n, label| {
+                fed += 1;
+                matcher.feed(
+                    &predicate,
+                    source,
+                    v,
+                    n,
+                    label,
+                    &mut || view.note_query(),
+                    &mut |w| matches.push(w),
+                );
+            });
+        }
+        // Re-check the tombstone before reconciling: an eviction that
+        // landed mid-scan must not leave freshly-found witnesses behind.
+        if self.is_tombstoned(run) {
+            if let Some(st) = map.remove(&run.0) {
+                for w in st.matches[..st.emitted].iter().cloned() {
+                    core.push(Delta::Removed { run, witness: w }, &self.obs);
+                }
+            }
+        } else if let Some(st) = map.get_mut(&run.0) {
+            core.sync_emission(run, st, &self.obs);
+        }
+        fed
+    }
+}
+
+impl<S: SpecLabeling> Drop for SubHub<S> {
+    fn drop(&mut self) {
+        // The engine is going away: close every stream so blocked
+        // receivers wake with `None` after draining.
+        let reg = self.registry.get_mut().expect("sub registry poisoned");
+        for e in reg.iter() {
+            e.core.close();
+        }
+    }
+}

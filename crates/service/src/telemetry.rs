@@ -158,6 +158,8 @@ pub(crate) struct Telemetry {
     pub wal_truncations: Counter,
     pub wal_recovered_runs: Counter,
     pub wal_recovered_records: Counter,
+    pub sub_deltas: Counter,
+    pub sub_lagged: Counter,
 
     // Gauges, refreshed from a stats snapshot at export time.
     pub g_runs_hot: Gauge,
@@ -169,6 +171,7 @@ pub(crate) struct Telemetry {
     pub g_segment_files: Gauge,
     pub g_pack_dead_bytes: Gauge,
     pub g_mapped_bytes: Gauge,
+    pub g_subscriptions: Gauge,
 
     // Latency histograms (recorded only when `enabled`).
     pub h_ingest_enqueue: Arc<Histogram>,
@@ -187,6 +190,8 @@ pub(crate) struct Telemetry {
     pub h_cross_run_scan: Arc<Histogram>,
     pub h_wal_append: Arc<Histogram>,
     pub h_wal_fsync: Arc<Histogram>,
+    pub h_sub_notify: Arc<Histogram>,
+    pub h_sub_match: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -273,6 +278,14 @@ impl Telemetry {
                 "wf_wal_recovered_records_total",
                 "WAL records replayed at build time",
             ),
+            sub_deltas: counter(
+                "wf_sub_deltas_total",
+                "deltas enqueued to standing-query subscriptions",
+            ),
+            sub_lagged: counter(
+                "wf_sub_lagged_total",
+                "subscription deltas dropped by bounded notify queues (drop-oldest)",
+            ),
 
             g_runs_hot: gauge("wf_runs_hot", "runs in the hot tier"),
             g_runs_frozen: gauge("wf_runs_frozen", "runs in the frozen tier"),
@@ -289,6 +302,7 @@ impl Telemetry {
                 "dead blob bytes in packs awaiting garbage collection",
             ),
             g_mapped_bytes: gauge("wf_mapped_bytes", "pack bytes currently mmap'd"),
+            g_subscriptions: gauge("wf_subscriptions", "open standing-query subscriptions"),
 
             h_ingest_enqueue: hist(
                 "wf_ingest_enqueue_ns",
@@ -315,6 +329,14 @@ impl Telemetry {
             h_cross_run_scan: hist("wf_cross_run_scan_ns", "cross-run query scan"),
             h_wal_append: hist("wf_wal_append_ns", "one WAL record framed and written"),
             h_wal_fsync: hist("wf_wal_fsync_ns", "one WAL fsync (inline or group commit)"),
+            h_sub_notify: hist(
+                "wf_sub_notify_ns",
+                "subscription fan-out after one applied event (sampled 1 in 64)",
+            ),
+            h_sub_match: hist(
+                "wf_sub_match_ns",
+                "subscription catch-up scan at registration",
+            ),
 
             registry,
         }

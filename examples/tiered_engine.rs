@@ -407,4 +407,171 @@ fn main() {
     }
     drop(engine);
     let _ = std::fs::remove_dir_all(&spill);
+
+    // ---- Act 5: standing queries under tier churn (sub-soak). ----
+    //
+    // Subscribers registered *before any ingest* watch a fleet soak
+    // through ingest → complete → freeze → persist → compact → re-heat
+    // → pack GC, while a consumer thread drains concurrently. The
+    // unscoped subscriber's `Added` stream must equal the pull query's
+    // answer exactly — no duplicates, no drops, no spurious
+    // retractions — and the Frozen-scoped subscriber must net out to
+    // exactly the frozen tier's final contents after the churn. The
+    // `sub_soak` JSON line (deltas delivered, pull-oracle count, max
+    // completion lag seen by the consumer) is the CI artifact.
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    let spill = std::env::temp_dir().join(format!("wf-tiered-subsoak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill);
+    let engine: WfEngine = WfEngine::builder()
+        .spec(wf_spec::corpus::bioaid_nonrecursive())
+        .ingest_workers(2)
+        .spill_dir(&spill)
+        .sub_queue_capacity(1 << 14)
+        .build();
+    let ctx = Arc::clone(engine.context(SpecId(0)).unwrap());
+    // Pre-generate the fleet so the probe name exists before the
+    // subscriptions do (mid-stream registration is covered by tests;
+    // the soak exercises the from-the-start path).
+    let execs: Vec<Execution> = (0..24)
+        .map(|_| {
+            let gen = RunGenerator::new(&ctx.spec)
+                .target_size(120)
+                .generate_run(&mut rng);
+            Execution::deterministic(&gen.graph, &gen.origin)
+        })
+        .collect();
+    let probe = execs[0].events()[1].name;
+    let sub_all = engine.subscribe(SubPredicate::vertices_named(probe));
+    let sub_frozen = engine.subscribe(SubPredicate::vertices_named(probe).tier(Tier::Frozen));
+
+    let stamps: Mutex<HashMap<u64, Instant>> = Mutex::new(HashMap::new());
+    let done = AtomicBool::new(false);
+    let (total, added, removed, completions, max_lag_ns) = std::thread::scope(|s| {
+        let consumer = s.spawn(|| {
+            let (mut total, mut added, mut removed, mut completions) = (0u64, 0u64, 0u64, 0u64);
+            let mut max_lag_ns = 0u64;
+            loop {
+                match sub_all.recv_timeout(Duration::from_millis(5)) {
+                    Some(Delta::Added { .. }) => {
+                        total += 1;
+                        added += 1;
+                    }
+                    Some(Delta::Removed { .. }) => {
+                        total += 1;
+                        removed += 1;
+                    }
+                    Some(Delta::RunCompleted { run }) => {
+                        total += 1;
+                        completions += 1;
+                        let at = stamps.lock().unwrap()[&run.0];
+                        max_lag_ns = max_lag_ns.max(at.elapsed().as_nanos() as u64);
+                    }
+                    Some(Delta::Lagged { dropped }) => {
+                        panic!("soak queue must not overflow (dropped {dropped})")
+                    }
+                    None => {
+                        if sub_all.is_closed()
+                            || (done.load(Ordering::Acquire) && sub_all.pending() == 0)
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+            (total, added, removed, completions, max_lag_ns)
+        });
+
+        // The soak itself: ingest + complete the fleet, then churn the
+        // tiers underneath the live subscriptions.
+        let runs: Vec<RunId> = execs
+            .iter()
+            .map(|exec| {
+                let run = engine.open_run(SpecId(0)).unwrap();
+                for ev in exec.events() {
+                    engine.submit(run, ev).unwrap();
+                }
+                stamps.lock().unwrap().insert(run.0, Instant::now());
+                engine.complete_run(run).unwrap();
+                run
+            })
+            .collect();
+        for (i, &run) in runs.iter().enumerate() {
+            match i % 3 {
+                0 => {} // stays hot
+                1 => engine.freeze_run(run).unwrap(),
+                _ => engine.persist_run(run).unwrap(),
+            }
+        }
+        engine.compact().expect("spill dir configured");
+        // Re-heat half the persisted runs all the way to hot — their
+        // pack blobs go dead — then GC the packs under the live subs.
+        let persisted: Vec<RunId> = runs
+            .iter()
+            .copied()
+            .filter(|&r| engine.run_tier(r).unwrap() == Tier::Persisted)
+            .collect();
+        for run in &persisted[..persisted.len() / 2] {
+            engine.reheat_run_hot(*run).unwrap();
+        }
+        let gc = engine.gc_packs().expect("spill dir configured");
+        assert!(gc.dead_bytes_reclaimed > 0, "re-heats strand dead blobs");
+        done.store(true, Ordering::Release);
+        consumer.join().unwrap()
+    });
+
+    // Pull-side oracle: the same predicate answered by a full rescan.
+    // Registered-before-first-event subscriptions must agree exactly.
+    let oracle: usize = engine
+        .query()
+        .vertices_named(probe)
+        .iter()
+        .map(|(_, vs)| vs.len())
+        .sum();
+    assert_eq!(added as usize, oracle, "push stream == pull rescan");
+    assert_eq!(removed, 0, "nothing was evicted, nothing retracts");
+    assert_eq!(completions, 24, "every completion is delivered");
+
+    // The Frozen-scoped stream nets out to the frozen tier's final
+    // contents: freezes added witnesses, persists/re-heats of runs that
+    // were never frozen added nothing.
+    let (mut f_added, mut f_removed) = (0i64, 0i64);
+    while let Some(d) = sub_frozen.try_recv() {
+        match d {
+            Delta::Added { .. } => f_added += 1,
+            Delta::Removed { .. } => f_removed += 1,
+            Delta::RunCompleted { .. } => {}
+            Delta::Lagged { dropped } => panic!("frozen sub overflowed (dropped {dropped})"),
+        }
+    }
+    let frozen_oracle: usize = engine
+        .query()
+        .tier(Tier::Frozen)
+        .vertices_named(probe)
+        .iter()
+        .map(|(_, vs)| vs.len())
+        .sum();
+    assert_eq!(
+        (f_added - f_removed) as usize,
+        frozen_oracle,
+        "tier-scoped stream nets to the frozen tier's final contents"
+    );
+
+    println!(
+        "{{\"metric\":\"sub_soak\",\"deltas\":{total},\"oracle\":{oracle},\
+         \"max_lag_ns\":{max_lag_ns},\"frozen_net\":{},\"frozen_oracle\":{frozen_oracle}}}",
+        f_added - f_removed
+    );
+    println!(
+        "sub-soak: {added} adds + {completions} completions delivered across the churn, \
+         max completion lag {:.2} ms",
+        max_lag_ns as f64 / 1e6
+    );
+    drop(sub_all);
+    drop(sub_frozen);
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&spill);
 }

@@ -8,8 +8,10 @@ Each artifact is JSON-lines: bench lines ({"bench": ..., "mean_ns": ...,
 "latency", "name": ..., "p50_ns": ..., "p99_ns": ...}), the
 tier_footprint line, the compaction line, the observability lines
 (obs_overhead, explain_overhead, watchdog), the buffer-manager lines
-(service_cold_scan, pack_gc), and the WAL lines (durable_ingest,
-wal_recovery_ms), as printed by
+(service_cold_scan, pack_gc), the WAL lines (durable_ingest,
+wal_recovery_ms), and the standing-query line (standing_query:
+delta-delivery throughput, completion-lag percentiles and the
+idle-subscription overhead ratio), as printed by
 `cargo bench -p wf-bench --bench service`.
 
 The newest PREVIOUS (last argument) anchors the delta columns and the
@@ -189,6 +191,33 @@ def main():
             continue
         drop = -d  # throughput (and the off-vs-group ratio): a drop regresses
         label = f"durable_ingest {metric}: {d:+.1f}%"
+        if gated and drop > GATE_DROP_PCT:
+            failures.append(label)
+        elif drop > WARN_DROP_PCT:
+            warnings.append(label)
+
+    # Standing-query line: delta delivery through a consuming
+    # subscription. `notify_eps` (deltas delivered per second) carries
+    # the throughput gate; `delta_lag_p99_ns` (submit-to-receipt lag at
+    # the completion delta) gates as a latency — a rise past the gate
+    # fails. The p50 and the idle-subscription overhead ratio (hard-
+    # asserted >= 0.9 in-bench) ride along informationally.
+    cur, prev = current.get("standing_query", {}), previous.get("standing_query", {})
+    for metric, gated, higher_is_better in (
+        ("notify_eps", True, True),
+        ("delta_lag_p99_ns", True, False),
+        ("delta_lag_p50_ns", False, False),
+        ("sub_overhead_ratio", False, True),
+    ):
+        c, p = cur.get(metric), prev.get(metric)
+        if c is None:
+            continue
+        d = delta_pct(p, c)
+        rows.append((f"standing_query.{metric}", p, c, d))
+        if d is None:
+            continue
+        drop = -d if higher_is_better else d
+        label = f"standing_query {metric}: {d:+.1f}%"
         if gated and drop > GATE_DROP_PCT:
             failures.append(label)
         elif drop > WARN_DROP_PCT:
